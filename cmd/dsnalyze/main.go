@@ -1,0 +1,213 @@
+// Command dsnalyze builds an interconnect topology and prints its graph
+// metrics: size, degrees, diameter, average shortest path length, and the
+// DSN-specific theorem bounds where applicable.
+//
+// Usage:
+//
+//	dsnalyze -topo dsn -n 1024
+//	dsnalyze -topo torus -n 256
+//	dsnalyze -topo random -n 512 -seed 7
+//	dsnalyze -topo dsn-e -n 126
+//	dsnalyze -topo kleinberg -n 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dsnet"
+)
+
+func main() {
+	var (
+		topo       = flag.String("topo", "dsn", "topology: dsn, dsn-e, dsn-v, dsn-d, torus, torus3d, random, dln, ring, kleinberg, hypercube, ccc, debruijn")
+		n          = flag.Int("n", 64, "number of switches")
+		x          = flag.Int("x", 0, "DSN shortcut ladder size (default p-1) / DLN degree")
+		seed       = flag.Uint64("seed", 1, "seed for randomized topologies")
+		smallWorld = flag.Bool("smallworld", false, "also print clustering coefficient and small-world sigma")
+		bottleneck = flag.Bool("bottleneck", false, "also print edge-betweenness load concentration")
+		export     = flag.String("export", "", "write the topology as a dsnet-graph edge list to this file")
+	)
+	flag.Parse()
+	if err := run(*topo, *n, *x, *seed, *smallWorld, *bottleneck, *export); err != nil {
+		fmt.Fprintln(os.Stderr, "dsnalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo string, n, x int, seed uint64, smallWorld, bottleneck bool, export string) error {
+	g, d, err := build(topo, n, x, seed)
+	if err != nil {
+		return err
+	}
+	if export != "" {
+		f, err := os.Create(export)
+		if err != nil {
+			return err
+		}
+		if _, err := g.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "exported %s\n", export)
+	}
+	m := g.AllPairs()
+	fmt.Printf("topology        %s\n", topo)
+	fmt.Printf("switches        %d\n", g.N())
+	fmt.Printf("links           %d\n", g.M())
+	fmt.Printf("degree          min %d / avg %.2f / max %d\n", g.MinDegree(), g.AverageDegree(), g.MaxDegree())
+	hist := g.DegreeHistogram()
+	degs := make([]int, 0, len(hist))
+	for deg := range hist {
+		degs = append(degs, deg)
+	}
+	sort.Ints(degs)
+	for _, deg := range degs {
+		fmt.Printf("  degree %-2d     %d switches\n", deg, hist[deg])
+	}
+	fmt.Printf("connected       %v\n", m.Connected)
+	fmt.Printf("diameter        %d hops\n", m.Diameter)
+	fmt.Printf("avg path        %.3f hops\n", m.ASPL)
+	if d != nil {
+		fmt.Printf("p (levels)      %d\n", d.P)
+		fmt.Printf("r (n mod p)     %d\n", d.R)
+		fmt.Printf("x (ladder)      %d\n", d.X)
+		if d.BoundsApply() {
+			fmt.Printf("thm1 diameter   <= %.1f (measured %d)\n", d.DiameterBound(), m.Diameter)
+			fmt.Printf("thm1 routing    <= %d hops\n", d.RoutingDiameterBound())
+		}
+	}
+	if smallWorld {
+		fmt.Printf("clustering      %.4f\n", g.ClusteringCoefficient())
+		fmt.Printf("small-world     sigma = %.2f (>1 indicates small-world structure)\n", g.SmallWorldIndex())
+	}
+	if bottleneck {
+		bc := g.EdgeBetweenness()
+		var mean, max float64
+		for _, v := range bc {
+			mean += v
+			if v > max {
+				max = v
+			}
+		}
+		mean /= float64(len(bc))
+		fmt.Printf("betweenness     mean %.4f / max %.4f (max/mean %.2f)\n", mean, max, max/mean)
+	}
+	return nil
+}
+
+func build(topo string, n, x int, seed uint64) (*dsnet.Graph, *dsnet.DSN, error) {
+	switch topo {
+	case "dsn":
+		if x == 0 {
+			x = dsnet.CeilLog2(n) - 1
+		}
+		d, err := dsnet.NewDSN(n, x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d.Graph(), d, nil
+	case "dsn-e":
+		d, err := dsnet.NewDSNE(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d.Graph(), d, nil
+	case "dsn-v":
+		d, err := dsnet.NewDSNV(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d.Graph(), d, nil
+	case "dsn-d":
+		if x == 0 {
+			x = 2
+		}
+		d, err := dsnet.NewDSND(n, x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d.Graph(), d, nil
+	case "torus":
+		t, err := dsnet.NewTorus2DFor(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return t.Graph(), nil, nil
+	case "torus3d":
+		side := 2
+		for side*side*side < n {
+			side++
+		}
+		if side*side*side != n {
+			return nil, nil, fmt.Errorf("n=%d is not a cube", n)
+		}
+		t, err := dsnet.NewTorus3D(side, side, side)
+		if err != nil {
+			return nil, nil, err
+		}
+		return t.Graph(), nil, nil
+	case "random":
+		g, err := dsnet.NewDLNRandom(n, 2, 2, seed)
+		return g, nil, err
+	case "dln":
+		if x == 0 {
+			x = 4
+		}
+		g, err := dsnet.NewDLN(n, x)
+		return g, nil, err
+	case "ring":
+		g, err := dsnet.NewRing(n)
+		return g, nil, err
+	case "kleinberg":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			return nil, nil, fmt.Errorf("n=%d is not a square", n)
+		}
+		k, err := dsnet.NewKleinberg(side, 1, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return k.Graph(), nil, nil
+	case "hypercube":
+		d := 0
+		for 1<<uint(d) < n {
+			d++
+		}
+		if 1<<uint(d) != n {
+			return nil, nil, fmt.Errorf("n=%d is not a power of two", n)
+		}
+		g, err := dsnet.NewHypercube(d)
+		return g, nil, err
+	case "ccc":
+		d := 3
+		for d<<uint(d) < n {
+			d++
+		}
+		if d<<uint(d) != n {
+			return nil, nil, fmt.Errorf("n=%d is not d*2^d for any d", n)
+		}
+		g, err := dsnet.NewCCC(d)
+		return g, nil, err
+	case "debruijn":
+		m := 2
+		for 1<<uint(m) < n {
+			m++
+		}
+		if 1<<uint(m) != n {
+			return nil, nil, fmt.Errorf("n=%d is not a power of two", n)
+		}
+		g, err := dsnet.NewDeBruijn(m)
+		return g, nil, err
+	default:
+		return nil, nil, fmt.Errorf("unknown topology %q", topo)
+	}
+}

@@ -1,0 +1,230 @@
+// Command dsnfigs regenerates the paper's figures as plain-text tables.
+//
+// Usage:
+//
+//	dsnfigs -fig 7        # diameter vs size
+//	dsnfigs -fig 8        # average shortest path vs size
+//	dsnfigs -fig 9        # average cable length vs size
+//	dsnfigs -fig 10a      # latency vs accepted, uniform traffic
+//	dsnfigs -fig 10b      # ... bit reversal
+//	dsnfigs -fig 10c      # ... neighboring
+//	dsnfigs -fig balance  # custom routing vs up*/down* traffic balance
+//	dsnfigs -fig all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dsnet"
+)
+
+var jsonOut bool
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, balance, bottleneck, faults, related, switching, physical, throughput, ladder, all")
+		seed  = flag.Uint64("seed", 1, "seed for randomized topologies and simulations")
+		quick = flag.Bool("quick", false, "shorter simulation windows (for smoke runs)")
+	)
+	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+	if err := run(*fig, *seed, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "dsnfigs:", err)
+		os.Exit(1)
+	}
+}
+
+// emitJSON writes one figure's data as a JSON document and reports
+// whether JSON mode handled the output.
+func emitJSON(figure string, data any) bool {
+	if !jsonOut {
+		return false
+	}
+	doc := map[string]any{"figure": figure, "data": data}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "dsnfigs: json:", err)
+	}
+	return true
+}
+
+var sweepSizes = []int{5, 6, 7, 8, 9, 10, 11}
+
+func run(fig string, seed uint64, quick bool) error {
+	switch fig {
+	case "7", "8":
+		rows, err := dsnet.PathSweep(sweepSizes, []uint64{seed, seed + 1, seed + 2})
+		if err != nil {
+			return err
+		}
+		if emitJSON("fig"+fig, rows) {
+			return nil
+		}
+		if fig == "7" {
+			fmt.Println("# Figure 7: diameter (hops) vs network size")
+			return dsnet.WritePathTable(os.Stdout, rows, "diameter")
+		}
+		fmt.Println("# Figure 8: average shortest path length (hops) vs network size")
+		return dsnet.WritePathTable(os.Stdout, rows, "aspl")
+	case "9":
+		rows, err := dsnet.CableSweep(sweepSizes, []uint64{seed, seed + 1, seed + 2}, dsnet.DefaultLayoutConfig())
+		if err != nil {
+			return err
+		}
+		if emitJSON("fig9", rows) {
+			return nil
+		}
+		fmt.Println("# Figure 9: average cable length (m) vs network size")
+		dsnet.WriteCableTable(os.Stdout, rows)
+		return nil
+	case "10a":
+		return fig10("uniform", seed, quick)
+	case "10b":
+		return fig10("bit-reversal", seed, quick)
+	case "10c":
+		return fig10("neighboring", seed, quick)
+	case "balance":
+		return balance(seed, quick)
+	case "bottleneck":
+		rows, err := dsnet.BottleneckSweep(64, seed)
+		if err != nil {
+			return err
+		}
+		if emitJSON("bottleneck", rows) {
+			return nil
+		}
+		fmt.Println("# Edge betweenness (theoretical channel load) at 64 switches")
+		dsnet.WriteBottleneckTable(os.Stdout, rows)
+		return nil
+	case "faults":
+		rows, err := dsnet.FaultSweep(64, []float64{0.02, 0.05, 0.10}, 10, seed)
+		if err != nil {
+			return err
+		}
+		if emitJSON("faults", rows) {
+			return nil
+		}
+		fmt.Println("# Random link failures at 64 switches (10 trials each)")
+		dsnet.WriteFaultTable(os.Stdout, rows)
+		return nil
+	case "switching":
+		graphs, err := dsnet.BuildComparison(64, seed)
+		if err != nil {
+			return err
+		}
+		pts, err := dsnet.SwitchingComparison(simConfig(seed, quick), graphs["DSN"], "uniform",
+			[]float64{0.02, 0.06, 0.10, 0.14, 0.18}, 20)
+		if err != nil {
+			return err
+		}
+		if emitJSON("switching", pts) {
+			return nil
+		}
+		fmt.Println("# VCT vs wormhole switching on DSN, uniform traffic (Section V.A regimes)")
+		dsnet.WriteSwitchingTable(os.Stdout, pts)
+		return nil
+	case "throughput":
+		var rows []dsnet.ThroughputRow
+		for _, pattern := range []string{"uniform", "bit-reversal", "neighboring"} {
+			r, err := dsnet.ThroughputComparison(simConfig(seed, quick), pattern, seed)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r...)
+		}
+		if emitJSON("throughput", rows) {
+			return nil
+		}
+		fmt.Println("# Saturation throughput (Section VII.A metric), 64 switches, adaptive routing")
+		dsnet.WriteThroughputTable(os.Stdout, rows)
+		return nil
+	case "ladder":
+		rows, err := dsnet.LadderSweep(1024, dsnet.DefaultLayoutConfig())
+		if err != nil {
+			return err
+		}
+		if emitJSON("ladder", rows) {
+			return nil
+		}
+		dsnet.WriteLadderTable(os.Stdout, 1024, rows)
+		return nil
+	case "physical":
+		rows, err := dsnet.PhysicalLatencySweep(sweepSizes, []uint64{seed},
+			dsnet.DefaultLayoutConfig(), dsnet.DefaultPhysicalConst())
+		if err != nil {
+			return err
+		}
+		if emitJSON("physical", rows) {
+			return nil
+		}
+		fmt.Println("# Analytic end-to-end latency: hops x 100ns + cable x 5ns/m (Section I model)")
+		dsnet.WritePhysicalTable(os.Stdout, rows)
+		return nil
+	case "related":
+		rows, err := dsnet.RelatedWork(!quick)
+		if err != nil {
+			return err
+		}
+		if emitJSON("related", rows) {
+			return nil
+		}
+		fmt.Println("# Section III related-work diameter-and-degree comparison")
+		dsnet.WriteRelatedTable(os.Stdout, rows)
+		return nil
+	case "all":
+		for _, f := range []string{"7", "8", "9", "10a", "10b", "10c", "balance", "bottleneck", "faults", "related", "switching", "physical", "throughput", "ladder"} {
+			if err := run(f, seed, quick); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+}
+
+func simConfig(seed uint64, quick bool) dsnet.SimConfig {
+	cfg := dsnet.DefaultSimConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.WarmupCycles = 3000
+		cfg.MeasureCycles = 6000
+		cfg.DrainCycles = 8000
+	}
+	return cfg
+}
+
+func fig10(pattern string, seed uint64, quick bool) error {
+	rates := []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14}
+	curves, err := dsnet.Fig10Curves(simConfig(seed, quick), pattern, rates, seed)
+	if err != nil {
+		return err
+	}
+	if emitJSON("fig10-"+pattern, curves) {
+		return nil
+	}
+	fmt.Printf("# Figure 10 (%s): latency vs accepted traffic, 64 switches, 4 hosts/switch\n", pattern)
+	dsnet.WriteLatencyTable(os.Stdout, curves)
+	return nil
+}
+
+func balance(seed uint64, quick bool) error {
+	res, err := dsnet.BalanceComparison(simConfig(seed, quick), 64, 0.01)
+	if err != nil {
+		return err
+	}
+	if emitJSON("balance", res) {
+		return nil
+	}
+	fmt.Println("# Traffic balance: DSN custom routing vs deterministic up*/down*")
+	fmt.Printf("%-12s %10s %10s %10s %12s\n", "scheme", "cov", "gini", "max/avg", "latency_ns")
+	for _, r := range res {
+		fmt.Printf("%-12s %10.3f %10.3f %10.2f %12.1f\n", r.Scheme, r.CoV, r.Gini, r.MaxAvg, r.Result.AvgLatencyNS)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// Exercise the cheap figure paths end-to-end (graph analysis only; the
+// simulation figures are covered by the analysis package tests).
+func TestRunGraphFigures(t *testing.T) {
+	for _, fig := range []string{"7", "8", "9", "bottleneck"} {
+		if err := run(fig, 1, true); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("99", 1, true); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	jsonOut = true
+	defer func() { jsonOut = false }()
+	if err := run("related", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}

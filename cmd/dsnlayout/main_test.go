@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"dsnet"
+)
+
+func TestRunSingleSize(t *testing.T) {
+	if err := run(256, false, 1, dsnet.DefaultLayoutConfig(), 5000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := run(0, true, 1, dsnet.DefaultLayoutConfig(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadSize(t *testing.T) {
+	// 7 switches cannot form a 2-D torus.
+	if err := run(7, false, 1, dsnet.DefaultLayoutConfig(), 0); err == nil {
+		t.Fatal("prime switch count accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Command dsnroute traces routes through DSN topologies and reports
+// routing statistics: the custom three-phase algorithm (centralized,
+// switch-local, and overshoot-free variants), plus the aggregate
+// RoutingReport against the Theorem 1(c) bound.
+//
+// Usage:
+//
+//	dsnroute -n 64 -s 3 -t 52                 # trace one pair
+//	dsnroute -n 64 -s 3 -t 52 -algo noovershoot
+//	dsnroute -n 60 -variant e -s 7 -t 44 -algo local
+//	dsnroute -n 1024 -report                  # aggregate statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsnet"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 64, "number of switches")
+		variant = flag.String("variant", "basic", "DSN variant: basic, e, v, d")
+		s       = flag.Int("s", 0, "source switch")
+		t       = flag.Int("t", 1, "destination switch")
+		algo    = flag.String("algo", "custom", "algorithm: custom, local, noovershoot, short (DSN-D only)")
+		report  = flag.Bool("report", false, "print aggregate routing statistics instead of one trace")
+		stride  = flag.Int("stride", 1, "sample every stride-th pair in -report mode")
+	)
+	flag.Parse()
+	if err := run(*n, *variant, *s, *t, *algo, *report, *stride); err != nil {
+		fmt.Fprintln(os.Stderr, "dsnroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, variant string, s, t int, algo string, report bool, stride int) error {
+	var d *dsnet.DSN
+	var err error
+	switch variant {
+	case "basic":
+		d, err = dsnet.NewDSN(n, dsnet.CeilLog2(n)-1)
+	case "e":
+		d, err = dsnet.NewDSNE(n)
+	case "v":
+		d, err = dsnet.NewDSNV(n)
+	case "d":
+		d, err = dsnet.NewDSND(n, 2)
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+	if err != nil {
+		return err
+	}
+	if report {
+		rep, err := d.RoutingReport(stride)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v routing report (stride %d)\n%s\n", d, stride, rep)
+		fmt.Println("channel-class hops:")
+		for class, hops := range rep.ClassHops {
+			fmt.Printf("  %-12s %d\n", class, hops)
+		}
+		return nil
+	}
+	var route *dsnet.Route
+	switch algo {
+	case "custom":
+		route, err = d.Route(s, t)
+	case "local":
+		route, err = d.RouteLocal(s, t)
+	case "noovershoot":
+		route, err = d.RouteNoOvershoot(s, t)
+	case "short":
+		route, err = d.RouteShortAware(s, t)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	sp := d.Graph().ShortestDist(s, t)
+	fmt.Printf("%v %s route %d -> %d: %d hops (shortest %d, bound %d)\n",
+		d, algo, s, t, route.Len(), sp, d.RoutingDiameterBound())
+	for _, h := range route.Hops {
+		fmt.Printf("  %-12s %4d -> %-4d level %d -> %d via %s\n",
+			h.Phase, h.From, h.To, d.LevelOf(int(h.From)), d.LevelOf(int(h.To)), h.Class)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestRunTraces(t *testing.T) {
+	for _, algo := range []string{"custom", "noovershoot"} {
+		if err := run(64, "basic", 3, 52, algo, false, 1); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	if err := run(60, "e", 7, 44, "local", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(60, "v", 7, 44, "custom", false, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	if err := run(128, "basic", 0, 0, "custom", true, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	if err := run(64, "bogus", 0, 1, "custom", false, 1); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+	if err := run(64, "basic", 0, 1, "bogus", false, 1); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+	if err := run(64, "basic", 0, 1, "local", false, 1); err == nil {
+		t.Fatal("local routing on basic variant accepted")
+	}
+	if err := run(64, "basic", 0, 0, "custom", true, 0); err == nil {
+		t.Fatal("bad stride accepted")
+	}
+	if err := run(65, "e", 0, 1, "custom", false, 1); err == nil {
+		t.Fatal("DSN-E with n not multiple of p accepted")
+	}
+}
+
+func TestRunShortAware(t *testing.T) {
+	if err := run(128, "d", 3, 90, "short", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(64, "basic", 3, 52, "short", false, 1); err == nil {
+		t.Fatal("short-aware on basic variant accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command dsnsim runs the cycle-accurate network simulator on one
+// topology and traffic pattern across a range of offered loads, printing
+// a latency-vs-accepted-traffic series (one Figure 10 curve).
+//
+// Usage:
+//
+//	dsnsim -topo dsn -pattern uniform
+//	dsnsim -topo torus -pattern bit-reversal -rates 0.02,0.05,0.1
+//	dsnsim -topo dsn-v -routing custom -rates 0.01,0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dsnet"
+)
+
+func main() {
+	var (
+		topo      = flag.String("topo", "dsn", "topology: dsn, dsn-v, torus, random")
+		pattern   = flag.String("pattern", "uniform", "traffic: uniform, bit-reversal, neighboring")
+		routing   = flag.String("routing", "adaptive", "routing: adaptive (Duato + up*/down* escape), updown, valiant, custom (DSN source-routed; needs -topo dsn-v)")
+		n         = flag.Int("n", 64, "number of switches")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		rateStr   = flag.String("rates", "0.02,0.04,0.06,0.08,0.10,0.12", "offered loads in flits/cycle/host")
+		warmup    = flag.Int64("warmup", 20000, "warmup cycles")
+		measure   = flag.Int64("measure", 40000, "measurement cycles")
+		drain     = flag.Int64("drain", 40000, "drain cycles")
+		switching = flag.String("switching", "vct", "switching mode: vct (virtual cut-through) or wormhole")
+		buf       = flag.Int("buf", 0, "buffer flits per VC (default: packet size for vct, 20 for wormhole)")
+		trace     = flag.Int64("trace", 0, "print lifecycle events for the first N packets (vct only)")
+	)
+	flag.Parse()
+	if err := run(*topo, *pattern, *routing, *n, *seed, *rateStr, *warmup, *measure, *drain, *switching, *buf, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "dsnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo, pattern, routingName string, n int, seed uint64, rateStr string, warmup, measure, drain int64, switching string, buf int, trace int64) error {
+	cfg := dsnet.DefaultSimConfig()
+	cfg.Seed = seed
+	cfg.WarmupCycles = warmup
+	cfg.MeasureCycles = measure
+	cfg.DrainCycles = drain
+	if trace > 0 {
+		cfg.Trace = os.Stderr
+		cfg.TracePackets = trace
+	}
+	switch switching {
+	case "vct":
+		if buf > 0 {
+			cfg.BufFlitsPerVC = buf
+		}
+	case "wormhole":
+		cfg.BufFlitsPerVC = 20
+		if buf > 0 {
+			cfg.BufFlitsPerVC = buf
+		}
+	default:
+		return fmt.Errorf("unknown switching mode %q", switching)
+	}
+
+	var rates []float64
+	for _, s := range strings.Split(rateStr, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad rate %q: %w", s, err)
+		}
+		rates = append(rates, r)
+	}
+
+	var g *dsnet.Graph
+	var dsnV *dsnet.DSN
+	switch topo {
+	case "dsn":
+		d, err := dsnet.NewDSN(n, dsnet.CeilLog2(n)-1)
+		if err != nil {
+			return err
+		}
+		g = d.Graph()
+	case "dsn-v":
+		d, err := dsnet.NewDSNV(n)
+		if err != nil {
+			return err
+		}
+		dsnV = d
+		g = d.Graph()
+	case "torus":
+		t, err := dsnet.NewTorus2DFor(n)
+		if err != nil {
+			return err
+		}
+		g = t.Graph()
+	case "random":
+		gr, err := dsnet.NewDLNRandom(n, 2, 2, seed)
+		if err != nil {
+			return err
+		}
+		g = gr
+	default:
+		return fmt.Errorf("unknown topology %q", topo)
+	}
+
+	var rt dsnet.Router
+	var err error
+	switch routingName {
+	case "adaptive":
+		rt, err = dsnet.NewDuatoUpDown(g, cfg.VCs)
+	case "updown":
+		rt, err = dsnet.NewUpDownOnly(g, cfg.VCs)
+	case "valiant":
+		rt, err = dsnet.NewValiant(g, cfg.VCs)
+	case "custom":
+		if dsnV == nil {
+			return fmt.Errorf("-routing custom requires -topo dsn-v")
+		}
+		rt, err = dsnet.NewDSNSourceRouted(dsnV)
+	default:
+		err = fmt.Errorf("unknown routing %q", routingName)
+	}
+	if err != nil {
+		return err
+	}
+
+	pat, err := dsnet.PatternFor(pattern, g.N(), cfg.HostsPerSwitch)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("# %s / %s / %s routing / %s switching, %d switches x %d hosts, seed %d\n",
+		topo, pattern, routingName, switching, g.N(), cfg.HostsPerSwitch, seed)
+	fmt.Printf("%12s %12s %12s %12s %10s\n", "offered_gbps", "accepted", "latency_ns", "p99_ns", "saturated")
+	for _, rate := range rates {
+		var res dsnet.SimResult
+		var runErr error
+		if switching == "wormhole" {
+			sim, err := dsnet.NewWormSim(cfg, g, rt, pat, rate)
+			if err != nil {
+				return err
+			}
+			res, runErr = sim.Run()
+		} else {
+			sim, err := dsnet.NewSim(cfg, g, rt, pat, rate)
+			if err != nil {
+				return err
+			}
+			res, runErr = sim.Run()
+		}
+		sat := res.Saturated
+		if runErr != nil {
+			sat = true
+		}
+		fmt.Printf("%12.2f %12.2f %12.1f %12.1f %10v\n",
+			res.OfferedGbps, res.AcceptedGbps, res.AvgLatencyNS, res.P99LatencyNS, sat)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunVCT(t *testing.T) {
+	if err := run("dsn", "uniform", "adaptive", 64, 1, "0.02", 500, 1000, 1500, "vct", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWormhole(t *testing.T) {
+	if err := run("torus", "uniform", "adaptive", 64, 1, "0.02", 500, 1000, 1500, "wormhole", 20, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomRouting(t *testing.T) {
+	if err := run("dsn-v", "uniform", "custom", 60, 1, "0.01", 500, 1000, 1500, "vct", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	if err := run("bogus", "uniform", "adaptive", 64, 1, "0.02", 500, 1000, 1500, "vct", 0, 0); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+	if err := run("dsn", "bogus", "adaptive", 64, 1, "0.02", 500, 1000, 1500, "vct", 0, 0); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	if err := run("dsn", "uniform", "bogus", 64, 1, "0.02", 500, 1000, 1500, "vct", 0, 0); err == nil {
+		t.Fatal("bad routing accepted")
+	}
+	if err := run("dsn", "uniform", "custom", 64, 1, "0.02", 500, 1000, 1500, "vct", 0, 0); err == nil {
+		t.Fatal("custom routing without dsn-v accepted")
+	}
+	if err := run("dsn", "uniform", "adaptive", 64, 1, "zzz", 500, 1000, 1500, "vct", 0, 0); err == nil {
+		t.Fatal("bad rates accepted")
+	}
+	if err := run("dsn", "uniform", "adaptive", 64, 1, "0.02", 500, 1000, 1500, "bogus", 0, 0); err == nil {
+		t.Fatal("bad switching accepted")
+	}
+}

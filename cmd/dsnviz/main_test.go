@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTopoAndFloor(t *testing.T) {
+	for _, topo := range []string{"dsn", "dsn-e", "bidsn", "torus", "random"} {
+		n := 64
+		if topo == "dsn-e" {
+			n = 60
+		}
+		svg, err := render("topo", topo, n, 1, 300, true)
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if !strings.HasPrefix(svg, "<svg") {
+			t.Fatalf("%s: not an SVG", topo)
+		}
+	}
+	svg, err := render("floor", "dsn", 128, 1, 300, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "rect") {
+		t.Fatal("floorplan missing cabinets")
+	}
+}
+
+func TestRenderFigures(t *testing.T) {
+	for _, what := range []string{"fig7", "fig8", "fig9"} {
+		svg, err := render(what, "", 0, 1, 320, true)
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if !strings.Contains(svg, "polyline") {
+			t.Fatalf("%s: no series drawn", what)
+		}
+	}
+}
+
+func TestRenderRejectsUnknown(t *testing.T) {
+	if _, err := render("bogus", "dsn", 64, 1, 300, true); err == nil {
+		t.Fatal("unknown -what accepted")
+	}
+	if _, err := render("topo", "bogus", 64, 1, 300, true); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestRenderBalance(t *testing.T) {
+	svg, err := render("balance", "", 0, 1, 400, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "max/avg") {
+		t.Fatal("balance bars missing")
+	}
+}

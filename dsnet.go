@@ -1,0 +1,295 @@
+// Package dsnet is the public API of the Distributed Shortcut Networks
+// library, a reproduction of "Distributed Shortcut Networks: Layout-aware
+// Low-degree Topologies Exploiting Small-world Effect" (ICPP 2013).
+//
+// It re-exports the internal building blocks as one coherent surface:
+//
+//   - DSN topology construction and its custom three-phase routing
+//     (NewDSN, NewDSNE, NewDSNV, NewDSND, NewFlexibleDSN,
+//     NewBidirectionalDSN), including the overshoot-free variant and the
+//     stateless switch-local implementation
+//   - baseline topologies (Ring, DLN, DLNRandom, Torus2D, Torus3D,
+//     Kleinberg, Hypercube, CCC, DeBruijn, Kautz)
+//   - graph analysis (diameter, ASPL, clustering, small-world sigma,
+//     edge betweenness, edge connectivity, weighted shortest paths)
+//   - the machine-room layout, cable-length and cost models of Section
+//     VI.B, plus simulated-annealing placement optimization
+//   - the cycle-accurate simulators of Section VII (virtual cut-through
+//     and wormhole) with five routing functions
+//   - the experiment drivers regenerating Figures 7-10 and the
+//     extension experiments recorded in EXPERIMENTS.md
+//
+// See examples/ for runnable walk-throughs and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package dsnet
+
+import (
+	"dsnet/internal/analysis"
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/layout"
+	"dsnet/internal/netsim"
+	"dsnet/internal/routing"
+	"dsnet/internal/topology"
+	"dsnet/internal/traffic"
+)
+
+// Graph is the shared interconnect graph representation.
+type Graph = graph.Graph
+
+// Edge kinds of generated topologies.
+type EdgeKind = graph.EdgeKind
+
+// PathMetrics aggregates all-pairs shortest-path statistics.
+type PathMetrics = graph.PathMetrics
+
+// DSN is a Distributed Shortcut Network instance (the paper's primary
+// contribution).
+type DSN = core.DSN
+
+// FlexDSN is the flexible-size DSN of Section V.C.
+type FlexDSN = core.FlexDSN
+
+// BiDSN is the degree-6 bidirectional DSN (two mirrored shortcut
+// ladders), realizing the Section VI.B degree-6 remark.
+type BiDSN = core.BiDSN
+
+// Route is a path produced by the DSN custom routing algorithm.
+type Route = core.Route
+
+// Hop is one link traversal of a Route.
+type Hop = core.Hop
+
+// Phase labels the three stages of the custom routing algorithm.
+type Phase = core.Phase
+
+// LinkClass identifies the channel class of a hop (Section V.A).
+type LinkClass = core.LinkClass
+
+// Torus is a k-ary n-dimensional torus or mesh.
+type Torus = topology.Torus
+
+// Kleinberg is Kleinberg's small-world grid.
+type Kleinberg = topology.Kleinberg
+
+// LayoutConfig holds the machine-room model constants.
+type LayoutConfig = layout.Config
+
+// Layout places switches into cabinets on the floorplan.
+type Layout = layout.Layout
+
+// CableStats summarizes a topology's cabling requirements.
+type CableStats = layout.CableStats
+
+// CostModel prices an interconnect (Section VI.B economy argument).
+type CostModel = layout.CostModel
+
+// CostReport itemizes the interconnect cost of one topology.
+type CostReport = layout.CostReport
+
+// Placement is a switch-to-cabinet assignment (see OptimizePlacement).
+type Placement = layout.Placement
+
+// SimConfig holds the cycle-accurate simulator parameters.
+type SimConfig = netsim.Config
+
+// Sim is one simulator instance (virtual cut-through switching).
+type Sim = netsim.Sim
+
+// WormSim is the wormhole-switching simulator.
+type WormSim = netsim.WormSim
+
+// SimResult aggregates one simulation run.
+type SimResult = netsim.Result
+
+// Router supplies next-hop candidates to the simulator.
+type Router = netsim.Router
+
+// TrafficPattern draws packet destinations.
+type TrafficPattern = traffic.Pattern
+
+// UpDown is the up*/down* routing used for escape paths.
+type UpDown = routing.UpDown
+
+// DistanceTable holds all-pairs hop distances.
+type DistanceTable = routing.DistanceTable
+
+// CDG is a channel dependency graph for deadlock analysis.
+type CDG = routing.CDG
+
+// ChannelHop is one traversal of a directed channel.
+type ChannelHop = routing.ChannelHop
+
+// LatencyCurve is one series of Figure 10.
+type LatencyCurve = analysis.LatencyCurve
+
+// PathRow is one network size of Figures 7-8.
+type PathRow = analysis.PathRow
+
+// CableRow is one network size of Figure 9.
+type CableRow = analysis.CableRow
+
+// BalanceResult summarizes routing traffic balance.
+type BalanceResult = analysis.BalanceResult
+
+// BottleneckRow summarizes a topology's theoretical load concentration.
+type BottleneckRow = analysis.BottleneckRow
+
+// FaultRow summarizes resilience to random link failures.
+type FaultRow = analysis.FaultRow
+
+// RelatedRow is one entry of the Section III related-work comparison.
+type RelatedRow = analysis.RelatedRow
+
+// SwitchingPoint compares VCT and wormhole switching at one load.
+type SwitchingPoint = analysis.SwitchingPoint
+
+// PhysicalRow is one size of the analytic end-to-end latency model.
+type PhysicalRow = analysis.PhysicalRow
+
+// ThroughputRow is the paper's saturation-throughput metric.
+type ThroughputRow = analysis.ThroughputRow
+
+// LadderRow is one setting of the DSN-x ladder ablation.
+type LadderRow = analysis.LadderRow
+
+// PhysicalConst holds the Section I timing constants (100 ns switch,
+// 5 ns/m cable).
+type PhysicalConst = analysis.PhysicalConst
+
+// DSN constructors (Sections IV and V).
+var (
+	NewDSN              = core.New
+	NewDSNE             = core.NewE
+	NewDSNV             = core.NewV
+	NewDSND             = core.NewD
+	NewFlexibleDSN      = core.NewFlexible
+	NewBidirectionalDSN = core.NewBidirectional
+	CeilLog2            = core.CeilLog2
+)
+
+// DSN family variants.
+const (
+	VariantBasic = core.VariantBasic
+	VariantE     = core.VariantE
+	VariantV     = core.VariantV
+	VariantD     = core.VariantD
+)
+
+// Baseline topology generators (Section VI comparisons and related work).
+var (
+	NewRing          = topology.Ring
+	NewDLN           = topology.DLN
+	NewDLNRandom     = topology.DLNRandom
+	NewRandomRegular = topology.RandomRegular
+	NewTorus         = topology.NewTorus
+	NewTorus2D       = topology.Torus2D
+	NewTorus2DFor    = topology.Torus2DFor
+	NewTorus3D       = topology.Torus3D
+	NewMesh2D        = topology.Mesh2D
+	NewKleinberg     = topology.NewKleinberg
+	NewHypercube     = topology.Hypercube
+	NewCCC           = topology.CCC
+	NewDeBruijn      = topology.DeBruijn
+	NewKautz         = topology.Kautz
+	NewDragonfly     = topology.NewDragonfly
+	NewFlattenedBfly = topology.FlattenedButterfly
+	NearSquareDims   = topology.NearSquareDims
+)
+
+// Dragonfly is the high-radix topology of Kim et al. [4].
+type Dragonfly = topology.Dragonfly
+
+// Routing machinery.
+var (
+	NewUpDown        = routing.NewUpDown
+	NewDistanceTable = routing.NewDistanceTable
+	NewDOR           = routing.NewDOR
+	NewCDG           = routing.NewCDG
+)
+
+// Layout model (Section VI.B).
+var (
+	NewLayout           = layout.New
+	DefaultLayoutConfig = layout.DefaultConfig
+	DefaultCostModel    = layout.DefaultCostModel
+	AverageCableLength  = layout.AverageCableLength
+)
+
+// Simulator (Section VII).
+var (
+	DefaultSimConfig     = netsim.Default
+	NewSim               = netsim.NewSim
+	NewSimCableAware     = netsim.NewSimCableAware
+	NewWormSim           = netsim.NewWormSim
+	NewWormSimCableAware = netsim.NewWormSimCableAware
+	NewDuatoUpDown       = netsim.NewDuatoUpDown
+	NewUpDownOnly        = netsim.NewUpDownOnly
+	NewDSNSourceRouted   = netsim.NewDSNSourceRouted
+	// NewDSNSourceRoutedUnsafe drives the simulator with the BASIC
+	// variant's channel classes, which deadlock under load — it exists to
+	// demonstrate why Section V.A matters.
+	NewDSNSourceRoutedUnsafe = netsim.NewDSNSourceRoutedUnsafe
+	NewDORTorusRouter        = netsim.NewDORTorus
+	NewValiant               = netsim.NewValiant
+)
+
+// Traffic patterns (Section VII.A plus HPC application workloads).
+var (
+	NewBitReversal = traffic.NewBitReversal
+	NewNeighboring = traffic.NewNeighboring
+	NewTranspose   = traffic.NewTranspose
+	NewShuffle     = traffic.NewShuffle
+	NewStencil2D   = traffic.NewStencil2D
+	NewAllToAll    = traffic.NewAllToAll
+	NewTornado     = traffic.NewTornado
+)
+
+// Graph serialization.
+var (
+	// ParseGraph reads the text edge-list format produced by
+	// (*Graph).WriteTo.
+	ParseGraph = graph.Parse
+)
+
+// NewUniform returns the uniform random traffic pattern.
+func NewUniform(hosts int) TrafficPattern { return traffic.Uniform{Hosts: hosts} }
+
+// NewHotspot returns a hotspot pattern sending fraction of traffic to hot.
+func NewHotspot(hosts, hot int, fraction float64) TrafficPattern {
+	return traffic.Hotspot{Hosts: hosts, Hot: hot, Fraction: fraction}
+}
+
+// Experiment drivers (Figures 7-10).
+var (
+	BuildComparison      = analysis.BuildComparison
+	PathSweep            = analysis.PathSweep
+	CableSweep           = analysis.CableSweep
+	LatencySweep         = analysis.LatencySweep
+	Fig10Curves          = analysis.Fig10Curves
+	BalanceComparison    = analysis.BalanceComparison
+	BottleneckSweep      = analysis.BottleneckSweep
+	FaultSweep           = analysis.FaultSweep
+	RelatedWork          = analysis.RelatedWork
+	SwitchingComparison  = analysis.SwitchingComparison
+	PhysicalLatencySweep = analysis.PhysicalLatencySweep
+	LadderSweep          = analysis.LadderSweep
+	WriteLadderTable     = analysis.WriteLadderTable
+	SaturationThroughput = analysis.SaturationThroughput
+	ThroughputComparison = analysis.ThroughputComparison
+	WriteThroughputTable = analysis.WriteThroughputTable
+	DefaultPhysicalConst = analysis.DefaultPhysicalConst
+	WritePhysicalTable   = analysis.WritePhysicalTable
+	WriteFaultTable      = analysis.WriteFaultTable
+	WriteRelatedTable    = analysis.WriteRelatedTable
+	WriteSwitchingTable  = analysis.WriteSwitchingTable
+	WritePathTable       = analysis.WritePathTable
+	WriteCableTable      = analysis.WriteCableTable
+	WriteLatencyTable    = analysis.WriteLatencyTable
+	WriteBottleneckTable = analysis.WriteBottleneckTable
+	PatternFor           = analysis.PatternFor
+)
+
+// ComparisonNames lists the paper's comparison topologies in presentation
+// order: Torus, RANDOM, DSN.
+var ComparisonNames = analysis.Names

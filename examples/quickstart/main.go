@@ -1,0 +1,57 @@
+// Quickstart: build a Distributed Shortcut Network, inspect its
+// small-world properties, and trace the custom three-phase routing
+// algorithm for one packet.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsnet"
+)
+
+func main() {
+	// A DSN with 64 switches. p = ceil(log2 64) = 6 levels per super
+	// node; x = p-1 gives every super node the full shortcut ladder.
+	const n = 64
+	d, err := dsnet.NewDSN(n, dsnet.CeilLog2(n)-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := d.Graph()
+	m := g.AllPairs()
+	fmt.Printf("%s: %d switches, %d links\n", d, g.N(), g.M())
+	fmt.Printf("degree: min %d avg %.2f max %d (Theorem 1: mostly 4, max 5)\n",
+		g.MinDegree(), g.AverageDegree(), g.MaxDegree())
+	fmt.Printf("diameter: %d hops (Theorem 1 bound: %.1f)\n", m.Diameter, d.DiameterBound())
+	fmt.Printf("average shortest path: %.2f hops\n\n", m.ASPL)
+
+	// Every switch at level l <= x owns one distance-halving shortcut.
+	fmt.Println("shortcut ladder of the first super node:")
+	for i := 0; i < d.P; i++ {
+		sc := d.Shortcut(i)
+		if sc < 0 {
+			fmt.Printf("  switch %2d (level %d): no shortcut\n", i, d.LevelOf(i))
+			continue
+		}
+		fmt.Printf("  switch %2d (level %d): shortcut to %2d, span %2d (>= n/2^%d = %d)\n",
+			i, d.LevelOf(i), sc, d.ClockwiseDist(i, sc), d.LevelOf(i), n>>uint(d.LevelOf(i)))
+	}
+
+	// Trace the custom routing: PRE-WORK climbs to a switch whose
+	// shortcut can see the destination, MAIN-PROCESS halves the distance
+	// with each shortcut, FINISH walks the residue on ring links.
+	src, dst := 3, 52
+	route, err := d.Route(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncustom route %d -> %d (%d hops, bound %d):\n",
+		src, dst, route.Len(), d.RoutingDiameterBound())
+	for _, h := range route.Hops {
+		fmt.Printf("  %-12s %2d -> %2d via %s\n", h.Phase, h.From, h.To, h.Class)
+	}
+	sp := g.ShortestDist(src, dst)
+	fmt.Printf("shortest possible: %d hops\n", sp)
+}

@@ -1,0 +1,3 @@
+module dsnet
+
+go 1.22

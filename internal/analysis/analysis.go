@@ -1,0 +1,187 @@
+// Package analysis contains the experiment drivers that regenerate every
+// figure of the paper's evaluation:
+//
+//	Figure 7:  diameter vs network size        (PathSweep)
+//	Figure 8:  avg shortest path vs size       (PathSweep)
+//	Figure 9:  avg cable length vs size        (CableSweep)
+//	Figure 10: latency vs accepted traffic     (LatencySweep / Fig10Curves)
+//
+// plus the traffic-balance comparison the paper sketches for its custom
+// routing (BalanceComparison).
+//
+// Topology names used throughout match the paper: "DSN" (the basic
+// DSN-(p-1)), "Torus" (near-square 2-D torus) and "RANDOM" (DLN-2-2).
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/layout"
+	"dsnet/internal/topology"
+)
+
+// Topologies compared in the graph and layout analyses, in presentation
+// order.
+var Names = []string{"Torus", "RANDOM", "DSN"}
+
+// BuildComparison constructs the paper's three degree-4 comparison
+// topologies at n switches. The RANDOM instance uses the given seed.
+func BuildComparison(n int, seed uint64) (map[string]*graph.Graph, error) {
+	dsn, err := core.New(n, core.CeilLog2(n)-1)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: DSN at n=%d: %w", n, err)
+	}
+	tor, err := topology.Torus2DFor(n)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: torus at n=%d: %w", n, err)
+	}
+	random, err := topology.DLNRandom(n, 2, 2, seed)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: DLN-2-2 at n=%d: %w", n, err)
+	}
+	return map[string]*graph.Graph{
+		"DSN":    dsn.Graph(),
+		"Torus":  tor.Graph(),
+		"RANDOM": random,
+	}, nil
+}
+
+// PathRow is one network size of Figures 7 and 8.
+type PathRow struct {
+	LogN     int
+	N        int
+	Diameter map[string]float64 // averaged over seeds for RANDOM
+	ASPL     map[string]float64
+}
+
+// PathSweep computes diameter and average shortest path length for every
+// log2 size in logSizes (the paper sweeps 5..11). Random topologies are
+// averaged over the provided seeds.
+func PathSweep(logSizes []int, seeds []uint64) ([]PathRow, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	rows := make([]PathRow, 0, len(logSizes))
+	for _, lg := range logSizes {
+		n := 1 << uint(lg)
+		row := PathRow{
+			LogN:     lg,
+			N:        n,
+			Diameter: make(map[string]float64),
+			ASPL:     make(map[string]float64),
+		}
+		for si, seed := range seeds {
+			graphs, err := BuildComparison(n, seed)
+			if err != nil {
+				return nil, err
+			}
+			for name, g := range graphs {
+				if si > 0 && name != "RANDOM" {
+					continue // deterministic topologies measured once
+				}
+				m := g.AllPairs()
+				if !m.Connected {
+					return nil, fmt.Errorf("analysis: %s at n=%d disconnected", name, n)
+				}
+				w := 1.0
+				if name == "RANDOM" {
+					w = 1 / float64(len(seeds))
+				}
+				row.Diameter[name] += w * float64(m.Diameter)
+				row.ASPL[name] += w * m.ASPL
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CableRow is one network size of Figure 9.
+type CableRow struct {
+	LogN    int
+	N       int
+	Average map[string]float64 // metres per link
+}
+
+// CableSweep computes the average cable length of each comparison
+// topology under the Section VI.B machine-room layout.
+func CableSweep(logSizes []int, seeds []uint64, cfg layout.Config) ([]CableRow, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	rows := make([]CableRow, 0, len(logSizes))
+	for _, lg := range logSizes {
+		n := 1 << uint(lg)
+		row := CableRow{LogN: lg, N: n, Average: make(map[string]float64)}
+		for si, seed := range seeds {
+			graphs, err := BuildComparison(n, seed)
+			if err != nil {
+				return nil, err
+			}
+			for name, g := range graphs {
+				if si > 0 && name != "RANDOM" {
+					continue
+				}
+				avg, err := layout.AverageCableLength(g, cfg)
+				if err != nil {
+					return nil, err
+				}
+				w := 1.0
+				if name == "RANDOM" {
+					w = 1 / float64(len(seeds))
+				}
+				row.Average[name] += w * avg
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WritePathTable renders Figure 7 (metric = "diameter") or Figure 8
+// (metric = "aspl") as a plain-text table.
+func WritePathTable(w io.Writer, rows []PathRow, metric string) error {
+	if _, err := fmt.Fprintf(w, "%-8s %-8s", "log2N", "N"); err != nil {
+		return err
+	}
+	for _, name := range Names {
+		fmt.Fprintf(w, " %10s", name)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %-8d", r.LogN, r.N)
+		for _, name := range Names {
+			var v float64
+			switch metric {
+			case "diameter":
+				v = r.Diameter[name]
+			case "aspl":
+				v = r.ASPL[name]
+			default:
+				return fmt.Errorf("analysis: unknown metric %q", metric)
+			}
+			fmt.Fprintf(w, " %10.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteCableTable renders Figure 9 as a plain-text table.
+func WriteCableTable(w io.Writer, rows []CableRow) {
+	fmt.Fprintf(w, "%-8s %-8s", "log2N", "N")
+	for _, name := range Names {
+		fmt.Fprintf(w, " %10s", name)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %-8d", r.LogN, r.N)
+		for _, name := range Names {
+			fmt.Fprintf(w, " %10.2f", r.Average[name])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"dsnet/internal/stats"
+)
+
+// BottleneckRow summarizes the theoretical load concentration of one
+// topology: edge betweenness centrality predicts per-channel load under
+// uniform traffic with shortest-path routing, so the max/mean ratio and
+// the Gini coefficient quantify how hard a topology is to balance.
+type BottleneckRow struct {
+	Name    string
+	Mean    float64 // mean normalized edge betweenness
+	Max     float64
+	MaxMean float64 // max / mean: worst channel's overload factor
+	Gini    float64
+}
+
+// BottleneckSweep computes edge-betweenness statistics for the paper's
+// three comparison topologies at n switches.
+func BottleneckSweep(n int, seed uint64) ([]BottleneckRow, error) {
+	graphs, err := BuildComparison(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BottleneckRow, 0, len(Names))
+	for _, name := range Names {
+		bc := graphs[name].EdgeBetweenness()
+		s := stats.Summarize(bc)
+		row := BottleneckRow{Name: name, Mean: s.Mean, Max: s.Max, Gini: stats.Gini(bc)}
+		if s.Mean > 0 {
+			row.MaxMean = s.Max / s.Mean
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteBottleneckTable renders the bottleneck comparison.
+func WriteBottleneckTable(w io.Writer, rows []BottleneckRow) {
+	fmt.Fprintf(w, "%-8s %12s %12s %10s %8s\n", "topo", "mean_bc", "max_bc", "max/mean", "gini")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %12.4f %12.4f %10.2f %8.3f\n", r.Name, r.Mean, r.Max, r.MaxMean, r.Gini)
+	}
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"dsnet/internal/graph"
+)
+
+// FaultRow summarizes the resilience of one topology to random link
+// failures: how often the network stays connected and how much the
+// diameter and average shortest path inflate among the surviving trials.
+// Simple fault management is one of the paper's stated motivations for
+// low-degree topologies; this experiment quantifies how DSN's shortcut
+// redundancy compares with the torus and the random baseline.
+type FaultRow struct {
+	Name          string
+	FailFraction  float64
+	Trials        int
+	ConnectedRate float64 // fraction of trials that stayed connected
+	DiameterInfl  float64 // mean diameter / fault-free diameter
+	ASPLInfl      float64 // mean ASPL / fault-free ASPL
+}
+
+// FaultSweep removes a random fraction of links from each comparison
+// topology over several trials and measures the degradation.
+func FaultSweep(n int, fracs []float64, trials int, seed uint64) ([]FaultRow, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("analysis: fault sweep needs >= 1 trial, got %d", trials)
+	}
+	graphs, err := BuildComparison(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	base := make(map[string]graph.PathMetrics, len(Names))
+	for _, name := range Names {
+		base[name] = graphs[name].AllPairs()
+	}
+	var rows []FaultRow
+	for _, frac := range fracs {
+		if frac < 0 || frac >= 1 {
+			return nil, fmt.Errorf("analysis: fail fraction %g outside [0,1)", frac)
+		}
+		for _, name := range Names {
+			g := graphs[name]
+			row := FaultRow{Name: name, FailFraction: frac, Trials: trials}
+			var diamSum, asplSum float64
+			connected := 0
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewPCG(seed+uint64(trial)*7919, uint64(frac*1e6)))
+				kill := pickFailures(g.M(), frac, rng)
+				sub := g.Subgraph(func(e int) bool { return !kill[e] })
+				m := sub.AllPairs()
+				if !m.Connected {
+					continue
+				}
+				connected++
+				diamSum += float64(m.Diameter) / float64(base[name].Diameter)
+				asplSum += m.ASPL / base[name].ASPL
+			}
+			row.ConnectedRate = float64(connected) / float64(trials)
+			if connected > 0 {
+				row.DiameterInfl = diamSum / float64(connected)
+				row.ASPLInfl = asplSum / float64(connected)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// pickFailures selects floor(m*frac) distinct edges to fail.
+func pickFailures(m int, frac float64, rng *rand.Rand) map[int]bool {
+	k := int(float64(m) * frac)
+	kill := make(map[int]bool, k)
+	for len(kill) < k {
+		kill[rng.IntN(m)] = true
+	}
+	return kill
+}
+
+// WriteFaultTable renders the fault sweep.
+func WriteFaultTable(w io.Writer, rows []FaultRow) {
+	fmt.Fprintf(w, "%-8s %10s %10s %12s %10s\n", "topo", "fail_frac", "connected", "diam_infl", "aspl_infl")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10.2f %10.2f %12.2f %10.2f\n",
+			r.Name, r.FailFraction, r.ConnectedRate, r.DiameterInfl, r.ASPLInfl)
+	}
+}

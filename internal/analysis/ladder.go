@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"dsnet/internal/core"
+	"dsnet/internal/layout"
+)
+
+// LadderRow is one setting of the DSN's ladder parameter x (the number of
+// shortcut levels per super node). The paper defines DSN-x for
+// 1 <= x <= p-1 but evaluates only x = p-1; this ablation shows what each
+// level of the ladder buys: every additional level roughly halves the
+// reachable residue, shrinking diameter and routing diameter, while the
+// added shortcuts are geometrically shorter and so cost little cable.
+type LadderRow struct {
+	X            int
+	Diameter     int32
+	ASPL         float64
+	AvgCableM    float64
+	RouteAvg     float64 // custom routing, sampled pairs
+	RouteMax     int
+	BoundsApply  bool // x > p - log p (Theorems 1-2 preconditions)
+	AvgDegree    float64
+	ShortcutSpan int // total ring span of all shortcuts
+}
+
+// LadderSweep measures DSN-x-n for every valid x.
+func LadderSweep(n int, cfg layout.Config) ([]LadderRow, error) {
+	p := core.CeilLog2(n)
+	rows := make([]LadderRow, 0, p-1)
+	for x := 1; x <= p-1; x++ {
+		d, err := core.New(n, x)
+		if err != nil {
+			return nil, err
+		}
+		m := d.Graph().AllPairs()
+		if !m.Connected {
+			return nil, fmt.Errorf("analysis: DSN-%d-%d disconnected", x, n)
+		}
+		avgCable, err := layout.AverageCableLength(d.Graph(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		stride := 1
+		if n > 256 {
+			stride = n / 256
+		}
+		rep, err := d.RoutingReport(stride)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LadderRow{
+			X:            x,
+			Diameter:     m.Diameter,
+			ASPL:         m.ASPL,
+			AvgCableM:    avgCable,
+			RouteAvg:     rep.AvgLen,
+			RouteMax:     rep.MaxLen,
+			BoundsApply:  d.BoundsApply(),
+			AvgDegree:    d.Graph().AverageDegree(),
+			ShortcutSpan: d.TotalShortcutRingSpan(),
+		})
+	}
+	return rows, nil
+}
+
+// WriteLadderTable renders the ablation.
+func WriteLadderTable(w io.Writer, n int, rows []LadderRow) {
+	fmt.Fprintf(w, "# DSN-x-%d ladder ablation (x = shortcut levels per super node)\n", n)
+	fmt.Fprintf(w, "%4s %8s %8s %10s %10s %10s %8s %8s\n",
+		"x", "diam", "aspl", "cable_m", "route_avg", "route_max", "degree", "thms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %8d %8.2f %10.2f %10.2f %10d %8.2f %8v\n",
+			r.X, r.Diameter, r.ASPL, r.AvgCableM, r.RouteAvg, r.RouteMax, r.AvgDegree, r.BoundsApply)
+	}
+}

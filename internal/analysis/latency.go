@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/netsim"
+	"dsnet/internal/stats"
+	"dsnet/internal/topology"
+	"dsnet/internal/traffic"
+)
+
+// LatencyCurve is one series of Figure 10: latency vs accepted traffic
+// for one topology under one traffic pattern.
+type LatencyCurve struct {
+	Topology string
+	Pattern  string
+	Points   []netsim.Result
+}
+
+// PatternFor builds a Figure 10 traffic pattern by name ("uniform",
+// "bit-reversal", "neighboring") for a network of nSw switches with
+// hostsPerSwitch hosts each. The neighboring pattern arranges switches in
+// a near-square 2-D array as the paper describes.
+func PatternFor(name string, nSw, hostsPerSwitch int) (traffic.Pattern, error) {
+	hosts := nSw * hostsPerSwitch
+	switch name {
+	case "uniform":
+		return traffic.Uniform{Hosts: hosts}, nil
+	case "bit-reversal":
+		return traffic.NewBitReversal(hosts)
+	case "neighboring":
+		rows, cols, err := topology.NearSquareDims(nSw)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewNeighboring(rows, cols, hostsPerSwitch, 0.9)
+	default:
+		return nil, fmt.Errorf("analysis: unknown traffic pattern %q", name)
+	}
+}
+
+// LatencySweep runs the simulator across the given offered loads
+// (flits/cycle/host) for one topology graph using the paper's adaptive
+// routing with up*/down* escape.
+func LatencySweep(cfg netsim.Config, g *graph.Graph, name, patternName string, rates []float64) (LatencyCurve, error) {
+	rt, err := netsim.NewDuatoUpDown(g, cfg.VCs)
+	if err != nil {
+		return LatencyCurve{}, err
+	}
+	pat, err := PatternFor(patternName, g.N(), cfg.HostsPerSwitch)
+	if err != nil {
+		return LatencyCurve{}, err
+	}
+	curve := LatencyCurve{Topology: name, Pattern: patternName}
+	for _, rate := range rates {
+		sim, err := netsim.NewSim(cfg, g, rt, pat, rate)
+		if err != nil {
+			return LatencyCurve{}, err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			// A watchdog trip marks the point saturated; keep the curve.
+			curve.Points = append(curve.Points, res)
+			continue
+		}
+		curve.Points = append(curve.Points, res)
+	}
+	return curve, nil
+}
+
+// Fig10Curves reproduces one subfigure of Figure 10: the three comparison
+// topologies at 64 switches under the named pattern, swept across offered
+// loads. Rates are flits/cycle/host; the paper's x axis (accepted
+// Gbit/s/host) is rate * 96 at the unsaturated points.
+func Fig10Curves(cfg netsim.Config, patternName string, rates []float64, seed uint64) ([]LatencyCurve, error) {
+	graphs, err := BuildComparison(64, seed)
+	if err != nil {
+		return nil, err
+	}
+	var curves []LatencyCurve
+	for _, name := range Names {
+		c, err := LatencySweep(cfg, graphs[name], name, patternName, rates)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// WriteLatencyTable renders latency curves as plain-text series in the
+// shape of Figure 10: one block per topology with accepted traffic and
+// latency columns.
+func WriteLatencyTable(w io.Writer, curves []LatencyCurve) {
+	for _, c := range curves {
+		fmt.Fprintf(w, "# %s / %s\n", c.Topology, c.Pattern)
+		fmt.Fprintf(w, "%12s %12s %12s %10s\n", "offered", "accepted", "latency_ns", "saturated")
+		for _, p := range c.Points {
+			fmt.Fprintf(w, "%12.3f %12.3f %12.1f %10v\n", p.OfferedGbps, p.AcceptedGbps, p.AvgLatencyNS, p.Saturated)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// BalanceResult summarizes traffic balance across inter-switch channels
+// for one routing scheme on one topology.
+type BalanceResult struct {
+	Scheme string
+	CoV    float64 // coefficient of variation of channel loads
+	Gini   float64
+	MaxAvg float64 // max channel load / mean channel load
+	Result netsim.Result
+}
+
+// BalanceComparison runs the Section VII "initial work" experiment: the
+// DSN custom (source) routing versus deterministic up*/down* on the same
+// DSN-V wiring, at the same offered load, comparing how evenly traffic
+// spreads across channels. The paper reports that custom routing makes
+// traffic significantly more balanced.
+func BalanceComparison(cfg netsim.Config, n int, rate float64) ([]BalanceResult, error) {
+	d, err := dsnVFor(n)
+	if err != nil {
+		return nil, err
+	}
+	custom, err := netsim.NewDSNSourceRouted(d)
+	if err != nil {
+		return nil, err
+	}
+	updown, err := netsim.NewUpDownOnly(d.Graph(), cfg.VCs)
+	if err != nil {
+		return nil, err
+	}
+	pat := traffic.Uniform{Hosts: d.N * cfg.HostsPerSwitch}
+	var out []BalanceResult
+	for _, sch := range []struct {
+		name string
+		rt   netsim.Router
+	}{{"custom-dsn", custom}, {"updown", updown}} {
+		sim, err := netsim.NewSim(cfg, d.Graph(), sch.rt, pat, rate)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: balance run %s: %w", sch.name, err)
+		}
+		loads := stats.Int64s(res.ChannelFlits)
+		s := stats.Summarize(loads)
+		br := BalanceResult{
+			Scheme: sch.name,
+			CoV:    stats.CoV(loads),
+			Gini:   stats.Gini(loads),
+			Result: res,
+		}
+		if s.Mean > 0 {
+			br.MaxAvg = s.Max / s.Mean
+		}
+		out = append(out, br)
+	}
+	return out, nil
+}
+
+// dsnVFor picks a DSN-V size at or below n that satisfies the variant's
+// n % p == 0 requirement.
+func dsnVFor(n int) (*core.DSN, error) {
+	for m := n; m >= 8; m-- {
+		if m%core.CeilLog2(m) == 0 {
+			return core.NewV(m)
+		}
+	}
+	return nil, fmt.Errorf("analysis: no valid DSN-V size at or below %d", n)
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"dsnet/internal/layout"
+)
+
+// PhysicalConst holds the paper's Section I timing constants: switch
+// traversal around 100 ns (InfiniBand QDR) and optical propagation of
+// 5 ns per metre.
+type PhysicalConst struct {
+	SwitchNS  float64 // per switch hop
+	CableNSPM float64 // per metre of cable
+}
+
+// DefaultPhysicalConst returns the paper's constants.
+func DefaultPhysicalConst() PhysicalConst {
+	return PhysicalConst{SwitchNS: 100, CableNSPM: 5}
+}
+
+// PhysicalRow is one network size of the analytic end-to-end latency
+// model: minimum over paths of (hops x SwitchNS + metres x CableNSPM),
+// with cable lengths taken from the Section VI.B floorplan. It unifies
+// Figures 7-9 into the quantity the paper actually optimizes.
+type PhysicalRow struct {
+	LogN    int
+	N       int
+	MeanNS  map[string]float64 // average pairwise modeled latency
+	WorstNS map[string]float64 // modeled latency diameter
+}
+
+// PhysicalLatencySweep evaluates the model over the comparison
+// topologies.
+func PhysicalLatencySweep(logSizes []int, seeds []uint64, cfg layout.Config, pc PhysicalConst) ([]PhysicalRow, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	rows := make([]PhysicalRow, 0, len(logSizes))
+	for _, lg := range logSizes {
+		n := 1 << uint(lg)
+		row := PhysicalRow{LogN: lg, N: n, MeanNS: map[string]float64{}, WorstNS: map[string]float64{}}
+		l, err := layout.New(n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for si, seed := range seeds {
+			graphs, err := BuildComparison(n, seed)
+			if err != nil {
+				return nil, err
+			}
+			for name, g := range graphs {
+				if si > 0 && name != "RANDOM" {
+					continue
+				}
+				edges := g.Edges()
+				w := func(e int) float64 {
+					cable := l.CableLength(int(edges[e].U), int(edges[e].V))
+					return pc.SwitchNS + cable*pc.CableNSPM
+				}
+				m := g.AllPairsWeighted(w)
+				if !m.Connected {
+					return nil, fmt.Errorf("analysis: %s at n=%d disconnected", name, n)
+				}
+				wgt := 1.0
+				if name == "RANDOM" {
+					wgt = 1 / float64(len(seeds))
+				}
+				row.MeanNS[name] += wgt * m.Mean
+				row.WorstNS[name] += wgt * m.Max
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WritePhysicalTable renders the modeled-latency sweep.
+func WritePhysicalTable(w io.Writer, rows []PhysicalRow) {
+	fmt.Fprintf(w, "%-8s %-8s", "log2N", "N")
+	for _, name := range Names {
+		fmt.Fprintf(w, " %10s", name)
+	}
+	fmt.Fprintf(w, "   (mean ns; worst in parens)\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %-8d", r.LogN, r.N)
+		for _, name := range Names {
+			fmt.Fprintf(w, " %10.0f", r.MeanNS[name])
+		}
+		fmt.Fprintf(w, "   (")
+		for i, name := range Names {
+			if i > 0 {
+				fmt.Fprintf(w, " / ")
+			}
+			fmt.Fprintf(w, "%.0f", r.WorstNS[name])
+		}
+		fmt.Fprintf(w, ")\n")
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/topology"
+)
+
+// RelatedRow is one entry of the Section III related-work comparison:
+// the diameter-and-degree properties of classical low-degree topologies
+// next to the DSN family.
+type RelatedRow struct {
+	Name     string
+	N        int
+	Degree   int // maximum degree
+	Diameter int32
+	ASPL     float64
+}
+
+// RelatedWork builds the classical topologies Section III surveys at
+// sizes near the paper's citations and measures their
+// diameter-and-degree numbers, alongside DSN and BiDSN at a comparable
+// size. Heavyweight entries (Kautz-11 at 3072 vertices, CCC-10 at 10240)
+// are only included when full is true.
+func RelatedWork(full bool) ([]RelatedRow, error) {
+	type entry struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}
+	entries := []entry{
+		{"DeBruijn(2,9)", func() (*graph.Graph, error) { return topology.DeBruijn(9) }},
+		{"Kautz(2,8)", func() (*graph.Graph, error) { return topology.Kautz(8) }},
+		{"CCC(6)", func() (*graph.Graph, error) { return topology.CCC(6) }},
+		{"Hypercube(9)", func() (*graph.Graph, error) { return topology.Hypercube(9) }},
+		{"DSN-512", func() (*graph.Graph, error) {
+			d, err := core.New(512, core.CeilLog2(512)-1)
+			if err != nil {
+				return nil, err
+			}
+			return d.Graph(), nil
+		}},
+		{"BiDSN-512", func() (*graph.Graph, error) {
+			b, err := core.NewBidirectional(512)
+			if err != nil {
+				return nil, err
+			}
+			return b.Graph(), nil
+		}},
+	}
+	if full {
+		entries = append(entries,
+			entry{"DeBruijn(2,12)", func() (*graph.Graph, error) { return topology.DeBruijn(12) }},
+			entry{"Kautz(2,11)", func() (*graph.Graph, error) { return topology.Kautz(11) }},
+			entry{"CCC(10)", func() (*graph.Graph, error) { return topology.CCC(10) }},
+			entry{"DSN-3072", func() (*graph.Graph, error) {
+				d, err := core.New(3072, core.CeilLog2(3072)-1)
+				if err != nil {
+					return nil, err
+				}
+				return d.Graph(), nil
+			}},
+		)
+	}
+	rows := make([]RelatedRow, 0, len(entries))
+	for _, e := range entries {
+		g, err := e.build()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", e.name, err)
+		}
+		m := g.AllPairs()
+		if !m.Connected {
+			return nil, fmt.Errorf("analysis: %s disconnected", e.name)
+		}
+		rows = append(rows, RelatedRow{
+			Name: e.name, N: g.N(), Degree: g.MaxDegree(),
+			Diameter: m.Diameter, ASPL: m.ASPL,
+		})
+	}
+	return rows, nil
+}
+
+// WriteRelatedTable renders the related-work comparison.
+func WriteRelatedTable(w io.Writer, rows []RelatedRow) {
+	fmt.Fprintf(w, "%-16s %8s %8s %10s %8s\n", "topology", "N", "degree", "diameter", "aspl")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %8d %8d %10d %8.2f\n", r.Name, r.N, r.Degree, r.Diameter, r.ASPL)
+	}
+}

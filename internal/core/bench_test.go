@@ -1,0 +1,72 @@
+package core
+
+import "testing"
+
+func BenchmarkBuildDSN1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := New(1024, CeilLog2(1024)-1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Graph().M() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkBuildDSNE1020(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := NewE(1020) // p=10, 1020 % 10 == 0
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Graph().M() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkRoute1024(b *testing.B) {
+	d, err := New(1024, CeilLog2(1024)-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := (i * 7919) % 1024
+		t := (i * 104729) % 1024
+		if _, err := d.Route(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteNoOvershoot1024(b *testing.B) {
+	d, err := New(1024, CeilLog2(1024)-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := (i * 7919) % 1024
+		t := (i * 104729) % 1024
+		if _, err := d.RouteNoOvershoot(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlexibleRoute(b *testing.B) {
+	f, err := NewFlexible(1020, []int{10, 20, 30, 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := (i * 7919) % f.N()
+		t := (i * 104729) % f.N()
+		if _, err := f.Route(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"dsnet/internal/graph"
+)
+
+// BiDSN is the degree-6 DSN the paper alludes to in Section VI.B ("our
+// DSN with degree 6 surprisingly has shorter average cable length than
+// 3-D torus"): two mirrored shortcut ladders, one spanning clockwise and
+// one counterclockwise, over the same ring. Every destination is then
+// reachable by running the basic three-phase algorithm in whichever
+// direction is shorter, halving the worst-case ring distance a route must
+// cover and roughly doubling the shortcut bandwidth, at an average degree
+// of about 6 — the same as a 3-D torus.
+//
+// The counterclockwise ladder is the mirror image of the clockwise one
+// under mu(i) = n-1-i, so all of Section IV's analysis applies to both
+// directions by symmetry.
+type BiDSN struct {
+	N int // switches
+	P int // levels per super node
+
+	cw  *DSN // clockwise ladder on the natural IDs
+	g   *graph.Graph
+	ccw []int32 // counterclockwise shortcut targets
+}
+
+// NewBidirectional builds a BiDSN with the full ladder (x = p-1) in both
+// directions.
+func NewBidirectional(n int) (*BiDSN, error) {
+	p := CeilLog2(n)
+	cw, err := New(n, p-1)
+	if err != nil {
+		return nil, err
+	}
+	b := &BiDSN{N: n, P: p, cw: cw, g: graph.New(n), ccw: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		b.g.AddEdge(i, (i+1)%n, graph.KindRing)
+	}
+	mu := func(i int) int { return n - 1 - i }
+	for i := 0; i < n; i++ {
+		if sc := cw.Shortcut(i); sc >= 0 {
+			b.g.AddLeveledEdge(i, sc, graph.KindShortcut, int16(cw.LevelOf(i)))
+		}
+		b.ccw[i] = -1
+		if sc := cw.Shortcut(mu(i)); sc >= 0 {
+			b.ccw[i] = int32(mu(sc))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if b.ccw[i] >= 0 && !b.g.HasEdge(i, int(b.ccw[i])) {
+			b.g.AddLeveledEdge(i, int(b.ccw[i]), graph.KindShortcut, int16(cw.LevelOf(mu(i))))
+		}
+	}
+	return b, nil
+}
+
+// Graph returns the underlying topology (owned by the BiDSN).
+func (b *BiDSN) Graph() *graph.Graph { return b.g }
+
+// CW returns the clockwise half, a plain DSN-(p-1).
+func (b *BiDSN) CW() *DSN { return b.cw }
+
+// CCWShortcut returns the counterclockwise shortcut target of switch i,
+// or -1.
+func (b *BiDSN) CCWShortcut(i int) int { return int(b.ccw[i]) }
+
+// Route routes s -> t with the basic three-phase algorithm run in
+// whichever ring direction is shorter.
+func (b *BiDSN) Route(s, t int) (*Route, error) {
+	if s < 0 || s >= b.N || t < 0 || t >= b.N {
+		return nil, fmt.Errorf("core: route endpoints (%d,%d) out of range [0,%d)", s, t, b.N)
+	}
+	cwDist := b.cw.ClockwiseDist(s, t)
+	if cwDist <= b.N-cwDist {
+		return b.cw.Route(s, t)
+	}
+	mu := func(i int32) int32 { return int32(b.N-1) - i }
+	mr, err := b.cw.Route(int(mu(int32(s))), int(mu(int32(t))))
+	if err != nil {
+		return nil, err
+	}
+	r := &Route{Src: s, Dst: t, PhaseHops: mr.PhaseHops}
+	r.Hops = make([]Hop, len(mr.Hops))
+	for i, h := range mr.Hops {
+		class := h.Class
+		switch class {
+		case ClassSucc:
+			class = ClassPred
+		case ClassPred:
+			class = ClassSucc
+		}
+		r.Hops[i] = Hop{From: mu(h.From), To: mu(h.To), Class: class, Phase: h.Phase}
+	}
+	return r, nil
+}
+
+// RouteLen returns the bidirectional route length in hops.
+func (b *BiDSN) RouteLen(s, t int) (int, error) {
+	r, err := b.Route(s, t)
+	if err != nil {
+		return 0, err
+	}
+	return r.Len(), nil
+}
+
+// String identifies the instance.
+func (b *BiDSN) String() string { return fmt.Sprintf("BiDSN-%d", b.N) }

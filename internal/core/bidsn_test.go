@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustBi(t *testing.T, n int) *BiDSN {
+	t.Helper()
+	b, err := NewBidirectional(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBiDSNConstruction(t *testing.T) {
+	b := mustBi(t, 512)
+	g := b.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("disconnected")
+	}
+	avg := g.AverageDegree()
+	if avg < 5 || avg > 6.01 {
+		t.Fatalf("average degree %.2f, want about 6", avg)
+	}
+	if g.MaxDegree() > 8 {
+		t.Fatalf("max degree %d", g.MaxDegree())
+	}
+	// The counterclockwise ladder must mirror the clockwise one.
+	mu := func(i int) int { return b.N - 1 - i }
+	for i := 0; i < b.N; i++ {
+		want := -1
+		if sc := b.CW().Shortcut(mu(i)); sc >= 0 {
+			want = mu(sc)
+		}
+		if got := b.CCWShortcut(i); got != want {
+			t.Fatalf("ccw shortcut of %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBiDSNDiameterBeatsBasic(t *testing.T) {
+	for _, n := range []int{256, 512} {
+		b := mustBi(t, n)
+		basic := mustNew(t, n, CeilLog2(n)-1)
+		mb := b.Graph().AllPairs()
+		mBasic := basic.Graph().AllPairs()
+		if mb.Diameter > mBasic.Diameter {
+			t.Errorf("n=%d: BiDSN diameter %d worse than basic %d", n, mb.Diameter, mBasic.Diameter)
+		}
+		if mb.ASPL >= mBasic.ASPL {
+			t.Errorf("n=%d: BiDSN ASPL %.2f not below basic %.2f", n, mb.ASPL, mBasic.ASPL)
+		}
+	}
+}
+
+func TestBiDSNRouteAllPairs(t *testing.T) {
+	b := mustBi(t, 128)
+	bound := 3*b.P + b.N%b.P
+	for s := 0; s < b.N; s++ {
+		for dst := 0; dst < b.N; dst++ {
+			r, err := b.Route(s, dst)
+			if err != nil {
+				t.Fatalf("route(%d,%d): %v", s, dst, err)
+			}
+			cur := s
+			for i, h := range r.Hops {
+				if int(h.From) != cur {
+					t.Fatalf("route %d->%d hop %d starts at %d, expected %d", s, dst, i, h.From, cur)
+				}
+				if !b.Graph().HasEdge(int(h.From), int(h.To)) {
+					t.Fatalf("route %d->%d hop %d rides missing edge (%d,%d)", s, dst, i, h.From, h.To)
+				}
+				cur = int(h.To)
+			}
+			if cur != dst {
+				t.Fatalf("route %d->%d ends at %d", s, dst, cur)
+			}
+			if r.Len() > bound {
+				t.Fatalf("route %d->%d length %d > bound %d", s, dst, r.Len(), bound)
+			}
+		}
+	}
+}
+
+// The bidirectional route is never longer than the one-directional one
+// on average (it picks the shorter side).
+func TestBiDSNShorterRoutes(t *testing.T) {
+	n := 256
+	b := mustBi(t, n)
+	var biTotal, cwTotal int
+	for s := 0; s < n; s += 2 {
+		for dst := 1; dst < n; dst += 3 {
+			lb, err := b.RouteLen(s, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lc, err := b.CW().RouteLen(s, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			biTotal += lb
+			cwTotal += lc
+		}
+	}
+	if biTotal >= cwTotal {
+		t.Fatalf("bidirectional total %d not below clockwise-only %d", biTotal, cwTotal)
+	}
+}
+
+func TestBiDSNRouteRange(t *testing.T) {
+	b := mustBi(t, 64)
+	if _, err := b.Route(-1, 2); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	r, err := b.Route(5, 5)
+	if err != nil || r.Len() != 0 {
+		t.Fatalf("self route: %v %d", err, r.Len())
+	}
+	if b.String() != "BiDSN-64" {
+		t.Fatalf("String %q", b.String())
+	}
+}
+
+func TestQuickBiDSNRoute(t *testing.T) {
+	f := func(rawN uint16, rawS, rawT uint16) bool {
+		n := 32 + int(rawN%512)
+		b, err := NewBidirectional(n)
+		if err != nil {
+			return false
+		}
+		s := int(rawS) % n
+		dst := int(rawT) % n
+		r, err := b.Route(s, dst)
+		if err != nil {
+			return false
+		}
+		cur := s
+		for _, h := range r.Hops {
+			if int(h.From) != cur || !b.Graph().HasEdge(int(h.From), int(h.To)) {
+				return false
+			}
+			cur = int(h.To)
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

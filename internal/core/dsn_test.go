@@ -1,0 +1,387 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsnet/internal/graph"
+)
+
+func mustNew(t *testing.T, n, x int) *DSN {
+	t.Helper()
+	d, err := New(n, x)
+	if err != nil {
+		t.Fatalf("New(%d,%d): %v", n, x, err)
+	}
+	return d
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {17, 5}, {63, 6}, {64, 6}, {65, 7}, {1024, 10}, {2048, 11},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.n); got != c.want {
+			t.Errorf("CeilLog2(%d)=%d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCeilLog2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilLog2(0) did not panic")
+		}
+	}()
+	CeilLog2(0)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(4, 1); err == nil {
+		t.Error("New(4,1) should fail: n too small")
+	}
+	if _, err := New(64, 0); err == nil {
+		t.Error("New(64,0) should fail: x < 1")
+	}
+	if _, err := New(64, 6); err == nil {
+		t.Error("New(64,6) should fail: x > p-1 = 5")
+	}
+	if _, err := New(64, 5); err != nil {
+		t.Errorf("New(64,5): %v", err)
+	}
+}
+
+func TestLevelAssignment(t *testing.T) {
+	d := mustNew(t, 64, 5)
+	if d.P != 6 || d.R != 4 {
+		t.Fatalf("p=%d r=%d, want 6,4", d.P, d.R)
+	}
+	// Level i assigned to nodes k*p + i - 1 (paper Section IV.B).
+	for k := 0; k*d.P < d.N; k++ {
+		for i := 1; i <= d.P; i++ {
+			node := k*d.P + i - 1
+			if node >= d.N {
+				break
+			}
+			if got := d.LevelOf(node); got != i {
+				t.Fatalf("LevelOf(%d)=%d, want %d", node, got, i)
+			}
+			if got := d.HeightOf(node); got != d.P+1-i {
+				t.Fatalf("HeightOf(%d)=%d, want %d", node, got, d.P+1-i)
+			}
+		}
+	}
+}
+
+func TestShortcutProperties(t *testing.T) {
+	for _, n := range []int{64, 100, 128, 256, 500} {
+		p := CeilLog2(n)
+		d := mustNew(t, n, p-1)
+		for i := 0; i < n; i++ {
+			l := d.LevelOf(i)
+			sc := d.Shortcut(i)
+			if l > d.X {
+				if sc != -1 {
+					t.Fatalf("n=%d: node %d level %d > x=%d has shortcut %d", n, i, l, d.X, sc)
+				}
+				continue
+			}
+			if sc < 0 {
+				t.Fatalf("n=%d: node %d level %d <= x missing shortcut", n, i, l)
+			}
+			// Target has level l+1.
+			if got := d.LevelOf(sc); got != l+1 {
+				t.Fatalf("n=%d: shortcut %d->%d target level %d, want %d", n, i, sc, got, l+1)
+			}
+			// Span at least ceil(n/2^l).
+			minSpan := ceilDiv(n, 1<<uint(l))
+			if span := d.ClockwiseDist(i, sc); span < minSpan {
+				t.Fatalf("n=%d: shortcut %d->%d span %d < min %d (level %d)", n, i, sc, span, minSpan, l)
+			}
+			// Minimality: no closer level-(l+1) node at distance >= minSpan.
+			for dist := minSpan; dist < d.ClockwiseDist(i, sc); dist++ {
+				j := (i + dist) % n
+				if d.LevelOf(j) == l+1 {
+					t.Fatalf("n=%d: shortcut %d->%d skipped closer target %d", n, i, sc, j)
+				}
+			}
+		}
+	}
+}
+
+// Fact 1: degrees are in {2,3,4,5}; average <= 4; at most p vertices of
+// degree 5; for x = p-1 the minimum degree is 3.
+func TestFact1Degrees(t *testing.T) {
+	for _, n := range []int{64, 128, 200, 256, 512, 1000, 1024, 2048} {
+		p := CeilLog2(n)
+		for _, x := range []int{1, p / 2, p - 1} {
+			if x < 1 {
+				continue
+			}
+			d := mustNew(t, n, x)
+			g := d.Graph()
+			deg5 := 0
+			for v := 0; v < n; v++ {
+				deg := g.Degree(v)
+				if deg < 2 || deg > 5 {
+					t.Fatalf("DSN-%d-%d: node %d degree %d outside [2,5]", x, n, v, deg)
+				}
+				if deg == 5 {
+					deg5++
+				}
+				if x == p-1 && deg < 3 {
+					t.Fatalf("DSN-%d-%d: node %d degree %d < 3 with x=p-1", x, n, v, deg)
+				}
+			}
+			if deg5 > p {
+				t.Errorf("DSN-%d-%d: %d degree-5 nodes > p=%d", x, n, deg5, p)
+			}
+			if avg := g.AverageDegree(); avg > 4 {
+				t.Errorf("DSN-%d-%d: average degree %v > 4", x, n, avg)
+			}
+		}
+	}
+}
+
+func TestGraphValidAndConnected(t *testing.T) {
+	for _, n := range []int{64, 129, 512} {
+		p := CeilLog2(n)
+		d := mustNew(t, n, p-1)
+		if err := d.Graph().Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !d.Graph().Connected() {
+			t.Fatalf("n=%d: not connected", n)
+		}
+	}
+}
+
+// Theorem 1(b): diameter <= 2.5p + r for x > p - log p.
+func TestTheorem1Diameter(t *testing.T) {
+	for _, n := range []int{64, 128, 256, 500, 512, 1024} {
+		p := CeilLog2(n)
+		d := mustNew(t, n, p-1)
+		if !d.BoundsApply() {
+			t.Fatalf("n=%d: x=p-1 should satisfy x > p - log p", n)
+		}
+		m := d.Graph().AllPairs()
+		if float64(m.Diameter) > d.DiameterBound() {
+			t.Errorf("n=%d: diameter %d > bound %.1f", n, m.Diameter, d.DiameterBound())
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	d := mustNew(t, 64, 5)
+	if d.String() != "DSN-5-64" {
+		t.Errorf("String() = %q", d.String())
+	}
+	if VariantBasic.String() != "DSN" || VariantE.String() != "DSN-E" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestSuperNodes(t *testing.T) {
+	d := mustNew(t, 64, 5) // p=6, r=4
+	if d.SuperNodes() != 11 {
+		t.Fatalf("SuperNodes()=%d, want 11", d.SuperNodes())
+	}
+	if d.SuperNodeOf(0) != 0 || d.SuperNodeOf(5) != 0 || d.SuperNodeOf(6) != 1 || d.SuperNodeOf(63) != 10 {
+		t.Fatal("SuperNodeOf wrong")
+	}
+}
+
+func TestPredSucc(t *testing.T) {
+	d := mustNew(t, 64, 5)
+	if d.Succ(63) != 0 || d.Pred(0) != 63 || d.Succ(10) != 11 || d.Pred(10) != 9 {
+		t.Fatal("ring neighbors wrong")
+	}
+	if d.ClockwiseDist(60, 4) != 8 || d.ClockwiseDist(4, 60) != 56 || d.ClockwiseDist(7, 7) != 0 {
+		t.Fatal("clockwise distance wrong")
+	}
+}
+
+// Theorem 2(b): with unit ring spacing, total cable is <= n^2/p + 2n.
+// The paper's bound is asymptotic (its proof rounds away the ceil terms in
+// both the shortcut spans and the super-node count), so we verify it with
+// an explicit 25% constant slack and check that the overshoot ratio decays
+// as n grows.
+func TestTheorem2CableBound(t *testing.T) {
+	ratios := make(map[int]float64)
+	for _, n := range []int{64, 256, 1024, 2048} {
+		p := CeilLog2(n)
+		d := mustNew(t, n, p-1)
+		total := float64(d.TotalShortcutRingSpan() + n) // + ring links
+		bound := float64(n*n)/float64(p) + 2*float64(n)
+		ratios[n] = total / bound
+		if total > 1.25*bound {
+			t.Errorf("n=%d: total span %.0f > 1.25x bound %.0f", n, total, bound)
+		}
+	}
+	if ratios[2048] >= ratios[64] {
+		t.Errorf("cable overshoot ratio should shrink with n: %v", ratios)
+	}
+}
+
+// The paper's headline comparison: DSN's shortcut span beats DLN-2-2's
+// expected n/3 average by about a factor p/3.
+func TestShortcutSpanBeatsDLN22(t *testing.T) {
+	n := 1024
+	p := CeilLog2(n)
+	d := mustNew(t, n, p-1)
+	shortcuts := 0
+	for i := 0; i < n; i++ {
+		if d.Shortcut(i) >= 0 {
+			shortcuts++
+		}
+	}
+	avg := float64(d.TotalShortcutRingSpan()) / float64(shortcuts)
+	dln22avg := float64(n) / 3
+	if avg >= dln22avg {
+		t.Fatalf("avg shortcut span %.1f not below DLN-2-2's %.1f", avg, dln22avg)
+	}
+	// Theorem 2(b): average shortcut span <= n/p... across the ladder the
+	// mean is dominated by the level-1 spans; verify the aggregate factor.
+	if ratio := dln22avg / avg; ratio < float64(p)/6 {
+		t.Errorf("improvement ratio %.2f below p/6=%.2f", ratio, float64(p)/6)
+	}
+}
+
+func TestQuickConstructionInvariants(t *testing.T) {
+	f := func(rawN uint16, rawX uint8) bool {
+		n := 8 + int(rawN%2040)
+		p := CeilLog2(n)
+		x := 1 + int(rawX)%(p-1)
+		d, err := New(n, x)
+		if err != nil {
+			return false
+		}
+		if err := d.Graph().Validate(); err != nil {
+			return false
+		}
+		if !d.Graph().Connected() {
+			return false
+		}
+		if d.Graph().MaxDegree() > 5 || d.Graph().MinDegree() < 2 {
+			return false
+		}
+		return d.Graph().AverageDegree() <= 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeKindsPresent(t *testing.T) {
+	d := mustNew(t, 64, 5)
+	g := d.Graph()
+	if got := len(g.EdgesByKind(graph.KindRing)); got != 64 {
+		t.Fatalf("ring edges %d, want 64", got)
+	}
+	sc := len(g.EdgesByKind(graph.KindShortcut))
+	// Levels 1..5 of each complete super node own shortcuts: 10 full super
+	// nodes plus the partial one contribute one shortcut per node with
+	// level <= 5 (i%6 <= 4): count directly.
+	want := 0
+	for i := 0; i < 64; i++ {
+		if d.Shortcut(i) >= 0 {
+			want++
+		}
+	}
+	if sc != want {
+		t.Fatalf("shortcut edges %d, want %d", sc, want)
+	}
+}
+
+// Theorem 2(a) also bounds the expected shortest s-t path by 1.5p; the
+// measured all-pairs ASPL must sit beneath it with room to spare.
+func TestTheorem2ShortestPathBound(t *testing.T) {
+	for _, n := range []int{128, 512, 2048} {
+		p := CeilLog2(n)
+		d := mustNew(t, n, p-1)
+		m := d.Graph().AllPairs()
+		if m.ASPL > 1.5*float64(p) {
+			t.Errorf("n=%d: ASPL %.2f > 1.5p = %.1f", n, m.ASPL, 1.5*float64(p))
+		}
+	}
+}
+
+// The paper's Observation after Fact 1: the expected number of degree-5
+// switches is at most p/2. Check the average over many sizes.
+func TestDegree5ExpectedCount(t *testing.T) {
+	var totalRatio float64
+	count := 0
+	for n := 64; n <= 2048; n += 97 { // varied residues r = n mod p
+		p := CeilLog2(n)
+		d := mustNew(t, n, p-1)
+		deg5 := 0
+		for v := 0; v < n; v++ {
+			if d.Graph().Degree(v) == 5 {
+				deg5++
+			}
+		}
+		totalRatio += float64(deg5) / (float64(p) / 2)
+		count++
+	}
+	if avg := totalRatio / float64(count); avg > 1.0 {
+		t.Errorf("average degree-5 count is %.2fx the p/2 expectation bound", avg)
+	}
+}
+
+// Every DSN tolerates at least one link failure anywhere (the ring alone
+// provides two edge-disjoint paths), and with the full ladder most pairs
+// get three or more.
+func TestDSNEdgeConnectivity(t *testing.T) {
+	for _, n := range []int{64, 128} {
+		d := mustNew(t, n, CeilLog2(n)-1)
+		min := d.Graph().MinEdgeConnectivity()
+		if min < 2 {
+			t.Fatalf("n=%d: min edge connectivity %d < 2", n, min)
+		}
+		// Sample some pairs for the richer typical case.
+		rich := 0
+		for s := 0; s < n; s += 7 {
+			if d.Graph().EdgeConnectivity(s, (s+n/2)%n) >= 3 {
+				rich++
+			}
+		}
+		if rich == 0 {
+			t.Fatalf("n=%d: no sampled pair had 3 disjoint paths", n)
+		}
+	}
+}
+
+func TestRoutingReport(t *testing.T) {
+	d := mustNew(t, 128, CeilLog2(128)-1)
+	rep, err := d.RoutingReport(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pairs != 128*127 {
+		t.Fatalf("pairs %d", rep.Pairs)
+	}
+	if rep.MaxLen > rep.Bound {
+		t.Fatalf("max %d > bound %d", rep.MaxLen, rep.Bound)
+	}
+	if rep.AvgLen <= 0 || rep.AvgStretch < 1 {
+		t.Fatalf("implausible report %+v", rep)
+	}
+	sum := rep.PhaseAvg[0] + rep.PhaseAvg[1] + rep.PhaseAvg[2]
+	if diff := sum - rep.AvgLen; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("phase breakdown %.3f does not sum to avg %.3f", sum, rep.AvgLen)
+	}
+	var classTotal int64
+	for _, hops := range rep.ClassHops {
+		classTotal += hops
+	}
+	if classTotal != int64(rep.AvgLen*float64(rep.Pairs)+0.5) {
+		t.Fatalf("class hops %d inconsistent with avg*pairs", classTotal)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty summary")
+	}
+	if _, err := d.RoutingReport(0); err == nil {
+		t.Fatal("stride 0 accepted")
+	}
+}

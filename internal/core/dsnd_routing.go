@@ -1,0 +1,136 @@
+package core
+
+import "fmt"
+
+// RouteShortAware is the Section V.B updated routing algorithm for
+// DSN-D-x instances: the added short links (spanning q ring positions)
+// accelerate the local walks of PRE-WORK and FINISH, which the paper
+// credits with reducing the routing diameter from 3p + r toward 2p.
+// Whenever the current switch sits on the q-grid and at least q of local
+// walk remains, the walk rides a short link instead of q ring hops.
+func (d *DSN) RouteShortAware(s, t int) (*Route, error) {
+	if d.Variant != VariantD {
+		return nil, fmt.Errorf("core: short-aware routing needs a DSN-D instance, got %v", d.Variant)
+	}
+	if s < 0 || s >= d.N || t < 0 || t >= d.N {
+		return nil, fmt.Errorf("core: route endpoints (%d,%d) out of range [0,%d)", s, t, d.N)
+	}
+	r := &Route{Src: s, Dst: t}
+	if s == t {
+		return r, nil
+	}
+	D := d.ClockwiseDist(s, t)
+	pos := 0
+	u := s
+	budget := 20*d.P + 2*d.N + 16
+	q := d.Q
+
+	hop := func(to int, class LinkClass, phase Phase) {
+		r.Hops = append(r.Hops, Hop{From: int32(u), To: int32(to), Class: class, Phase: phase})
+		r.PhaseHops[phase]++
+		u = to
+	}
+	// shortTo reports whether the q-grid link from u toward to exists.
+	shortTo := func(to int) bool { return d.g.HasEdge(u, to) }
+
+	// PRE-WORK: climb to the required level, q positions at a time when
+	// the grid allows. The walk length k is fixed from the initial
+	// distance (recomputing it after a backward jump would lower the
+	// required level and let the walk oscillate); the MAIN-PROCESS
+	// absorbs any residual mismatch exactly as the basic algorithm does.
+	if l := d.levelFor(D); d.LevelOf(s) > l {
+		k := d.LevelOf(s) - l
+		for budget > 0 && k > 0 {
+			budget--
+			if u == t {
+				return r, nil
+			}
+			// Jump only if the destination does not lie inside the span
+			// (a backward jump from s could otherwise leap over a t that
+			// sits just behind it).
+			if u%q == 0 && k >= q && (u-t+d.N)%d.N > q {
+				back := (u - q + d.N) % d.N
+				if shortTo(back) {
+					hop(back, ClassShort, PhasePreWork)
+					pos -= q
+					k -= q
+					continue
+				}
+			}
+			hop(d.Pred(u), ClassPred, PhasePreWork)
+			pos--
+			k--
+		}
+	}
+	// Cleanup: walking backward grew the distance, which may have lowered
+	// the required level below the frozen target; finish the climb with
+	// the basic recomputing walk (a handful of pred hops at most).
+	for budget > 0 {
+		budget--
+		if u == t {
+			return r, nil
+		}
+		if d.LevelOf(u) <= d.levelFor(D-pos) {
+			break
+		}
+		hop(d.Pred(u), ClassPred, PhasePreWork)
+		pos--
+	}
+
+	// MAIN-PROCESS: unchanged distance halving.
+	for budget > 0 {
+		budget--
+		dist := D - pos
+		if dist <= 0 || dist <= d.P {
+			break
+		}
+		lu := d.LevelOf(u)
+		if lu == d.X+1 {
+			break
+		}
+		l := d.levelFor(dist)
+		if lu == l && d.shortcut[u] >= 0 {
+			to := int(d.shortcut[u])
+			pos += d.ClockwiseDist(u, to)
+			hop(to, ClassShortcut, PhaseMain)
+		} else {
+			hop(d.Succ(u), ClassSucc, PhaseMain)
+			pos++
+		}
+	}
+	if pos == D {
+		return r, nil
+	}
+
+	// FINISH: local walk with q-grid acceleration in both directions.
+	for budget > 0 && pos != D {
+		budget--
+		if pos > D {
+			if u%q == 0 && pos-D >= q {
+				back := (u - q + d.N) % d.N
+				if shortTo(back) {
+					hop(back, ClassShort, PhaseFinish)
+					pos -= q
+					continue
+				}
+			}
+			hop(d.Pred(u), ClassPred, PhaseFinish)
+			pos--
+		} else {
+			if u%q == 0 && D-pos >= q {
+				fwd := (u + q) % d.N
+				if shortTo(fwd) {
+					hop(fwd, ClassShort, PhaseFinish)
+					pos += q
+					continue
+				}
+			}
+			hop(d.Succ(u), ClassSucc, PhaseFinish)
+			pos++
+		}
+	}
+	if pos != D {
+		return nil, fmt.Errorf("core: %v short-aware routing %d->%d did not converge", d, s, t)
+	}
+	return r, nil
+}

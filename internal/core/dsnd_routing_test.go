@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRouteShortAwareAllPairs(t *testing.T) {
+	for _, n := range []int{128, 512} {
+		d, err := NewD(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		basicTotal, shortTotal := 0, 0
+		maxLen := 0
+		for s := 0; s < n; s++ {
+			for dst := 0; dst < n; dst++ {
+				r, err := d.RouteShortAware(s, dst)
+				if err != nil {
+					t.Fatalf("n=%d route(%d,%d): %v", n, s, dst, err)
+				}
+				cur := s
+				for i, h := range r.Hops {
+					if int(h.From) != cur {
+						t.Fatalf("route %d->%d hop %d starts at %d, expected %d", s, dst, i, h.From, cur)
+					}
+					if !d.Graph().HasEdge(int(h.From), int(h.To)) {
+						t.Fatalf("route %d->%d hop %d rides missing edge", s, dst, i)
+					}
+					cur = int(h.To)
+				}
+				if cur != dst {
+					t.Fatalf("route %d->%d ends at %d", s, dst, cur)
+				}
+				if r.Len() > maxLen {
+					maxLen = r.Len()
+				}
+				shortTotal += r.Len()
+				b, err := d.Route(s, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				basicTotal += b.Len()
+			}
+		}
+		// Section V.B: the short links cut the local walks; routes must be
+		// shorter on average than the plain algorithm on the same wiring
+		// (which ignores the short links), and no longer in the worst
+		// case.
+		if shortTotal >= basicTotal {
+			t.Errorf("n=%d: short-aware total %d not below basic %d", n, shortTotal, basicTotal)
+		}
+		basicMax := 0
+		for s := 0; s < n; s++ {
+			for dst := 0; dst < n; dst++ {
+				b, err := d.Route(s, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b.Len() > basicMax {
+					basicMax = b.Len()
+				}
+			}
+		}
+		if maxLen > basicMax {
+			t.Errorf("n=%d: short-aware routing diameter %d above basic %d", n, maxLen, basicMax)
+		}
+	}
+}
+
+func TestRouteShortAwareValidation(t *testing.T) {
+	basic := mustNew(t, 64, 5)
+	if _, err := basic.RouteShortAware(0, 5); err == nil {
+		t.Fatal("basic variant accepted")
+	}
+	d, err := NewD(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RouteShortAware(-1, 5); err == nil {
+		t.Fatal("bad endpoint accepted")
+	}
+	if r, err := d.RouteShortAware(9, 9); err != nil || r.Len() != 0 {
+		t.Fatalf("self route: %v", err)
+	}
+}
+
+func TestQuickRouteShortAware(t *testing.T) {
+	f := func(rawN uint16, rawK, rawS, rawT uint16) bool {
+		n := 64 + int(rawN%1000)
+		k := 1 + int(rawK)%3
+		d, err := NewD(n, k)
+		if err != nil {
+			return true // some (n, k) combinations are validly rejected
+		}
+		s := int(rawS) % n
+		dst := int(rawT) % n
+		r, err := d.RouteShortAware(s, dst)
+		if err != nil {
+			return false
+		}
+		cur := s
+		for _, h := range r.Hops {
+			if int(h.From) != cur || !d.Graph().HasEdge(int(h.From), int(h.To)) {
+				return false
+			}
+			cur = int(h.To)
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

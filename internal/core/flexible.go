@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dsnet/internal/graph"
+)
+
+// FlexDSN is the flexible-size construction of Section V.C: a basic DSN
+// over nMajor "major" switches, with extra "minor" switches spliced into
+// the ring after chosen majors. Minors own no shortcuts (the paper's
+// fractional IDs such as 10 1/2); routing reaches a minor by routing to
+// the major just before it and walking Succ links.
+//
+// This tolerates arbitrary network sizes and models incremental node
+// addition without rebuilding the shortcut ladder.
+type FlexDSN struct {
+	Base *DSN // logical DSN over the majors
+
+	n       int // physical switch count = nMajor + len(minors)
+	g       *graph.Graph
+	isMajor []bool
+	majorOf []int32 // physical ID -> logical ID of its segment's major
+	physOf  []int32 // logical major ID -> physical ID
+}
+
+// NewFlexible builds a flexible DSN with nMajor major switches (forming a
+// DSN-(p-1)) and one minor switch inserted after each listed major ID.
+// Duplicate entries insert multiple minors after the same major.
+func NewFlexible(nMajor int, minorsAfter []int) (*FlexDSN, error) {
+	p := CeilLog2(nMajor)
+	base, err := New(nMajor, p-1)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range minorsAfter {
+		if m < 0 || m >= nMajor {
+			return nil, fmt.Errorf("core: minor host major %d out of range [0,%d)", m, nMajor)
+		}
+	}
+	minors := append([]int(nil), minorsAfter...)
+	sort.Ints(minors)
+
+	n := nMajor + len(minors)
+	f := &FlexDSN{
+		Base:    base,
+		n:       n,
+		g:       graph.New(n),
+		isMajor: make([]bool, n),
+		majorOf: make([]int32, n),
+		physOf:  make([]int32, nMajor),
+	}
+	// Lay out physical IDs: each major followed by its minors.
+	phys := 0
+	mi := 0
+	for logical := 0; logical < nMajor; logical++ {
+		f.physOf[logical] = int32(phys)
+		f.isMajor[phys] = true
+		f.majorOf[phys] = int32(logical)
+		phys++
+		for mi < len(minors) && minors[mi] == logical {
+			f.isMajor[phys] = false
+			f.majorOf[phys] = int32(logical)
+			phys++
+			mi++
+		}
+	}
+	// Physical ring.
+	for i := 0; i < n; i++ {
+		f.g.AddEdge(i, (i+1)%n, graph.KindRing)
+	}
+	// Shortcuts between physical positions of majors.
+	for logical := 0; logical < nMajor; logical++ {
+		if sc := base.Shortcut(logical); sc >= 0 {
+			f.g.AddLeveledEdge(int(f.physOf[logical]), int(f.physOf[sc]),
+				graph.KindShortcut, int16(base.LevelOf(logical)))
+		}
+	}
+	return f, nil
+}
+
+// N returns the physical switch count.
+func (f *FlexDSN) N() int { return f.n }
+
+// Graph returns the physical topology graph (owned by the FlexDSN).
+func (f *FlexDSN) Graph() *graph.Graph { return f.g }
+
+// IsMajor reports whether physical switch i is a major (owns a position in
+// the logical DSN and possibly a shortcut).
+func (f *FlexDSN) IsMajor(i int) bool { return f.isMajor[i] }
+
+// MajorOf returns the logical ID of the major heading the ring segment
+// that contains physical switch i (i itself if i is major).
+func (f *FlexDSN) MajorOf(i int) int { return int(f.majorOf[i]) }
+
+// PhysOf returns the physical ID of logical major m.
+func (f *FlexDSN) PhysOf(m int) int { return int(f.physOf[m]) }
+
+// Route routes between physical switches using the extended rule of
+// Section V.C: walk back to the segment major, run the logical DSN route
+// over majors (expanding logical ring hops through any intervening
+// minors), then walk Succ links to a minor destination.
+func (f *FlexDSN) Route(s, t int) (*Route, error) {
+	if s < 0 || s >= f.n || t < 0 || t >= f.n {
+		return nil, fmt.Errorf("core: flexible route endpoints (%d,%d) out of range [0,%d)", s, t, f.n)
+	}
+	r := &Route{Src: s, Dst: t}
+	if s == t {
+		return r, nil
+	}
+	u := s
+	hop := func(to int, class LinkClass, phase Phase) {
+		r.Hops = append(r.Hops, Hop{From: int32(u), To: int32(to), Class: class, Phase: phase})
+		r.PhaseHops[phase]++
+		u = to
+	}
+	// Walk back to the segment major (minors trail their major).
+	for !f.isMajor[u] {
+		if u == t {
+			return r, nil
+		}
+		hop((u-1+f.n)%f.n, ClassPred, PhasePreWork)
+	}
+	if u == t {
+		return r, nil
+	}
+	// Logical route between majors.
+	ls := f.MajorOf(u)
+	lt := f.MajorOf(t)
+	if ls != lt {
+		lr, err := f.Base.Route(ls, lt)
+		if err != nil {
+			return nil, err
+		}
+		for _, lh := range lr.Hops {
+			from, to := int(f.physOf[lh.From]), int(f.physOf[lh.To])
+			if u != from {
+				return nil, fmt.Errorf("core: flexible route desync at %d (expected %d)", u, from)
+			}
+			if lh.Class == ClassShortcut {
+				hop(to, ClassShortcut, lh.Phase)
+				continue
+			}
+			// Logical ring hop: expand through intervening minors.
+			step := 1
+			if lh.Class == ClassPred || lh.Class == ClassUp || lh.Class == ClassExtraPred {
+				step = -1
+			}
+			for u != to {
+				hop((u+step+f.n)%f.n, lh.Class, lh.Phase)
+			}
+		}
+	}
+	// Walk forward to a minor destination.
+	for u != t {
+		hop((u+1)%f.n, ClassSucc, PhaseFinish)
+	}
+	return r, nil
+}

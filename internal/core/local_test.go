@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The switch-local logic must be hop-for-hop identical to the reference
+// centralized algorithm on every pair — this is the paper's "simple and
+// small routing logic" claim made precise.
+func TestLocalRoutingEquivalence(t *testing.T) {
+	for _, n := range []int{36, 60, 126, 256} {
+		d, err := NewE(n)
+		if err != nil {
+			continue
+		}
+		v, err := NewV(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range []*DSN{d, v} {
+			for s := 0; s < n; s++ {
+				for dst := 0; dst < n; dst++ {
+					ref, err := inst.Route(s, dst)
+					if err != nil {
+						t.Fatal(err)
+					}
+					loc, err := inst.RouteLocal(s, dst)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(ref.Hops) != len(loc.Hops) {
+						t.Fatalf("%v %d->%d: local %d hops, reference %d",
+							inst, s, dst, len(loc.Hops), len(ref.Hops))
+					}
+					for i := range ref.Hops {
+						if ref.Hops[i] != loc.Hops[i] {
+							t.Fatalf("%v %d->%d hop %d: local %+v, reference %+v",
+								inst, s, dst, i, loc.Hops[i], ref.Hops[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLocalRoutingRejectsBasic(t *testing.T) {
+	d := mustNew(t, 64, 5)
+	if _, err := d.NextHopLocal(0, 5, ClassInjection); err == nil {
+		t.Fatal("basic variant accepted for switch-local routing")
+	}
+	if _, err := d.RouteLocal(0, 5); err == nil {
+		t.Fatal("basic variant accepted for RouteLocal")
+	}
+}
+
+func TestLocalRoutingValidation(t *testing.T) {
+	d, err := NewE(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NextHopLocal(-1, 5, ClassInjection); err == nil {
+		t.Fatal("bad switch accepted")
+	}
+	if _, err := d.NextHopLocal(0, 60, ClassInjection); err == nil {
+		t.Fatal("bad destination accepted")
+	}
+	if _, err := d.NextHopLocal(0, 5, LinkClass(99)); err == nil {
+		t.Fatal("bogus arrival class accepted")
+	}
+	dec, err := d.NextHopLocal(7, 7, ClassInjection)
+	if err != nil || !dec.Eject {
+		t.Fatalf("self decision %+v, %v", dec, err)
+	}
+}
+
+func TestQuickLocalEquivalence(t *testing.T) {
+	f := func(rawS, rawT uint16) bool {
+		d, err := NewV(120) // p=7? CeilLog2(120)=7, 120%7 != 0
+		if err != nil {
+			d, err = NewV(126)
+			if err != nil {
+				return false
+			}
+		}
+		s := int(rawS) % d.N
+		dst := int(rawT) % d.N
+		ref, err := d.Route(s, dst)
+		if err != nil {
+			return false
+		}
+		loc, err := d.RouteLocal(s, dst)
+		if err != nil {
+			return false
+		}
+		if len(ref.Hops) != len(loc.Hops) {
+			return false
+		}
+		for i := range ref.Hops {
+			if ref.Hops[i] != loc.Hops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// RouteNoOvershoot implements the Section V.D twist on the routing
+// algorithm: whenever the shortcut selected by MAIN-PROCESS would land
+// past the destination, the packet instead steps one Succ link so the
+// next (higher-level, roughly half-length) shortcut is considered. The
+// resulting route never travels counterclockwise past t: the FINISH phase
+// degenerates to a short clockwise walk and the Pred channels are never
+// needed. The paper notes this may prolong the MAIN-PROCESS while
+// shortening the FINISH.
+func (d *DSN) RouteNoOvershoot(s, t int) (*Route, error) {
+	if s < 0 || s >= d.N || t < 0 || t >= d.N {
+		return nil, fmt.Errorf("core: route endpoints (%d,%d) out of range [0,%d)", s, t, d.N)
+	}
+	r := &Route{Src: s, Dst: t}
+	if s == t {
+		return r, nil
+	}
+	D := d.ClockwiseDist(s, t)
+	pos := 0
+	u := s
+	budget := 20*d.P + 2*d.N + 16
+
+	hop := func(to int, class LinkClass, phase Phase) {
+		r.Hops = append(r.Hops, Hop{From: int32(u), To: int32(to), Class: class, Phase: phase})
+		r.PhaseHops[phase]++
+		u = to
+	}
+
+	// PRE-WORK (unchanged): climb to a switch whose level matches the
+	// required distance-halving level.
+	for budget > 0 {
+		budget--
+		if u == t {
+			return r, nil
+		}
+		dist := D - pos
+		l := d.levelFor(dist)
+		if d.LevelOf(u) <= l {
+			break
+		}
+		hop(d.Pred(u), ClassPred, PhasePreWork)
+		pos--
+	}
+
+	// MAIN-PROCESS with the overshoot guard: a shortcut is taken only if
+	// it lands at or before t.
+	for budget > 0 {
+		budget--
+		dist := D - pos
+		if dist <= 0 {
+			break
+		}
+		lu := d.LevelOf(u)
+		if lu == d.X+1 && dist <= d.P {
+			break // no more shortcuts and close enough: walk it
+		}
+		took := false
+		if d.shortcut[u] >= 0 {
+			to := int(d.shortcut[u])
+			span := d.ClockwiseDist(u, to)
+			l := d.levelFor(dist)
+			if lu == l && span <= dist {
+				pos += span
+				hop(to, ClassShortcut, PhaseMain)
+				took = true
+			}
+		}
+		if !took {
+			if dist <= 1 {
+				break // adjacent: finish below
+			}
+			hop(d.Succ(u), ClassSucc, PhaseMain)
+			pos++
+		}
+	}
+
+	// FINISH: a pure clockwise walk; no overshoot can have happened.
+	for budget > 0 && pos < D {
+		budget--
+		hop(d.Succ(u), ClassSucc, PhaseFinish)
+		pos++
+	}
+	if pos != D {
+		return nil, fmt.Errorf("core: %v overshoot-free routing %d->%d did not converge (pos=%d target=%d)", d, s, t, pos, D)
+	}
+	return r, nil
+}

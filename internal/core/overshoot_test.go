@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkNoOvershoot validates the defining property of the Section V.D
+// variant: the clockwise offset from s never exceeds the distance to t.
+func checkNoOvershoot(t *testing.T, d *DSN, r *Route, s, dst int) {
+	t.Helper()
+	D := d.ClockwiseDist(s, dst)
+	pos := 0
+	cur := s
+	for i, h := range r.Hops {
+		if int(h.From) != cur {
+			t.Fatalf("hop %d starts at %d, expected %d", i, h.From, cur)
+		}
+		if !d.Graph().HasEdge(int(h.From), int(h.To)) {
+			t.Fatalf("hop %d rides missing edge (%d,%d)", i, h.From, h.To)
+		}
+		switch h.Class {
+		case ClassPred:
+			pos--
+		case ClassSucc:
+			pos++
+		case ClassShortcut:
+			pos += d.ClockwiseDist(int(h.From), int(h.To))
+		default:
+			t.Fatalf("unexpected class %v", h.Class)
+		}
+		if pos > D {
+			t.Fatalf("route %d->%d overshoots at hop %d (pos %d > D %d)", s, dst, i, pos, D)
+		}
+		if h.Phase == PhaseFinish && h.Class != ClassSucc {
+			t.Fatalf("FINISH used %v; overshoot-free FINISH is succ-only", h.Class)
+		}
+		cur = int(h.To)
+	}
+	if cur != dst {
+		t.Fatalf("route %d->%d ends at %d", s, dst, cur)
+	}
+}
+
+func TestRouteNoOvershootAllPairs(t *testing.T) {
+	for _, n := range []int{64, 100, 128} {
+		p := CeilLog2(n)
+		d := mustNew(t, n, p-1)
+		maxLen := 0
+		for s := 0; s < n; s++ {
+			for dst := 0; dst < n; dst++ {
+				r, err := d.RouteNoOvershoot(s, dst)
+				if err != nil {
+					t.Fatalf("n=%d route(%d,%d): %v", n, s, dst, err)
+				}
+				checkNoOvershoot(t, d, r, s, dst)
+				if r.Len() > maxLen {
+					maxLen = r.Len()
+				}
+			}
+		}
+		// The guard can lengthen MAIN-PROCESS, but the route should stay
+		// within the same asymptotic envelope as the basic algorithm.
+		if maxLen > 4*p+d.R {
+			t.Errorf("n=%d: overshoot-free routing diameter %d > 4p+r = %d", n, maxLen, 4*p+d.R)
+		}
+	}
+}
+
+func TestRouteNoOvershootTrivialAndRange(t *testing.T) {
+	d := mustNew(t, 64, 5)
+	r, err := d.RouteNoOvershoot(9, 9)
+	if err != nil || r.Len() != 0 {
+		t.Fatalf("self route: %v len %d", err, r.Len())
+	}
+	if _, err := d.RouteNoOvershoot(-1, 0); err == nil {
+		t.Fatal("negative source accepted")
+	}
+}
+
+// The variant trades MAIN-PROCESS length for FINISH length; on average it
+// should not be drastically longer than the basic algorithm, and its
+// FINISH phase should be shorter.
+func TestRouteNoOvershootTradeoff(t *testing.T) {
+	n := 256
+	d := mustNew(t, n, CeilLog2(n)-1)
+	var basicTotal, noOsTotal, basicFinish, noOsFinish int
+	for s := 0; s < n; s += 2 {
+		for dst := 0; dst < n; dst += 3 {
+			rb, err := d.Route(s, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ro, err := d.RouteNoOvershoot(s, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			basicTotal += rb.Len()
+			noOsTotal += ro.Len()
+			basicFinish += rb.PhaseHops[PhaseFinish]
+			noOsFinish += ro.PhaseHops[PhaseFinish]
+		}
+	}
+	if noOsFinish >= basicFinish {
+		t.Errorf("overshoot-free FINISH hops %d not below basic %d", noOsFinish, basicFinish)
+	}
+	if float64(noOsTotal) > 1.3*float64(basicTotal) {
+		t.Errorf("overshoot-free routes %.1fx longer than basic", float64(noOsTotal)/float64(basicTotal))
+	}
+}
+
+func TestQuickRouteNoOvershoot(t *testing.T) {
+	f := func(rawN uint16, rawX, rawS, rawT uint16) bool {
+		n := 16 + int(rawN%1000)
+		p := CeilLog2(n)
+		x := 1 + int(rawX)%(p-1)
+		d, err := New(n, x)
+		if err != nil {
+			return false
+		}
+		s := int(rawS) % n
+		dst := int(rawT) % n
+		r, err := d.RouteNoOvershoot(s, dst)
+		if err != nil {
+			return false
+		}
+		D := d.ClockwiseDist(s, dst)
+		pos := 0
+		cur := s
+		for _, h := range r.Hops {
+			if int(h.From) != cur {
+				return false
+			}
+			switch h.Class {
+			case ClassPred:
+				pos--
+			case ClassSucc:
+				pos++
+			case ClassShortcut:
+				pos += d.ClockwiseDist(int(h.From), int(h.To))
+			}
+			if pos > D {
+				return false
+			}
+			cur = int(h.To)
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import "fmt"
+
+// RoutingReport aggregates the behavior of the custom routing algorithm
+// over sampled source/destination pairs: path lengths against the
+// Theorem 1(c) bound, per-phase hop breakdown, channel-class usage, and
+// stretch against true shortest paths.
+type RoutingReport struct {
+	Pairs      int
+	AvgLen     float64
+	MaxLen     int
+	Bound      int // 3p + r
+	PhaseAvg   [3]float64
+	ClassHops  map[LinkClass]int64
+	AvgStretch float64 // route length / shortest path length
+	MaxStretch float64
+}
+
+// RoutingReport measures the custom routing over every stride-th pair
+// (stride 1 = all pairs). Stretch statistics skip s == t pairs.
+func (d *DSN) RoutingReport(stride int) (RoutingReport, error) {
+	if stride < 1 {
+		return RoutingReport{}, fmt.Errorf("core: stride %d < 1", stride)
+	}
+	r := RoutingReport{
+		Bound:     d.RoutingDiameterBound(),
+		ClassHops: make(map[LinkClass]int64),
+	}
+	var totalLen int64
+	var phaseTotals [3]int64
+	var stretchSum float64
+	stretchPairs := 0
+	for s := 0; s < d.N; s += stride {
+		dist := d.Graph().BFS(s)
+		for t := 0; t < d.N; t += stride {
+			if s == t {
+				continue
+			}
+			route, err := d.Route(s, t)
+			if err != nil {
+				return RoutingReport{}, err
+			}
+			r.Pairs++
+			l := route.Len()
+			totalLen += int64(l)
+			if l > r.MaxLen {
+				r.MaxLen = l
+			}
+			for ph := 0; ph < 3; ph++ {
+				phaseTotals[ph] += int64(route.PhaseHops[ph])
+			}
+			for _, h := range route.Hops {
+				r.ClassHops[h.Class]++
+			}
+			if sp := dist[t]; sp > 0 {
+				stretch := float64(l) / float64(sp)
+				stretchSum += stretch
+				stretchPairs++
+				if stretch > r.MaxStretch {
+					r.MaxStretch = stretch
+				}
+			}
+		}
+	}
+	if r.Pairs > 0 {
+		r.AvgLen = float64(totalLen) / float64(r.Pairs)
+		for ph := 0; ph < 3; ph++ {
+			r.PhaseAvg[ph] = float64(phaseTotals[ph]) / float64(r.Pairs)
+		}
+	}
+	if stretchPairs > 0 {
+		r.AvgStretch = stretchSum / float64(stretchPairs)
+	}
+	return r, nil
+}
+
+// String renders a multi-line summary.
+func (r RoutingReport) String() string {
+	return fmt.Sprintf(
+		"pairs %d: avg %.2f hops (max %d, bound %d), stretch avg %.2fx max %.2fx\n"+
+			"phases: PRE-WORK %.2f / MAIN %.2f / FINISH %.2f hops",
+		r.Pairs, r.AvgLen, r.MaxLen, r.Bound, r.AvgStretch, r.MaxStretch,
+		r.PhaseAvg[0], r.PhaseAvg[1], r.PhaseAvg[2])
+}

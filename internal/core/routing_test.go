@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// checkRoute validates structural soundness of a route: starts at s, ends
+// at t, every hop rides an existing edge, and phases appear in order.
+func checkRoute(t *testing.T, d *DSN, r *Route, s, dst int) {
+	t.Helper()
+	if r.Src != s || r.Dst != dst {
+		t.Fatalf("route endpoints (%d,%d), want (%d,%d)", r.Src, r.Dst, s, dst)
+	}
+	cur := s
+	lastPhase := PhasePreWork
+	for i, h := range r.Hops {
+		if int(h.From) != cur {
+			t.Fatalf("hop %d starts at %d, expected %d (route %d->%d)", i, h.From, cur, s, dst)
+		}
+		if !d.Graph().HasEdge(int(h.From), int(h.To)) && d.Variant != VariantV {
+			t.Fatalf("hop %d (%d->%d) rides a missing edge", i, h.From, h.To)
+		}
+		if d.Variant == VariantV {
+			// DSN-V channels ride ring/shortcut wiring of the basic graph.
+			if !d.Graph().HasEdge(int(h.From), int(h.To)) {
+				t.Fatalf("hop %d (%d->%d) rides a missing edge", i, h.From, h.To)
+			}
+		}
+		if h.Phase < lastPhase {
+			t.Fatalf("hop %d phase %v after %v", i, h.Phase, lastPhase)
+		}
+		lastPhase = h.Phase
+		cur = int(h.To)
+	}
+	if cur != dst {
+		t.Fatalf("route %d->%d ends at %d", s, dst, cur)
+	}
+	if r.PhaseHops[0]+r.PhaseHops[1]+r.PhaseHops[2] != len(r.Hops) {
+		t.Fatalf("phase hop counts %v do not sum to %d", r.PhaseHops, len(r.Hops))
+	}
+}
+
+func TestRouteTrivial(t *testing.T) {
+	d := mustNew(t, 64, 5)
+	r, err := d.Route(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("self route length %d", r.Len())
+	}
+	if len(r.Path()) != 1 || r.Path()[0] != 7 {
+		t.Fatalf("self path %v", r.Path())
+	}
+}
+
+func TestRouteRange(t *testing.T) {
+	d := mustNew(t, 64, 5)
+	if _, err := d.Route(-1, 5); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := d.Route(0, 64); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}
+
+// Exhaustive all-pairs routing at several sizes: every route terminates at
+// its destination, rides real edges, and (when Theorems apply) respects
+// the 3p + r routing diameter bound.
+func TestRouteAllPairs(t *testing.T) {
+	for _, n := range []int{64, 100, 128} {
+		p := CeilLog2(n)
+		d := mustNew(t, n, p-1)
+		bound := d.RoutingDiameterBound()
+		maxLen := 0
+		for s := 0; s < n; s++ {
+			for dst := 0; dst < n; dst++ {
+				r, err := d.Route(s, dst)
+				if err != nil {
+					t.Fatalf("n=%d route(%d,%d): %v", n, s, dst, err)
+				}
+				checkRoute(t, d, r, s, dst)
+				if r.Len() > maxLen {
+					maxLen = r.Len()
+				}
+			}
+		}
+		if maxLen > bound {
+			t.Errorf("n=%d: routing diameter %d > bound %d", n, maxLen, bound)
+		}
+	}
+}
+
+// Theorem 2(a): expected custom-route length <= 2p for uniform s, t.
+func TestTheorem2ExpectedRouteLength(t *testing.T) {
+	for _, n := range []int{128, 256, 512} {
+		p := CeilLog2(n)
+		d := mustNew(t, n, p-1)
+		total := 0
+		count := 0
+		for s := 0; s < n; s++ {
+			for dst := 0; dst < n; dst++ {
+				if s == dst {
+					continue
+				}
+				l, err := d.RouteLen(s, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += l
+				count++
+			}
+		}
+		avg := float64(total) / float64(count)
+		if avg > 2*float64(p) {
+			t.Errorf("n=%d: average route length %.2f > 2p = %d", n, avg, 2*p)
+		}
+	}
+}
+
+// The custom route can never beat the shortest path.
+func TestRouteAtLeastShortestPath(t *testing.T) {
+	n := 128
+	d := mustNew(t, n, CeilLog2(n)-1)
+	rng := rand.New(rand.NewPCG(42, 1))
+	for k := 0; k < 500; k++ {
+		s, dst := rng.IntN(n), rng.IntN(n)
+		l, err := d.RouteLen(s, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp := int(d.Graph().ShortestDist(s, dst)); l < sp {
+			t.Fatalf("route(%d,%d) length %d < shortest path %d", s, dst, l, sp)
+		}
+	}
+}
+
+// Small x still routes correctly (the theorems' bounds no longer apply,
+// but termination and correctness must hold).
+func TestRouteSmallX(t *testing.T) {
+	for _, x := range []int{1, 2, 3} {
+		d := mustNew(t, 64, x)
+		for s := 0; s < 64; s += 3 {
+			for dst := 0; dst < 64; dst += 5 {
+				r, err := d.Route(s, dst)
+				if err != nil {
+					t.Fatalf("x=%d route(%d,%d): %v", x, s, dst, err)
+				}
+				checkRoute(t, d, r, s, dst)
+			}
+		}
+	}
+}
+
+// Adjacent destinations: t = succ(s) and t = pred(s) should produce very
+// short routes, not a loop around the ring.
+func TestRouteAdjacent(t *testing.T) {
+	d := mustNew(t, 128, 6)
+	for s := 0; s < 128; s++ {
+		r, err := d.Route(s, d.Succ(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() > d.P+2 {
+			t.Fatalf("route %d->succ length %d", s, r.Len())
+		}
+		r, err = d.Route(s, d.Pred(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() > 2*d.P+2 {
+			t.Fatalf("route %d->pred length %d", s, r.Len())
+		}
+	}
+}
+
+// Phase-class discipline for the basic variant: PRE-WORK uses pred, MAIN
+// uses succ+shortcut, FINISH uses succ/pred only.
+func TestRoutePhaseClasses(t *testing.T) {
+	d := mustNew(t, 256, 7)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for k := 0; k < 400; k++ {
+		s, dst := rng.IntN(256), rng.IntN(256)
+		r, err := d.Route(s, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range r.Hops {
+			switch h.Phase {
+			case PhasePreWork:
+				if h.Class != ClassPred {
+					t.Fatalf("PRE-WORK hop class %v", h.Class)
+				}
+			case PhaseMain:
+				if h.Class != ClassSucc && h.Class != ClassShortcut {
+					t.Fatalf("MAIN hop class %v", h.Class)
+				}
+			case PhaseFinish:
+				if h.Class != ClassSucc && h.Class != ClassPred {
+					t.Fatalf("FINISH hop class %v", h.Class)
+				}
+			}
+		}
+	}
+}
+
+// MAIN-PROCESS levels increase monotonically: the distance-halving
+// invariant behind both the 3p+r bound and deadlock freedom.
+func TestMainPhaseLevelMonotone(t *testing.T) {
+	d := mustNew(t, 512, 8)
+	rng := rand.New(rand.NewPCG(3, 9))
+	for k := 0; k < 500; k++ {
+		s, dst := rng.IntN(512), rng.IntN(512)
+		r, err := d.Route(s, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := 0
+		for _, h := range r.Hops {
+			if h.Phase != PhaseMain {
+				continue
+			}
+			lv := d.LevelOf(int(h.From))
+			if lv < last {
+				t.Fatalf("route %d->%d: MAIN level dropped %d -> %d", s, dst, last, lv)
+			}
+			last = lv
+		}
+	}
+}
+
+func TestQuickRouteProperties(t *testing.T) {
+	f := func(rawN uint16, rawX, rawS, rawT uint16) bool {
+		n := 16 + int(rawN%1000)
+		p := CeilLog2(n)
+		x := 1 + int(rawX)%(p-1)
+		d, err := New(n, x)
+		if err != nil {
+			return false
+		}
+		s := int(rawS) % n
+		dst := int(rawT) % n
+		r, err := d.Route(s, dst)
+		if err != nil {
+			return false
+		}
+		cur := s
+		for _, h := range r.Hops {
+			if int(h.From) != cur || !d.Graph().HasEdge(int(h.From), int(h.To)) {
+				return false
+			}
+			cur = int(h.To)
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseAndClassStrings(t *testing.T) {
+	if PhasePreWork.String() != "PRE-WORK" || PhaseMain.String() != "MAIN-PROCESS" || PhaseFinish.String() != "FINISH" {
+		t.Error("phase names wrong")
+	}
+	for c, want := range map[LinkClass]string{
+		ClassSucc: "succ", ClassPred: "pred", ClassShortcut: "shortcut",
+		ClassUp: "up", ClassExtraPred: "extra-pred", ClassExtraSucc: "extra-succ",
+		ClassFinishSucc: "finish-succ", ClassShort: "short",
+	} {
+		if c.String() != want {
+			t.Errorf("class %d = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// The invariant behind Fact 2's proof: throughout MAIN-PROCESS, the
+// remaining clockwise distance to t is at most n / 2^(level(u)-1) — each
+// shortcut really halves what is left. Re-walk routes and check it at
+// every MAIN hop.
+func TestFact2DistanceHalvingInvariant(t *testing.T) {
+	for _, n := range []int{64, 128, 500} {
+		p := CeilLog2(n)
+		d := mustNew(t, n, p-1)
+		for s := 0; s < n; s += 3 {
+			for dst := 0; dst < n; dst += 5 {
+				r, err := d.Route(s, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				D := d.ClockwiseDist(s, dst)
+				pos := 0
+				for _, h := range r.Hops {
+					switch h.Class {
+					case ClassPred:
+						pos--
+					case ClassSucc:
+						pos++
+					case ClassShortcut:
+						pos += d.ClockwiseDist(int(h.From), int(h.To))
+					}
+					if h.Phase != PhaseMain {
+						continue
+					}
+					u := int(h.To)
+					du := D - pos
+					if du <= 0 {
+						continue // overshoot terminates MAIN
+					}
+					lu := d.LevelOf(u)
+					// du <= n/2^(lu-1), with ceil slack for the walk to
+					// the next laddered node (at most p + r extra).
+					bound := n>>(uint(lu)-1) + d.P + d.R
+					if du > bound {
+						t.Fatalf("n=%d route %d->%d: at %d (level %d) remaining %d > bound %d",
+							n, s, dst, u, lu, du, bound)
+					}
+				}
+			}
+		}
+	}
+}

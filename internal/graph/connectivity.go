@@ -1,0 +1,99 @@
+package graph
+
+// EdgeConnectivity returns the number of edge-disjoint paths between s
+// and t (equivalently, the minimum number of link failures that can
+// disconnect the pair), computed by BFS augmenting paths over unit
+// capacities. Parallel edges each contribute capacity.
+func (g *Graph) EdgeConnectivity(s, t int) int {
+	if s == t {
+		return 0
+	}
+	// Residual capacity per directed half: for undirected unit-capacity
+	// edges, flow can use each edge once in either direction; model as
+	// capacity 1 each way with the standard residual rule.
+	capFwd := make([]int8, len(g.edges)) // U -> V remaining
+	capRev := make([]int8, len(g.edges)) // V -> U remaining
+	for i := range capFwd {
+		capFwd[i] = 1
+		capRev[i] = 1
+	}
+	parentEdge := make([]int32, g.n)
+	parentDir := make([]bool, g.n) // true: traversed U->V
+	visited := make([]int32, g.n)
+	for i := range visited {
+		visited[i] = -1
+	}
+	queue := make([]int32, 0, g.n)
+	flow := 0
+	for round := int32(0); ; round++ {
+		// BFS in the residual graph.
+		queue = append(queue[:0], int32(s))
+		visited[s] = round
+		found := false
+	bfs:
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, h := range g.adj[u] {
+				e := g.edges[h.Edge]
+				fwd := e.U == u // traversing U -> V
+				if fwd && capFwd[h.Edge] == 0 {
+					continue
+				}
+				if !fwd && capRev[h.Edge] == 0 {
+					continue
+				}
+				if visited[h.To] == round {
+					continue
+				}
+				visited[h.To] = round
+				parentEdge[h.To] = h.Edge
+				parentDir[h.To] = fwd
+				if int(h.To) == t {
+					found = true
+					break bfs
+				}
+				queue = append(queue, h.To)
+			}
+		}
+		if !found {
+			return flow
+		}
+		// Augment along the path.
+		v := int32(t)
+		for v != int32(s) {
+			ei := parentEdge[v]
+			if parentDir[v] {
+				capFwd[ei]--
+				capRev[ei]++
+				v = g.edges[ei].U
+			} else {
+				capRev[ei]--
+				capFwd[ei]++
+				v = g.edges[ei].V
+			}
+		}
+		flow++
+	}
+}
+
+// MinEdgeConnectivity returns the smallest pairwise edge connectivity
+// from vertex 0 to every other vertex. For a connected graph this equals
+// the global edge connectivity (the min cut separates vertex 0 from
+// someone), so it measures how many link failures the topology can
+// always survive.
+func (g *Graph) MinEdgeConnectivity() int {
+	if g.n < 2 {
+		return 0
+	}
+	min := -1
+	for v := 1; v < g.n; v++ {
+		c := g.EdgeConnectivity(0, v)
+		if min < 0 || c < min {
+			min = c
+			if min == 0 {
+				return 0
+			}
+		}
+	}
+	return min
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeConnectivityRing(t *testing.T) {
+	g := ring(10)
+	for v := 1; v < 10; v++ {
+		if c := g.EdgeConnectivity(0, v); c != 2 {
+			t.Fatalf("ring connectivity(0,%d)=%d, want 2", v, c)
+		}
+	}
+	if g.MinEdgeConnectivity() != 2 {
+		t.Fatal("ring min connectivity should be 2")
+	}
+}
+
+func TestEdgeConnectivityPathAndDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, KindRing)
+	g.AddEdge(1, 2, KindRing)
+	if c := g.EdgeConnectivity(0, 2); c != 1 {
+		t.Fatalf("path connectivity %d, want 1", c)
+	}
+	if c := g.EdgeConnectivity(0, 3); c != 0 {
+		t.Fatalf("disconnected connectivity %d, want 0", c)
+	}
+	if g.EdgeConnectivity(2, 2) != 0 {
+		t.Fatal("self connectivity should be 0")
+	}
+	if g.MinEdgeConnectivity() != 0 {
+		t.Fatal("disconnected min connectivity should be 0")
+	}
+}
+
+func TestEdgeConnectivityComplete(t *testing.T) {
+	g := complete(5)
+	for v := 1; v < 5; v++ {
+		if c := g.EdgeConnectivity(0, v); c != 4 {
+			t.Fatalf("K5 connectivity %d, want 4", c)
+		}
+	}
+}
+
+func TestEdgeConnectivityParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, KindRing)
+	g.AddEdge(0, 1, KindExtra)
+	if c := g.EdgeConnectivity(0, 1); c != 2 {
+		t.Fatalf("parallel-edge connectivity %d, want 2", c)
+	}
+}
+
+// Menger sanity on a torus: 4-regular and edge-transitive means global
+// edge connectivity 4.
+func TestEdgeConnectivityTorusLike(t *testing.T) {
+	// Build a 4x4 torus inline to avoid an import cycle.
+	n := 16
+	g := New(n)
+	id := func(r, c int) int { return (r%4+4)%4*4 + (c%4+4)%4 }
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			g.AddEdgeOnce(id(r, c), id(r+1, c), KindTorus)
+			g.AddEdgeOnce(id(r, c), id(r, c+1), KindTorus)
+		}
+	}
+	if got := g.MinEdgeConnectivity(); got != 4 {
+		t.Fatalf("4x4 torus connectivity %d, want 4", got)
+	}
+}
+
+// Property: connectivity is bounded by the minimum of the endpoint
+// degrees and is symmetric.
+func TestQuickEdgeConnectivityBounds(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := 4 + int(rawN%24)
+		rng := rand.New(rand.NewPCG(seed, 31))
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n, KindRing)
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v {
+				g.AddEdgeOnce(u, v, KindRandom)
+			}
+		}
+		s, t := rng.IntN(n), rng.IntN(n)
+		if s == t {
+			return true
+		}
+		c := g.EdgeConnectivity(s, t)
+		if c != g.EdgeConnectivity(t, s) {
+			return false
+		}
+		min := g.Degree(s)
+		if d := g.Degree(t); d < min {
+			min = d
+		}
+		return c >= 1 && c <= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

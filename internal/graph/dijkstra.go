@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// WeightFunc assigns a non-negative traversal cost to an edge.
+type WeightFunc func(edge int) float64
+
+// Dijkstra computes minimum-cost distances from src under w. Unreachable
+// vertices get +Inf. Weights must be non-negative.
+func (g *Graph) Dijkstra(src int, w WeightFunc) []float64 {
+	dist := make([]float64, g.n)
+	g.dijkstraInto(src, w, dist, &pqueue{})
+	return dist
+}
+
+func (g *Graph) dijkstraInto(src int, w WeightFunc, dist []float64, pq *pqueue) {
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq.items = pq.items[:0]
+	heap.Push(pq, pqItem{v: int32(src), d: 0})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, h := range g.adj[it.v] {
+			nd := it.d + w(int(h.Edge))
+			if nd < dist[h.To] {
+				dist[h.To] = nd
+				heap.Push(pq, pqItem{v: h.To, d: nd})
+			}
+		}
+	}
+}
+
+// WeightedMetrics aggregates all-pairs minimum-cost statistics.
+type WeightedMetrics struct {
+	Max       float64 // weighted diameter
+	Mean      float64 // over ordered reachable pairs s != t
+	Connected bool
+}
+
+// AllPairsWeighted computes the weighted diameter and mean over all
+// ordered pairs, fanned out across GOMAXPROCS workers.
+func (g *Graph) AllPairsWeighted(w WeightFunc) WeightedMetrics {
+	if g.n == 0 {
+		return WeightedMetrics{Connected: true}
+	}
+	type partial struct {
+		max    float64
+		sum    float64
+		pairs  int64
+		discon bool
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > g.n {
+		workers = g.n
+	}
+	results := make([]partial, workers)
+	srcs := make(chan int, workers)
+	go func() {
+		for s := 0; s < g.n; s++ {
+			srcs <- s
+		}
+		close(srcs)
+	}()
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			dist := make([]float64, g.n)
+			var pq pqueue
+			var p partial
+			for s := range srcs {
+				g.dijkstraInto(s, w, dist, &pq)
+				for v, d := range dist {
+					if v == s {
+						continue
+					}
+					if math.IsInf(d, 1) {
+						p.discon = true
+						continue
+					}
+					if d > p.max {
+						p.max = d
+					}
+					p.sum += d
+					p.pairs++
+				}
+			}
+			results[wk] = p
+		}(wk)
+	}
+	wg.Wait()
+	m := WeightedMetrics{Connected: true}
+	var sum float64
+	var pairs int64
+	for _, p := range results {
+		if p.max > m.Max {
+			m.Max = p.max
+		}
+		sum += p.sum
+		pairs += p.pairs
+		if p.discon {
+			m.Connected = false
+		}
+	}
+	if pairs > 0 {
+		m.Mean = sum / float64(pairs)
+	}
+	return m
+}
+
+type pqItem struct {
+	v int32
+	d float64
+}
+
+type pqueue struct{ items []pqItem }
+
+func (p *pqueue) Len() int           { return len(p.items) }
+func (p *pqueue) Less(i, j int) bool { return p.items[i].d < p.items[j].d }
+func (p *pqueue) Swap(i, j int)      { p.items[i], p.items[j] = p.items[j], p.items[i] }
+func (p *pqueue) Push(x any)         { p.items = append(p.items, x.(pqItem)) }
+func (p *pqueue) Pop() any {
+	old := p.items
+	n := len(old)
+	it := old[n-1]
+	p.items = old[:n-1]
+	return it
+}

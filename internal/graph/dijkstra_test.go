@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDijkstraUnitWeightsMatchBFS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 9))
+	g := ring(50)
+	for k := 0; k < 30; k++ {
+		u, v := rng.IntN(50), rng.IntN(50)
+		if u != v {
+			g.AddEdgeOnce(u, v, KindRandom)
+		}
+	}
+	unit := func(int) float64 { return 1 }
+	for s := 0; s < 50; s += 7 {
+		dd := g.Dijkstra(s, unit)
+		bd := g.BFS(s)
+		for v := range dd {
+			if int32(dd[v]) != bd[v] {
+				t.Fatalf("dist(%d,%d): dijkstra %v, bfs %d", s, v, dd[v], bd[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// Triangle with a heavy direct edge: the two-hop path wins.
+	g := New(3)
+	heavy := g.AddEdge(0, 2, KindUnknown)
+	g.AddEdge(0, 1, KindUnknown)
+	g.AddEdge(1, 2, KindUnknown)
+	w := func(e int) float64 {
+		if e == heavy {
+			return 10
+		}
+		return 1
+	}
+	d := g.Dijkstra(0, w)
+	if d[2] != 2 {
+		t.Fatalf("dist(0,2)=%v, want 2 via vertex 1", d[2])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, KindUnknown)
+	d := g.Dijkstra(0, func(int) float64 { return 1 })
+	if !math.IsInf(d[2], 1) {
+		t.Fatalf("dist to isolated vertex %v", d[2])
+	}
+}
+
+func TestAllPairsWeighted(t *testing.T) {
+	g := ring(16)
+	unit := func(int) float64 { return 1 }
+	m := g.AllPairsWeighted(unit)
+	um := g.AllPairs()
+	if !m.Connected {
+		t.Fatal("ring disconnected")
+	}
+	if int32(m.Max) != um.Diameter {
+		t.Fatalf("weighted max %v vs diameter %d", m.Max, um.Diameter)
+	}
+	if math.Abs(m.Mean-um.ASPL) > 1e-9 {
+		t.Fatalf("weighted mean %v vs ASPL %v", m.Mean, um.ASPL)
+	}
+	// Disconnected case.
+	d := New(3)
+	d.AddEdge(0, 1, KindUnknown)
+	if dm := d.AllPairsWeighted(unit); dm.Connected {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if em := New(0).AllPairsWeighted(unit); !em.Connected {
+		t.Fatal("empty graph should be vacuously connected")
+	}
+}
+
+func TestQuickDijkstraTriangleInequality(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := 4 + int(rawN%40)
+		rng := rand.New(rand.NewPCG(seed, 21))
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n, KindRing)
+		}
+		for k := 0; k < n/2; k++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v {
+				g.AddEdgeOnce(u, v, KindRandom)
+			}
+		}
+		weights := make([]float64, g.M())
+		for i := range weights {
+			weights[i] = 0.5 + rng.Float64()*9.5
+		}
+		w := func(e int) float64 { return weights[e] }
+		a := rng.IntN(n)
+		da := g.Dijkstra(a, w)
+		// Relaxed edges: d(a,v) <= d(a,u) + w(u,v).
+		for ei, e := range g.Edges() {
+			if da[e.V] > da[e.U]+weights[ei]+1e-9 || da[e.U] > da[e.V]+weights[ei]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

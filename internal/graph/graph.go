@@ -1,0 +1,286 @@
+// Package graph provides the undirected multigraph representation and the
+// shortest-path machinery shared by every topology and experiment in this
+// repository.
+//
+// Graphs here model interconnection networks: vertices are switches and
+// edges are inter-switch links. Edges carry a Kind and a Level so that
+// higher layers (routing, layout, simulation) can treat ring links,
+// shortcuts, torus dimensions and deadlock-avoidance extras differently
+// without re-deriving structure from scratch.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EdgeKind classifies a link by its topological role. Routing algorithms,
+// the channel-dependency analysis and the layout model all dispatch on it.
+type EdgeKind uint8
+
+// Edge kinds used by the topology generators.
+const (
+	KindUnknown  EdgeKind = iota
+	KindRing              // local ring link (pred/succ)
+	KindShortcut          // DSN or DLN distance-halving shortcut
+	KindRandom            // uniformly random shortcut (DLN-x-y)
+	KindTorus             // torus/mesh dimension link
+	KindGrid              // Kleinberg base-grid link
+	KindUp                // DSN-E dedicated uphill link
+	KindExtra             // DSN-E ring-duplicating extra link
+	KindShort             // DSN-D added short link
+	KindHyper             // hypercube dimension link
+	KindCycle             // CCC local cycle link
+	KindShuffle           // De Bruijn shuffle link
+)
+
+var edgeKindNames = map[EdgeKind]string{
+	KindUnknown:  "unknown",
+	KindRing:     "ring",
+	KindShortcut: "shortcut",
+	KindRandom:   "random",
+	KindTorus:    "torus",
+	KindGrid:     "grid",
+	KindUp:       "up",
+	KindExtra:    "extra",
+	KindShort:    "short",
+	KindHyper:    "hyper",
+	KindCycle:    "cycle",
+	KindShuffle:  "shuffle",
+}
+
+// String returns the lowercase name of the kind.
+func (k EdgeKind) String() string {
+	if s, ok := edgeKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Edge is one undirected link between switches U and V.
+// Level is meaningful for KindShortcut edges (the DSN/DLN level that
+// created the shortcut) and is zero otherwise.
+type Edge struct {
+	U, V  int32
+	Kind  EdgeKind
+	Level int16
+}
+
+// Half is one directed half of an undirected edge as seen from a vertex:
+// the opposite endpoint and the index of the underlying edge.
+type Half struct {
+	To   int32
+	Edge int32
+}
+
+// Graph is an undirected multigraph with O(1) degree and neighbor access.
+// The zero value is an empty graph with no vertices; use New.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]Half
+}
+
+// New returns an empty graph with n vertices and no edges.
+// It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]Half, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge list. The returned slice is owned by the graph
+// and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// AddEdge inserts an undirected edge between u and v with the given kind
+// and returns its index. Self-loops are rejected; parallel edges are
+// permitted (DSN-E intentionally duplicates ring links with Extra links).
+func (g *Graph) AddEdge(u, v int, kind EdgeKind) int {
+	return g.AddLeveledEdge(u, v, kind, 0)
+}
+
+// AddLeveledEdge is AddEdge with an explicit DSN/DLN level annotation.
+func (g *Graph) AddLeveledEdge(u, v int, kind EdgeKind, level int16) int {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	idx := int32(len(g.edges))
+	g.edges = append(g.edges, Edge{U: int32(u), V: int32(v), Kind: kind, Level: level})
+	g.adj[u] = append(g.adj[u], Half{To: int32(v), Edge: idx})
+	g.adj[v] = append(g.adj[v], Half{To: int32(u), Edge: idx})
+	return int(idx)
+}
+
+// AddEdgeOnce inserts the edge only if no edge (of any kind) already joins
+// u and v. It reports whether an edge was inserted.
+func (g *Graph) AddEdgeOnce(u, v int, kind EdgeKind) bool {
+	if g.HasEdge(u, v) {
+		return false
+	}
+	g.AddEdge(u, v, kind)
+	return true
+}
+
+// HasEdge reports whether any edge joins u and v.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	// Scan the smaller adjacency list.
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, h := range g.adj[a] {
+		if int(h.To) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the number of edge endpoints at v (parallel edges count
+// separately).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the adjacency list of v: one Half per incident edge.
+// The returned slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []Half { return g.adj[v] }
+
+// NeighborIDs returns the distinct opposite endpoints of v in ascending
+// order. It allocates; prefer Neighbors in hot paths.
+func (g *Graph) NeighborIDs(v int) []int {
+	seen := make(map[int32]struct{}, len(g.adj[v]))
+	ids := make([]int, 0, len(g.adj[v]))
+	for _, h := range g.adj[v] {
+		if _, dup := seen[h.To]; dup {
+			continue
+		}
+		seen[h.To] = struct{}{}
+		ids = append(ids, int(h.To))
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// EdgesByKind returns the indices of all edges with the given kind.
+func (g *Graph) EdgesByKind(kind EdgeKind) []int {
+	var out []int
+	for i, e := range g.edges {
+		if e.Kind == kind {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MaxDegree returns the largest vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the smallest vertex degree (0 for an empty graph).
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for v := 1; v < g.n; v++ {
+		if d := len(g.adj[v]); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// AverageDegree returns 2M/N, the mean vertex degree.
+func (g *Graph) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.edges)) / float64(g.n)
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.n; v++ {
+		h[len(g.adj[v])]++
+	}
+	return h
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:     g.n,
+		edges: append([]Edge(nil), g.edges...),
+		adj:   make([][]Half, g.n),
+	}
+	for v := range g.adj {
+		c.adj[v] = append([]Half(nil), g.adj[v]...)
+	}
+	return c
+}
+
+// Subgraph returns a new graph over the same vertices containing only the
+// edges for which keep returns true. Edge indices are renumbered.
+func (g *Graph) Subgraph(keep func(edge int) bool) *Graph {
+	s := New(g.n)
+	for i, e := range g.edges {
+		if keep(i) {
+			s.AddLeveledEdge(int(e.U), int(e.V), e.Kind, e.Level)
+		}
+	}
+	return s
+}
+
+// Validate checks internal consistency (adjacency mirrors the edge list)
+// and returns a descriptive error on the first inconsistency found.
+func (g *Graph) Validate() error {
+	count := 0
+	for v := range g.adj {
+		for _, h := range g.adj[v] {
+			if h.Edge < 0 || int(h.Edge) >= len(g.edges) {
+				return fmt.Errorf("graph: vertex %d references edge %d out of range", v, h.Edge)
+			}
+			e := g.edges[h.Edge]
+			if int32(v) != e.U && int32(v) != e.V {
+				return fmt.Errorf("graph: vertex %d lists edge %d=(%d,%d) it is not part of", v, h.Edge, e.U, e.V)
+			}
+			other := e.U
+			if other == int32(v) {
+				other = e.V
+			}
+			if h.To != other {
+				return fmt.Errorf("graph: vertex %d half-edge to %d disagrees with edge %d=(%d,%d)", v, h.To, h.Edge, e.U, e.V)
+			}
+			count++
+		}
+	}
+	if count != 2*len(g.edges) {
+		return fmt.Errorf("graph: %d half-edges for %d edges", count, len(g.edges))
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text serialization is a stable, diff-friendly edge list:
+//
+//	dsnet-graph v1
+//	n <vertices>
+//	e <u> <v> <kind-name> <level>
+//	...
+//
+// Lines starting with '#' and blank lines are ignored on input.
+
+const ioHeader = "dsnet-graph v1"
+
+var kindByName = func() map[string]EdgeKind {
+	m := make(map[string]EdgeKind, len(edgeKindNames))
+	for k, name := range edgeKindNames {
+		m[name] = k
+	}
+	return m
+}()
+
+// WriteTo serializes the graph in the text format above. It returns the
+// number of bytes written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	count := func(n int, err error) error {
+		total += int64(n)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "%s\nn %d\n", ioHeader, g.n)); err != nil {
+		return total, err
+	}
+	for _, e := range g.edges {
+		if err := count(fmt.Fprintf(bw, "e %d %d %s %d\n", e.U, e.V, e.Kind, e.Level)); err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Parse reads a graph from the text format produced by WriteTo.
+func Parse(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+	head, ok := next()
+	if !ok || head != ioHeader {
+		return nil, fmt.Errorf("graph: missing %q header (line %d)", ioHeader, line)
+	}
+	decl, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("graph: missing vertex count")
+	}
+	var n int
+	if _, err := fmt.Sscanf(decl, "n %d", &n); err != nil {
+		return nil, fmt.Errorf("graph: bad vertex count line %d: %q", line, decl)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	g := New(n)
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		var u, v int
+		var kindName string
+		var level int16
+		if _, err := fmt.Sscanf(s, "e %d %d %s %d", &u, &v, &kindName, &level); err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %d: %q", line, s)
+		}
+		kind, known := kindByName[kindName]
+		if !known {
+			return nil, fmt.Errorf("graph: unknown edge kind %q (line %d)", kindName, line)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			return nil, fmt.Errorf("graph: invalid edge (%d,%d) (line %d)", u, v, line)
+		}
+		g.AddLeveledEdge(u, v, kind, level)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := New(8)
+	g.AddEdge(0, 1, KindRing)
+	g.AddLeveledEdge(2, 6, KindShortcut, 3)
+	g.AddEdge(4, 5, KindRandom)
+	g.AddEdge(0, 1, KindExtra) // parallel edge
+
+	var sb strings.Builder
+	if _, err := g.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("round trip size N=%d M=%d", got.N(), got.M())
+	}
+	for i := 0; i < g.M(); i++ {
+		if g.Edge(i) != got.Edge(i) {
+			t.Fatalf("edge %d: %+v vs %+v", i, g.Edge(i), got.Edge(i))
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	in := `# a comment
+dsnet-graph v1
+
+n 3
+# interior comment
+e 0 1 ring 0
+
+e 1 2 shortcut 2
+`
+	g, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Edge(1).Level != 2 {
+		t.Fatalf("level lost: %+v", g.Edge(1))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // empty
+		"wrong header\nn 3\n",                  // bad header
+		"dsnet-graph v1\n",                     // missing n
+		"dsnet-graph v1\nn x\n",                // bad n
+		"dsnet-graph v1\nn -1\n",               // negative n
+		"dsnet-graph v1\nn 3\ne 0 zzz ring 0",  // bad edge
+		"dsnet-graph v1\nn 3\ne 0 5 ring 0",    // out of range
+		"dsnet-graph v1\nn 3\ne 1 1 ring 0",    // self loop
+		"dsnet-graph v1\nn 3\ne 0 1 bogus 0",   // unknown kind
+		"dsnet-graph v1\nn 3\nnonsense line x", // garbage
+	}
+	for i, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, rawN uint8, rawM uint8) bool {
+		n := 2 + int(rawN%60)
+		rng := rand.New(rand.NewPCG(seed, 3))
+		g := New(n)
+		for k := 0; k < int(rawM); k++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u == v {
+				continue
+			}
+			kinds := []EdgeKind{KindRing, KindShortcut, KindRandom, KindTorus, KindUp}
+			g.AddLeveledEdge(u, v, kinds[rng.IntN(len(kinds))], int16(rng.IntN(12)))
+		}
+		var sb strings.Builder
+		if _, err := g.WriteTo(&sb); err != nil {
+			return false
+		}
+		got, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			return false
+		}
+		for i := 0; i < g.M(); i++ {
+			if g.Edge(i) != got.Edge(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

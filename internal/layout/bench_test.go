@@ -1,0 +1,28 @@
+package layout
+
+import (
+	"testing"
+
+	"dsnet/internal/core"
+)
+
+func BenchmarkCables2048(b *testing.B) {
+	d, err := core.New(2048, core.CeilLog2(2048)-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := New(2048, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := l.Cables(d.Graph())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Total <= 0 {
+			b.Fatal("no cable")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package layout
+
+import (
+	"fmt"
+
+	"dsnet/internal/graph"
+)
+
+// CostModel prices an interconnect. The paper argues (Section VI.B) that
+// "the total cost of interconnects (the price of switches and cables plus
+// installation cost) increases in proportion to the cable length assuming
+// high-bandwidth optical cables over 10 Gbps" [4][23]; this model makes
+// that comparison concrete and lets the economy argument be quantified
+// per topology.
+type CostModel struct {
+	SwitchCost       float64 // per switch
+	PortCost         float64 // per switch port (link endpoint)
+	CableCostPerM    float64 // optical cable, per metre
+	CableFixedCost   float64 // transceivers/connectors per cable
+	InstallPerM      float64 // installation labour per metre
+	InstallPerCable  float64
+	CabinetCost      float64 // per cabinet
+	PowerPerSwitchKW float64 // rated power per switch, for TCO estimates
+}
+
+// DefaultCostModel returns plausible 2013-era list prices in USD. The
+// absolute numbers matter less than their ratios; override fields to
+// match a procurement.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SwitchCost:       4000,
+		PortCost:         150,
+		CableCostPerM:    7.5,
+		CableFixedCost:   80,
+		InstallPerM:      1.5,
+		InstallPerCable:  20,
+		CabinetCost:      2500,
+		PowerPerSwitchKW: 0.35,
+	}
+}
+
+// CostReport itemizes the interconnect cost of one topology on one
+// layout.
+type CostReport struct {
+	Switches      int
+	Cabinets      int
+	Cables        int
+	CableMetres   float64
+	SwitchCost    float64
+	PortCost      float64
+	CableCost     float64
+	InstallCost   float64
+	CabinetCost   float64
+	Total         float64
+	PowerKW       float64
+	CostPerSwitch float64
+}
+
+// Price computes the itemized interconnect cost of graph g under the
+// layout and cost model.
+func (l *Layout) Price(g *graph.Graph, m CostModel) (CostReport, error) {
+	s, err := l.Cables(g)
+	if err != nil {
+		return CostReport{}, err
+	}
+	r := CostReport{
+		Switches:    l.N,
+		Cabinets:    l.Cabinets,
+		Cables:      g.M(),
+		CableMetres: s.Total,
+	}
+	r.SwitchCost = float64(l.N) * m.SwitchCost
+	r.PortCost = float64(2*g.M()) * m.PortCost
+	r.CableCost = s.Total*m.CableCostPerM + float64(g.M())*m.CableFixedCost
+	r.InstallCost = s.Total*m.InstallPerM + float64(g.M())*m.InstallPerCable
+	r.CabinetCost = float64(l.Cabinets) * m.CabinetCost
+	r.Total = r.SwitchCost + r.PortCost + r.CableCost + r.InstallCost + r.CabinetCost
+	r.PowerKW = float64(l.N) * m.PowerPerSwitchKW
+	if l.N > 0 {
+		r.CostPerSwitch = r.Total / float64(l.N)
+	}
+	return r, nil
+}
+
+// String renders a one-line summary.
+func (r CostReport) String() string {
+	return fmt.Sprintf("%d switches, %d cables, %.0f m: $%.0f total ($%.0f/switch, $%.0f cabling)",
+		r.Switches, r.Cables, r.CableMetres, r.Total, r.CostPerSwitch, r.CableCost+r.InstallCost)
+}

@@ -1,0 +1,162 @@
+// Package layout implements the machine-room floorplan and cable-length
+// model of Section VI.B: switches are packed into cabinets, cabinets are
+// aligned on a 2-D grid with ceil(sqrt(m)) rows, and cable lengths are
+// estimated from Manhattan distances between cabinets plus fixed wiring
+// overheads, following the flattened-butterfly cost model [22].
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"dsnet/internal/graph"
+)
+
+// Config captures the physical constants of the model. The defaults are
+// the paper's: 0.6 m x 2.1 m cabinet pitch (including aisle space, per the
+// HP data-center guidelines [21]), 16 switches per cabinet, 2 m
+// intra-cabinet cables, and a 2 m wiring overhead added at each cabinet
+// end of an inter-cabinet cable.
+type Config struct {
+	SwitchesPerCabinet int
+	CabinetWidth       float64 // m, along a row
+	CabinetDepth       float64 // m, across rows (includes aisle)
+	IntraCabinetCable  float64 // m, cable between switches in one cabinet
+	OverheadPerEnd     float64 // m, wiring overhead per cabinet end
+
+	// Serpentine reverses the cabinet order in every other row so that
+	// consecutive cabinet indices are always physically adjacent. The
+	// paper's model uses the plain row-major order (false); serpentine
+	// placement is provided as an ablation that favours ring-structured
+	// topologies.
+	Serpentine bool
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		SwitchesPerCabinet: 16,
+		CabinetWidth:       0.6,
+		CabinetDepth:       2.1,
+		IntraCabinetCable:  2.0,
+		OverheadPerEnd:     2.0,
+	}
+}
+
+// Layout places n switches into cabinets on the grid floorplan.
+type Layout struct {
+	Cfg      Config
+	N        int // switches
+	Cabinets int
+	Rows     int // cabinet rows, ceil(sqrt(m))
+	PerRow   int // cabinets per row, ceil(m/rows)
+}
+
+// New lays out n switches under cfg. Switch i goes to cabinet
+// i / SwitchesPerCabinet; cabinet c sits at grid position
+// (c / PerRow, c % PerRow).
+func New(n int, cfg Config) (*Layout, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("layout: need at least one switch, got %d", n)
+	}
+	if cfg.SwitchesPerCabinet < 1 {
+		return nil, fmt.Errorf("layout: switches per cabinet %d < 1", cfg.SwitchesPerCabinet)
+	}
+	if cfg.CabinetWidth <= 0 || cfg.CabinetDepth <= 0 {
+		return nil, fmt.Errorf("layout: non-positive cabinet dimensions %gx%g", cfg.CabinetWidth, cfg.CabinetDepth)
+	}
+	m := (n + cfg.SwitchesPerCabinet - 1) / cfg.SwitchesPerCabinet
+	rows := int(math.Ceil(math.Sqrt(float64(m))))
+	perRow := (m + rows - 1) / rows
+	return &Layout{Cfg: cfg, N: n, Cabinets: m, Rows: rows, PerRow: perRow}, nil
+}
+
+// CabinetOf returns the cabinet index of switch sw.
+func (l *Layout) CabinetOf(sw int) int { return sw / l.Cfg.SwitchesPerCabinet }
+
+// Position returns the floor coordinates (metres) of a cabinet's grid
+// slot: x along the row, y across rows.
+func (l *Layout) Position(cab int) (x, y float64) {
+	row := cab / l.PerRow
+	col := cab % l.PerRow
+	if l.Cfg.Serpentine && row%2 == 1 {
+		col = l.PerRow - 1 - col
+	}
+	return float64(col) * l.Cfg.CabinetWidth, float64(row) * l.Cfg.CabinetDepth
+}
+
+// CabinetDistance returns the Manhattan distance in metres between two
+// cabinet slots.
+func (l *Layout) CabinetDistance(a, b int) float64 {
+	ax, ay := l.Position(a)
+	bx, by := l.Position(b)
+	return math.Abs(ax-bx) + math.Abs(ay-by)
+}
+
+// CableLength returns the modelled cable length between switches a and b:
+// a fixed intra-cabinet length when they share a cabinet, otherwise the
+// Manhattan distance between their cabinets plus the wiring overhead at
+// both ends.
+func (l *Layout) CableLength(a, b int) float64 {
+	ca, cb := l.CabinetOf(a), l.CabinetOf(b)
+	if ca == cb {
+		return l.Cfg.IntraCabinetCable
+	}
+	return l.CabinetDistance(ca, cb) + 2*l.Cfg.OverheadPerEnd
+}
+
+// FloorDims returns the floor footprint in metres (width along rows,
+// depth across rows).
+func (l *Layout) FloorDims() (w, d float64) {
+	return float64(l.PerRow) * l.Cfg.CabinetWidth, float64(l.Rows) * l.Cfg.CabinetDepth
+}
+
+// CableStats aggregates the cable requirements of one topology on one
+// layout.
+type CableStats struct {
+	Total       float64 // m, sum over all links
+	Average     float64 // m, per link
+	Max         float64 // m, longest single cable
+	InterLinks  int     // links crossing cabinets
+	IntraLinks  int     // links within a cabinet
+	InterLength float64 // m, total inter-cabinet cable
+}
+
+// Cables measures graph g's cable requirements under the layout. The
+// graph must have exactly l.N switches.
+func (l *Layout) Cables(g *graph.Graph) (CableStats, error) {
+	if g.N() != l.N {
+		return CableStats{}, fmt.Errorf("layout: graph has %d switches, layout %d", g.N(), l.N)
+	}
+	var s CableStats
+	for _, e := range g.Edges() {
+		c := l.CableLength(int(e.U), int(e.V))
+		s.Total += c
+		if c > s.Max {
+			s.Max = c
+		}
+		if l.CabinetOf(int(e.U)) == l.CabinetOf(int(e.V)) {
+			s.IntraLinks++
+		} else {
+			s.InterLinks++
+			s.InterLength += c
+		}
+	}
+	if m := g.M(); m > 0 {
+		s.Average = s.Total / float64(m)
+	}
+	return s, nil
+}
+
+// AverageCableLength is a convenience wrapper returning just the average.
+func AverageCableLength(g *graph.Graph, cfg Config) (float64, error) {
+	l, err := New(g.N(), cfg)
+	if err != nil {
+		return 0, err
+	}
+	s, err := l.Cables(g)
+	if err != nil {
+		return 0, err
+	}
+	return s.Average, nil
+}

@@ -1,0 +1,282 @@
+package layout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/topology"
+)
+
+func TestNewLayout(t *testing.T) {
+	l, err := New(64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cabinets != 4 || l.Rows != 2 || l.PerRow != 2 {
+		t.Fatalf("cabinets=%d rows=%d perRow=%d", l.Cabinets, l.Rows, l.PerRow)
+	}
+	// 2048 switches: 128 cabinets, 12 rows (ceil sqrt 128 = 12), 11 per row.
+	l, err = New(2048, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cabinets != 128 || l.Rows != 12 || l.PerRow != 11 {
+		t.Fatalf("cabinets=%d rows=%d perRow=%d", l.Cabinets, l.Rows, l.PerRow)
+	}
+}
+
+func TestNewLayoutValidation(t *testing.T) {
+	if _, err := New(0, DefaultConfig()); err == nil {
+		t.Fatal("0 switches accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.SwitchesPerCabinet = 0
+	if _, err := New(10, cfg); err == nil {
+		t.Fatal("0 per cabinet accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.CabinetWidth = -1
+	if _, err := New(10, cfg); err == nil {
+		t.Fatal("negative width accepted")
+	}
+}
+
+func TestCabinetOfAndPosition(t *testing.T) {
+	l, err := New(64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.CabinetOf(0) != 0 || l.CabinetOf(15) != 0 || l.CabinetOf(16) != 1 || l.CabinetOf(63) != 3 {
+		t.Fatal("cabinet assignment wrong")
+	}
+	x, y := l.Position(0)
+	if x != 0 || y != 0 {
+		t.Fatalf("cabinet 0 at (%g,%g)", x, y)
+	}
+	x, y = l.Position(3) // row 1, col 1
+	if x != 0.6 || y != 2.1 {
+		t.Fatalf("cabinet 3 at (%g,%g), want (0.6, 2.1)", x, y)
+	}
+}
+
+func TestCableLength(t *testing.T) {
+	l, err := New(64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same cabinet: fixed 2 m.
+	if got := l.CableLength(0, 15); got != 2.0 {
+		t.Fatalf("intra cable %g", got)
+	}
+	// Adjacent cabinets in one row: 0.6 + 4 overhead.
+	if got := l.CableLength(0, 16); math.Abs(got-4.6) > 1e-12 {
+		t.Fatalf("inter cable %g, want 4.6", got)
+	}
+	// Diagonal cabinets: 0.6 + 2.1 + 4.
+	if got := l.CableLength(0, 63); math.Abs(got-6.7) > 1e-12 {
+		t.Fatalf("diagonal cable %g, want 6.7", got)
+	}
+	if l.CabinetDistance(2, 2) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}
+
+func TestFloorDims(t *testing.T) {
+	l, err := New(2048, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, d := l.FloorDims()
+	if math.Abs(w-11*0.6) > 1e-12 || math.Abs(d-12*2.1) > 1e-12 {
+		t.Fatalf("floor %gx%g", w, d)
+	}
+}
+
+func TestCablesRing(t *testing.T) {
+	// A 64-switch ring: 60 of 64 links are intra-cabinet (2 m), the 4
+	// cabinet-crossing links are inter.
+	g, err := topology.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.Cables(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IntraLinks != 60 || s.InterLinks != 4 {
+		t.Fatalf("intra=%d inter=%d", s.IntraLinks, s.InterLinks)
+	}
+	if s.Average <= 2.0 || s.Average > 3.0 {
+		t.Fatalf("ring average cable %g", s.Average)
+	}
+}
+
+func TestCablesSizeMismatch(t *testing.T) {
+	g := graph.New(10)
+	l, err := New(64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Cables(g); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+// The paper's Figure 9 shape: DSN's average cable length is close to the
+// 2-D torus and drastically below RANDOM (DLN-2-2), with the gap growing
+// with network size.
+func TestFig9Shape(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, n := range []int{256, 1024, 2048} {
+		dsn, err := core.New(n, core.CeilLog2(n)-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tor, err := topology.Torus2DFor(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		random, err := topology.DLNRandom(n, 2, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aDSN, err := AverageCableLength(dsn.Graph(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aTorus, err := AverageCableLength(tor.Graph(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aRandom, err := AverageCableLength(random, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aRandom <= aDSN {
+			t.Errorf("n=%d: RANDOM average %.2f not above DSN %.2f", n, aRandom, aDSN)
+		}
+		if aDSN > 2.5*aTorus {
+			t.Errorf("n=%d: DSN average %.2f not comparable to torus %.2f", n, aDSN, aTorus)
+		}
+		// Section I: DSN cuts average cable length vs RANDOM by up to 38%;
+		// at scale the reduction must be substantial (>= 20%).
+		if n >= 1024 {
+			if red := 1 - aDSN/aRandom; red < 0.20 {
+				t.Errorf("n=%d: DSN reduction vs RANDOM only %.0f%%", n, red*100)
+			}
+		}
+	}
+}
+
+func TestSerpentinePosition(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Serpentine = true
+	l, err := New(64, cfg) // 4 cabinets, 2x2 grid
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1 is reversed: cabinet 2 sits under cabinet 1.
+	x2, y2 := l.Position(2)
+	if x2 != 0.6 || y2 != 2.1 {
+		t.Fatalf("cabinet 2 at (%g,%g), want (0.6,2.1)", x2, y2)
+	}
+	x3, _ := l.Position(3)
+	if x3 != 0 {
+		t.Fatalf("cabinet 3 x=%g, want 0", x3)
+	}
+	// Consecutive cabinets are always adjacent under serpentine order.
+	for c := 0; c+1 < l.Cabinets; c++ {
+		if d := l.CabinetDistance(c, c+1); d > 2.1+1e-9 {
+			t.Fatalf("consecutive cabinets %d,%d distance %g", c, c+1, d)
+		}
+	}
+}
+
+// Serpentine placement can only help ring-heavy topologies like DSN.
+func TestSerpentineHelpsRing(t *testing.T) {
+	g, err := topology.Ring(256) // 16 cabinets, 4 rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear, err := AverageCableLength(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Serpentine = true
+	snake, err := AverageCableLength(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snake > linear {
+		t.Fatalf("serpentine %.3f m worse than linear %.3f m for a ring", snake, linear)
+	}
+}
+
+func TestQuickCableSymmetryAndPositivity(t *testing.T) {
+	l, err := New(512, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawA, rawB uint16) bool {
+		a := int(rawA) % 512
+		b := int(rawB) % 512
+		ab := l.CableLength(a, b)
+		return ab == l.CableLength(b, a) && ab >= 2.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrice(t *testing.T) {
+	d, err := core.New(1024, core.CeilLog2(1024)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := topology.DLNRandom(1024, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(1024, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultCostModel()
+	dsnCost, err := l.Price(d.Graph(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndCost, err := l.Price(random, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsnCost.Total <= 0 || dsnCost.CostPerSwitch <= 0 {
+		t.Fatalf("degenerate cost %+v", dsnCost)
+	}
+	// Same switch count and cabinets; DSN's shorter cables must make it
+	// cheaper overall.
+	if dsnCost.SwitchCost != rndCost.SwitchCost || dsnCost.CabinetCost != rndCost.CabinetCost {
+		t.Fatal("fixed costs should match")
+	}
+	if dsnCost.Total >= rndCost.Total {
+		t.Fatalf("DSN total $%.0f not below RANDOM $%.0f", dsnCost.Total, rndCost.Total)
+	}
+	sum := dsnCost.SwitchCost + dsnCost.PortCost + dsnCost.CableCost + dsnCost.InstallCost + dsnCost.CabinetCost
+	if math.Abs(sum-dsnCost.Total) > 1e-6 {
+		t.Fatal("itemization does not add up")
+	}
+	if dsnCost.String() == "" {
+		t.Fatal("empty summary")
+	}
+	if _, err := l.Price(graph.New(5), m); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"dsnet/internal/core"
+	"dsnet/internal/topology"
+)
+
+func TestIdentityPlacementMatchesLayout(t *testing.T) {
+	g, err := topology.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := l.IdentityPlacement()
+	s, err := l.Cables(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.TotalCable(g)-s.Total) > 1e-9 {
+		t.Fatalf("identity placement total %.2f != layout total %.2f", p.TotalCable(g), s.Total)
+	}
+	for sw := 0; sw < 64; sw++ {
+		if p.CabinetOf(sw) != l.CabinetOf(sw) {
+			t.Fatalf("cabinet mismatch at %d", sw)
+		}
+	}
+}
+
+// Annealing must substantially shorten the cables of a RANDOM topology:
+// random links gain the most from co-locating their endpoints.
+func TestOptimizePlacementImprovesRandom(t *testing.T) {
+	g, err := topology.DLNRandom(256, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(256, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, base, best, err := l.OptimizePlacement(g, 60000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best >= base {
+		t.Fatalf("optimizer failed to improve: %.0f -> %.0f m", base, best)
+	}
+	if red := 1 - best/base; red < 0.05 {
+		t.Fatalf("reduction only %.1f%%", red*100)
+	}
+	// The returned placement must actually realize the reported total and
+	// remain a permutation.
+	if math.Abs(p.TotalCable(g)-best) > 1e-6 {
+		t.Fatalf("reported best %.2f, placement evaluates to %.2f", best, p.TotalCable(g))
+	}
+	seen := make([]bool, 256)
+	for _, slot := range p.Slot {
+		if slot < 0 || int(slot) >= 256 || seen[slot] {
+			t.Fatal("placement is not a permutation")
+		}
+		seen[slot] = true
+	}
+}
+
+// The identity packing is already near-optimal for the ring-based DSN, so
+// the optimizer should gain much less there than on RANDOM — the paper's
+// core argument in algorithmic form.
+func TestOptimizeGainSmallerForDSN(t *testing.T) {
+	n := 256
+	l, err := New(n, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.New(n, core.CeilLog2(n)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := topology.DLNRandom(n, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dsnBase, dsnBest, err := l.OptimizePlacement(d.Graph(), 60000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rndBase, rndBest, err := l.OptimizePlacement(random, 60000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsnGain := 1 - dsnBest/dsnBase
+	rndGain := 1 - rndBest/rndBase
+	if dsnGain >= rndGain {
+		t.Fatalf("optimizer gains: DSN %.1f%% not below RANDOM %.1f%%", dsnGain*100, rndGain*100)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	l, err := New(64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.Ring(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := l.OptimizePlacement(g, 10, 1); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	g64, err := topology.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := l.OptimizePlacement(g64, -1, 1); err == nil {
+		t.Fatal("negative iterations accepted")
+	}
+	// Zero iterations: identity returned.
+	p, base, best, err := l.OptimizePlacement(g64, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != best || p == nil {
+		t.Fatal("zero-iteration optimize should be a no-op")
+	}
+}

@@ -1,0 +1,121 @@
+// Package netsim is a cycle-accurate flit-level interconnection network
+// simulator reproducing the evaluation methodology of Section VII:
+// virtual cut-through switching, credit-based virtual-channel flow
+// control, a multi-stage router pipeline (routing, VC allocation, switch
+// allocation, crossbar traversal) costing over 100 ns per header, 20 ns
+// combined injection and link delay, 33-flit packets of 256-bit flits on
+// 96 Gbps links, and topology-agnostic adaptive routing with up*/down*
+// escape paths [24].
+//
+// One simulator cycle is the serialization time of one flit on a link
+// (256 bits / 96 Gbps = 2.67 ns). All latencies are reported in
+// nanoseconds.
+package netsim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Config holds the simulator parameters. Default returns the paper's
+// values; time-valued fields are expressed in cycles (one cycle = FlitBits
+// / LinkGbps nanoseconds).
+type Config struct {
+	VCs             int     // virtual channels per physical link (paper: 4)
+	BufFlitsPerVC   int     // input buffer per VC; >= PacketFlits for VCT
+	PacketFlits     int     // flits per packet (paper: 33, 1 header)
+	PipelineCycles  int64   // header delay through a switch (paper: >100 ns)
+	LinkDelayCycles int64   // injection + link delay (paper: 20 ns total)
+	HostsPerSwitch  int     // compute nodes per switch (paper: 4)
+	FlitBits        int     // bits per flit (paper: 256)
+	LinkGbps        float64 // effective link bandwidth (paper: 96)
+	Seed            uint64  // PRNG seed for injection processes
+
+	// EscapePatienceCycles is how long a head packet must be blocked on
+	// its adaptive candidates before the router offers it the up*/down*
+	// escape channel. Escape paths are non-minimal and tree-concentrated;
+	// diverting to them too eagerly collapses post-saturation throughput.
+	// Deadlock freedom only requires that blocked packets *eventually*
+	// reach the escape channel, which any finite patience preserves.
+	EscapePatienceCycles int64
+
+	WarmupCycles  int64 // cycles before measurement starts
+	MeasureCycles int64 // measurement window length
+	DrainCycles   int64 // extra cycles to let measured packets finish
+
+	// Trace, when non-nil, receives a line per lifecycle event (GEN,
+	// INJECT, GRANT, EJECT, DELIVER) for the first TracePackets packets —
+	// a debugging and teaching aid for the VCT engine. Tracing does not
+	// alter simulation behavior.
+	Trace        io.Writer
+	TracePackets int64
+}
+
+// Default returns the paper's simulation parameters with a measurement
+// schedule suitable for 64-switch networks.
+func Default() Config {
+	return Config{
+		VCs:                  4,
+		BufFlitsPerVC:        33,
+		PacketFlits:          33,
+		PipelineCycles:       38, // 38 cycles x 2.67 ns = 101 ns
+		LinkDelayCycles:      8,  // 8 cycles x 2.67 ns = 21 ns
+		HostsPerSwitch:       4,
+		FlitBits:             256,
+		LinkGbps:             96,
+		Seed:                 1,
+		EscapePatienceCycles: 16,
+		WarmupCycles:         20000,
+		MeasureCycles:        40000,
+		DrainCycles:          40000,
+	}
+}
+
+// CycleNS returns the duration of one simulator cycle in nanoseconds.
+func (c Config) CycleNS() float64 { return float64(c.FlitBits) / c.LinkGbps }
+
+// GbpsPerFlitPerCycle converts a rate in flits/cycle/host into
+// Gbit/s/host.
+func (c Config) GbpsPerFlitPerCycle() float64 { return c.LinkGbps }
+
+// Validate reports the first invalid parameter for virtual cut-through
+// operation (buffers must hold a whole packet).
+func (c Config) Validate() error {
+	if err := c.validateCommon(); err != nil {
+		return err
+	}
+	if c.BufFlitsPerVC < c.PacketFlits {
+		return fmt.Errorf("netsim: VCT needs buffers >= packet size, got %d < %d", c.BufFlitsPerVC, c.PacketFlits)
+	}
+	return nil
+}
+
+// ValidateWormhole reports the first invalid parameter for wormhole
+// operation, which permits buffers smaller than a packet.
+func (c Config) ValidateWormhole() error {
+	if err := c.validateCommon(); err != nil {
+		return err
+	}
+	if c.BufFlitsPerVC < 1 {
+		return fmt.Errorf("netsim: wormhole needs buffers >= 1 flit, got %d", c.BufFlitsPerVC)
+	}
+	return nil
+}
+
+func (c Config) validateCommon() error {
+	switch {
+	case c.VCs < 1:
+		return fmt.Errorf("netsim: VCs %d < 1", c.VCs)
+	case c.PacketFlits < 1:
+		return fmt.Errorf("netsim: packet size %d < 1 flit", c.PacketFlits)
+	case c.PipelineCycles < 0 || c.LinkDelayCycles < 0:
+		return fmt.Errorf("netsim: negative delays")
+	case c.HostsPerSwitch < 1:
+		return fmt.Errorf("netsim: hosts per switch %d < 1", c.HostsPerSwitch)
+	case c.FlitBits < 1 || c.LinkGbps <= 0:
+		return fmt.Errorf("netsim: bad link parameters")
+	case c.WarmupCycles < 0 || c.MeasureCycles < 1 || c.DrainCycles < 0:
+		return fmt.Errorf("netsim: bad measurement schedule")
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result aggregates one simulation run.
+type Result struct {
+	OfferedFlitsPerCycle float64 // per host, as configured
+	OfferedGbps          float64 // per host
+	AcceptedGbps         float64 // per host, measured in the window
+	AvgLatencyNS         float64 // over packets generated in the window
+	P99LatencyNS         float64
+	MaxLatencyNS         float64
+	AvgHops              float64 // switch-to-switch hops per measured packet
+	// EscapeFraction is the share of switch grants that used the
+	// up*/down* escape channel during the window (VCT engine only).
+	// Near zero below saturation; grows as adaptive channels congest.
+	EscapeFraction float64
+
+	GeneratedMeasured int64 // packets generated inside the window
+	DeliveredMeasured int64 // of those, delivered before the run ended
+	DeliveredTotal    int64
+	GeneratedTotal    int64
+	InFlightAtEnd     int64
+
+	// Saturated is set when a meaningful fraction of measured packets
+	// never arrived: latency figures are then unreliable (the network is
+	// past its saturation point).
+	Saturated bool
+
+	// ChannelFlits holds per-directed-channel forwarded flits during the
+	// measurement window (inter-switch channels only), for traffic
+	// balance analysis.
+	ChannelFlits []int64
+}
+
+func (s *Sim) result() Result {
+	cyc := s.cfg.CycleNS()
+	r := Result{
+		OfferedFlitsPerCycle: s.rate,
+		OfferedGbps:          s.rate * s.cfg.GbpsPerFlitPerCycle(),
+		GeneratedMeasured:    s.genMeasured,
+		DeliveredMeasured:    s.delMeasured,
+		DeliveredTotal:       s.deliveredTotal,
+		GeneratedTotal:       s.generatedTotal,
+		InFlightAtEnd:        s.inFlight,
+		ChannelFlits:         s.chanFlits[:2*s.g.M()],
+	}
+	if s.grantsInWindow > 0 {
+		r.EscapeFraction = float64(s.escGrantsInWindow) / float64(s.grantsInWindow)
+	}
+	flitsPerHostPerCycle := float64(s.flitsInWindow) / float64(s.cfg.MeasureCycles) / float64(s.hosts)
+	r.AcceptedGbps = flitsPerHostPerCycle * s.cfg.GbpsPerFlitPerCycle()
+	if s.delMeasured > 0 {
+		r.AvgLatencyNS = float64(s.latencySum) / float64(s.delMeasured) * cyc
+		r.AvgHops = float64(s.hopsSum) / float64(s.delMeasured)
+		sorted := append([]int64(nil), s.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		idx := int(float64(len(sorted)) * 0.99)
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		r.P99LatencyNS = float64(sorted[idx]) * cyc
+		r.MaxLatencyNS = float64(sorted[len(sorted)-1]) * cyc
+	}
+	if s.genMeasured > 0 {
+		undelivered := s.genMeasured - s.delMeasured
+		r.Saturated = float64(undelivered) > 0.02*float64(s.genMeasured)
+	}
+	if s.watchdogTripped {
+		r.Saturated = true
+	}
+	return r
+}
+
+func sortInt64s(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// String renders a compact one-line summary.
+func (r Result) String() string {
+	sat := ""
+	if r.Saturated {
+		sat = " SATURATED"
+	}
+	return fmt.Sprintf("offered %.2f Gbps/host accepted %.2f Gbps/host latency %.0f ns (p99 %.0f)%s",
+		r.OfferedGbps, r.AcceptedGbps, r.AvgLatencyNS, r.P99LatencyNS, sat)
+}

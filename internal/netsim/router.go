@@ -1,0 +1,299 @@
+package netsim
+
+import (
+	"fmt"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/routing"
+)
+
+// Candidate is one (neighbor switch, VC) option offered by a routing
+// function for the next hop of a packet.
+type Candidate struct {
+	Next   int32 // next switch
+	VC     int8  // virtual channel to acquire at the next switch's input
+	Escape bool  // true if this is the deadlock-free escape option
+	// Edge pins the hop to a specific physical edge index, for topologies
+	// with parallel links whose roles differ (DSN-E's dedicated Up and
+	// Extra links). Zero value EdgeAny lets the simulator pick any edge
+	// to Next.
+	Edge int32
+	// NewState becomes the packet's RtState if this candidate is taken.
+	// Routers use it to carry per-packet routing state across hops: the
+	// up*/down* descent latch, the DOR dateline bit, and so on.
+	NewState uint8
+}
+
+// EdgeAny leaves the physical edge choice to the simulator.
+const EdgeAny int32 = 0
+
+// pinnedEdge decodes the Edge field: candidates store edgeIndex+1 so the
+// zero value means "any".
+func (c Candidate) pinnedEdge() int32 { return c.Edge - 1 }
+
+// PinEdge returns the Candidate restricted to one physical edge.
+func (c Candidate) PinEdge(edge int) Candidate {
+	c.Edge = int32(edge) + 1
+	return c
+}
+
+// PacketState is the routing-relevant state of an in-flight packet.
+type PacketState struct {
+	SrcSw   int32 // switch the packet was injected at
+	DstSw   int32 // switch of the destination host
+	Step    int32 // switch-to-switch hops taken so far
+	PktID   int64 // unique per packet; randomized routers derandomize on it
+	RtState uint8 // router-specific state, updated from Candidate.NewState
+}
+
+// descended interprets RtState for the up*/down*-based routers.
+func (st PacketState) descended() bool { return st.RtState&1 != 0 }
+
+func descState(d bool) uint8 {
+	if d {
+		return 1
+	}
+	return 0
+}
+
+// Router supplies next-hop candidates for packets. Implementations must
+// be deterministic functions of the packet state and current switch.
+type Router interface {
+	// Candidates appends the options for the packet at sw and returns the
+	// extended slice. Adaptive options come first, escape options last;
+	// the simulator prefers adaptive options with free buffers and falls
+	// back to the escape.
+	Candidates(st PacketState, sw int, buf []Candidate) []Candidate
+}
+
+// DuatoUpDown is the paper's simulated routing: fully adaptive minimal
+// routing on VCs 1..VCs-1 with a deterministic up*/down* escape path on
+// VC 0 (Silla & Duato [24]). Deadlock freedom follows from Duato's
+// theory: the escape network's CDG is acyclic, and a blocked packet can
+// always wait for the escape channel.
+type DuatoUpDown struct {
+	g   *graph.Graph
+	dt  *routing.DistanceTable
+	ud  *routing.UpDown
+	vcs int
+}
+
+// NewDuatoUpDown builds the routing function for graph g with the given
+// number of VCs (VC 0 is the escape channel).
+func NewDuatoUpDown(g *graph.Graph, vcs int) (*DuatoUpDown, error) {
+	if vcs < 2 {
+		return nil, fmt.Errorf("netsim: adaptive routing needs >= 2 VCs, got %d", vcs)
+	}
+	ud, err := routing.NewUpDown(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &DuatoUpDown{g: g, dt: routing.NewDistanceTable(g), ud: ud, vcs: vcs}, nil
+}
+
+// Candidates implements Router.
+func (r *DuatoUpDown) Candidates(st PacketState, sw int, buf []Candidate) []Candidate {
+	dst := int(st.DstSw)
+	if sw == dst {
+		return buf
+	}
+	du := r.dt.D(sw, dst)
+	for _, h := range r.g.Neighbors(sw) {
+		if r.dt.D(int(h.To), dst) == du-1 {
+			for vc := 1; vc < r.vcs; vc++ {
+				// Taking an adaptive hop restarts the escape path, so the
+				// descent latch clears.
+				buf = append(buf, Candidate{Next: h.To, VC: int8(vc)})
+			}
+		}
+	}
+	next, down := r.ud.NextHop(sw, dst, st.descended())
+	if next >= 0 {
+		buf = append(buf, Candidate{
+			Next: int32(next), VC: 0, Escape: true,
+			NewState: descState(st.descended() || down),
+		})
+	}
+	return buf
+}
+
+// UpDownOnly routes every packet deterministically along its up*/down*
+// path, spreading packets across all VCs of that one output. This is the
+// pure topology-agnostic deterministic scheme the paper contrasts with
+// its custom routing when discussing traffic balance.
+type UpDownOnly struct {
+	ud  *routing.UpDown
+	vcs int
+}
+
+// NewUpDownOnly builds the deterministic up*/down* router.
+func NewUpDownOnly(g *graph.Graph, vcs int) (*UpDownOnly, error) {
+	if vcs < 1 {
+		return nil, fmt.Errorf("netsim: need >= 1 VC, got %d", vcs)
+	}
+	ud, err := routing.NewUpDown(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &UpDownOnly{ud: ud, vcs: vcs}, nil
+}
+
+// Candidates implements Router.
+func (r *UpDownOnly) Candidates(st PacketState, sw int, buf []Candidate) []Candidate {
+	dst := int(st.DstSw)
+	if sw == dst {
+		return buf
+	}
+	next, down := r.ud.NextHop(sw, dst, st.descended())
+	if next < 0 {
+		return buf
+	}
+	for vc := 0; vc < r.vcs; vc++ {
+		buf = append(buf, Candidate{
+			Next: int32(next), VC: int8(vc), Escape: true,
+			NewState: descState(st.descended() || down),
+		})
+	}
+	return buf
+}
+
+// DSNSourceRouted drives the simulator with the paper's custom DSN
+// routing (the Section VII "initial work" on custom-routing simulations):
+// every packet follows the deterministic three-phase route computed at
+// injection time, and the Section V.A channel classes are mapped onto
+// virtual channels so that the simulated channel sequences match the
+// deadlock-free CDG verified in internal/routing:
+//
+//	VC 0: Up (PRE-WORK), Succ + Shortcut (MAIN)
+//	VC 1: Pred, FinishSucc (FINISH outside the Extra window)
+//	VC 2: ExtraPred, ExtraSucc (FINISH inside the window)
+//
+// The three groups are phase-ordered (PRE-WORK < MAIN < FINISH), and
+// within VC 0 the pred-direction Up hops cannot mingle with succ-direction
+// MAIN hops of another packet into a cycle because Up links never leave a
+// super node; deadlock freedom is checked empirically by the package
+// tests via the CDG of the exact (link, VC) sequences.
+type DSNSourceRouted struct {
+	d      *core.DSN
+	routes [][]core.Hop // [src*n+dst]
+	// pins holds, aligned with routes, the physical edge each hop rides
+	// (+1, 0 = any): for DSN-E the Up and Extra classes must use their
+	// dedicated links rather than the parallel ring wire.
+	pins [][]int32
+}
+
+// NewDSNSourceRouted precomputes all-pairs routes with the DSN custom
+// routing algorithm. It requires a deadlock-free variant (DSN-E or DSN-V)
+// so the channel classes are meaningful.
+func NewDSNSourceRouted(d *core.DSN) (*DSNSourceRouted, error) {
+	if d.Variant != core.VariantE && d.Variant != core.VariantV {
+		return nil, fmt.Errorf("netsim: source-routed DSN needs variant E or V, got %v", d.Variant)
+	}
+	return newDSNSourceRouted(d)
+}
+
+// NewDSNSourceRoutedUnsafe builds the custom routing for the BASIC DSN
+// variant, whose channel classes share ring channels between phases and
+// whose CDG provably contains a cycle (see internal/routing's
+// TestBasicDSNRoutingHasCDGCycle). It exists to demonstrate empirically
+// that the Section V.A channels are necessary: under load the simulation
+// genuinely deadlocks and the run watchdog trips.
+func NewDSNSourceRoutedUnsafe(d *core.DSN) (*DSNSourceRouted, error) {
+	return newDSNSourceRouted(d)
+}
+
+func newDSNSourceRouted(d *core.DSN) (*DSNSourceRouted, error) {
+	n := d.N
+	r := &DSNSourceRouted{
+		d:      d,
+		routes: make([][]core.Hop, n*n),
+		pins:   make([][]int32, n*n),
+	}
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			route, err := d.Route(s, t)
+			if err != nil {
+				return nil, err
+			}
+			pins := make([]int32, len(route.Hops))
+			for i, h := range route.Hops {
+				if _, err := ClassVC(h.Class); err != nil {
+					return nil, err
+				}
+				if d.Variant == core.VariantE {
+					if e, ok := physicalEdgeFor(d, h); ok {
+						pins[i] = int32(e) + 1
+					}
+				}
+			}
+			r.routes[s*n+t] = route.Hops
+			r.pins[s*n+t] = pins
+		}
+	}
+	return r, nil
+}
+
+// physicalEdgeFor returns the dedicated DSN-E edge a hop's class demands:
+// Up hops ride KindUp links, Extra hops ride KindExtra links. Other
+// classes keep the default edge choice.
+func physicalEdgeFor(d *core.DSN, h core.Hop) (int, bool) {
+	var want graph.EdgeKind
+	switch h.Class {
+	case core.ClassUp:
+		want = graph.KindUp
+	case core.ClassExtraPred, core.ClassExtraSucc:
+		want = graph.KindExtra
+	default:
+		return 0, false
+	}
+	for _, half := range d.Graph().Neighbors(int(h.From)) {
+		if half.To == h.To && d.Graph().Edge(int(half.Edge)).Kind == want {
+			return int(half.Edge), true
+		}
+	}
+	return 0, false
+}
+
+// ClassVC maps a Section V.A channel class to its virtual channel in the
+// simulator's 4-VC budget (one VC is left spare).
+func ClassVC(c core.LinkClass) (int8, error) {
+	switch c {
+	case core.ClassUp, core.ClassSucc, core.ClassShortcut, core.ClassShort:
+		return 0, nil
+	case core.ClassPred, core.ClassFinishSucc:
+		return 1, nil
+	case core.ClassExtraPred, core.ClassExtraSucc:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("netsim: unmapped link class %v", c)
+	}
+}
+
+// Candidates implements Router. The custom routing is deterministic, so
+// exactly one candidate is returned, marked Escape so that a blocked
+// packet simply waits for it.
+func (r *DSNSourceRouted) Candidates(st PacketState, sw int, buf []Candidate) []Candidate {
+	if int32(sw) == st.DstSw {
+		return buf
+	}
+	idx := int(st.SrcSw)*r.d.N + int(st.DstSw)
+	route := r.routes[idx]
+	if int(st.Step) >= len(route) {
+		return buf
+	}
+	h := route[st.Step]
+	if int(h.From) != sw {
+		// Desync would indicate a simulator bug; offer nothing so the
+		// test harness notices the stall.
+		return buf
+	}
+	vc, err := ClassVC(h.Class)
+	if err != nil {
+		return buf
+	}
+	return append(buf, Candidate{Next: h.To, VC: vc, Escape: true, Edge: r.pins[idx][st.Step]})
+}

@@ -1,0 +1,564 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dsnet/internal/graph"
+	"dsnet/internal/traffic"
+)
+
+// packet is one in-flight message.
+type packet struct {
+	id       int64
+	srcHost  int32
+	dstHost  int32
+	st       PacketState
+	genCycle int64
+	measured bool // generated inside the measurement window
+	// blockSince is the cycle this packet's head first failed to get an
+	// adaptive grant, or -1. It drives the escape-patience policy.
+	blockSince int64
+}
+
+// vcEntry is a packet queued in an input VC buffer.
+type vcEntry struct {
+	pkt        *packet
+	routableAt int64 // header arrival + pipeline delay
+}
+
+// vcQueue is a FIFO of packets sharing one input VC buffer.
+type vcQueue struct {
+	entries []vcEntry
+	head    int
+}
+
+func (q *vcQueue) empty() bool { return q.head >= len(q.entries) }
+
+func (q *vcQueue) front() *vcEntry { return &q.entries[q.head] }
+
+func (q *vcQueue) push(e vcEntry) { q.entries = append(q.entries, e) }
+
+func (q *vcQueue) pop() {
+	q.head++
+	if q.head >= len(q.entries) {
+		q.entries = q.entries[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.entries) {
+		n := copy(q.entries, q.entries[q.head:])
+		q.entries = q.entries[:n]
+		q.head = 0
+	}
+}
+
+// Deferred mutations are scheduled on a timing wheel: a ring of per-cycle
+// slots whose size exceeds the maximum scheduling horizon (packet length
+// plus the longest link delay), so every event in slot now%len fires now.
+// This supports heterogeneous per-channel link delays, which plain FIFO
+// queues cannot.
+type wheelEv struct {
+	kind  uint8 // evArrive, evCredit, evDeliver
+	vcIdx int32
+	amt   int32
+	pkt   *packet
+}
+
+const (
+	evArrive = iota
+	evCredit
+	evDeliver
+)
+
+type timingWheel[E any] struct {
+	slots [][]E
+}
+
+func newTimingWheel[E any](horizon int64) *timingWheel[E] {
+	return &timingWheel[E]{slots: make([][]E, horizon+1)}
+}
+
+func (w *timingWheel[E]) schedule(now, at int64, e E) {
+	if at <= now || at-now >= int64(len(w.slots)) {
+		panic("netsim: event outside the timing-wheel horizon")
+	}
+	idx := at % int64(len(w.slots))
+	w.slots[idx] = append(w.slots[idx], e)
+}
+
+// drain returns the events due at now and clears the slot.
+func (w *timingWheel[E]) drain(now int64) []E {
+	idx := now % int64(len(w.slots))
+	evs := w.slots[idx]
+	w.slots[idx] = w.slots[idx][:0]
+	return evs
+}
+
+// Sim is a single simulation instance: one topology, one routing
+// function, one traffic pattern, one injection rate.
+type Sim struct {
+	cfg     Config
+	g       *graph.Graph
+	rt      Router
+	pattern traffic.Pattern
+	rate    float64 // offered load, flits/cycle/host
+	rng     *rand.Rand
+
+	nSw   int
+	hosts int
+
+	// Directed channels: edge e yields channels 2e (U->V) and 2e+1
+	// (V->U); injection channel of host h is 2M + h. inChans lists a
+	// switch's through-traffic channels first and injection channels
+	// last; thruCount marks the boundary. The allocator serves
+	// through-traffic with strict priority over injection, the standard
+	// router policy that keeps the network stable past saturation.
+	nChan     int
+	chanDst   []int32 // destination switch of each channel
+	inChans   [][]int32
+	thruCount []int
+	credits   []int32 // [chan*VCs+vc], held at the channel source
+	vcq       []vcQueue
+	inBusy    []int64 // input port streaming until (per channel)
+	outBusy   []int64 // output port streaming until (per channel)
+	hostBusy  []int64 // host NIC streaming until (per host)
+	ejBusy    []int64 // ejection port busy until (per host)
+
+	chanFlits []int64 // flits forwarded per channel in the window
+
+	hostQ [][]*packet // per-host unbounded injection queues
+
+	rrIn []int // per-switch round-robin input pointer
+	rrVC []int // per-channel round-robin VC pointer
+
+	scratch []Candidate // reusable candidate buffer
+
+	wheel *timingWheel[wheelEv]
+
+	// linkDelay holds the per-channel wire delay in cycles (indexable by
+	// directed channel); all entries default to cfg.LinkDelayCycles and
+	// NewSimCableAware derives them from physical cable lengths.
+	linkDelay []int64
+	maxDelay  int64
+
+	now          int64
+	nextID       int64
+	inFlight     int64
+	lastProgress int64
+
+	// measurement accumulators
+	genMeasured       int64
+	delMeasured       int64 // delivered packets that were generated in window
+	latencySum        int64 // cycles, over delMeasured
+	hopsSum           int64 // switch-to-switch hops, over delMeasured
+	latencies         []int64
+	flitsInWindow     int64 // flits delivered during the window (any packet)
+	grantsInWindow    int64 // switch grants during the window
+	escGrantsInWindow int64 // of those, escape-channel grants
+	deliveredTotal    int64
+	generatedTotal    int64
+	stalledCycles     int64
+	watchdogTripped   bool
+}
+
+// NewSim builds a simulation of graph g driven by router rt, traffic
+// pattern p and an offered load of rate flits/cycle/host.
+func NewSim(cfg Config, g *graph.Graph, rt Router, p traffic.Pattern, rate float64) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("netsim: offered load %g flits/cycle/host outside [0,1]", rate)
+	}
+	nSw := g.N()
+	hosts := nSw * cfg.HostsPerSwitch
+	nChan := 2*g.M() + hosts
+	s := &Sim{
+		cfg: cfg, g: g, rt: rt, pattern: p, rate: rate,
+		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x5ca1ab1e)),
+		nSw:   nSw,
+		hosts: hosts,
+		nChan: nChan,
+	}
+	s.chanDst = make([]int32, nChan)
+	s.inChans = make([][]int32, nSw)
+	for i, e := range g.Edges() {
+		s.chanDst[2*i] = e.V
+		s.chanDst[2*i+1] = e.U
+		s.inChans[e.V] = append(s.inChans[e.V], int32(2*i))
+		s.inChans[e.U] = append(s.inChans[e.U], int32(2*i+1))
+	}
+	s.thruCount = make([]int, nSw)
+	for sw := range s.inChans {
+		s.thruCount[sw] = len(s.inChans[sw])
+	}
+	for h := 0; h < hosts; h++ {
+		c := 2*g.M() + h
+		sw := h / cfg.HostsPerSwitch
+		s.chanDst[c] = int32(sw)
+		s.inChans[sw] = append(s.inChans[sw], int32(c))
+	}
+	s.linkDelay = make([]int64, nChan)
+	for i := range s.linkDelay {
+		s.linkDelay[i] = cfg.LinkDelayCycles
+	}
+	s.maxDelay = cfg.LinkDelayCycles
+	s.wheel = newTimingWheel[wheelEv](int64(cfg.PacketFlits) + s.maxDelay + 2)
+	s.credits = make([]int32, nChan*cfg.VCs)
+	for i := range s.credits {
+		s.credits[i] = int32(cfg.BufFlitsPerVC)
+	}
+	s.vcq = make([]vcQueue, nChan*cfg.VCs)
+	s.inBusy = make([]int64, nChan)
+	s.outBusy = make([]int64, nChan)
+	s.hostBusy = make([]int64, hosts)
+	s.ejBusy = make([]int64, hosts)
+	s.chanFlits = make([]int64, nChan)
+	s.hostQ = make([][]*packet, hosts)
+	s.rrIn = make([]int, nSw)
+	s.rrVC = make([]int, nChan)
+	return s, nil
+}
+
+// outChanOf returns the directed channel from sw along the given incident
+// half-edge.
+func (s *Sim) outChanOf(sw int, h graph.Half) int32 {
+	e := s.g.Edge(int(h.Edge))
+	if int32(sw) == e.U {
+		return 2 * h.Edge
+	}
+	return 2*h.Edge + 1
+}
+
+// chanFor resolves a candidate to a directed channel, honoring a pinned
+// physical edge when the router specified one.
+func (s *Sim) chanFor(sw int, cand Candidate) int32 {
+	if ei := cand.pinnedEdge(); ei >= 0 {
+		e := s.g.Edge(int(ei))
+		if e.U == int32(sw) && e.V == cand.Next {
+			return 2 * ei
+		}
+		if e.V == int32(sw) && e.U == cand.Next {
+			return 2*ei + 1
+		}
+		return -1
+	}
+	return s.findOutChan(sw, int(cand.Next))
+}
+
+// findOutChan locates the directed channel from sw to next. With parallel
+// edges, the first non-busy one is preferred.
+func (s *Sim) findOutChan(sw, next int) int32 {
+	best := int32(-1)
+	for _, h := range s.g.Neighbors(sw) {
+		if int(h.To) != next {
+			continue
+		}
+		c := s.outChanOf(sw, h)
+		if s.outBusy[c] <= s.now {
+			return c
+		}
+		if best < 0 {
+			best = c
+		}
+	}
+	return best
+}
+
+func (s *Sim) inWindow(t int64) bool {
+	return t >= s.cfg.WarmupCycles && t < s.cfg.WarmupCycles+s.cfg.MeasureCycles
+}
+
+// Run executes the full schedule (warmup + measurement + drain) and
+// returns the aggregated result.
+func (s *Sim) Run() (Result, error) {
+	end := s.cfg.WarmupCycles + s.cfg.MeasureCycles + s.cfg.DrainCycles
+	s.lastProgress = 0
+	for s.now = 0; s.now < end; s.now++ {
+		s.processEvents()
+		s.inject()
+		s.allocate()
+		if s.inFlight > 0 && s.now-s.lastProgress > 250000 {
+			s.watchdogTripped = true
+			return s.result(), fmt.Errorf("netsim: no progress for 250k cycles at cycle %d with %d packets in flight (deadlock?)", s.now, s.inFlight)
+		}
+	}
+	return s.result(), nil
+}
+
+func (s *Sim) processEvents() {
+	for _, ev := range s.wheel.drain(s.now) {
+		switch ev.kind {
+		case evArrive:
+			s.vcq[ev.vcIdx].push(vcEntry{pkt: ev.pkt, routableAt: s.now + s.cfg.PipelineCycles})
+		case evCredit:
+			s.credits[ev.vcIdx] += ev.amt
+		case evDeliver:
+			s.deliver(ev.pkt, s.now)
+		}
+	}
+}
+
+// trace logs one lifecycle event for packets under the trace budget.
+func (s *Sim) trace(p *packet, event string, args ...any) {
+	if s.cfg.Trace == nil || p.id >= s.cfg.TracePackets {
+		return
+	}
+	fmt.Fprintf(s.cfg.Trace, "t=%-8d pkt=%-6d %-8s", s.now, p.id, event)
+	for i := 0; i+1 < len(args); i += 2 {
+		fmt.Fprintf(s.cfg.Trace, " %s=%v", args[i], args[i+1])
+	}
+	fmt.Fprintln(s.cfg.Trace)
+}
+
+func (s *Sim) deliver(p *packet, at int64) {
+	s.inFlight--
+	s.deliveredTotal++
+	s.lastProgress = s.now
+	if s.inWindow(at) {
+		s.flitsInWindow += int64(s.cfg.PacketFlits)
+	}
+	if p.measured {
+		s.delMeasured++
+		lat := at - p.genCycle
+		s.latencySum += lat
+		s.latencies = append(s.latencies, lat)
+		s.hopsSum += int64(p.st.Step)
+	}
+	s.trace(p, "DELIVER", "host", p.dstHost, "hops", p.st.Step, "latency_cycles", at-p.genCycle)
+}
+
+func (s *Sim) inject() {
+	pktProb := s.rate / float64(s.cfg.PacketFlits)
+	for h := 0; h < s.hosts; h++ {
+		if s.rng.Float64() < pktProb {
+			p := &packet{
+				id:         s.nextID,
+				srcHost:    int32(h),
+				genCycle:   s.now,
+				measured:   s.inWindow(s.now),
+				blockSince: -1,
+			}
+			s.nextID++
+			p.st.PktID = p.id
+			p.dstHost = int32(s.pattern.Dest(h, s.rng))
+			p.st.SrcSw = int32(h / s.cfg.HostsPerSwitch)
+			p.st.DstSw = p.dstHost / int32(s.cfg.HostsPerSwitch)
+			s.hostQ[h] = append(s.hostQ[h], p)
+			s.trace(p, "GEN", "src", h, "dst", p.dstHost)
+			s.generatedTotal++
+			if p.measured {
+				s.genMeasured++
+			}
+			s.inFlight++
+		}
+		// Try to start streaming the head packet into the switch.
+		if len(s.hostQ[h]) == 0 || s.hostBusy[h] > s.now {
+			continue
+		}
+		c := int32(2*s.g.M() + h)
+		bestVC := -1
+		var bestCr int32
+		for vc := 0; vc < s.cfg.VCs; vc++ {
+			if cr := s.credits[c*int32(s.cfg.VCs)+int32(vc)]; cr >= int32(s.cfg.PacketFlits) && cr > bestCr {
+				bestCr = cr
+				bestVC = vc
+			}
+		}
+		if bestVC < 0 {
+			continue
+		}
+		p := s.hostQ[h][0]
+		s.hostQ[h] = s.hostQ[h][1:]
+		s.hostBusy[h] = s.now + int64(s.cfg.PacketFlits)
+		s.credits[c*int32(s.cfg.VCs)+int32(bestVC)] -= int32(s.cfg.PacketFlits)
+		s.wheel.schedule(s.now, s.now+1+s.linkDelay[c], wheelEv{
+			kind:  evArrive,
+			vcIdx: c*int32(s.cfg.VCs) + int32(bestVC),
+			pkt:   p,
+		})
+		s.trace(p, "INJECT", "switch", h/s.cfg.HostsPerSwitch, "vc", bestVC)
+		s.lastProgress = s.now
+	}
+}
+
+// allocate performs routing, VC allocation and switch allocation for one
+// cycle: every input port may launch at most one packet, every output
+// port may accept at most one.
+func (s *Sim) allocate() {
+	for sw := 0; sw < s.nSw; sw++ {
+		ins := s.inChans[sw]
+		if len(ins) == 0 {
+			continue
+		}
+		// Tier 1: through traffic, round-robin.
+		thru := ins[:s.thruCount[sw]]
+		granted := false
+		if len(thru) > 0 {
+			start := s.rrIn[sw] % len(thru)
+			for k := 0; k < len(thru); k++ {
+				c := thru[(start+k)%len(thru)]
+				if s.inBusy[c] > s.now {
+					continue
+				}
+				if s.tryInput(sw, c) {
+					granted = true
+				}
+			}
+			if granted {
+				s.rrIn[sw] = (start + 1) % len(thru)
+			}
+		}
+		// Tier 2: injection channels take whatever outputs remain.
+		for _, c := range ins[s.thruCount[sw]:] {
+			if s.inBusy[c] > s.now {
+				continue
+			}
+			s.tryInput(sw, c)
+		}
+	}
+}
+
+// tryInput attempts to grant the head packet of one VC of input channel c
+// at switch sw. Returns true if a packet was launched.
+func (s *Sim) tryInput(sw int, c int32) bool {
+	vcs := s.cfg.VCs
+	startVC := s.rrVC[c] % vcs
+	for j := 0; j < vcs; j++ {
+		vc := (startVC + j) % vcs
+		q := &s.vcq[c*int32(vcs)+int32(vc)]
+		if q.empty() {
+			continue
+		}
+		e := q.front()
+		if e.routableAt > s.now {
+			continue
+		}
+		if s.grant(sw, c, int32(vc), e.pkt) {
+			q.pop()
+			s.rrVC[c] = (vc + 1) % vcs
+			return true
+		}
+	}
+	return false
+}
+
+// grant routes packet p (currently at the head of input (c, vc) of switch
+// sw) to an output if one is available. Returns true on success.
+func (s *Sim) grant(sw int, c, vc int32, p *packet) bool {
+	pf := int64(s.cfg.PacketFlits)
+	if int32(sw) == p.st.DstSw {
+		// Ejection to the destination host.
+		host := int(p.dstHost)
+		if s.ejBusy[host] > s.now {
+			return false
+		}
+		s.ejBusy[host] = s.now + pf
+		s.inBusy[c] = s.now + pf
+		s.wheel.schedule(s.now, s.now+pf+s.cfg.LinkDelayCycles, wheelEv{kind: evDeliver, pkt: p})
+		s.returnCredits(c, vc)
+		s.trace(p, "EJECT", "switch", sw, "host", host)
+		s.lastProgress = s.now
+		return true
+	}
+	s.scratch = s.rt.Candidates(p.st, sw, s.scratch[:0])
+	return s.launch(sw, c, vc, p, s.scratch)
+}
+
+// launch picks the best available candidate and starts the transfer.
+// Adaptive candidates are preferred; the escape channel is offered only
+// after the packet has been head-blocked for EscapePatienceCycles (or
+// immediately when the routing function is purely deterministic and has
+// no adaptive options at all).
+func (s *Sim) launch(sw int, c, vc int32, p *packet, cands []Candidate) bool {
+	pf := int32(s.cfg.PacketFlits)
+	bestIdx := -1
+	var bestCredits int32 = -1
+	var bestChan int32
+	hasAdaptive := false
+	for i, cand := range cands {
+		if cand.Escape {
+			continue
+		}
+		hasAdaptive = true
+		oc := s.chanFor(sw, cand)
+		if oc < 0 || s.outBusy[oc] > s.now {
+			continue
+		}
+		cr := s.credits[oc*int32(s.cfg.VCs)+int32(cand.VC)]
+		if cr < pf {
+			continue
+		}
+		if cr > bestCredits {
+			bestIdx, bestCredits, bestChan = i, cr, oc
+		}
+	}
+	if bestIdx < 0 {
+		// No adaptive grant. Consult the escape only without adaptive
+		// options or once patience has run out.
+		patienceUp := !hasAdaptive
+		if hasAdaptive {
+			if p.blockSince < 0 {
+				p.blockSince = s.now
+			}
+			patienceUp = s.now-p.blockSince >= s.cfg.EscapePatienceCycles
+		}
+		if patienceUp {
+			for i, cand := range cands {
+				if !cand.Escape {
+					continue
+				}
+				oc := s.chanFor(sw, cand)
+				if oc < 0 || s.outBusy[oc] > s.now {
+					continue
+				}
+				cr := s.credits[oc*int32(s.cfg.VCs)+int32(cand.VC)]
+				if cr < pf {
+					continue
+				}
+				if cr > bestCredits {
+					bestIdx, bestCredits, bestChan = i, cr, oc
+				}
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return false
+	}
+	p.blockSince = -1
+	cand := cands[bestIdx]
+	if s.inWindow(s.now) {
+		s.grantsInWindow++
+		if cand.Escape {
+			s.escGrantsInWindow++
+		}
+	}
+	pf64 := int64(s.cfg.PacketFlits)
+	s.inBusy[c] = s.now + pf64
+	s.outBusy[bestChan] = s.now + pf64
+	s.credits[bestChan*int32(s.cfg.VCs)+int32(cand.VC)] -= pf
+	if s.inWindow(s.now) {
+		s.chanFlits[bestChan] += pf64
+	}
+	s.wheel.schedule(s.now, s.now+1+s.linkDelay[bestChan], wheelEv{
+		kind:  evArrive,
+		vcIdx: bestChan*int32(s.cfg.VCs) + int32(cand.VC),
+		pkt:   p,
+	})
+	s.returnCredits(c, vc)
+	s.trace(p, "GRANT", "from", sw, "to", cand.Next, "vc", cand.VC, "escape", cand.Escape)
+	p.st.Step++
+	p.st.RtState = cand.NewState
+	s.lastProgress = s.now
+	return true
+}
+
+// returnCredits schedules the freed buffer space of input VC (c, vc) back
+// to the channel's sender once the tail has left and the credit has
+// crossed the wire.
+func (s *Sim) returnCredits(c, vc int32) {
+	s.wheel.schedule(s.now, s.now+int64(s.cfg.PacketFlits)+s.linkDelay[c], wheelEv{
+		kind:  evCredit,
+		vcIdx: c*int32(s.cfg.VCs) + vc,
+		amt:   int32(s.cfg.PacketFlits),
+	})
+}

@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"fmt"
+
+	"dsnet/internal/graph"
+	"dsnet/internal/routing"
+)
+
+// Valiant implements Valiant load balancing on top of the adaptive
+// framework: each packet first routes minimally to a per-packet
+// pseudo-random intermediate switch, then minimally to its destination,
+// trading path length for immunity to adversarial permutations such as
+// tornado traffic. VC 0 remains the up*/down* escape channel; the
+// retarget point starts a fresh legal escape path, so deadlock freedom is
+// unchanged.
+//
+// RtState bit 0 is the escape descent latch; bit 1 records that the
+// intermediate has been reached.
+type Valiant struct {
+	g   *graph.Graph
+	dt  *routing.DistanceTable
+	ud  *routing.UpDown
+	vcs int
+	n   int
+}
+
+const valReached = 0x2
+
+// NewValiant builds the randomized two-phase router.
+func NewValiant(g *graph.Graph, vcs int) (*Valiant, error) {
+	if vcs < 2 {
+		return nil, fmt.Errorf("netsim: Valiant routing needs >= 2 VCs, got %d", vcs)
+	}
+	ud, err := routing.NewUpDown(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Valiant{g: g, dt: routing.NewDistanceTable(g), ud: ud, vcs: vcs, n: g.N()}, nil
+}
+
+// splitmix64 is the standard 64-bit finalizer used to derandomize the
+// intermediate choice per packet.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mid returns the packet's intermediate switch.
+func (r *Valiant) mid(st PacketState) int {
+	return int(splitmix64(uint64(st.PktID)) % uint64(r.n))
+}
+
+// Candidates implements Router.
+func (r *Valiant) Candidates(st PacketState, sw int, buf []Candidate) []Candidate {
+	dst := int(st.DstSw)
+	if sw == dst {
+		return buf
+	}
+	reached := st.RtState&valReached != 0
+	target := dst
+	if !reached {
+		m := r.mid(st)
+		if m == int(st.SrcSw) || m == dst || m == sw {
+			reached = true // degenerate or arrived: go straight to dst
+		} else {
+			target = m
+		}
+	}
+	state := uint8(0)
+	if reached {
+		state = valReached
+	}
+	du := r.dt.D(sw, target)
+	for _, h := range r.g.Neighbors(sw) {
+		if r.dt.D(int(h.To), target) == du-1 {
+			for vc := 1; vc < r.vcs; vc++ {
+				buf = append(buf, Candidate{Next: h.To, VC: int8(vc), NewState: state})
+			}
+		}
+	}
+	next, down := r.ud.NextHop(sw, target, st.RtState&1 != 0)
+	if next >= 0 {
+		esc := state
+		if st.RtState&1 != 0 || down {
+			esc |= 1
+		}
+		buf = append(buf, Candidate{Next: int32(next), VC: 0, Escape: true, NewState: esc})
+	}
+	return buf
+}

@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"testing"
+
+	"dsnet/internal/topology"
+	"dsnet/internal/traffic"
+)
+
+func TestValiantValidation(t *testing.T) {
+	if _, err := NewValiant(torusGraph(t), 1); err == nil {
+		t.Fatal("1 VC accepted")
+	}
+}
+
+func TestValiantDeliversUniform(t *testing.T) {
+	g := torusGraph(t)
+	rt, err := NewValiant(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortCfg()
+	pat := traffic.Uniform{Hosts: 256}
+	sim, err := NewSim(cfg, g, rt, pat, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated || res.DeliveredMeasured == 0 {
+		t.Fatalf("Valiant at 4%% uniform: %v", res)
+	}
+	// Valiant's two phases roughly double the hop count vs minimal.
+	minimal := runSim(t, cfg, g, 0.04)
+	if res.AvgHops < 1.5*minimal.AvgHops {
+		t.Fatalf("Valiant hops %.2f not well above minimal %.2f", res.AvgHops, minimal.AvgHops)
+	}
+	if res.AvgHops > 2.6*minimal.AvgHops {
+		t.Fatalf("Valiant hops %.2f implausibly high vs minimal %.2f", res.AvgHops, minimal.AvgHops)
+	}
+}
+
+// The classic Valiant result: under the adversarial tornado permutation,
+// randomizing the first phase beats minimal routing, which concentrates
+// all load on one ring direction.
+func TestValiantBeatsMinimalOnTornado(t *testing.T) {
+	tor, err := topology.Torus2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tor.Graph()
+	cfg := shortCfg()
+	pat, err := traffic.NewTornado(64, cfg.HostsPerSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 0.12
+	minimal, err := NewDuatoUpDown(g, cfg.VCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simMin, err := NewSim(cfg, g, minimal, pat, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMin, _ := simMin.Run()
+
+	val, err := NewValiant(g, cfg.VCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simVal, err := NewSim(cfg, g, val, pat, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resVal, err := simVal.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resMin.Saturated {
+		t.Fatalf("minimal routing should saturate under tornado at %.0f Gbps/host offered: %v",
+			rate*cfg.LinkGbps, resMin)
+	}
+	if resVal.AcceptedGbps <= resMin.AcceptedGbps {
+		t.Fatalf("Valiant accepted %.2f Gbps not above minimal %.2f under tornado",
+			resVal.AcceptedGbps, resMin.AcceptedGbps)
+	}
+}
+
+func TestValiantDeterministicMid(t *testing.T) {
+	g := torusGraph(t)
+	rt, err := NewValiant(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := PacketState{SrcSw: 0, DstSw: 30, PktID: 42}
+	a := rt.Candidates(st, 5, nil)
+	b := rt.Candidates(st, 5, nil)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic candidates")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic candidates")
+		}
+	}
+	// Different packets spread over different intermediates.
+	mids := map[int]bool{}
+	for id := int64(0); id < 50; id++ {
+		mids[rt.mid(PacketState{PktID: id})] = true
+	}
+	if len(mids) < 20 {
+		t.Fatalf("only %d distinct intermediates over 50 packets", len(mids))
+	}
+}

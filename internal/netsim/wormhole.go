@@ -1,0 +1,573 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dsnet/internal/graph"
+	"dsnet/internal/traffic"
+)
+
+// WormSim is the wormhole-switching counterpart of Sim: virtual-channel
+// flow control with flit-granular credits and buffers that may be smaller
+// than a packet, so a blocked packet stalls in place as a "worm"
+// stretched across several switches, each holding one VC exclusively
+// until the tail passes. Section V.A of the paper discusses deadlock
+// avoidance for exactly this regime ("wormhole or cut-through routing
+// modes").
+//
+// The router pipeline model matches Sim: the header is routable
+// PipelineCycles after arriving, every flit takes 1 cycle on a link plus
+// LinkDelayCycles of wire time, and each input/output port moves at most
+// one flit per cycle.
+type WormSim struct {
+	cfg     Config
+	g       *graph.Graph
+	rt      Router
+	pattern traffic.Pattern
+	rate    float64
+	rng     *rand.Rand
+
+	nSw   int
+	hosts int
+	nChan int
+
+	chanDst   []int32
+	inChans   [][]int32 // through channels first, injection channels last
+	thruCount []int
+
+	// Per (channel, VC) slot state.
+	slotPkt    []*wpacket
+	buffered   []int32
+	readyAt    []int64 // header arrival + pipeline; MaxInt64 until header
+	routed     []bool
+	isEject    []bool
+	outSlot    []int32 // allocated downstream slot (when routed, !isEject)
+	outChan    []int32
+	forwarded  []int32
+	credits    []int32 // buffer space at the slot, as seen by its sender
+	slotOfChan func(c int32, vc int8) int32
+
+	// Per-cycle usage stamps.
+	inUsed  []int64 // per channel
+	outUsed []int64 // per channel
+	ejUsed  []int64 // per host
+
+	// Host injection state.
+	hostQ        [][]*wpacket
+	hostCur      []*wpacket
+	hostSlot     []int32 // allocated injection slot
+	hostInjected []int32
+
+	rrIn     []int
+	orderBuf []int32
+
+	wheel     *timingWheel[wwheelEv]
+	linkDelay []int64 // per-channel wire delay in cycles
+
+	now          int64
+	nextID       int64
+	inFlight     int64
+	lastProgress int64
+
+	genMeasured    int64
+	delMeasured    int64
+	latencySum     int64
+	hopsSum        int64
+	latencies      []int64
+	flitsInWindow  int64
+	deliveredTotal int64
+	generatedTotal int64
+	chanFlits      []int64
+
+	scratch []Candidate
+}
+
+type wpacket struct {
+	id       int64
+	dstHost  int32
+	st       PacketState
+	genCycle int64
+	measured bool
+	// escLocked implements the conservative Duato rule for wormhole: once
+	// a worm enters the escape network it stays there until delivery.
+	// (VCT can safely bounce back to adaptive channels because whole
+	// packets are buffered; a worm stretched across switches cannot.)
+	escLocked bool
+	// blockSince drives the escape-patience policy (see Config).
+	blockSince int64
+}
+
+// wwheelEv is the wormhole engine's timing-wheel event; amt doubles as
+// the head-flit marker for arrivals.
+type wwheelEv struct {
+	kind  uint8
+	vcIdx int32
+	amt   int32
+	pkt   *wpacket
+}
+
+const neverReady = int64(1) << 62
+
+// NewWormSim builds a wormhole simulation. Unlike NewSim, buffers smaller
+// than a packet are permitted (and are the point).
+func NewWormSim(cfg Config, g *graph.Graph, rt Router, p traffic.Pattern, rate float64) (*WormSim, error) {
+	if err := cfg.ValidateWormhole(); err != nil {
+		return nil, err
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("netsim: offered load %g flits/cycle/host outside [0,1]", rate)
+	}
+	nSw := g.N()
+	hosts := nSw * cfg.HostsPerSwitch
+	nChan := 2*g.M() + hosts
+	vcs := cfg.VCs
+	s := &WormSim{
+		cfg: cfg, g: g, rt: rt, pattern: p, rate: rate,
+		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x7ea11e77)),
+		nSw:   nSw,
+		hosts: hosts,
+		nChan: nChan,
+	}
+	s.chanDst = make([]int32, nChan)
+	s.inChans = make([][]int32, nSw)
+	for i, e := range g.Edges() {
+		s.chanDst[2*i] = e.V
+		s.chanDst[2*i+1] = e.U
+		s.inChans[e.V] = append(s.inChans[e.V], int32(2*i))
+		s.inChans[e.U] = append(s.inChans[e.U], int32(2*i+1))
+	}
+	s.thruCount = make([]int, nSw)
+	for sw := range s.inChans {
+		s.thruCount[sw] = len(s.inChans[sw])
+	}
+	for h := 0; h < hosts; h++ {
+		c := 2*g.M() + h
+		sw := h / cfg.HostsPerSwitch
+		s.chanDst[c] = int32(sw)
+		s.inChans[sw] = append(s.inChans[sw], int32(c))
+	}
+	slots := nChan * vcs
+	s.slotPkt = make([]*wpacket, slots)
+	s.buffered = make([]int32, slots)
+	s.readyAt = make([]int64, slots)
+	for i := range s.readyAt {
+		s.readyAt[i] = neverReady
+	}
+	s.routed = make([]bool, slots)
+	s.isEject = make([]bool, slots)
+	s.outSlot = make([]int32, slots)
+	s.outChan = make([]int32, slots)
+	s.forwarded = make([]int32, slots)
+	s.credits = make([]int32, slots)
+	for i := range s.credits {
+		s.credits[i] = int32(cfg.BufFlitsPerVC)
+	}
+	s.slotOfChan = func(c int32, vc int8) int32 { return c*int32(vcs) + int32(vc) }
+	s.inUsed = make([]int64, nChan)
+	s.outUsed = make([]int64, nChan)
+	s.ejUsed = make([]int64, hosts)
+	for i := range s.inUsed {
+		s.inUsed[i] = -1
+		s.outUsed[i] = -1
+	}
+	for i := range s.ejUsed {
+		s.ejUsed[i] = -1
+	}
+	s.hostQ = make([][]*wpacket, hosts)
+	s.hostCur = make([]*wpacket, hosts)
+	s.hostSlot = make([]int32, hosts)
+	s.hostInjected = make([]int32, hosts)
+	s.rrIn = make([]int, nSw)
+	s.chanFlits = make([]int64, nChan)
+	s.linkDelay = make([]int64, nChan)
+	for i := range s.linkDelay {
+		s.linkDelay[i] = cfg.LinkDelayCycles
+	}
+	s.wheel = newTimingWheel[wwheelEv](cfg.LinkDelayCycles + int64(cfg.PipelineCycles) + 4)
+	return s, nil
+}
+
+func (s *WormSim) inWindow(t int64) bool {
+	return t >= s.cfg.WarmupCycles && t < s.cfg.WarmupCycles+s.cfg.MeasureCycles
+}
+
+// Run executes the schedule and returns the aggregated result.
+func (s *WormSim) Run() (Result, error) {
+	end := s.cfg.WarmupCycles + s.cfg.MeasureCycles + s.cfg.DrainCycles
+	for s.now = 0; s.now < end; s.now++ {
+		s.processEvents()
+		s.inject()
+		s.route()
+		s.forward()
+		if s.inFlight > 0 && s.now-s.lastProgress > 250000 {
+			return s.result(), fmt.Errorf("netsim: wormhole made no progress for 250k cycles at %d with %d packets in flight", s.now, s.inFlight)
+		}
+	}
+	return s.result(), nil
+}
+
+func (s *WormSim) processEvents() {
+	for _, ev := range s.wheel.drain(s.now) {
+		switch ev.kind {
+		case evArrive:
+			s.buffered[ev.vcIdx]++
+			if ev.amt == 1 { // head flit
+				s.readyAt[ev.vcIdx] = s.now + s.cfg.PipelineCycles
+			}
+		case evCredit:
+			s.credits[ev.vcIdx]++
+		case evDeliver:
+			s.deliver(ev.pkt, s.now)
+		}
+	}
+}
+
+func (s *WormSim) deliver(p *wpacket, at int64) {
+	s.inFlight--
+	s.deliveredTotal++
+	s.lastProgress = s.now
+	if s.inWindow(at) {
+		s.flitsInWindow += int64(s.cfg.PacketFlits)
+	}
+	if p.measured {
+		s.delMeasured++
+		lat := at - p.genCycle
+		s.latencySum += lat
+		s.latencies = append(s.latencies, lat)
+		s.hopsSum += int64(p.st.Step)
+	}
+}
+
+func (s *WormSim) inject() {
+	pktProb := s.rate / float64(s.cfg.PacketFlits)
+	vcs := s.cfg.VCs
+	for h := 0; h < s.hosts; h++ {
+		if s.rng.Float64() < pktProb {
+			p := &wpacket{
+				id:         s.nextID,
+				genCycle:   s.now,
+				measured:   s.inWindow(s.now),
+				blockSince: -1,
+			}
+			s.nextID++
+			p.st.PktID = p.id
+			p.dstHost = int32(s.pattern.Dest(h, s.rng))
+			p.st.SrcSw = int32(h / s.cfg.HostsPerSwitch)
+			p.st.DstSw = p.dstHost / int32(s.cfg.HostsPerSwitch)
+			s.hostQ[h] = append(s.hostQ[h], p)
+			s.generatedTotal++
+			if p.measured {
+				s.genMeasured++
+			}
+			s.inFlight++
+		}
+		// Claim an injection VC for the next packet.
+		if s.hostCur[h] == nil && len(s.hostQ[h]) > 0 {
+			c := int32(2*s.g.M() + h)
+			for vc := 0; vc < vcs; vc++ {
+				slot := s.slotOfChan(c, int8(vc))
+				if s.slotPkt[slot] == nil {
+					p := s.hostQ[h][0]
+					s.hostQ[h] = s.hostQ[h][1:]
+					s.hostCur[h] = p
+					s.hostSlot[h] = slot
+					s.hostInjected[h] = 0
+					s.slotPkt[slot] = p
+					break
+				}
+			}
+		}
+		// Inject one flit per cycle while credits allow.
+		if p := s.hostCur[h]; p != nil {
+			slot := s.hostSlot[h]
+			if s.credits[slot] > 0 {
+				s.credits[slot]--
+				s.hostInjected[h]++
+				var head int32
+				if s.hostInjected[h] == 1 {
+					head = 1
+				}
+				s.wheel.schedule(s.now, s.now+1+s.linkDelay[int(slot)/s.cfg.VCs], wwheelEv{
+					kind:  evArrive,
+					vcIdx: slot,
+					amt:   head,
+				})
+				s.lastProgress = s.now
+				if s.hostInjected[h] == int32(s.cfg.PacketFlits) {
+					s.hostCur[h] = nil // tail sent; slot frees downstream
+				}
+			}
+		}
+	}
+}
+
+// route performs VC allocation: headers that have cleared the pipeline
+// claim a downstream VC (or the ejection port).
+func (s *WormSim) route() {
+	vcs := s.cfg.VCs
+	for sw := 0; sw < s.nSw; sw++ {
+		for _, c := range s.inChans[sw] {
+			for vc := 0; vc < vcs; vc++ {
+				slot := s.slotOfChan(c, int8(vc))
+				p := s.slotPkt[slot]
+				if p == nil || s.routed[slot] || s.readyAt[slot] > s.now {
+					continue
+				}
+				if p.st.DstSw == int32(sw) {
+					s.routed[slot] = true
+					s.isEject[slot] = true
+					s.lastProgress = s.now
+					continue
+				}
+				s.scratch = s.rt.Candidates(p.st, sw, s.scratch[:0])
+				bestSlot, bestChan := int32(-1), int32(-1)
+				var bestCr int32 = -1
+				bestEscape := false
+				var bestState uint8
+				hasAdaptive := false
+				for _, cand := range s.scratch {
+					if cand.Escape || p.escLocked {
+						if !cand.Escape {
+							continue
+						}
+					} else {
+						hasAdaptive = true
+					}
+					if cand.Escape && !p.escLocked {
+						continue // escape considered below, after patience
+					}
+					oc := s.chanFor(sw, cand)
+					if oc < 0 {
+						continue
+					}
+					oslot := s.slotOfChan(oc, cand.VC)
+					if s.slotPkt[oslot] != nil {
+						continue
+					}
+					if cr := s.credits[oslot]; cr > bestCr {
+						bestSlot, bestChan, bestCr, bestEscape, bestState = oslot, oc, cr, cand.Escape, cand.NewState
+					}
+				}
+				if bestSlot < 0 && !p.escLocked {
+					patienceUp := !hasAdaptive
+					if hasAdaptive {
+						if p.blockSince < 0 {
+							p.blockSince = s.now
+						}
+						patienceUp = s.now-p.blockSince >= s.cfg.EscapePatienceCycles
+					}
+					if patienceUp {
+						for _, cand := range s.scratch {
+							if !cand.Escape {
+								continue
+							}
+							oc := s.chanFor(sw, cand)
+							if oc < 0 {
+								continue
+							}
+							oslot := s.slotOfChan(oc, cand.VC)
+							if s.slotPkt[oslot] != nil {
+								continue
+							}
+							if cr := s.credits[oslot]; cr > bestCr {
+								bestSlot, bestChan, bestCr, bestEscape, bestState = oslot, oc, cr, cand.Escape, cand.NewState
+							}
+						}
+					}
+				}
+				if bestSlot < 0 {
+					continue
+				}
+				p.blockSince = -1
+				s.routed[slot] = true
+				s.outSlot[slot] = bestSlot
+				s.outChan[slot] = bestChan
+				s.slotPkt[bestSlot] = p // claim downstream VC
+				p.st.Step++
+				p.st.RtState = bestState
+				if bestEscape {
+					p.escLocked = true
+				}
+				s.lastProgress = s.now
+			}
+		}
+	}
+}
+
+// chanFor resolves a candidate to a directed channel, honoring a pinned
+// physical edge when the router specified one.
+func (s *WormSim) chanFor(sw int, cand Candidate) int32 {
+	if ei := cand.pinnedEdge(); ei >= 0 {
+		e := s.g.Edge(int(ei))
+		if e.U == int32(sw) && e.V == cand.Next {
+			return 2 * ei
+		}
+		if e.V == int32(sw) && e.U == cand.Next {
+			return 2*ei + 1
+		}
+		return -1
+	}
+	return s.findOutChan(sw, int(cand.Next))
+}
+
+// findOutChan locates a directed channel from sw to next, preferring one
+// whose output port is idle this cycle.
+func (s *WormSim) findOutChan(sw, next int) int32 {
+	best := int32(-1)
+	for _, h := range s.g.Neighbors(sw) {
+		if int(h.To) != next {
+			continue
+		}
+		e := s.g.Edge(int(h.Edge))
+		c := 2 * h.Edge
+		if int32(sw) != e.U {
+			c = 2*h.Edge + 1
+		}
+		if s.outUsed[c] != s.now {
+			return c
+		}
+		if best < 0 {
+			best = c
+		}
+	}
+	return best
+}
+
+// forward moves flits: one per input port and one per output port per
+// cycle.
+func (s *WormSim) forward() {
+	vcs := s.cfg.VCs
+	pf := int32(s.cfg.PacketFlits)
+	for sw := 0; sw < s.nSw; sw++ {
+		ins := s.inChans[sw]
+		if len(ins) == 0 {
+			continue
+		}
+		// Through traffic first (round-robin), injection channels after.
+		thru := ins[:s.thruCount[sw]]
+		var order []int32
+		if len(thru) > 0 {
+			start := s.rrIn[sw] % len(thru)
+			s.orderBuf = s.orderBuf[:0]
+			for k := 0; k < len(thru); k++ {
+				s.orderBuf = append(s.orderBuf, thru[(start+k)%len(thru)])
+			}
+			s.orderBuf = append(s.orderBuf, ins[s.thruCount[sw]:]...)
+			order = s.orderBuf
+		} else {
+			order = ins
+		}
+		moved := false
+		for _, c := range order {
+			if s.inUsed[c] == s.now {
+				continue
+			}
+			for vc := 0; vc < vcs; vc++ {
+				slot := s.slotOfChan(c, int8(vc))
+				p := s.slotPkt[slot]
+				if p == nil || !s.routed[slot] || s.buffered[slot] == 0 {
+					continue
+				}
+				if s.isEject[slot] {
+					host := int(p.dstHost)
+					if s.ejUsed[host] == s.now {
+						continue
+					}
+					s.ejUsed[host] = s.now
+					s.moveFlit(c, slot, p, pf, true, -1, -1)
+					break
+				}
+				oc := s.outChan[slot]
+				oslot := s.outSlot[slot]
+				if s.outUsed[oc] == s.now || s.credits[oslot] == 0 {
+					continue
+				}
+				s.outUsed[oc] = s.now
+				s.moveFlit(c, slot, p, pf, false, oc, oslot)
+				break
+			}
+			if s.inUsed[c] == s.now {
+				moved = true
+			}
+		}
+		if moved {
+			s.rrIn[sw]++
+		}
+	}
+}
+
+// moveFlit transfers one flit out of slot, handling tail bookkeeping.
+func (s *WormSim) moveFlit(c, slot int32, p *wpacket, pf int32, eject bool, oc, oslot int32) {
+	s.inUsed[c] = s.now
+	s.buffered[slot]--
+	s.forwarded[slot]++
+	// Return the freed buffer space to this slot's sender over its wire.
+	s.wheel.schedule(s.now, s.now+1+s.linkDelay[c], wwheelEv{kind: evCredit, vcIdx: slot})
+	if eject {
+		if s.forwarded[slot] == pf {
+			s.wheel.schedule(s.now, s.now+1+s.cfg.LinkDelayCycles, wwheelEv{kind: evDeliver, pkt: p})
+			s.freeSlot(slot)
+		}
+		s.lastProgress = s.now
+		return
+	}
+	if s.inWindow(s.now) {
+		s.chanFlits[oc]++
+	}
+	s.credits[oslot]--
+	var head int32
+	if s.forwarded[slot] == 1 {
+		head = 1
+	}
+	s.wheel.schedule(s.now, s.now+1+s.linkDelay[oc], wwheelEv{
+		kind:  evArrive,
+		vcIdx: oslot,
+		amt:   head,
+	})
+	if s.forwarded[slot] == pf {
+		s.freeSlot(slot)
+	}
+	s.lastProgress = s.now
+}
+
+func (s *WormSim) freeSlot(slot int32) {
+	s.slotPkt[slot] = nil
+	s.routed[slot] = false
+	s.isEject[slot] = false
+	s.forwarded[slot] = 0
+	s.readyAt[slot] = neverReady
+}
+
+func (s *WormSim) result() Result {
+	cyc := s.cfg.CycleNS()
+	r := Result{
+		OfferedFlitsPerCycle: s.rate,
+		OfferedGbps:          s.rate * s.cfg.GbpsPerFlitPerCycle(),
+		GeneratedMeasured:    s.genMeasured,
+		DeliveredMeasured:    s.delMeasured,
+		DeliveredTotal:       s.deliveredTotal,
+		GeneratedTotal:       s.generatedTotal,
+		InFlightAtEnd:        s.inFlight,
+		ChannelFlits:         s.chanFlits[:2*s.g.M()],
+	}
+	flitsPerHostPerCycle := float64(s.flitsInWindow) / float64(s.cfg.MeasureCycles) / float64(s.hosts)
+	r.AcceptedGbps = flitsPerHostPerCycle * s.cfg.GbpsPerFlitPerCycle()
+	if s.delMeasured > 0 {
+		r.AvgLatencyNS = float64(s.latencySum) / float64(s.delMeasured) * cyc
+		r.AvgHops = float64(s.hopsSum) / float64(s.delMeasured)
+		sorted := append([]int64(nil), s.latencies...)
+		sortInt64s(sorted)
+		idx := int(float64(len(sorted)) * 0.99)
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		r.P99LatencyNS = float64(sorted[idx]) * cyc
+		r.MaxLatencyNS = float64(sorted[len(sorted)-1]) * cyc
+	}
+	if s.genMeasured > 0 {
+		undelivered := s.genMeasured - s.delMeasured
+		r.Saturated = float64(undelivered) > 0.02*float64(s.genMeasured)
+	}
+	return r
+}

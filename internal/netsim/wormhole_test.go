@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"dsnet/internal/core"
+	"dsnet/internal/traffic"
+)
+
+func wormCfg() Config {
+	c := Default()
+	// Smaller than a packet (wormhole regime) but at least the credit
+	// round trip (2*(1+linkDelay)+1 = 19 cycles), so an uncontended worm
+	// streams at full rate.
+	c.BufFlitsPerVC = 20
+	c.WarmupCycles = 3000
+	c.MeasureCycles = 6000
+	c.DrainCycles = 10000
+	return c
+}
+
+func runWorm(t *testing.T, cfg Config, rate float64) Result {
+	t.Helper()
+	g := torusGraph(t)
+	rt, err := NewDuatoUpDown(g, cfg.VCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := traffic.Uniform{Hosts: g.N() * cfg.HostsPerSwitch}
+	s, err := NewWormSim(cfg, g, rt, pat, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWormValidate(t *testing.T) {
+	cfg := wormCfg()
+	cfg.BufFlitsPerVC = 0
+	g := torusGraph(t)
+	rt, err := NewDuatoUpDown(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWormSim(cfg, g, rt, traffic.Uniform{Hosts: 256}, 0.1); err == nil {
+		t.Fatal("zero buffers accepted")
+	}
+	if _, err := NewWormSim(wormCfg(), g, rt, traffic.Uniform{Hosts: 256}, -1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	// Wormhole config is not valid for VCT...
+	if err := wormCfg().Validate(); err == nil {
+		t.Fatal("VCT validation passed sub-packet buffers")
+	}
+	// ...but is valid for wormhole.
+	if err := wormCfg().ValidateWormhole(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWormDeliversAndConserves(t *testing.T) {
+	res := runWorm(t, wormCfg(), 0.05)
+	if res.DeliveredMeasured == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.GeneratedTotal != res.DeliveredTotal+res.InFlightAtEnd {
+		t.Fatalf("conservation violated: gen=%d del=%d inflight=%d",
+			res.GeneratedTotal, res.DeliveredTotal, res.InFlightAtEnd)
+	}
+	if res.Saturated {
+		t.Fatalf("saturated at 5%% load: %v", res)
+	}
+}
+
+// Wormhole zero-load latency matches VCT's: cut-through pipelining makes
+// the buffer size irrelevant without contention.
+func TestWormZeroLoadMatchesVCT(t *testing.T) {
+	worm := runWorm(t, wormCfg(), 0.01)
+	vctCfg := wormCfg()
+	vctCfg.BufFlitsPerVC = vctCfg.PacketFlits
+	vct := runSim(t, vctCfg, torusGraph(t), 0.01)
+	if math.Abs(worm.AvgLatencyNS-vct.AvgLatencyNS) > 0.06*vct.AvgLatencyNS {
+		t.Fatalf("wormhole zero-load %.0f ns vs VCT %.0f ns", worm.AvgLatencyNS, vct.AvgLatencyNS)
+	}
+}
+
+// Under contention, wormhole saturates earlier than VCT: blocked worms
+// hold channels across switches instead of absorbing into buffers.
+func TestWormSaturatesEarlierThanVCT(t *testing.T) {
+	rate := 0.22
+	worm := runWorm(t, wormCfg(), rate)
+	vctCfg := wormCfg()
+	vctCfg.BufFlitsPerVC = vctCfg.PacketFlits
+	vct := runSim(t, vctCfg, torusGraph(t), rate)
+	if worm.AcceptedGbps > vct.AcceptedGbps*1.02 {
+		t.Fatalf("wormhole accepted %.2f Gbps above VCT %.2f at heavy load", worm.AcceptedGbps, vct.AcceptedGbps)
+	}
+}
+
+// Buffers below the credit round trip throttle even an uncontended worm:
+// the sender stalls waiting for credits, a real flow-control effect the
+// flit-level engine captures.
+func TestWormTinyBuffersThrottle(t *testing.T) {
+	tiny := wormCfg()
+	tiny.BufFlitsPerVC = 6 // far below the 19-cycle credit RTT
+	slow := runWorm(t, tiny, 0.01)
+	fast := runWorm(t, wormCfg(), 0.01)
+	if slow.AvgLatencyNS <= fast.AvgLatencyNS*1.05 {
+		t.Fatalf("6-flit buffers latency %.0f ns not above RTT-sized buffers %.0f ns",
+			slow.AvgLatencyNS, fast.AvgLatencyNS)
+	}
+}
+
+func TestWormDeterminism(t *testing.T) {
+	a := runWorm(t, wormCfg(), 0.08)
+	b := runWorm(t, wormCfg(), 0.08)
+	if a.AvgLatencyNS != b.AvgLatencyNS || a.DeliveredTotal != b.DeliveredTotal {
+		t.Fatal("same seed diverged")
+	}
+}
+
+// The DSN source-routed custom routing also drives the wormhole engine:
+// its channel classes were designed for exactly this switching mode
+// (Section V.A).
+func TestWormWithDSNCustomRouting(t *testing.T) {
+	d, err := core.NewV(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewDSNSourceRouted(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := wormCfg()
+	pat := traffic.Uniform{Hosts: d.N * cfg.HostsPerSwitch}
+	s, err := NewWormSim(cfg, d.Graph(), rt, pat, 0.008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredMeasured == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.Saturated {
+		t.Fatalf("custom wormhole saturated at 0.8%% load: %v", res)
+	}
+}
+
+func TestWormHighLoadNoDeadlock(t *testing.T) {
+	// Past saturation the watchdog must not trip: the escape network
+	// keeps draining worms.
+	cfg := wormCfg()
+	cfg.WarmupCycles = 2000
+	cfg.MeasureCycles = 4000
+	cfg.DrainCycles = 4000
+	res := runWorm(t, cfg, 0.6)
+	if !res.Saturated {
+		t.Fatalf("60%% offered load should saturate small-buffer wormhole: %v", res)
+	}
+	if res.DeliveredTotal == 0 {
+		t.Fatal("nothing delivered at all: deadlock?")
+	}
+}

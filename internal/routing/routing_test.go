@@ -1,0 +1,433 @@
+package routing
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/topology"
+)
+
+func torus8x8(t *testing.T) *topology.Torus {
+	t.Helper()
+	tor, err := topology.Torus2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tor
+}
+
+func TestDistanceTable(t *testing.T) {
+	tor := torus8x8(t)
+	dt := NewDistanceTable(tor.Graph())
+	if err := dt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < tor.N(); s += 5 {
+		for d := 0; d < tor.N(); d += 3 {
+			if int(dt.D(s, d)) != tor.HopDist(s, d) {
+				t.Fatalf("D(%d,%d)=%d, want %d", s, d, dt.D(s, d), tor.HopDist(s, d))
+			}
+		}
+	}
+}
+
+func TestDistanceTableUnreachable(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, graph.KindRing)
+	dt := NewDistanceTable(g)
+	if dt.D(0, 3) != graph.Unreachable {
+		t.Fatalf("D(0,3)=%d", dt.D(0, 3))
+	}
+}
+
+func TestMinimalNextHops(t *testing.T) {
+	tor := torus8x8(t)
+	dt := NewDistanceTable(tor.Graph())
+	// From (0,0) to (2,2): both +row and +col neighbors are minimal.
+	s, d := tor.ID([]int{0, 0}), tor.ID([]int{2, 2})
+	hops := dt.MinimalNextHops(tor.Graph(), s, d, nil)
+	if len(hops) != 2 {
+		t.Fatalf("minimal next hops %v, want 2 candidates", hops)
+	}
+	for _, h := range hops {
+		if dt.D(int(h), d) != dt.D(s, d)-1 {
+			t.Fatalf("next hop %d not minimal", h)
+		}
+	}
+	if got := dt.MinimalNextHops(tor.Graph(), d, d, nil); len(got) != 0 {
+		t.Fatalf("self next hops %v", got)
+	}
+}
+
+func TestUpDownPathsValid(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"torus8x8", torus8x8(t).Graph()},
+		{"dln-2-2", mustDLN22(t, 64)},
+		{"dsn", mustDSN(t, 64).Graph()},
+	} {
+		ud, err := NewUpDown(build.g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", build.name, err)
+		}
+		n := build.g.N()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				path, err := ud.Path(s, d)
+				if err != nil {
+					t.Fatalf("%s: path(%d,%d): %v", build.name, s, d, err)
+				}
+				if path[0] != s || path[len(path)-1] != d {
+					t.Fatalf("%s: path endpoints %v", build.name, path)
+				}
+				descended := false
+				for i := 0; i+1 < len(path); i++ {
+					if !build.g.HasEdge(path[i], path[i+1]) {
+						t.Fatalf("%s: path %v rides missing edge", build.name, path)
+					}
+					down := !ud.IsUp(path[i], path[i+1])
+					if descended && !down {
+						t.Fatalf("%s: path %v goes up after down at hop %d", build.name, path, i)
+					}
+					descended = descended || down
+				}
+			}
+		}
+	}
+}
+
+func mustDLN22(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := topology.DLNRandom(n, 2, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustDSN(t *testing.T, n int) *core.DSN {
+	t.Helper()
+	d, err := core.New(n, core.CeilLog2(n)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestUpDownShortestLegal(t *testing.T) {
+	// On a tree every path is legal, so up*/down* must match BFS exactly.
+	g := graph.New(7)
+	// Balanced binary tree rooted at 0.
+	g.AddEdge(0, 1, graph.KindRing)
+	g.AddEdge(0, 2, graph.KindRing)
+	g.AddEdge(1, 3, graph.KindRing)
+	g.AddEdge(1, 4, graph.KindRing)
+	g.AddEdge(2, 5, graph.KindRing)
+	g.AddEdge(2, 6, graph.KindRing)
+	ud, err := NewUpDown(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 7; s++ {
+		dist := g.BFS(s)
+		for d := 0; d < 7; d++ {
+			l, err := ud.PathLen(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int32(l) != dist[d] {
+				t.Fatalf("path(%d,%d) length %d, BFS %d", s, d, l, dist[d])
+			}
+		}
+	}
+}
+
+func TestUpDownAtLeastShortest(t *testing.T) {
+	g := mustDLN22(t, 128)
+	ud, err := NewUpDown(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := NewDistanceTable(g)
+	for s := 0; s < 128; s += 3 {
+		for d := 0; d < 128; d += 5 {
+			l, err := ud.PathLen(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int32(l) < dt.D(s, d) {
+				t.Fatalf("up*/down* path %d->%d shorter than shortest path", s, d)
+			}
+		}
+	}
+}
+
+func TestUpDownValidation(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, graph.KindRing)
+	if _, err := NewUpDown(g, 0); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+	if _, err := NewUpDown(g, 9); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+// up*/down* is deadlock-free: its CDG over all routes must be acyclic.
+func TestUpDownCDGAcyclic(t *testing.T) {
+	for _, n := range []int{32, 64} {
+		g := mustDLN22(t, n)
+		ud, err := NewUpDown(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdg := NewCDG()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				path, err := ud.Path(s, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hops := make([]ChannelHop, 0, len(path))
+				for i := 0; i+1 < len(path); i++ {
+					hops = append(hops, ChannelHop{From: int32(path[i]), To: int32(path[i+1])})
+				}
+				cdg.AddRoute(hops)
+			}
+		}
+		if cyc := cdg.FindCycle(); cyc != nil {
+			t.Fatalf("n=%d: up*/down* CDG has a cycle: %v", n, cyc)
+		}
+	}
+}
+
+func TestDORPaths(t *testing.T) {
+	tor := torus8x8(t)
+	d := NewDOR(tor)
+	for s := 0; s < tor.N(); s++ {
+		for dst := 0; dst < tor.N(); dst++ {
+			p, err := d.Path(s, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p[0] != s || p[len(p)-1] != dst {
+				t.Fatalf("DOR path endpoints %v", p)
+			}
+			// DOR on a torus is minimal.
+			if len(p)-1 != tor.HopDist(s, dst) {
+				t.Fatalf("DOR path %d->%d length %d, want %d", s, dst, len(p)-1, tor.HopDist(s, dst))
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if !tor.Graph().HasEdge(p[i], p[i+1]) {
+					t.Fatalf("DOR path rides missing edge")
+				}
+			}
+		}
+	}
+}
+
+func TestDORDimensionOrder(t *testing.T) {
+	tor := torus8x8(t)
+	d := NewDOR(tor)
+	p, err := d.Path(tor.ID([]int{0, 0}), tor.ID([]int{3, 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dimension 0 must be fully corrected before dimension 1 moves.
+	colMoved := false
+	for i := 0; i+1 < len(p); i++ {
+		a, b := tor.Coord(p[i]), tor.Coord(p[i+1])
+		if a[1] != b[1] {
+			colMoved = true
+		}
+		if a[0] != b[0] && colMoved {
+			t.Fatalf("DOR moved dim 0 after dim 1: %v", p)
+		}
+	}
+}
+
+func TestCDGCycleDetection(t *testing.T) {
+	cdg := NewCDG()
+	// A three-channel ring of dependencies.
+	a := ChannelHop{From: 0, To: 1}
+	b := ChannelHop{From: 1, To: 2}
+	c := ChannelHop{From: 2, To: 0}
+	cdg.AddRoute([]ChannelHop{a, b})
+	cdg.AddRoute([]ChannelHop{b, c})
+	if cdg.FindCycle() != nil {
+		t.Fatal("no cycle yet")
+	}
+	cdg.AddRoute([]ChannelHop{c, a})
+	cyc := cdg.FindCycle()
+	if cyc == nil {
+		t.Fatal("cycle not found")
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("cycle %v not closed", cyc)
+	}
+	if len(cyc) != 4 {
+		t.Fatalf("cycle %v, want 3 channels + closure", cyc)
+	}
+}
+
+func TestCDGClassesSeparateChannels(t *testing.T) {
+	cdg := NewCDG()
+	// Same physical direction, different classes: no cycle.
+	cdg.AddRoute([]ChannelHop{{0, 1, 0}, {1, 0, 0}})
+	cdg.AddRoute([]ChannelHop{{1, 0, 1}, {0, 1, 1}})
+	if cdg.FindCycle() != nil {
+		t.Fatal("distinct classes must not alias")
+	}
+	if cdg.Channels() != 4 {
+		t.Fatalf("channels=%d, want 4", cdg.Channels())
+	}
+	// Same classes: the 2-cycle appears.
+	cdg.AddRoute([]ChannelHop{{0, 1, 0}, {1, 0, 0}})
+	cdg.AddRoute([]ChannelHop{{1, 0, 0}, {0, 1, 0}})
+	if cdg.FindCycle() == nil {
+		t.Fatal("2-cycle not detected")
+	}
+}
+
+func dsnRouteChannels(t *testing.T, d *core.DSN) *CDG {
+	t.Helper()
+	cdg := NewCDG()
+	hops := make([]ChannelHop, 0, 64)
+	for s := 0; s < d.N; s++ {
+		for dst := 0; dst < d.N; dst++ {
+			r, err := d.Route(s, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops = hops[:0]
+			for _, h := range r.Hops {
+				hops = append(hops, ChannelHop{From: h.From, To: h.To, Class: uint8(h.Class)})
+			}
+			cdg.AddRoute(hops)
+		}
+	}
+	return cdg
+}
+
+// Theorem 3: DSN-E's extended routing (Up links in PRE-WORK, Extra links
+// in the FINISH window, a dedicated finishing class) is deadlock-free.
+func TestDSNEDeadlockFree(t *testing.T) {
+	for _, n := range []int{36, 60, 126, 256} {
+		d, err := core.NewE(n)
+		if err != nil {
+			if n == 256 { // p=8, 256%8==0 should work
+				t.Fatal(err)
+			}
+			continue
+		}
+		cdg := dsnRouteChannels(t, d)
+		if cyc := cdg.FindCycle(); cyc != nil {
+			t.Fatalf("n=%d: DSN-E CDG cycle: %v", n, cyc)
+		}
+	}
+}
+
+// DSN-V (virtual channels instead of dedicated links) is equally
+// deadlock-free, as the channel classes are identical.
+func TestDSNVDeadlockFree(t *testing.T) {
+	d, err := core.NewV(126)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdg := dsnRouteChannels(t, d)
+	if cyc := cdg.FindCycle(); cyc != nil {
+		t.Fatalf("DSN-V CDG cycle: %v", cyc)
+	}
+}
+
+// The basic DSN routing without the Section V.A channels is NOT
+// deadlock-free: the FINISH phase shares ring channels with the other
+// phases and closes a dependency cycle around the ring. This is exactly
+// the motivation for DSN-E/DSN-V.
+func TestBasicDSNRoutingHasCDGCycle(t *testing.T) {
+	d := mustDSN(t, 64)
+	cdg := dsnRouteChannels(t, d)
+	if cdg.FindCycle() == nil {
+		t.Fatal("expected a CDG cycle in basic DSN routing; Section V.A would be unnecessary")
+	}
+}
+
+func TestQuickUpDownTermination(t *testing.T) {
+	f := func(seed uint64, rawN, rawS, rawD uint16) bool {
+		n := 16 + 2*int(rawN%120)
+		g, err := topology.DLNRandom(n, 2, 2, seed)
+		if err != nil {
+			return false
+		}
+		ud, err := NewUpDown(g, 0)
+		if err != nil {
+			return true // rare disconnected instance: nothing to check
+		}
+		s, d := int(rawS)%n, int(rawD)%n
+		path, err := ud.Path(s, d)
+		if err != nil {
+			return false
+		}
+		return path[0] == s && path[len(path)-1] == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDORMinimal(t *testing.T) {
+	f := func(rawR, rawC uint8, rawS, rawD uint16) bool {
+		rows := 3 + int(rawR%8)
+		cols := 3 + int(rawC%8)
+		tor, err := topology.Torus2D(rows, cols)
+		if err != nil {
+			return false
+		}
+		d := NewDOR(tor)
+		s, dst := int(rawS)%tor.N(), int(rawD)%tor.N()
+		l, err := d.PathLen(s, dst)
+		if err != nil {
+			return false
+		}
+		return l == tor.HopDist(s, dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var benchSink int
+
+func BenchmarkUpDownBuild64(b *testing.B) {
+	g, err := topology.DLNRandom(64, 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		ud, err := NewUpDown(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ud.Root
+	}
+}
+
+func BenchmarkDistanceTable256(b *testing.B) {
+	g, err := topology.DLNRandom(256, 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		dt := NewDistanceTable(g)
+		benchSink = int(dt.D(0, 255))
+	}
+}
+
+func init() {
+	_ = rand.Int // keep math/rand/v2 imported for future property tests
+}

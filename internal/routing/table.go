@@ -1,0 +1,114 @@
+// Package routing implements the routing machinery the paper's evaluation
+// relies on: all-pairs distance tables, minimal adaptive next-hop sets,
+// the topology-agnostic up*/down* algorithm used for escape paths
+// (Silla & Duato [24]), dimension-order routing for tori, and a channel
+// dependency graph checker used to verify deadlock freedom (Theorem 3).
+package routing
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dsnet/internal/graph"
+)
+
+// DistanceTable holds all-pairs hop distances of a graph, row-major:
+// Dist[s*n+t]. Built once and shared by the adaptive routing function and
+// the analysis code.
+type DistanceTable struct {
+	N    int
+	Dist []int32
+}
+
+// NewDistanceTable computes all-pairs BFS distances, fanned out across
+// GOMAXPROCS workers.
+func NewDistanceTable(g *graph.Graph) *DistanceTable {
+	n := g.N()
+	t := &DistanceTable{N: n, Dist: make([]int32, n*n)}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	srcs := make(chan int, workers)
+	go func() {
+		for s := 0; s < n; s++ {
+			srcs <- s
+		}
+		close(srcs)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range srcs {
+				row := t.Dist[s*n : (s+1)*n]
+				bfsRow(g, s, row)
+			}
+		}()
+	}
+	wg.Wait()
+	return t
+}
+
+func bfsRow(g *graph.Graph, src int, dist []int32) {
+	for i := range dist {
+		dist[i] = graph.Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, len(dist))
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, h := range g.Neighbors(int(u)) {
+			if dist[h.To] == graph.Unreachable {
+				dist[h.To] = du + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+}
+
+// D returns the hop distance from s to t.
+func (t *DistanceTable) D(s, dst int) int32 { return t.Dist[s*t.N+dst] }
+
+// MinimalNextHops returns the neighbors of u that lie on a shortest path
+// to dst (empty when dst is unreachable or u == dst). The result reuses an
+// internal buffer only if buf is supplied; pass nil for a fresh slice.
+func (t *DistanceTable) MinimalNextHops(g *graph.Graph, u, dst int, buf []int32) []int32 {
+	out := buf[:0]
+	if u == dst {
+		return out
+	}
+	du := t.D(u, dst)
+	if du == graph.Unreachable {
+		return out
+	}
+	for _, h := range g.Neighbors(u) {
+		if t.D(int(h.To), dst) == du-1 {
+			out = append(out, h.To)
+		}
+	}
+	return out
+}
+
+// Validate cross-checks a few table invariants (diagonal zero, symmetry
+// for undirected graphs) and returns the first violation.
+func (t *DistanceTable) Validate() error {
+	for s := 0; s < t.N; s++ {
+		if t.D(s, s) != 0 {
+			return fmt.Errorf("routing: dist(%d,%d) = %d", s, s, t.D(s, s))
+		}
+		for d := s + 1; d < t.N; d++ {
+			if t.D(s, d) != t.D(d, s) {
+				return fmt.Errorf("routing: dist(%d,%d)=%d != dist(%d,%d)=%d", s, d, t.D(s, d), d, s, t.D(d, s))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"dsnet/internal/graph"
+)
+
+// UpDown implements up*/down* routing [13][24]: links are oriented by a
+// BFS spanning tree from a root (toward-root is "up"; ties broken by lower
+// switch ID), and a legal path traverses zero or more up links followed by
+// zero or more down links. The orientation is acyclic, so restricting an
+// escape virtual channel to up*/down* paths makes any adaptive scheme
+// layered on top deadlock-free (Duato's theory).
+//
+// For every (current, destination, descended) state the precomputed
+// tables give one deterministic shortest legal next hop.
+type UpDown struct {
+	g    *graph.Graph
+	n    int
+	Root int
+
+	order []int32 // (bfsLevel, id) rank per switch; up = decreasing rank
+
+	// nextAny[u*n+dst]: next hop on a shortest legal path when the packet
+	// has not descended yet; nextDown[u*n+dst]: next hop when it has
+	// (down moves only). -1 when no legal continuation exists.
+	nextAny  []int32
+	nextDown []int32
+	// moveIsDown[u*n+dst]: whether the nextAny hop is a down traversal
+	// (after which the packet must keep descending).
+	moveIsDown []bool
+}
+
+// NewUpDown builds up*/down* tables for g rooted at root. The graph must
+// be connected.
+func NewUpDown(g *graph.Graph, root int) (*UpDown, error) {
+	n := g.N()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("routing: up*/down* root %d out of range [0,%d)", root, n)
+	}
+	level := g.BFS(root)
+	for v, l := range level {
+		if l == graph.Unreachable {
+			return nil, fmt.Errorf("routing: up*/down* needs a connected graph; switch %d unreachable from root", v)
+		}
+	}
+	u := &UpDown{
+		g: g, n: n, Root: root,
+		order:      make([]int32, n),
+		nextAny:    make([]int32, n*n),
+		nextDown:   make([]int32, n*n),
+		moveIsDown: make([]bool, n*n),
+	}
+	// Rank switches by (BFS level, ID): up traversals strictly decrease
+	// the rank, so the up digraph is acyclic.
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if level[ids[a]] != level[ids[b]] {
+			return level[ids[a]] < level[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	for rank, id := range ids {
+		u.order[id] = int32(rank)
+	}
+	for dst := 0; dst < n; dst++ {
+		u.buildDst(dst, ids)
+	}
+	return u, nil
+}
+
+// IsUp reports whether traversing from a to b is an up move.
+func (u *UpDown) IsUp(a, b int) bool { return u.order[b] < u.order[a] }
+
+// buildDst fills the next-hop tables toward dst. ids holds all switches in
+// ascending rank order (root first).
+func (u *UpDown) buildDst(dst int, ids []int) {
+	n := u.n
+	const inf = int32(1) << 30
+	// ddist[v]: shortest down-only distance from v to dst. Down moves
+	// strictly increase... no: a down move from v goes to w with
+	// rank(w) > rank(v). So compute by scanning ranks in DESCENDING order:
+	// ddist[v] = 1 + min over down-neighbors w (rank(w) > rank(v)).
+	ddist := make([]int32, n)
+	for i := range ddist {
+		ddist[i] = inf
+	}
+	ddist[dst] = 0
+	dnext := make([]int32, n)
+	for i := range dnext {
+		dnext[i] = -1
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := ids[i]
+		if v == dst {
+			continue
+		}
+		for _, h := range u.g.Neighbors(v) {
+			w := int(h.To)
+			if u.order[w] > u.order[v] && ddist[w]+1 < ddist[v] { // down move
+				ddist[v] = ddist[w] + 1
+				dnext[v] = h.To
+			}
+		}
+	}
+	// full[v]: shortest legal (up* then down*) distance. An up move from v
+	// goes to w with rank(w) < rank(v), so process ranks in ASCENDING
+	// order; full[v] = min(ddist[v], 1 + min over up-neighbors full[w]).
+	full := make([]int32, n)
+	anext := make([]int32, n)
+	adown := make([]bool, n)
+	for i := 0; i < n; i++ {
+		v := ids[i]
+		full[v] = ddist[v]
+		anext[v] = dnext[v]
+		adown[v] = dnext[v] >= 0
+		if v == dst {
+			full[v], anext[v], adown[v] = 0, -1, false
+			continue
+		}
+		for _, h := range u.g.Neighbors(v) {
+			w := int(h.To)
+			if u.order[w] < u.order[v] && full[w]+1 < full[v] { // up move
+				full[v] = full[w] + 1
+				anext[v] = h.To
+				adown[v] = false
+			}
+		}
+	}
+	base := dst // column dst of row-major [u*n+dst]
+	for v := 0; v < n; v++ {
+		u.nextAny[v*n+base] = anext[v]
+		u.nextDown[v*n+base] = dnext[v]
+		u.moveIsDown[v*n+base] = adown[v]
+	}
+}
+
+// NextHop returns the next switch on the deterministic shortest legal
+// up*/down* path from cur to dst, given whether the packet has already
+// taken a down move, plus whether this hop is itself a down move.
+// It returns (-1, false) when cur == dst.
+func (u *UpDown) NextHop(cur, dst int, descended bool) (next int, down bool) {
+	if cur == dst {
+		return -1, false
+	}
+	if descended {
+		nh := u.nextDown[cur*u.n+dst]
+		return int(nh), true
+	}
+	return int(u.nextAny[cur*u.n+dst]), u.moveIsDown[cur*u.n+dst]
+}
+
+// Path materializes the full up*/down* route from s to t (inclusive).
+func (u *UpDown) Path(s, t int) ([]int, error) {
+	path := []int{s}
+	cur, descended := s, false
+	for cur != t {
+		next, down := u.NextHop(cur, t, descended)
+		if next < 0 {
+			return nil, fmt.Errorf("routing: up*/down* has no continuation at %d toward %d (descended=%v)", cur, t, descended)
+		}
+		descended = descended || down
+		cur = next
+		path = append(path, cur)
+		if len(path) > 2*u.n {
+			return nil, fmt.Errorf("routing: up*/down* path %d->%d did not terminate", s, t)
+		}
+	}
+	return path, nil
+}
+
+// PathLen returns the up*/down* route length in hops.
+func (u *UpDown) PathLen(s, t int) (int, error) {
+	p, err := u.Path(s, t)
+	if err != nil {
+		return 0, err
+	}
+	return len(p) - 1, nil
+}

@@ -1,0 +1,142 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harnesses: summary statistics, percentiles, and dispersion
+// measures for traffic-balance analysis.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual aggregate statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Percentile(sorted, 50)
+	s.P95 = Percentile(sorted, 95)
+	s.P99 = Percentile(sorted, 99)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of a sorted sample
+// using linear interpolation between closest ranks. The input must be
+// sorted ascending.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CoV returns the coefficient of variation (std/mean), the paper-adjacent
+// measure of traffic imbalance across channels. Zero mean yields zero.
+func CoV(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / s.Mean
+}
+
+// Gini returns the Gini coefficient of a non-negative sample: 0 for
+// perfectly balanced link loads, approaching 1 for fully concentrated
+// load.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		if x < 0 {
+			// Gini is defined for non-negative values; clamp defensively.
+			x = 0
+		}
+		cum += x * float64(2*(i+1)-len(sorted)-1)
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return cum / (float64(len(sorted)) * total)
+}
+
+// MeanAndCI returns the sample mean and the half-width of an approximate
+// 95% confidence interval (1.96 * std / sqrt(n)).
+func MeanAndCI(xs []float64) (mean, ci float64) {
+	s := Summarize(xs)
+	if s.N < 2 {
+		return s.Mean, 0
+	}
+	return s.Mean, 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// Int64s converts an int64 sample to float64 for the helpers above.
+func Int64s(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// FormatRow renders a fixed set of columns with a label, matching the
+// plain-text tables produced by the experiment harnesses.
+func FormatRow(label string, cols ...float64) string {
+	out := fmt.Sprintf("%-16s", label)
+	for _, c := range cols {
+		out += fmt.Sprintf(" %10.3f", c)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almost(s.Mean, 3) || !almost(s.Min, 1) || !almost(s.Max, 5) {
+		t.Fatalf("summary %+v", s)
+	}
+	if !almost(s.Std, math.Sqrt(2.5)) {
+		t.Fatalf("std %v", s.Std)
+	}
+	if !almost(s.Median, 3) {
+		t.Fatalf("median %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || !almost(s.Mean, 7) || s.Std != 0 || !almost(s.Median, 7) {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {150, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); !almost(got, c.want) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if !almost(CoV([]float64{5, 5, 5, 5}), 0) {
+		t.Fatal("constant sample CoV should be 0")
+	}
+	if CoV([]float64{0, 0, 0}) != 0 {
+		t.Fatal("zero-mean CoV should be 0")
+	}
+	if CoV([]float64{1, 100}) <= CoV([]float64{50, 51}) {
+		t.Fatal("CoV ordering wrong")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if !almost(Gini([]float64{3, 3, 3}), 0) {
+		t.Fatal("balanced Gini should be 0")
+	}
+	// All load on one of many links approaches 1 - 1/n.
+	g := Gini([]float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 10})
+	if !almost(g, 0.9) {
+		t.Fatalf("concentrated Gini %v, want 0.9", g)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate Gini")
+	}
+}
+
+func TestMeanAndCI(t *testing.T) {
+	mean, ci := MeanAndCI([]float64{2, 4, 6, 8})
+	if !almost(mean, 5) {
+		t.Fatalf("mean %v", mean)
+	}
+	want := 1.96 * Summarize([]float64{2, 4, 6, 8}).Std / 2
+	if !almost(ci, want) {
+		t.Fatalf("ci %v, want %v", ci, want)
+	}
+	if _, ci := MeanAndCI([]float64{3}); ci != 0 {
+		t.Fatal("single-sample CI should be 0")
+	}
+}
+
+func TestInt64s(t *testing.T) {
+	xs := Int64s([]int64{1, -2, 3})
+	if len(xs) != 3 || xs[1] != -2 {
+		t.Fatalf("converted %v", xs)
+	}
+}
+
+func TestFormatRow(t *testing.T) {
+	row := FormatRow("dsn", 1.5, 2)
+	if !strings.HasPrefix(row, "dsn") || !strings.Contains(row, "1.500") || !strings.Contains(row, "2.000") {
+		t.Fatalf("row %q", row)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		sorted := append([]float64(nil), raw...)
+		for i := range sorted {
+			sorted[i] = math.Abs(sorted[i])
+		}
+		// sort ascending
+		Summarize(sorted) // no-op use; keep direct sort below
+		s := append([]float64(nil), sorted...)
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		pa := float64(a % 101)
+		pb := float64(b % 101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(s, pa) <= Percentile(s, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGiniRange(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			xs[i] = float64(x)
+		}
+		g := Gini(xs)
+		return g >= -1e-12 && g < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

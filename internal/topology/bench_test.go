@@ -1,0 +1,39 @@
+package topology
+
+import "testing"
+
+func BenchmarkDLNRandom2048(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := DLNRandom(2048, 2, 2, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.M() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkKleinberg32x32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k, err := NewKleinberg(32, 1, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if k.Graph().M() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkTorus2D2048(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := Torus2DFor(2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Graph().M() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}

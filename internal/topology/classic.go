@@ -1,0 +1,123 @@
+package topology
+
+import (
+	"fmt"
+
+	"dsnet/internal/graph"
+)
+
+// Hypercube returns the d-dimensional binary hypercube on 2^d vertices
+// (degree d, diameter d). The related-work reference point for CCC.
+func Hypercube(d int) (*graph.Graph, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("topology: hypercube dimension %d outside [1,20]", d)
+	}
+	n := 1 << uint(d)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << uint(b))
+			if v < u {
+				g.AddEdge(v, u, graph.KindHyper)
+			}
+		}
+	}
+	return g, nil
+}
+
+// CCC returns the Cube-Connected Cycles network CCC(d): every hypercube
+// vertex is replaced by a d-cycle, giving constant degree 3 on d*2^d
+// vertices. Node (v, i) is encoded as v*d + i.
+func CCC(d int) (*graph.Graph, error) {
+	if d < 3 || d > 16 {
+		return nil, fmt.Errorf("topology: CCC dimension %d outside [3,16]", d)
+	}
+	n := d << uint(d)
+	g := graph.New(n)
+	id := func(v, i int) int { return v*d + i }
+	for v := 0; v < 1<<uint(d); v++ {
+		for i := 0; i < d; i++ {
+			// Local cycle link.
+			g.AddEdge(id(v, i), id(v, (i+1)%d), graph.KindCycle)
+			// Hypercube link along dimension i.
+			u := v ^ (1 << uint(i))
+			if v < u {
+				g.AddEdge(id(v, i), id(u, i), graph.KindHyper)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Kautz returns the undirected binary Kautz graph K(2, m) on 3 * 2^(m-1)
+// vertices: words of length m over {0,1,2} with no two consecutive equal
+// symbols, joined by the shift relation. It has degree at most 4 and
+// diameter m — the paper's Section III cites "11-and-4" for 3,072
+// vertices, which is exactly K(2, 11).
+func Kautz(m int) (*graph.Graph, error) {
+	if m < 2 || m > 20 {
+		return nil, fmt.Errorf("topology: Kautz order %d outside [2,20]", m)
+	}
+	n := 3 << uint(m-1)
+	g := graph.New(n)
+	// Encode a word as (first symbol, m-1 offset bits): symbol[i+1] =
+	// (symbol[i] + offset[i] + 1) mod 3 with offset in {0,1}.
+	decode := func(id int) []int8 {
+		w := make([]int8, m)
+		w[0] = int8(id / (1 << uint(m-1)))
+		bits := id % (1 << uint(m-1))
+		for i := 1; i < m; i++ {
+			off := (bits >> uint(m-1-i)) & 1
+			w[i] = int8((int(w[i-1]) + off + 1) % 3)
+		}
+		return w
+	}
+	encode := func(w []int8) int {
+		id := int(w[0]) << uint(m-1)
+		bits := 0
+		for i := 1; i < m; i++ {
+			off := (int(w[i]) - int(w[i-1]) + 3 - 1) % 3
+			if off > 1 {
+				panic("topology: invalid Kautz word")
+			}
+			bits = bits<<1 | off
+		}
+		return id | bits
+	}
+	shifted := make([]int8, m)
+	for v := 0; v < n; v++ {
+		w := decode(v)
+		copy(shifted, w[1:])
+		for x := int8(0); x < 3; x++ {
+			if x == w[m-1] {
+				continue
+			}
+			shifted[m-1] = x
+			u := encode(shifted)
+			if u != v {
+				g.AddEdgeOnce(v, u, graph.KindShuffle)
+			}
+		}
+	}
+	return g, nil
+}
+
+// DeBruijn returns the undirected binary De Bruijn graph B(2, m) on 2^m
+// vertices: v is joined to 2v mod n and 2v+1 mod n (shuffle links).
+// Self-loops (at 0 and n-1) are dropped and parallel edges merged, so the
+// degree is at most 4.
+func DeBruijn(m int) (*graph.Graph, error) {
+	if m < 2 || m > 20 {
+		return nil, fmt.Errorf("topology: De Bruijn order %d outside [2,20]", m)
+	}
+	n := 1 << uint(m)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for _, u := range []int{(2 * v) % n, (2*v + 1) % n} {
+			if u != v {
+				g.AddEdgeOnce(v, u, graph.KindShuffle)
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dsnet/internal/graph"
+)
+
+// DLN returns the Distributed Loop Network DLN-x of Koibuchi et al. [3]:
+// n vertices on a ring, where every vertex i additionally links to
+// i + floor(n/2^k) mod n for k = 1..x-2. The resulting degree is x for
+// x <= log n + 2. DLN-log n has a logarithmic diameter but logarithmic
+// degree — the inefficiency DSN fixes.
+func DLN(n, x int) (*graph.Graph, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("topology: DLN needs n >= 4, got %d", n)
+	}
+	if x < 2 {
+		return nil, fmt.Errorf("topology: DLN-x needs x >= 2, got %d", x)
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, graph.KindRing)
+	}
+	for k := 1; k <= x-2; k++ {
+		span := n >> uint(k)
+		if span < 2 {
+			break // further loop classes collapse onto ring links
+		}
+		for i := 0; i < n; i++ {
+			j := (i + span) % n
+			g.AddEdgeOnce(i, j, graph.KindShortcut)
+		}
+	}
+	return g, nil
+}
+
+// DLNRandom returns DLN-x-y: DLN-x augmented with y random shortcuts per
+// vertex, realised as y superimposed random perfect matchings so that
+// every vertex gets exactly y random links and the total degree is exactly
+// x + y (the paper's RANDOM topology, DLN-2-2, has exact degree 4).
+// n must be even. The construction is deterministic for a given seed.
+func DLNRandom(n, x, y int, seed uint64) (*graph.Graph, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("topology: DLN-%d-%d needs even n for perfect matchings, got %d", x, y, n)
+	}
+	g, err := DLN(n, x)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	for m := 0; m < y; m++ {
+		if err := addRandomMatching(g, rng); err != nil {
+			return nil, fmt.Errorf("topology: DLN-%d-%d: %w", x, y, err)
+		}
+	}
+	return g, nil
+}
+
+// addRandomMatching adds one random perfect matching of KindRandom edges,
+// avoiding pairs already joined by an edge. It retries a bounded number of
+// times; failure is virtually impossible for the sparse graphs used here.
+func addRandomMatching(g *graph.Graph, rng *rand.Rand) error {
+	n := g.N()
+	perm := make([]int, n)
+	for attempt := 0; attempt < 200; attempt++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		ok := true
+		for i := 0; i < n; i += 2 {
+			if g.HasEdge(perm[i], perm[i+1]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := 0; i < n; i += 2 {
+			g.AddEdge(perm[i], perm[i+1], graph.KindRandom)
+		}
+		return nil
+	}
+	return fmt.Errorf("could not place a random matching after 200 attempts")
+}
+
+// RandomRegular returns a random d-regular graph on n vertices built from
+// d superimposed random perfect matchings (n even, d >= 1). This is the
+// fully random topology family of Jellyfish-style proposals [9]; it is
+// exposed for ablation benchmarks. The graph may rarely be disconnected
+// for d = 2; callers should check Connected.
+func RandomRegular(n, d int, seed uint64) (*graph.Graph, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("topology: random regular needs even n, got %d", n)
+	}
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("topology: random regular needs 1 <= d < n, got d=%d", d)
+	}
+	g := graph.New(n)
+	rng := rand.New(rand.NewPCG(seed, 0xdeadbeefcafef00d))
+	for m := 0; m < d; m++ {
+		if err := addRandomMatching(g, rng); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

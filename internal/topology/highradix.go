@@ -1,0 +1,92 @@
+package topology
+
+import (
+	"fmt"
+
+	"dsnet/internal/graph"
+)
+
+// Dragonfly builds the canonical dragonfly topology of Kim, Dally, Scott
+// & Abts [4] — the high-radix design the paper positions DSN against.
+// Groups of a switches are internally fully connected; each switch owns h
+// global links, and the a*h global links per group connect it to every
+// other group (requiring g = a*h + 1 groups for the balanced one-link-
+// per-group-pair configuration). Switch IDs are group*a + position.
+type Dragonfly struct {
+	A int // switches per group
+	H int // global links per switch
+	G int // groups = a*h + 1
+	g *graph.Graph
+}
+
+// NewDragonfly builds the balanced dragonfly with a switches per group
+// and h global links per switch.
+func NewDragonfly(a, h int) (*Dragonfly, error) {
+	if a < 2 || h < 1 {
+		return nil, fmt.Errorf("topology: dragonfly needs a >= 2, h >= 1, got a=%d h=%d", a, h)
+	}
+	gCount := a*h + 1
+	n := gCount * a
+	d := &Dragonfly{A: a, H: h, G: gCount, g: graph.New(n)}
+	id := func(group, pos int) int { return group*a + pos }
+	// Intra-group complete graphs.
+	for grp := 0; grp < gCount; grp++ {
+		for i := 0; i < a; i++ {
+			for j := i + 1; j < a; j++ {
+				d.g.AddEdge(id(grp, i), id(grp, j), graph.KindTorus)
+			}
+		}
+	}
+	// Global links: group g's k-th global link (k = pos*h + slot) goes to
+	// group (g + k + 1) mod gCount; the reverse direction pairs up
+	// automatically because link k from group g lands where the partner
+	// group's own numbering points back.
+	for grp := 0; grp < gCount; grp++ {
+		for pos := 0; pos < a; pos++ {
+			for slot := 0; slot < h; slot++ {
+				k := pos*h + slot
+				target := (grp + k + 1) % gCount
+				if target == grp {
+					continue
+				}
+				// Partner switch in the target group: the one whose own
+				// link index points back at grp.
+				back := (grp - target + gCount) % gCount
+				bpos := (back - 1) / h
+				u, v := id(grp, pos), id(target, bpos)
+				d.g.AddEdgeOnce(u, v, graph.KindRandom)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Graph returns the underlying graph (owned by the Dragonfly).
+func (d *Dragonfly) Graph() *graph.Graph { return d.g }
+
+// N returns the switch count.
+func (d *Dragonfly) N() int { return d.g.N() }
+
+// FlattenedButterfly builds the 2-D flattened butterfly of Kim, Dally &
+// Abts [22] (the source of the paper's cable-length cost model): a k x k
+// array of switches where every switch connects to every other switch in
+// its row and in its column. Diameter 2, degree 2(k-1).
+func FlattenedButterfly(k int) (*graph.Graph, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("topology: flattened butterfly needs k >= 2, got %d", k)
+	}
+	n := k * k
+	g := graph.New(n)
+	id := func(r, c int) int { return r*k + c }
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			for c2 := c + 1; c2 < k; c2++ {
+				g.AddEdge(id(r, c), id(r, c2), graph.KindTorus)
+			}
+			for r2 := r + 1; r2 < k; r2++ {
+				g.AddEdge(id(r, c), id(r2, c), graph.KindTorus)
+			}
+		}
+	}
+	return g, nil
+}

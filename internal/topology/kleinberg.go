@@ -1,0 +1,181 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dsnet/internal/graph"
+)
+
+// Kleinberg is Kleinberg's small-world network [15]: a side x side base
+// grid (4-neighbor lattice, no wraparound) where every node additionally
+// owns q long-range shortcuts; a shortcut from u lands on v with
+// probability proportional to lattice-dist(u,v)^-2, the exponent that
+// makes greedy routing find O(log^2 n) paths.
+type Kleinberg struct {
+	Side int
+	Q    int
+	g    *graph.Graph
+}
+
+// NewKleinberg builds a side x side Kleinberg grid with q random shortcuts
+// per node, deterministically for a given seed.
+func NewKleinberg(side, q int, seed uint64) (*Kleinberg, error) {
+	if side < 2 {
+		return nil, fmt.Errorf("topology: Kleinberg grid needs side >= 2, got %d", side)
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("topology: Kleinberg needs q >= 0, got %d", q)
+	}
+	n := side * side
+	k := &Kleinberg{Side: side, Q: q, g: graph.New(n)}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			id := r*side + c
+			if c+1 < side {
+				k.g.AddEdge(id, id+1, graph.KindGrid)
+			}
+			if r+1 < side {
+				k.g.AddEdge(id, id+side, graph.KindGrid)
+			}
+		}
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xabcdef0123456789))
+	// Sample shortcut targets by inverse-square lattice distance using the
+	// exact normalizer per source node.
+	for u := 0; u < n; u++ {
+		for s := 0; s < q; s++ {
+			v := k.sampleTarget(u, rng)
+			if v != u {
+				k.g.AddEdgeOnce(u, v, graph.KindRandom)
+			}
+		}
+	}
+	return k, nil
+}
+
+// sampleTarget draws one long-range contact for u with P(v) proportional
+// to dist(u,v)^-2 over all v != u.
+func (k *Kleinberg) sampleTarget(u int, rng *rand.Rand) int {
+	// Group candidates by lattice distance: weight of distance d is
+	// count(d) * d^-2. Max distance is 2*(side-1).
+	ur, uc := u/k.Side, u%k.Side
+	maxD := 2 * (k.Side - 1)
+	weights := make([]float64, maxD+1)
+	var total float64
+	for d := 1; d <= maxD; d++ {
+		weights[d] = float64(k.countAtDistance(ur, uc, d)) / float64(d*d)
+		total += weights[d]
+	}
+	x := rng.Float64() * total
+	d := 1
+	for ; d < maxD; d++ {
+		if x < weights[d] {
+			break
+		}
+		x -= weights[d]
+	}
+	// Pick uniformly among the nodes at distance d, enumerating in the
+	// same order countAtDistance counts them.
+	cnt := k.countAtDistance(ur, uc, d)
+	pick := rng.IntN(cnt)
+	idx := 0
+	for dr := -d; dr <= d; dr++ {
+		r := ur + dr
+		if r < 0 || r >= k.Side {
+			continue
+		}
+		rem := d - abs(dr)
+		if rem == 0 {
+			if idx == pick {
+				return r*k.Side + uc
+			}
+			idx++
+			continue
+		}
+		if uc-rem >= 0 {
+			if idx == pick {
+				return r*k.Side + uc - rem
+			}
+			idx++
+		}
+		if uc+rem < k.Side {
+			if idx == pick {
+				return r*k.Side + uc + rem
+			}
+			idx++
+		}
+	}
+	// Unreachable if countAtDistance is consistent with the scan above.
+	panic("topology: Kleinberg target scan desynced")
+}
+
+// countAtDistance returns how many grid nodes lie at exact lattice
+// distance d from (ur, uc) inside the grid.
+func (k *Kleinberg) countAtDistance(ur, uc, d int) int {
+	cnt := 0
+	for dr := -d; dr <= d; dr++ {
+		r := ur + dr
+		if r < 0 || r >= k.Side {
+			continue
+		}
+		rem := d - abs(dr)
+		if rem == 0 {
+			if uc >= 0 && uc < k.Side {
+				cnt++
+			}
+			continue
+		}
+		if uc-rem >= 0 {
+			cnt++
+		}
+		if uc+rem < k.Side {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Graph returns the underlying graph (owned by the Kleinberg instance).
+func (k *Kleinberg) Graph() *graph.Graph { return k.g }
+
+// N returns the node count.
+func (k *Kleinberg) N() int { return k.g.N() }
+
+// LatticeDist returns the Manhattan distance between nodes u and v.
+func (k *Kleinberg) LatticeDist(u, v int) int {
+	return abs(u/k.Side-v/k.Side) + abs(u%k.Side-v%k.Side)
+}
+
+// GreedyRoute routes from s to t using only local information: each step
+// moves to the neighbor closest to t in lattice distance. It returns the
+// path and an error if it stalls (cannot happen on a grid with q >= 0
+// because grid neighbors always make progress).
+func (k *Kleinberg) GreedyRoute(s, t int) ([]int, error) {
+	path := []int{s}
+	u := s
+	for u != t {
+		best, bestD := -1, k.LatticeDist(u, t)
+		for _, h := range k.g.Neighbors(u) {
+			if d := k.LatticeDist(int(h.To), t); d < bestD {
+				best, bestD = int(h.To), d
+			}
+		}
+		if best < 0 {
+			return path, fmt.Errorf("topology: greedy routing stalled at %d heading to %d", u, t)
+		}
+		u = best
+		path = append(path, u)
+		if len(path) > k.N() {
+			return path, fmt.Errorf("topology: greedy routing did not terminate")
+		}
+	}
+	return path, nil
+}

@@ -1,0 +1,52 @@
+// Package topology generates the baseline interconnect topologies the
+// paper compares DSN against: rings, distributed loop networks (DLN-x),
+// their randomly-augmented variants (DLN-x-y, the paper's "RANDOM"
+// topology), 2-D/3-D tori and meshes, Kleinberg's small-world grid, and
+// the related-work classics (hypercube, cube-connected cycles, De Bruijn).
+//
+// Every generator returns a *graph.Graph whose edges carry the EdgeKind
+// that created them, so the layout model and the simulator can price and
+// route links by role.
+package topology
+
+import (
+	"fmt"
+
+	"dsnet/internal/graph"
+)
+
+// Ring returns the n-cycle C_n. It requires n >= 3.
+func Ring(n int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs n >= 3, got %d", n)
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, graph.KindRing)
+	}
+	return g, nil
+}
+
+// NearSquareDims factors n into (rows, cols) with rows <= cols, rows as
+// close to sqrt(n) as possible. Used to shape 2-D tori for arbitrary
+// switch counts (powers of two give the familiar 8x8, 8x16, ... shapes).
+func NearSquareDims(n int) (rows, cols int, err error) {
+	if n < 1 {
+		return 0, 0, fmt.Errorf("topology: cannot factor %d", n)
+	}
+	best := 1
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			best = r
+		}
+	}
+	return best, n / best, nil
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

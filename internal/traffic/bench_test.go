@@ -1,0 +1,35 @@
+package traffic
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchPattern(b *testing.B, p Pattern) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += p.Dest(i%256, rng)
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkUniform(b *testing.B) { benchPattern(b, Uniform{Hosts: 256}) }
+
+func BenchmarkBitReversal(b *testing.B) {
+	p, err := NewBitReversal(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPattern(b, p)
+}
+
+func BenchmarkNeighboring(b *testing.B) {
+	p, err := NewNeighboring(8, 8, 4, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPattern(b, p)
+}

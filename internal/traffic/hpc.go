@@ -1,0 +1,103 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Stencil2D models the halo exchange of a 2-D domain decomposition, the
+// workload the paper's introduction motivates ("scientific parallel
+// applications usually become latency-sensitive"): each host sends to one
+// of its four neighbors in a rows x cols host grid, chosen uniformly per
+// packet. Wrap selects periodic boundary conditions.
+type Stencil2D struct {
+	Rows, Cols int
+	Wrap       bool
+}
+
+// NewStencil2D validates the host grid.
+func NewStencil2D(rows, cols int, wrap bool) (Stencil2D, error) {
+	if rows < 2 || cols < 2 {
+		return Stencil2D{}, fmt.Errorf("traffic: stencil needs a >=2x2 host grid, got %dx%d", rows, cols)
+	}
+	return Stencil2D{Rows: rows, Cols: cols, Wrap: wrap}, nil
+}
+
+// Name implements Pattern.
+func (s Stencil2D) Name() string { return "stencil-2d" }
+
+// Dest implements Pattern.
+func (s Stencil2D) Dest(src int, rng *rand.Rand) int {
+	r, c := src/s.Cols, src%s.Cols
+	var nbrs [4]int
+	cnt := 0
+	add := func(nr, nc int) {
+		if s.Wrap {
+			nr = (nr + s.Rows) % s.Rows
+			nc = (nc + s.Cols) % s.Cols
+		} else if nr < 0 || nr >= s.Rows || nc < 0 || nc >= s.Cols {
+			return
+		}
+		nbrs[cnt] = nr*s.Cols + nc
+		cnt++
+	}
+	add(r-1, c)
+	add(r+1, c)
+	add(r, c-1)
+	add(r, c+1)
+	return nbrs[rng.IntN(cnt)]
+}
+
+// AllToAll models a personalized all-to-all exchange (e.g. the transpose
+// step of a distributed FFT): each source walks through every other
+// destination in a shifted round-robin order, so at any instant the
+// destinations form a permutation. The pattern is stateful; use one
+// instance per simulation.
+type AllToAll struct {
+	Hosts int
+	phase []int
+}
+
+// NewAllToAll builds the pattern.
+func NewAllToAll(hosts int) (*AllToAll, error) {
+	if hosts < 2 {
+		return nil, fmt.Errorf("traffic: all-to-all needs >= 2 hosts, got %d", hosts)
+	}
+	return &AllToAll{Hosts: hosts, phase: make([]int, hosts)}, nil
+}
+
+// Name implements Pattern.
+func (a *AllToAll) Name() string { return "all-to-all" }
+
+// Dest implements Pattern.
+func (a *AllToAll) Dest(src int, _ *rand.Rand) int {
+	a.phase[src] = a.phase[src]%(a.Hosts-1) + 1
+	return (src + a.phase[src]) % a.Hosts
+}
+
+// Tornado is the classic adversarial pattern for rings and tori: host i
+// on switch s sends to the same host slot on switch
+// (s + ceil(S/2) - 1) mod S, loading every link in one direction.
+type Tornado struct {
+	Switches       int
+	HostsPerSwitch int
+}
+
+// NewTornado validates the configuration.
+func NewTornado(switches, hostsPerSwitch int) (Tornado, error) {
+	if switches < 3 || hostsPerSwitch < 1 {
+		return Tornado{}, fmt.Errorf("traffic: tornado needs >= 3 switches and >= 1 host each, got %d/%d", switches, hostsPerSwitch)
+	}
+	return Tornado{Switches: switches, HostsPerSwitch: hostsPerSwitch}, nil
+}
+
+// Name implements Pattern.
+func (t Tornado) Name() string { return "tornado" }
+
+// Dest implements Pattern.
+func (t Tornado) Dest(src int, _ *rand.Rand) int {
+	sw := src / t.HostsPerSwitch
+	slot := src % t.HostsPerSwitch
+	dsw := (sw + (t.Switches+1)/2 - 1) % t.Switches
+	return dsw*t.HostsPerSwitch + slot
+}

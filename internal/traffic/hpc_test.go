@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestStencil2D(t *testing.T) {
+	s, err := NewStencil2D(8, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	// Interior host 27 (row 3, col 3): neighbors 19, 35, 26, 28.
+	want := map[int]bool{19: true, 35: true, 26: true, 28: true}
+	for i := 0; i < 200; i++ {
+		d := s.Dest(27, rng)
+		if !want[d] {
+			t.Fatalf("stencil dest %d not a neighbor of 27", d)
+		}
+	}
+	// Corner host 0 without wrap: only 1 and 8.
+	for i := 0; i < 100; i++ {
+		d := s.Dest(0, rng)
+		if d != 1 && d != 8 {
+			t.Fatalf("corner dest %d", d)
+		}
+	}
+	if _, err := NewStencil2D(1, 8, false); err == nil {
+		t.Fatal("1-row stencil accepted")
+	}
+}
+
+func TestStencil2DWrap(t *testing.T) {
+	s, err := NewStencil2D(4, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	// With wrap, corner 0 reaches 12 (up), 4 (down), 3 (left), 1 (right).
+	want := map[int]bool{12: true, 4: true, 3: true, 1: true}
+	seen := map[int]bool{}
+	for i := 0; i < 400; i++ {
+		d := s.Dest(0, rng)
+		if !want[d] {
+			t.Fatalf("wrap dest %d", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d distinct wrap neighbors seen", len(seen))
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	a, err := NewAllToAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source 0 must cycle through 1,2,3,4,1,2,...
+	want := []int{1, 2, 3, 4, 1, 2, 3, 4}
+	for i, w := range want {
+		if d := a.Dest(0, nil); d != w {
+			t.Fatalf("packet %d: dest %d, want %d", i, d, w)
+		}
+	}
+	// At equal phases the destination map is a permutation.
+	b, _ := NewAllToAll(8)
+	seen := map[int]bool{}
+	for src := 0; src < 8; src++ {
+		d := b.Dest(src, nil)
+		if d == src {
+			t.Fatalf("all-to-all sent to self from %d", src)
+		}
+		if seen[d] {
+			t.Fatalf("collision at %d", d)
+		}
+		seen[d] = true
+	}
+	if _, err := NewAllToAll(1); err == nil {
+		t.Fatal("1 host accepted")
+	}
+}
+
+func TestTornado(t *testing.T) {
+	tn, err := NewTornado(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(8/2)-1 = 3 switches ahead, same host slot.
+	if d := tn.Dest(0, nil); d != 3*4 {
+		t.Fatalf("dest %d, want 12", d)
+	}
+	if d := tn.Dest(4*4+2, nil); d != ((4+3)%8)*4+2 {
+		t.Fatalf("dest %d", d)
+	}
+	// Tornado is a permutation at the switch level.
+	seen := map[int]bool{}
+	for src := 0; src < 32; src++ {
+		d := tn.Dest(src, nil)
+		if seen[d] {
+			t.Fatal("collision")
+		}
+		seen[d] = true
+	}
+	if _, err := NewTornado(2, 4); err == nil {
+		t.Fatal("2 switches accepted")
+	}
+}

@@ -1,0 +1,203 @@
+// Package traffic implements the synthetic traffic patterns of the
+// paper's Section VII: random uniform, bit reversal, and "neighboring"
+// (90% of packets to 2-D-array neighbors, 10% uniform), plus the
+// transpose, shuffle and hotspot patterns commonly used alongside them
+// (Dally & Towles [25]).
+//
+// Hosts are numbered 0..H-1 with host h attached to switch
+// h / hostsPerSwitch.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// Pattern draws a destination host for each source host.
+type Pattern interface {
+	// Name identifies the pattern in reports.
+	Name() string
+	// Dest returns the destination host for a packet from src. It may
+	// return src itself only if the pattern's definition demands it
+	// (e.g. bit reversal of a palindromic address).
+	Dest(src int, rng *rand.Rand) int
+}
+
+// Uniform sends every packet to a uniformly random other host.
+type Uniform struct {
+	Hosts int
+}
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src int, rng *rand.Rand) int {
+	d := rng.IntN(u.Hosts - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// BitReversal sends host b_{k-1}...b_1 b_0 to host b_0 b_1 ... b_{k-1}.
+// The host count must be a power of two.
+type BitReversal struct {
+	Hosts int
+	k     int
+}
+
+// NewBitReversal validates the host count and returns the pattern.
+func NewBitReversal(hosts int) (BitReversal, error) {
+	if hosts < 2 || hosts&(hosts-1) != 0 {
+		return BitReversal{}, fmt.Errorf("traffic: bit reversal needs a power-of-two host count, got %d", hosts)
+	}
+	return BitReversal{Hosts: hosts, k: bits.TrailingZeros(uint(hosts))}, nil
+}
+
+// Name implements Pattern.
+func (b BitReversal) Name() string { return "bit-reversal" }
+
+// Dest implements Pattern.
+func (b BitReversal) Dest(src int, _ *rand.Rand) int {
+	return int(bits.Reverse64(uint64(src)) >> (64 - uint(b.k)))
+}
+
+// Neighboring models heavy local access: with probability Local (the
+// paper uses 0.9) the packet goes to a random host on one of the source
+// switch's neighbors in a rows x cols 2-D array arrangement of switches
+// (independent of the actual topology); otherwise the destination is
+// uniform over all other hosts.
+type Neighboring struct {
+	Rows, Cols     int
+	HostsPerSwitch int
+	Local          float64
+}
+
+// NewNeighboring builds the pattern for a switch array of rows x cols.
+func NewNeighboring(rows, cols, hostsPerSwitch int, local float64) (Neighboring, error) {
+	if rows < 2 || cols < 2 {
+		return Neighboring{}, fmt.Errorf("traffic: neighboring needs a >=2x2 switch array, got %dx%d", rows, cols)
+	}
+	if hostsPerSwitch < 1 {
+		return Neighboring{}, fmt.Errorf("traffic: hosts per switch %d < 1", hostsPerSwitch)
+	}
+	if local < 0 || local > 1 {
+		return Neighboring{}, fmt.Errorf("traffic: local fraction %g outside [0,1]", local)
+	}
+	return Neighboring{Rows: rows, Cols: cols, HostsPerSwitch: hostsPerSwitch, Local: local}, nil
+}
+
+// Name implements Pattern.
+func (nb Neighboring) Name() string { return "neighboring" }
+
+// Dest implements Pattern.
+func (nb Neighboring) Dest(src int, rng *rand.Rand) int {
+	hosts := nb.Rows * nb.Cols * nb.HostsPerSwitch
+	if rng.Float64() >= nb.Local {
+		d := rng.IntN(hosts - 1)
+		if d >= src {
+			d++
+		}
+		return d
+	}
+	sw := src / nb.HostsPerSwitch
+	r, c := sw/nb.Cols, sw%nb.Cols
+	// Collect the 2-D array neighbors (no wraparound: it is a floor
+	// arrangement, not a torus).
+	var nbrs [4]int
+	cnt := 0
+	if r > 0 {
+		nbrs[cnt] = (r-1)*nb.Cols + c
+		cnt++
+	}
+	if r+1 < nb.Rows {
+		nbrs[cnt] = (r+1)*nb.Cols + c
+		cnt++
+	}
+	if c > 0 {
+		nbrs[cnt] = r*nb.Cols + c - 1
+		cnt++
+	}
+	if c+1 < nb.Cols {
+		nbrs[cnt] = r*nb.Cols + c + 1
+		cnt++
+	}
+	dsw := nbrs[rng.IntN(cnt)]
+	return dsw*nb.HostsPerSwitch + rng.IntN(nb.HostsPerSwitch)
+}
+
+// Transpose sends host (r, c) of a square array to host (c, r).
+// The host count must be a perfect square.
+type Transpose struct {
+	Side int
+}
+
+// NewTranspose validates that hosts is a perfect square.
+func NewTranspose(hosts int) (Transpose, error) {
+	s := 1
+	for s*s < hosts {
+		s++
+	}
+	if s*s != hosts {
+		return Transpose{}, fmt.Errorf("traffic: transpose needs a square host count, got %d", hosts)
+	}
+	return Transpose{Side: s}, nil
+}
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src int, _ *rand.Rand) int {
+	r, c := src/t.Side, src%t.Side
+	return c*t.Side + r
+}
+
+// Shuffle sends host b_{k-1} b_{k-2} ... b_0 to b_{k-2} ... b_0 b_{k-1}
+// (a one-bit rotate). The host count must be a power of two.
+type Shuffle struct {
+	Hosts int
+	k     int
+}
+
+// NewShuffle validates the host count and returns the pattern.
+func NewShuffle(hosts int) (Shuffle, error) {
+	if hosts < 2 || hosts&(hosts-1) != 0 {
+		return Shuffle{}, fmt.Errorf("traffic: shuffle needs a power-of-two host count, got %d", hosts)
+	}
+	return Shuffle{Hosts: hosts, k: bits.TrailingZeros(uint(hosts))}, nil
+}
+
+// Name implements Pattern.
+func (s Shuffle) Name() string { return "shuffle" }
+
+// Dest implements Pattern.
+func (s Shuffle) Dest(src int, _ *rand.Rand) int {
+	hi := src >> (s.k - 1) & 1
+	return (src<<1)&(s.Hosts-1) | hi
+}
+
+// Hotspot sends a fraction of traffic to one hot host and the remainder
+// uniformly.
+type Hotspot struct {
+	Hosts    int
+	Hot      int
+	Fraction float64
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return "hotspot" }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src int, rng *rand.Rand) int {
+	if rng.Float64() < h.Fraction && src != h.Hot {
+		return h.Hot
+	}
+	d := rng.IntN(h.Hosts - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}

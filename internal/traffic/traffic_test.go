@@ -1,0 +1,206 @@
+package traffic
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Hosts: 16}
+	rng := rand.New(rand.NewPCG(1, 1))
+	seen := make(map[int]int)
+	for i := 0; i < 4000; i++ {
+		d := u.Dest(5, rng)
+		if d == 5 {
+			t.Fatal("uniform returned the source")
+		}
+		if d < 0 || d >= 16 {
+			t.Fatalf("dest %d out of range", d)
+		}
+		seen[d]++
+	}
+	if len(seen) != 15 {
+		t.Fatalf("only %d distinct destinations", len(seen))
+	}
+	for d, c := range seen {
+		if c < 150 || c > 400 { // ~267 expected
+			t.Errorf("dest %d count %d far from uniform", d, c)
+		}
+	}
+	if u.Name() != "uniform" {
+		t.Fatal("name")
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	b, err := NewBitReversal(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ src, want int }{
+		{0, 0}, {1, 128}, {128, 1}, {0b00000011, 0b11000000}, {255, 255},
+	}
+	for _, c := range cases {
+		if got := b.Dest(c.src, nil); got != c.want {
+			t.Errorf("reverse(%d)=%d, want %d", c.src, got, c.want)
+		}
+	}
+	// Bit reversal is an involution and a bijection.
+	seen := make([]bool, 256)
+	for s := 0; s < 256; s++ {
+		d := b.Dest(s, nil)
+		if b.Dest(d, nil) != s {
+			t.Fatalf("not an involution at %d", s)
+		}
+		if seen[d] {
+			t.Fatalf("collision at %d", d)
+		}
+		seen[d] = true
+	}
+	if _, err := NewBitReversal(100); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+}
+
+func TestNeighboring(t *testing.T) {
+	nb, err := NewNeighboring(8, 8, 4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	// Source host on switch (3,3) = switch 27: hosts 108..111.
+	src := 27*4 + 1
+	local, remote := 0, 0
+	wantNbrSw := map[int]bool{19: true, 35: true, 26: true, 28: true}
+	for i := 0; i < 5000; i++ {
+		d := nb.Dest(src, rng)
+		dsw := d / 4
+		if wantNbrSw[dsw] {
+			local++
+		} else {
+			remote++
+		}
+	}
+	frac := float64(local) / 5000
+	// Locals can also arise from the 10% uniform part; expect about 0.9.
+	if frac < 0.85 || frac > 0.97 {
+		t.Fatalf("local fraction %.3f, want about 0.9", frac)
+	}
+	_ = remote
+}
+
+func TestNeighboringCorner(t *testing.T) {
+	nb, err := NewNeighboring(8, 8, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	// Corner switch 0 has exactly two array neighbors: 1 and 8.
+	for i := 0; i < 200; i++ {
+		d := nb.Dest(0, rng)
+		dsw := d / 4
+		if dsw != 1 && dsw != 8 {
+			t.Fatalf("corner neighbor switch %d", dsw)
+		}
+	}
+}
+
+func TestNeighboringValidation(t *testing.T) {
+	if _, err := NewNeighboring(1, 8, 4, 0.9); err == nil {
+		t.Fatal("1-row array accepted")
+	}
+	if _, err := NewNeighboring(8, 8, 0, 0.9); err == nil {
+		t.Fatal("0 hosts accepted")
+	}
+	if _, err := NewNeighboring(8, 8, 4, 1.5); err == nil {
+		t.Fatal("bad local fraction accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	tr, err := NewTranspose(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Dest(1, nil); got != 16 {
+		t.Fatalf("transpose(1)=%d, want 16", got)
+	}
+	for s := 0; s < 256; s++ {
+		if tr.Dest(tr.Dest(s, nil), nil) != s {
+			t.Fatalf("not an involution at %d", s)
+		}
+	}
+	if _, err := NewTranspose(200); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	sh, err := NewShuffle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ src, want int }{
+		{0b000, 0b000}, {0b100, 0b001}, {0b011, 0b110}, {0b101, 0b011},
+	}
+	for _, c := range cases {
+		if got := sh.Dest(c.src, nil); got != c.want {
+			t.Errorf("shuffle(%03b)=%03b, want %03b", c.src, got, c.want)
+		}
+	}
+	// Shuffle is a bijection.
+	seen := make([]bool, 8)
+	for s := 0; s < 8; s++ {
+		d := sh.Dest(s, nil)
+		if seen[d] {
+			t.Fatal("collision")
+		}
+		seen[d] = true
+	}
+	if _, err := NewShuffle(6); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	h := Hotspot{Hosts: 64, Hot: 7, Fraction: 0.5}
+	rng := rand.New(rand.NewPCG(4, 4))
+	hot := 0
+	for i := 0; i < 4000; i++ {
+		d := h.Dest(0, rng)
+		if d == 0 {
+			t.Fatal("hotspot returned source")
+		}
+		if d == 7 {
+			hot++
+		}
+	}
+	frac := float64(hot) / 4000
+	if frac < 0.45 || frac > 0.58 {
+		t.Fatalf("hot fraction %.3f", frac)
+	}
+	if h.Name() != "hotspot" {
+		t.Fatal("name")
+	}
+}
+
+func TestQuickPatternsInRange(t *testing.T) {
+	u := Uniform{Hosts: 256}
+	b, _ := NewBitReversal(256)
+	nb, _ := NewNeighboring(8, 8, 4, 0.9)
+	tr, _ := NewTranspose(256)
+	sh, _ := NewShuffle(256)
+	h := Hotspot{Hosts: 256, Hot: 3, Fraction: 0.2}
+	pats := []Pattern{u, b, nb, tr, sh, h}
+	f := func(seed uint64, rawSrc uint16, which uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		p := pats[int(which)%len(pats)]
+		src := int(rawSrc) % 256
+		d := p.Dest(src, rng)
+		return d >= 0 && d < 256
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

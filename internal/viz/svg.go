@@ -1,0 +1,298 @@
+// Package viz renders topologies, machine-room layouts and experiment
+// curves as self-contained SVG documents, with no dependencies beyond the
+// standard library. The output is deterministic, making golden tests and
+// documentation diffs stable.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dsnet/internal/graph"
+	"dsnet/internal/layout"
+)
+
+// palette is a color scale for edge kinds and series.
+var palette = []string{
+	"#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+	"#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0",
+}
+
+func kindColor(k graph.EdgeKind) string {
+	switch k {
+	case graph.KindRing:
+		return "#9498a0"
+	case graph.KindShortcut:
+		return "#4269d0"
+	case graph.KindRandom:
+		return "#ff725c"
+	case graph.KindTorus, graph.KindGrid:
+		return "#3ca951"
+	case graph.KindUp:
+		return "#efb118"
+	case graph.KindExtra:
+		return "#a463f2"
+	case graph.KindShort:
+		return "#6cc5b0"
+	default:
+		return "#97bbf5"
+	}
+}
+
+// RingSVG draws a ring-based topology (DSN, DLN, RANDOM) as a chord
+// diagram: switches on a circle, ring links along the circumference,
+// shortcuts as chords colored by edge kind. size is the image size in
+// pixels.
+func RingSVG(g *graph.Graph, size int) string {
+	if size < 100 {
+		size = 100
+	}
+	n := g.N()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, size, size, size, size)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	if n == 0 {
+		sb.WriteString(`</svg>`)
+		return sb.String()
+	}
+	cx := float64(size) / 2
+	cy := float64(size) / 2
+	r := float64(size)/2 - 20
+	pos := func(v int32) (float64, float64) {
+		a := 2*math.Pi*float64(v)/float64(n) - math.Pi/2
+		return cx + r*math.Cos(a), cy + r*math.Sin(a)
+	}
+	// Chords first (under the ring), ring links after, nodes on top.
+	for _, e := range g.Edges() {
+		if e.Kind == graph.KindRing {
+			continue
+		}
+		x1, y1 := pos(e.U)
+		x2, y2 := pos(e.V)
+		// Quadratic chord bent toward the center.
+		mx := (x1+x2)/2*0.4 + cx*0.6
+		my := (y1+y2)/2*0.4 + cy*0.6
+		fmt.Fprintf(&sb, `<path d="M%.1f,%.1f Q%.1f,%.1f %.1f,%.1f" fill="none" stroke="%s" stroke-width="1" opacity="0.65"/>`,
+			x1, y1, mx, my, x2, y2, kindColor(e.Kind))
+	}
+	for _, e := range g.Edges() {
+		if e.Kind != graph.KindRing {
+			continue
+		}
+		x1, y1 := pos(e.U)
+		x2, y2 := pos(e.V)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.5"/>`,
+			x1, y1, x2, y2, kindColor(graph.KindRing))
+	}
+	nodeR := math.Max(1.5, math.Min(5, 200/float64(n)))
+	for v := 0; v < n; v++ {
+		x, y := pos(int32(v))
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#222"/>`, x, y, nodeR)
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// CurvesSVG renders a simple line chart with axes, ticks and a legend.
+func CurvesSVG(title, xlabel, ylabel string, series []Series, w, h int) string {
+	if w < 200 {
+		w = 200
+	}
+	if h < 150 {
+		h = 150
+	}
+	const ml, mr, mt, mb = 60.0, 20.0, 36.0, 46.0
+	pw := float64(w) - ml - mr
+	ph := float64(h) - mt - mb
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) { // no data
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range a little.
+	ypad := (ymax - ymin) * 0.05
+	ymin -= ypad
+	ymax += ypad
+
+	px := func(x float64) float64 { return ml + (x-xmin)/(xmax-xmin)*pw }
+	py := func(y float64) float64 { return mt + ph - (y-ymin)/(ymax-ymin)*ph }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`, w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="%.1f" y="20" text-anchor="middle" font-size="14">%s</text>`, ml+pw/2, xmlEscape(title))
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#222"/>`, ml, mt, ml, mt+ph)
+	fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#222"/>`, ml, mt+ph, ml+pw, mt+ph)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := xmin + (xmax-xmin)*float64(i)/4
+		yv := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#222"/>`, px(xv), mt+ph, px(xv), mt+ph+4)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="10">%s</text>`, px(xv), mt+ph+16, fmtTick(xv))
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#222"/>`, ml-4, py(yv), ml, py(yv))
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="end" font-size="10">%s</text>`, ml-6, py(yv)+3, fmtTick(yv))
+	}
+	fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="11">%s</text>`, ml+pw/2, float64(h)-8, xmlEscape(xlabel))
+	fmt.Fprintf(&sb, `<text x="14" y="%.1f" text-anchor="middle" font-size="11" transform="rotate(-90 14 %.1f)">%s</text>`, mt+ph/2, mt+ph/2, xmlEscape(ylabel))
+	// Series.
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`, strings.Join(pts, " "), color)
+		}
+		for i := range s.X {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`, px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend.
+		lx := ml + 10
+		ly := mt + 10 + float64(si)*14
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`, lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10">%s</text>`, lx+22, ly+3, xmlEscape(s.Name))
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+// FloorplanSVG draws the cabinet grid and the cables of one topology on
+// it. Cables are colored by their modelled length (green short, red
+// long).
+func FloorplanSVG(l *layout.Layout, g *graph.Graph, size int) (string, error) {
+	if g.N() != l.N {
+		return "", fmt.Errorf("viz: graph has %d switches, layout %d", g.N(), l.N)
+	}
+	if size < 200 {
+		size = 200
+	}
+	fw, fd := l.FloorDims()
+	scale := (float64(size) - 40) / math.Max(fw, fd)
+	px := func(x float64) float64 { return 20 + x*scale }
+	py := func(y float64) float64 { return 20 + y*scale }
+	w := int(px(fw)) + 20
+	h := int(py(fd)) + 20
+
+	var maxLen float64
+	for _, e := range g.Edges() {
+		if c := l.CableLength(int(e.U), int(e.V)); c > maxLen {
+			maxLen = c
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	// Cables between cabinet centers.
+	cw := l.Cfg.CabinetWidth * scale
+	cd := l.Cfg.CabinetDepth * scale
+	center := func(cab int) (float64, float64) {
+		x, y := l.Position(cab)
+		return px(x) + cw/2, py(y) + cd/2
+	}
+	for _, e := range g.Edges() {
+		ca, cb := l.CabinetOf(int(e.U)), l.CabinetOf(int(e.V))
+		if ca == cb {
+			continue
+		}
+		x1, y1 := center(ca)
+		x2, y2 := center(cb)
+		frac := l.CableLength(int(e.U), int(e.V)) / maxLen
+		red := int(200 * frac)
+		green := int(170 * (1 - frac))
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="rgb(%d,%d,60)" stroke-width="0.8" opacity="0.5"/>`,
+			x1, y1, x2, y2, red, green)
+	}
+	// Cabinets on top.
+	for c := 0; c < l.Cabinets; c++ {
+		x, y := l.Position(c)
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#e8ebf2" stroke="#222" stroke-width="1"/>`,
+			px(x), py(y), cw, cd)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="9" font-family="sans-serif">%d</text>`,
+			px(x)+cw/2, py(y)+cd/2+3, c)
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String(), nil
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarsSVG renders a horizontal bar chart. Values must be non-negative.
+func BarsSVG(title, unit string, bars []Bar, w int) string {
+	if w < 240 {
+		w = 240
+	}
+	const rowH, mt, ml, mr = 24.0, 36.0, 110.0, 70.0
+	h := int(mt + rowH*float64(len(bars)) + 16)
+	var max float64
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	pw := float64(w) - ml - mr
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`, w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="%.1f" y="20" text-anchor="middle" font-size="14">%s</text>`, ml+pw/2, xmlEscape(title))
+	for i, b := range bars {
+		y := mt + rowH*float64(i)
+		bw := b.Value / max * pw
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+			ml, y, bw, rowH-6, palette[i%len(palette)])
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="end" font-size="11">%s</text>`,
+			ml-6, y+rowH/2+2, xmlEscape(b.Label))
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11">%s %s</text>`,
+			ml+bw+6, y+rowH/2+2, fmtTick(b.Value), xmlEscape(unit))
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,121 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/layout"
+	"dsnet/internal/topology"
+)
+
+// wellFormed checks the SVG parses as XML and counts elements by name.
+func wellFormed(t *testing.T, svg string) map[string]int {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			counts[se.Name.Local]++
+		}
+	}
+	if counts["svg"] != 1 {
+		t.Fatalf("expected one <svg> root, got %d", counts["svg"])
+	}
+	return counts
+}
+
+func TestRingSVG(t *testing.T) {
+	d, err := core.New(64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := RingSVG(d.Graph(), 400)
+	counts := wellFormed(t, svg)
+	if counts["circle"] != 64 {
+		t.Fatalf("%d node circles, want 64", counts["circle"])
+	}
+	// Every non-ring edge is a chord path; ring edges are lines.
+	wantChords := d.Graph().M() - 64
+	if counts["path"] != wantChords {
+		t.Fatalf("%d chords, want %d", counts["path"], wantChords)
+	}
+	if counts["line"] != 64 {
+		t.Fatalf("%d ring lines, want 64", counts["line"])
+	}
+}
+
+func TestRingSVGEmptyAndTiny(t *testing.T) {
+	svg := RingSVG(graph.New(0), 50)
+	wellFormed(t, svg)
+	g := graph.New(3)
+	g.AddEdge(0, 1, graph.KindRing)
+	wellFormed(t, RingSVG(g, 50))
+}
+
+func TestCurvesSVG(t *testing.T) {
+	s := []Series{
+		{Name: "DSN", X: []float64{1, 2, 3}, Y: []float64{5, 6, 9}},
+		{Name: "Torus & friends", X: []float64{1, 2, 3}, Y: []float64{7, 8, 12}},
+	}
+	svg := CurvesSVG("Latency <vs> load", "accepted", "ns", s, 480, 320)
+	counts := wellFormed(t, svg)
+	if counts["polyline"] != 2 {
+		t.Fatalf("%d polylines, want 2", counts["polyline"])
+	}
+	if !strings.Contains(svg, "&amp;") || !strings.Contains(svg, "&lt;vs&gt;") {
+		t.Fatal("special characters not escaped")
+	}
+	// Degenerate inputs must not panic or divide by zero.
+	wellFormed(t, CurvesSVG("empty", "x", "y", nil, 10, 10))
+	wellFormed(t, CurvesSVG("flat", "x", "y", []Series{{Name: "f", X: []float64{1}, Y: []float64{2}}}, 480, 320))
+}
+
+func TestFloorplanSVG(t *testing.T) {
+	tor, err := topology.Torus2DFor(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := layout.New(256, layout.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := FloorplanSVG(l, tor.Graph(), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := wellFormed(t, svg)
+	if counts["rect"] != l.Cabinets+1 { // background + cabinets
+		t.Fatalf("%d rects, want %d", counts["rect"], l.Cabinets+1)
+	}
+	if counts["line"] == 0 {
+		t.Fatal("no inter-cabinet cables drawn")
+	}
+	if _, err := FloorplanSVG(l, graph.New(5), 600); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestBarsSVG(t *testing.T) {
+	bars := []Bar{{Label: "DSN", Value: 3.2}, {Label: "Torus & co", Value: 4.1}, {Label: "zero", Value: 0}}
+	svg := BarsSVG("ASPL <at> 64", "hops", bars, 400)
+	counts := wellFormed(t, svg)
+	if counts["rect"] != 1+3 { // background + bars
+		t.Fatalf("%d rects", counts["rect"])
+	}
+	if !strings.Contains(svg, "&lt;at&gt;") {
+		t.Fatal("title not escaped")
+	}
+	// Degenerate all-zero input must not divide by zero.
+	wellFormed(t, BarsSVG("empty", "", []Bar{{Label: "a"}}, 100))
+	wellFormed(t, BarsSVG("none", "", nil, 100))
+}
