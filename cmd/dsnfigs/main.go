@@ -25,7 +25,7 @@ var jsonOut bool
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, balance, bottleneck, faults, related, switching, physical, throughput, ladder, all")
+		fig   = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, balance, bottleneck, faults, faultsim, related, switching, physical, throughput, ladder, all")
 		seed  = flag.Uint64("seed", 1, "seed for randomized topologies and simulations")
 		quick = flag.Bool("quick", false, "shorter simulation windows (for smoke runs)")
 	)
@@ -111,6 +111,17 @@ func run(fig string, seed uint64, quick bool) error {
 		fmt.Println("# Random link failures at 64 switches (10 trials each)")
 		dsnet.WriteFaultTable(os.Stdout, rows)
 		return nil
+	case "faultsim":
+		rows, err := dsnet.DegradationSweep(simConfig(seed, quick), 64, []float64{0, 0.02, 0.05, 0.10}, 0.06, seed)
+		if err != nil {
+			return err
+		}
+		if emitJSON("faultsim", rows) {
+			return nil
+		}
+		fmt.Println("# Graceful degradation under live link failures at 64 switches, uniform 0.06 flits/cycle/host")
+		dsnet.WriteDegradationTable(os.Stdout, rows)
+		return nil
 	case "switching":
 		graphs, err := dsnet.BuildComparison(64, seed)
 		if err != nil {
@@ -176,7 +187,7 @@ func run(fig string, seed uint64, quick bool) error {
 		dsnet.WriteRelatedTable(os.Stdout, rows)
 		return nil
 	case "all":
-		for _, f := range []string{"7", "8", "9", "10a", "10b", "10c", "balance", "bottleneck", "faults", "related", "switching", "physical", "throughput", "ladder"} {
+		for _, f := range []string{"7", "8", "9", "10a", "10b", "10c", "balance", "bottleneck", "faults", "faultsim", "related", "switching", "physical", "throughput", "ladder"} {
 			if err := run(f, seed, quick); err != nil {
 				return err
 			}

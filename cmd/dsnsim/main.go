@@ -7,6 +7,7 @@
 //	dsnsim -topo dsn -pattern uniform
 //	dsnsim -topo torus -pattern bit-reversal -rates 0.02,0.05,0.1
 //	dsnsim -topo dsn-v -routing custom -rates 0.01,0.02
+//	dsnsim -topo dsn -faults 0.05
 package main
 
 import (
@@ -19,54 +20,80 @@ import (
 	"dsnet"
 )
 
+// opts carries the command-line configuration of one dsnsim invocation.
+type opts struct {
+	topo      string
+	pattern   string
+	routing   string
+	n         int
+	seed      uint64
+	rates     string
+	warmup    int64
+	measure   int64
+	drain     int64
+	switching string
+	buf       int
+	trace     int64
+
+	// Live fault injection: faults is the fraction of links to kill
+	// during the run (0 disables). faultCycle / faultSpread place the
+	// failures in time; negative values mean "at warmup end" and "across
+	// half the measurement window".
+	faults      float64
+	faultCycle  int64
+	faultSpread int64
+}
+
 func main() {
-	var (
-		topo      = flag.String("topo", "dsn", "topology: dsn, dsn-v, torus, random")
-		pattern   = flag.String("pattern", "uniform", "traffic: uniform, bit-reversal, neighboring")
-		routing   = flag.String("routing", "adaptive", "routing: adaptive (Duato + up*/down* escape), updown, valiant, custom (DSN source-routed; needs -topo dsn-v)")
-		n         = flag.Int("n", 64, "number of switches")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		rateStr   = flag.String("rates", "0.02,0.04,0.06,0.08,0.10,0.12", "offered loads in flits/cycle/host")
-		warmup    = flag.Int64("warmup", 20000, "warmup cycles")
-		measure   = flag.Int64("measure", 40000, "measurement cycles")
-		drain     = flag.Int64("drain", 40000, "drain cycles")
-		switching = flag.String("switching", "vct", "switching mode: vct (virtual cut-through) or wormhole")
-		buf       = flag.Int("buf", 0, "buffer flits per VC (default: packet size for vct, 20 for wormhole)")
-		trace     = flag.Int64("trace", 0, "print lifecycle events for the first N packets (vct only)")
-	)
+	var o opts
+	flag.StringVar(&o.topo, "topo", "dsn", "topology: dsn, dsn-v, torus, random")
+	flag.StringVar(&o.pattern, "pattern", "uniform", "traffic: uniform, bit-reversal, neighboring")
+	flag.StringVar(&o.routing, "routing", "adaptive", "routing: adaptive (Duato + up*/down* escape), updown, valiant, custom (DSN source-routed; needs -topo dsn-v)")
+	flag.IntVar(&o.n, "n", 64, "number of switches")
+	flag.Uint64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.StringVar(&o.rates, "rates", "0.02,0.04,0.06,0.08,0.10,0.12", "offered loads in flits/cycle/host")
+	flag.Int64Var(&o.warmup, "warmup", 20000, "warmup cycles")
+	flag.Int64Var(&o.measure, "measure", 40000, "measurement cycles")
+	flag.Int64Var(&o.drain, "drain", 40000, "drain cycles")
+	flag.StringVar(&o.switching, "switching", "vct", "switching mode: vct (virtual cut-through) or wormhole")
+	flag.IntVar(&o.buf, "buf", 0, "buffer flits per VC (default: packet size for vct, 20 for wormhole)")
+	flag.Int64Var(&o.trace, "trace", 0, "print lifecycle events for the first N packets (vct only)")
+	flag.Float64Var(&o.faults, "faults", 0, "fraction of links to fail during the run (live fault injection)")
+	flag.Int64Var(&o.faultCycle, "faultcycle", -1, "cycle of the first link failure (default: end of warmup)")
+	flag.Int64Var(&o.faultSpread, "faultspread", -1, "cycles over which failures are staggered (default: half the measurement window)")
 	flag.Parse()
-	if err := run(*topo, *pattern, *routing, *n, *seed, *rateStr, *warmup, *measure, *drain, *switching, *buf, *trace); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dsnsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo, pattern, routingName string, n int, seed uint64, rateStr string, warmup, measure, drain int64, switching string, buf int, trace int64) error {
+func run(o opts) error {
 	cfg := dsnet.DefaultSimConfig()
-	cfg.Seed = seed
-	cfg.WarmupCycles = warmup
-	cfg.MeasureCycles = measure
-	cfg.DrainCycles = drain
-	if trace > 0 {
+	cfg.Seed = o.seed
+	cfg.WarmupCycles = o.warmup
+	cfg.MeasureCycles = o.measure
+	cfg.DrainCycles = o.drain
+	if o.trace > 0 {
 		cfg.Trace = os.Stderr
-		cfg.TracePackets = trace
+		cfg.TracePackets = o.trace
 	}
-	switch switching {
+	switch o.switching {
 	case "vct":
-		if buf > 0 {
-			cfg.BufFlitsPerVC = buf
+		if o.buf > 0 {
+			cfg.BufFlitsPerVC = o.buf
 		}
 	case "wormhole":
 		cfg.BufFlitsPerVC = 20
-		if buf > 0 {
-			cfg.BufFlitsPerVC = buf
+		if o.buf > 0 {
+			cfg.BufFlitsPerVC = o.buf
 		}
 	default:
-		return fmt.Errorf("unknown switching mode %q", switching)
+		return fmt.Errorf("unknown switching mode %q", o.switching)
 	}
 
 	var rates []float64
-	for _, s := range strings.Split(rateStr, ",") {
+	for _, s := range strings.Split(o.rates, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
 			return fmt.Errorf("bad rate %q: %w", s, err)
@@ -76,39 +103,39 @@ func run(topo, pattern, routingName string, n int, seed uint64, rateStr string, 
 
 	var g *dsnet.Graph
 	var dsnV *dsnet.DSN
-	switch topo {
+	switch o.topo {
 	case "dsn":
-		d, err := dsnet.NewDSN(n, dsnet.CeilLog2(n)-1)
+		d, err := dsnet.NewDSN(o.n, dsnet.CeilLog2(o.n)-1)
 		if err != nil {
 			return err
 		}
 		g = d.Graph()
 	case "dsn-v":
-		d, err := dsnet.NewDSNV(n)
+		d, err := dsnet.NewDSNV(o.n)
 		if err != nil {
 			return err
 		}
 		dsnV = d
 		g = d.Graph()
 	case "torus":
-		t, err := dsnet.NewTorus2DFor(n)
+		t, err := dsnet.NewTorus2DFor(o.n)
 		if err != nil {
 			return err
 		}
 		g = t.Graph()
 	case "random":
-		gr, err := dsnet.NewDLNRandom(n, 2, 2, seed)
+		gr, err := dsnet.NewDLNRandom(o.n, 2, 2, o.seed)
 		if err != nil {
 			return err
 		}
 		g = gr
 	default:
-		return fmt.Errorf("unknown topology %q", topo)
+		return fmt.Errorf("unknown topology %q", o.topo)
 	}
 
 	var rt dsnet.Router
 	var err error
-	switch routingName {
+	switch o.routing {
 	case "adaptive":
 		rt, err = dsnet.NewDuatoUpDown(g, cfg.VCs)
 	case "updown":
@@ -121,27 +148,60 @@ func run(topo, pattern, routingName string, n int, seed uint64, rateStr string, 
 		}
 		rt, err = dsnet.NewDSNSourceRouted(dsnV)
 	default:
-		err = fmt.Errorf("unknown routing %q", routingName)
+		err = fmt.Errorf("unknown routing %q", o.routing)
 	}
 	if err != nil {
 		return err
 	}
 
-	pat, err := dsnet.PatternFor(pattern, g.N(), cfg.HostsPerSwitch)
+	var plan *dsnet.FaultPlan
+	if o.faults > 0 {
+		start, spread := o.faultCycle, o.faultSpread
+		if start < 0 {
+			start = cfg.WarmupCycles
+		}
+		if spread < 0 {
+			spread = cfg.MeasureCycles / 2
+		}
+		plan, err = dsnet.RandomLinkFaults(g, o.faults, start, spread, o.seed)
+		if err != nil {
+			return err
+		}
+		if plan.FailureCount() == 0 {
+			return fmt.Errorf("-faults %g fails no links on %d edges; raise the fraction", o.faults, g.M())
+		}
+	} else if o.faults < 0 {
+		return fmt.Errorf("-faults %g is negative", o.faults)
+	}
+
+	pat, err := dsnet.PatternFor(o.pattern, g.N(), cfg.HostsPerSwitch)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("# %s / %s / %s routing / %s switching, %d switches x %d hosts, seed %d\n",
-		topo, pattern, routingName, switching, g.N(), cfg.HostsPerSwitch, seed)
-	fmt.Printf("%12s %12s %12s %12s %10s\n", "offered_gbps", "accepted", "latency_ns", "p99_ns", "saturated")
+		o.topo, o.pattern, o.routing, o.switching, g.N(), cfg.HostsPerSwitch, o.seed)
+	if plan != nil {
+		fmt.Printf("# live faults: %d links failing from cycle %d\n",
+			plan.FailureCount(), plan.Events[0].Cycle)
+		fmt.Printf("%12s %12s %12s %12s %10s %9s %8s %6s %8s %9s %12s\n",
+			"offered_gbps", "accepted", "latency_ns", "p99_ns", "saturated",
+			"del_rate", "dropped", "lost", "retried", "rerouted", "pf_p99_ns")
+	} else {
+		fmt.Printf("%12s %12s %12s %12s %10s\n", "offered_gbps", "accepted", "latency_ns", "p99_ns", "saturated")
+	}
 	for _, rate := range rates {
 		var res dsnet.SimResult
 		var runErr error
-		if switching == "wormhole" {
+		if o.switching == "wormhole" {
 			sim, err := dsnet.NewWormSim(cfg, g, rt, pat, rate)
 			if err != nil {
 				return err
+			}
+			if plan != nil {
+				if err := sim.SetFaultPlan(plan); err != nil {
+					return err
+				}
 			}
 			res, runErr = sim.Run()
 		} else {
@@ -149,14 +209,29 @@ func run(topo, pattern, routingName string, n int, seed uint64, rateStr string, 
 			if err != nil {
 				return err
 			}
+			if plan != nil {
+				if err := sim.SetFaultPlan(plan); err != nil {
+					return err
+				}
+			}
 			res, runErr = sim.Run()
 		}
 		sat := res.Saturated
 		if runErr != nil {
 			sat = true
 		}
-		fmt.Printf("%12.2f %12.2f %12.1f %12.1f %10v\n",
-			res.OfferedGbps, res.AcceptedGbps, res.AvgLatencyNS, res.P99LatencyNS, sat)
+		if plan != nil {
+			delRate := 0.0
+			if res.GeneratedMeasured > 0 {
+				delRate = float64(res.DeliveredMeasured) / float64(res.GeneratedMeasured)
+			}
+			fmt.Printf("%12.2f %12.2f %12.1f %12.1f %10v %9.3f %8d %6d %8d %9d %12.1f\n",
+				res.OfferedGbps, res.AcceptedGbps, res.AvgLatencyNS, res.P99LatencyNS, sat,
+				delRate, res.Dropped, res.Lost, res.Retried, res.Rerouted, res.PostFaultP99NS)
+		} else {
+			fmt.Printf("%12.2f %12.2f %12.1f %12.1f %10v\n",
+				res.OfferedGbps, res.AcceptedGbps, res.AvgLatencyNS, res.P99LatencyNS, sat)
+		}
 	}
 	return nil
 }

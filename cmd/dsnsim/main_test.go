@@ -2,41 +2,74 @@ package main
 
 import "testing"
 
+// quick returns short-schedule options for tests.
+func quick(topo, pattern, routing string, n int, rates, switching string, buf int) opts {
+	return opts{
+		topo: topo, pattern: pattern, routing: routing, n: n, seed: 1,
+		rates: rates, warmup: 500, measure: 1000, drain: 1500,
+		switching: switching, buf: buf,
+		faultCycle: -1, faultSpread: -1,
+	}
+}
+
 func TestRunVCT(t *testing.T) {
-	if err := run("dsn", "uniform", "adaptive", 64, 1, "0.02", 500, 1000, 1500, "vct", 0, 0); err != nil {
+	if err := run(quick("dsn", "uniform", "adaptive", 64, "0.02", "vct", 0)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWormhole(t *testing.T) {
-	if err := run("torus", "uniform", "adaptive", 64, 1, "0.02", 500, 1000, 1500, "wormhole", 20, 0); err != nil {
+	if err := run(quick("torus", "uniform", "adaptive", 64, "0.02", "wormhole", 20)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCustomRouting(t *testing.T) {
-	if err := run("dsn-v", "uniform", "custom", 60, 1, "0.01", 500, 1000, 1500, "vct", 0, 0); err != nil {
+	if err := run(quick("dsn-v", "uniform", "custom", 60, "0.01", "vct", 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	o := quick("dsn", "uniform", "adaptive", 64, "0.06", "vct", 0)
+	o.warmup, o.measure, o.drain = 1000, 3000, 4000
+	o.faults = 0.05
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// Wormhole accepts a plan too (masking-only semantics).
+	o.switching, o.buf = "wormhole", 20
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejections(t *testing.T) {
-	if err := run("bogus", "uniform", "adaptive", 64, 1, "0.02", 500, 1000, 1500, "vct", 0, 0); err == nil {
+	if err := run(quick("bogus", "uniform", "adaptive", 64, "0.02", "vct", 0)); err == nil {
 		t.Fatal("bad topology accepted")
 	}
-	if err := run("dsn", "bogus", "adaptive", 64, 1, "0.02", 500, 1000, 1500, "vct", 0, 0); err == nil {
+	if err := run(quick("dsn", "bogus", "adaptive", 64, "0.02", "vct", 0)); err == nil {
 		t.Fatal("bad pattern accepted")
 	}
-	if err := run("dsn", "uniform", "bogus", 64, 1, "0.02", 500, 1000, 1500, "vct", 0, 0); err == nil {
+	if err := run(quick("dsn", "uniform", "bogus", 64, "0.02", "vct", 0)); err == nil {
 		t.Fatal("bad routing accepted")
 	}
-	if err := run("dsn", "uniform", "custom", 64, 1, "0.02", 500, 1000, 1500, "vct", 0, 0); err == nil {
+	if err := run(quick("dsn", "uniform", "custom", 64, "0.02", "vct", 0)); err == nil {
 		t.Fatal("custom routing without dsn-v accepted")
 	}
-	if err := run("dsn", "uniform", "adaptive", 64, 1, "zzz", 500, 1000, 1500, "vct", 0, 0); err == nil {
+	if err := run(quick("dsn", "uniform", "adaptive", 64, "zzz", "vct", 0)); err == nil {
 		t.Fatal("bad rates accepted")
 	}
-	if err := run("dsn", "uniform", "adaptive", 64, 1, "0.02", 500, 1000, 1500, "bogus", 0, 0); err == nil {
+	if err := run(quick("dsn", "uniform", "adaptive", 64, "0.02", "bogus", 0)); err == nil {
 		t.Fatal("bad switching accepted")
+	}
+	o := quick("dsn", "uniform", "adaptive", 64, "0.02", "vct", 0)
+	o.faults = -0.1
+	if err := run(o); err == nil {
+		t.Fatal("negative fault fraction accepted")
+	}
+	o.faults = 1e-9 // fails zero links
+	if err := run(o); err == nil {
+		t.Fatal("no-op fault fraction accepted silently")
 	}
 }

@@ -138,6 +138,19 @@ type BottleneckRow = analysis.BottleneckRow
 // FaultRow summarizes resilience to random link failures.
 type FaultRow = analysis.FaultRow
 
+// DegradationRow is one point of the live-fault degradation experiment.
+type DegradationRow = analysis.DegradationRow
+
+// FaultPlan is a deterministic schedule of link/switch failures (and
+// repairs) applied during a simulation run.
+type FaultPlan = netsim.FaultPlan
+
+// FaultEvent is one scheduled fault or repair.
+type FaultEvent = netsim.FaultEvent
+
+// FaultAware is implemented by routers that adapt to fabric faults.
+type FaultAware = netsim.FaultAware
+
 // RelatedRow is one entry of the Section III related-work comparison.
 type RelatedRow = analysis.RelatedRow
 
@@ -234,6 +247,16 @@ var (
 	NewValiant               = netsim.NewValiant
 )
 
+// Fault injection (live link/switch failures during simulation).
+var (
+	NewFaultPlan     = netsim.NewFaultPlan
+	RandomLinkFaults = netsim.RandomLinkFaults
+	LinkDown         = netsim.LinkDown
+	LinkUp           = netsim.LinkUp
+	SwitchDown       = netsim.SwitchDown
+	SwitchUp         = netsim.SwitchUp
+)
+
 // Traffic patterns (Section VII.A plus HPC application workloads).
 var (
 	NewBitReversal = traffic.NewBitReversal
@@ -262,32 +285,34 @@ func NewHotspot(hosts, hot int, fraction float64) TrafficPattern {
 
 // Experiment drivers (Figures 7-10).
 var (
-	BuildComparison      = analysis.BuildComparison
-	PathSweep            = analysis.PathSweep
-	CableSweep           = analysis.CableSweep
-	LatencySweep         = analysis.LatencySweep
-	Fig10Curves          = analysis.Fig10Curves
-	BalanceComparison    = analysis.BalanceComparison
-	BottleneckSweep      = analysis.BottleneckSweep
-	FaultSweep           = analysis.FaultSweep
-	RelatedWork          = analysis.RelatedWork
-	SwitchingComparison  = analysis.SwitchingComparison
-	PhysicalLatencySweep = analysis.PhysicalLatencySweep
-	LadderSweep          = analysis.LadderSweep
-	WriteLadderTable     = analysis.WriteLadderTable
-	SaturationThroughput = analysis.SaturationThroughput
-	ThroughputComparison = analysis.ThroughputComparison
-	WriteThroughputTable = analysis.WriteThroughputTable
-	DefaultPhysicalConst = analysis.DefaultPhysicalConst
-	WritePhysicalTable   = analysis.WritePhysicalTable
-	WriteFaultTable      = analysis.WriteFaultTable
-	WriteRelatedTable    = analysis.WriteRelatedTable
-	WriteSwitchingTable  = analysis.WriteSwitchingTable
-	WritePathTable       = analysis.WritePathTable
-	WriteCableTable      = analysis.WriteCableTable
-	WriteLatencyTable    = analysis.WriteLatencyTable
-	WriteBottleneckTable = analysis.WriteBottleneckTable
-	PatternFor           = analysis.PatternFor
+	BuildComparison       = analysis.BuildComparison
+	PathSweep             = analysis.PathSweep
+	CableSweep            = analysis.CableSweep
+	LatencySweep          = analysis.LatencySweep
+	Fig10Curves           = analysis.Fig10Curves
+	BalanceComparison     = analysis.BalanceComparison
+	BottleneckSweep       = analysis.BottleneckSweep
+	FaultSweep            = analysis.FaultSweep
+	DegradationSweep      = analysis.DegradationSweep
+	RelatedWork           = analysis.RelatedWork
+	SwitchingComparison   = analysis.SwitchingComparison
+	PhysicalLatencySweep  = analysis.PhysicalLatencySweep
+	LadderSweep           = analysis.LadderSweep
+	WriteLadderTable      = analysis.WriteLadderTable
+	SaturationThroughput  = analysis.SaturationThroughput
+	ThroughputComparison  = analysis.ThroughputComparison
+	WriteThroughputTable  = analysis.WriteThroughputTable
+	DefaultPhysicalConst  = analysis.DefaultPhysicalConst
+	WritePhysicalTable    = analysis.WritePhysicalTable
+	WriteFaultTable       = analysis.WriteFaultTable
+	WriteDegradationTable = analysis.WriteDegradationTable
+	WriteRelatedTable     = analysis.WriteRelatedTable
+	WriteSwitchingTable   = analysis.WriteSwitchingTable
+	WritePathTable        = analysis.WritePathTable
+	WriteCableTable       = analysis.WriteCableTable
+	WriteLatencyTable     = analysis.WriteLatencyTable
+	WriteBottleneckTable  = analysis.WriteBottleneckTable
+	PatternFor            = analysis.PatternFor
 )
 
 // ComparisonNames lists the paper's comparison topologies in presentation

@@ -6,6 +6,8 @@ import (
 	"math/rand/v2"
 
 	"dsnet/internal/graph"
+	"dsnet/internal/netsim"
+	"dsnet/internal/traffic"
 )
 
 // FaultRow summarizes the resilience of one topology to random link
@@ -15,12 +17,13 @@ import (
 // low-degree topologies; this experiment quantifies how DSN's shortcut
 // redundancy compares with the torus and the random baseline.
 type FaultRow struct {
-	Name          string
-	FailFraction  float64
-	Trials        int
-	ConnectedRate float64 // fraction of trials that stayed connected
-	DiameterInfl  float64 // mean diameter / fault-free diameter
-	ASPLInfl      float64 // mean ASPL / fault-free ASPL
+	Name               string
+	FailFraction       float64
+	Trials             int
+	ConnectedRate      float64 // fraction of trials that stayed connected
+	DisconnectedTrials int     // trials that split the network
+	DiameterInfl       float64 // mean diameter / fault-free diameter
+	ASPLInfl           float64 // mean ASPL / fault-free ASPL
 }
 
 // FaultSweep removes a random fraction of links from each comparison
@@ -60,6 +63,7 @@ func FaultSweep(n int, fracs []float64, trials int, seed uint64) ([]FaultRow, er
 				asplSum += m.ASPL / base[name].ASPL
 			}
 			row.ConnectedRate = float64(connected) / float64(trials)
+			row.DisconnectedTrials = trials - connected
 			if connected > 0 {
 				row.DiameterInfl = diamSum / float64(connected)
 				row.ASPLInfl = asplSum / float64(connected)
@@ -70,21 +74,112 @@ func FaultSweep(n int, fracs []float64, trials int, seed uint64) ([]FaultRow, er
 	return rows, nil
 }
 
-// pickFailures selects floor(m*frac) distinct edges to fail.
-func pickFailures(m int, frac float64, rng *rand.Rand) map[int]bool {
-	k := int(float64(m) * frac)
-	kill := make(map[int]bool, k)
-	for len(kill) < k {
-		kill[rng.IntN(m)] = true
+// pickFailures selects floor(m*frac) distinct edges to fail as a death
+// mask, via a partial Fisher-Yates shuffle (O(m), no rejection loop even
+// at high fractions).
+func pickFailures(m int, frac float64, rng *rand.Rand) []bool {
+	kill := make([]bool, m)
+	for _, e := range graph.SampleIndices(m, int(float64(m)*frac), rng) {
+		kill[e] = true
 	}
 	return kill
 }
 
 // WriteFaultTable renders the fault sweep.
 func WriteFaultTable(w io.Writer, rows []FaultRow) {
-	fmt.Fprintf(w, "%-8s %10s %10s %12s %10s\n", "topo", "fail_frac", "connected", "diam_infl", "aspl_infl")
+	fmt.Fprintf(w, "%-8s %10s %10s %12s %12s %10s\n", "topo", "fail_frac", "connected", "disc_trials", "diam_infl", "aspl_infl")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %10.2f %10.2f %12.2f %10.2f\n",
-			r.Name, r.FailFraction, r.ConnectedRate, r.DiameterInfl, r.ASPLInfl)
+		fmt.Fprintf(w, "%-8s %10.2f %10.2f %12d %12.2f %10.2f\n",
+			r.Name, r.FailFraction, r.ConnectedRate, r.DisconnectedTrials, r.DiameterInfl, r.ASPLInfl)
+	}
+}
+
+// DegradationRow is one point of the live-fault simulation experiment:
+// one topology at one failed-link fraction, with links dying *during*
+// the run (graph-level FaultSweep, by contrast, studies static damage).
+type DegradationRow struct {
+	Name         string
+	FailFraction float64
+	FailedLinks  int
+	OfferedGbps  float64
+	AcceptedGbps float64
+	// DeliveredRate is delivered/generated over the measurement window; the
+	// shortfall is packets lost to faults or still retrying at run end.
+	DeliveredRate  float64
+	AvgLatencyNS   float64
+	P99LatencyNS   float64
+	PostFaultP99NS float64
+	Dropped        int64
+	Lost           int64
+	Retried        int64
+	Rerouted       int64
+	// Watchdog marks a run the progress watchdog aborted (a genuine
+	// fault-handling failure, since the transport layer should drain).
+	Watchdog bool
+}
+
+// DegradationSweep measures graceful degradation under live faults: for
+// each comparison topology and failed-link fraction it runs the VCT
+// simulator with the fault-aware adaptive router while RandomLinkFaults
+// kills links across the first half of the measurement window. Fraction
+// 0 rows are the fault-free baseline.
+func DegradationSweep(cfg netsim.Config, n int, fracs []float64, rate float64, seed uint64) ([]DegradationRow, error) {
+	graphs, err := BuildComparison(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []DegradationRow
+	for _, name := range Names {
+		g := graphs[name]
+		for _, frac := range fracs {
+			rt, err := netsim.NewDuatoUpDown(g, cfg.VCs)
+			if err != nil {
+				return nil, err
+			}
+			pat := traffic.Uniform{Hosts: g.N() * cfg.HostsPerSwitch}
+			sim, err := netsim.NewSim(cfg, g, rt, pat, rate)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := netsim.RandomLinkFaults(g, frac, cfg.WarmupCycles, cfg.MeasureCycles/2, seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := sim.SetFaultPlan(plan); err != nil {
+				return nil, err
+			}
+			res, runErr := sim.Run()
+			row := DegradationRow{
+				Name:           name,
+				FailFraction:   frac,
+				FailedLinks:    plan.FailureCount(),
+				OfferedGbps:    res.OfferedGbps,
+				AcceptedGbps:   res.AcceptedGbps,
+				AvgLatencyNS:   res.AvgLatencyNS,
+				P99LatencyNS:   res.P99LatencyNS,
+				PostFaultP99NS: res.PostFaultP99NS,
+				Dropped:        res.Dropped,
+				Lost:           res.Lost,
+				Retried:        res.Retried,
+				Rerouted:       res.Rerouted,
+				Watchdog:       runErr != nil,
+			}
+			if res.GeneratedMeasured > 0 {
+				row.DeliveredRate = float64(res.DeliveredMeasured) / float64(res.GeneratedMeasured)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteDegradationTable renders the live-fault degradation sweep.
+func WriteDegradationTable(w io.Writer, rows []DegradationRow) {
+	fmt.Fprintf(w, "%-8s %10s %6s %10s %10s %9s %12s %12s %8s %6s %8s %9s %5s\n",
+		"topo", "fail_frac", "links", "offered", "accepted", "del_rate", "p99_ns", "pf_p99_ns", "dropped", "lost", "retried", "rerouted", "wdog")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10.2f %6d %10.2f %10.2f %9.3f %12.1f %12.1f %8d %6d %8d %9d %5v\n",
+			r.Name, r.FailFraction, r.FailedLinks, r.OfferedGbps, r.AcceptedGbps, r.DeliveredRate,
+			r.P99LatencyNS, r.PostFaultP99NS, r.Dropped, r.Lost, r.Retried, r.Rerouted, r.Watchdog)
 	}
 }

@@ -231,6 +231,42 @@ func (d *DSN) Route(s, t int) (*Route, error) {
 	return r, nil
 }
 
+// DetourHop returns the single ring hop leaving u in the given direction
+// (clockwise = succ, counterclockwise = pred), labeled with the
+// FINISH-phase channel class fault detours ride. When a shortcut on a
+// precomputed route dies, fault-tolerant source routing re-sources the
+// packet onto a chain of these hops; the basic variant falls back to the
+// plain ring classes since it has no dedicated finishing channels.
+func (d *DSN) DetourHop(u int, clockwise bool) Hop {
+	deadlockFree := d.Variant == VariantE || d.Variant == VariantV
+	if clockwise {
+		class := ClassSucc
+		if deadlockFree {
+			class = ClassFinishSucc
+		}
+		return Hop{From: int32(u), To: int32(d.Succ(u)), Class: class, Phase: PhaseFinish}
+	}
+	return Hop{From: int32(u), To: int32(d.Pred(u)), Class: ClassPred, Phase: PhaseFinish}
+}
+
+// RingRoute returns the ring-only route from s to t walking the chosen
+// direction, the fallback path that fault-tolerant routing degrades to
+// when shortcuts die. Its length is the ring distance between s and t in
+// that direction.
+func (d *DSN) RingRoute(s, t int, clockwise bool) (*Route, error) {
+	if s < 0 || s >= d.N || t < 0 || t >= d.N {
+		return nil, fmt.Errorf("core: ring route endpoints (%d,%d) out of range [0,%d)", s, t, d.N)
+	}
+	r := &Route{Src: s, Dst: t}
+	for u := s; u != t; {
+		h := d.DetourHop(u, clockwise)
+		r.Hops = append(r.Hops, h)
+		r.PhaseHops[h.Phase]++
+		u = int(h.To)
+	}
+	return r, nil
+}
+
 // RouteLen returns just the length of the custom route from s to t.
 func (d *DSN) RouteLen(s, t int) (int, error) {
 	r, err := d.Route(s, t)

@@ -321,3 +321,78 @@ func TestFact2DistanceHalvingInvariant(t *testing.T) {
 		}
 	}
 }
+
+// DetourHop is the building block of fault detours: one ring hop in the
+// chosen direction, riding the FINISH-phase classes (dedicated finishing
+// channels on the deadlock-free variants, plain ring classes otherwise).
+func TestDetourHop(t *testing.T) {
+	dv, err := NewV(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := dv.DetourHop(5, true)
+	if int(h.From) != 5 || int(h.To) != dv.Succ(5) || h.Class != ClassFinishSucc || h.Phase != PhaseFinish {
+		t.Fatalf("DSN-V clockwise detour hop = %+v", h)
+	}
+	h = dv.DetourHop(0, false)
+	if int(h.To) != dv.Pred(0) || h.Class != ClassPred || h.Phase != PhaseFinish {
+		t.Fatalf("DSN-V counterclockwise detour hop = %+v", h)
+	}
+	db, err := New(64, CeilLog2(64)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.DetourHop(7, true); got.Class != ClassSucc {
+		t.Fatalf("basic variant clockwise detour rides class %v, want ClassSucc", got.Class)
+	}
+}
+
+// RingRoute walks the pure ring in one direction; its length is the ring
+// distance in that direction and each hop chains through Succ/Pred.
+func TestRingRoute(t *testing.T) {
+	d, err := NewV(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		s, t int
+		cw   bool
+	}{
+		{3, 10, true}, {10, 3, true}, {3, 10, false}, {7, 7, true}, {59, 0, true}, {0, 59, false},
+	} {
+		r, err := d.RingRoute(tc.s, tc.t, tc.cw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := d.ClockwiseDist(tc.s, tc.t)
+		if !tc.cw {
+			want = d.ClockwiseDist(tc.t, tc.s)
+		}
+		if len(r.Hops) != want {
+			t.Fatalf("RingRoute(%d, %d, cw=%v): %d hops, want %d", tc.s, tc.t, tc.cw, len(r.Hops), want)
+		}
+		cur := tc.s
+		for i, h := range r.Hops {
+			if int(h.From) != cur {
+				t.Fatalf("hop %d starts at %d, expected %d", i, h.From, cur)
+			}
+			step := d.Succ(cur)
+			if !tc.cw {
+				step = d.Pred(cur)
+			}
+			if int(h.To) != step {
+				t.Fatalf("hop %d goes to %d, expected %d", i, h.To, step)
+			}
+			cur = int(h.To)
+		}
+		if cur != tc.t {
+			t.Fatalf("route ends at %d, want %d", cur, tc.t)
+		}
+	}
+	if _, err := d.RingRoute(-1, 0, true); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := d.RingRoute(0, 60, true); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+}

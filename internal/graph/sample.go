@@ -1,0 +1,26 @@
+package graph
+
+import "math/rand/v2"
+
+// SampleIndices draws k distinct indices from [0, m) uniformly at random
+// using a partial Fisher-Yates shuffle: O(m) work and no rejection loop,
+// so it stays fast even when k approaches m (where rejection sampling
+// degenerates into a long spin on the last few unseen indices). k is
+// clamped to [0, m]. The returned slice is in shuffle order.
+func SampleIndices(m, k int, rng *rand.Rand) []int {
+	if k < 0 {
+		k = 0
+	}
+	if k > m {
+		k = m
+	}
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.IntN(m-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+func TestSampleIndices(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 7))
+	for _, tc := range []struct{ m, k, want int }{
+		{10, 4, 4},
+		{10, 0, 0},
+		{10, 10, 10}, // k == m: full shuffle, no spin
+		{10, 15, 10}, // k clamped down to m
+		{10, -3, 0},  // k clamped up to 0
+		{0, 5, 0},
+	} {
+		got := SampleIndices(tc.m, tc.k, rng)
+		if len(got) != tc.want {
+			t.Fatalf("SampleIndices(%d, %d): %d indices, want %d", tc.m, tc.k, len(got), tc.want)
+		}
+		seen := make(map[int]bool, len(got))
+		for _, i := range got {
+			if i < 0 || i >= tc.m {
+				t.Fatalf("SampleIndices(%d, %d): index %d out of range", tc.m, tc.k, i)
+			}
+			if seen[i] {
+				t.Fatalf("SampleIndices(%d, %d): duplicate index %d", tc.m, tc.k, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestSampleIndicesDeterministic(t *testing.T) {
+	a := SampleIndices(1000, 100, rand.New(rand.NewPCG(9, 1)))
+	b := SampleIndices(1000, 100, rand.New(rand.NewPCG(9, 1)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed samples diverged")
+	}
+}

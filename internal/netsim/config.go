@@ -43,6 +43,26 @@ type Config struct {
 	MeasureCycles int64 // measurement window length
 	DrainCycles   int64 // extra cycles to let measured packets finish
 
+	// Fault-tolerance transport parameters, consulted only when a
+	// FaultPlan is attached (SetFaultPlan) and only once the first
+	// failure has actually occurred, so a zero-fault plan is
+	// bit-identical to a plain run. Zero values select the built-in
+	// defaults at SetFaultPlan time, keeping hand-rolled Configs valid.
+	//
+	// RetryBudget is how many times the source reinjects a packet whose
+	// flits were lost to a fault or that timed out head-blocked; once
+	// exhausted the packet counts as permanently lost.
+	RetryBudget int
+	// RetryBackoffCycles is the base source-retry delay; attempt k waits
+	// RetryBackoffCycles << min(k, 5) cycles (bounded exponential
+	// backoff).
+	RetryBackoffCycles int64
+	// FaultTimeoutCycles is how long a routable head-of-queue packet may
+	// stay blocked before the switch drops it back to the source retry
+	// path. This is what keeps the network live when faults disconnect a
+	// destination: unroutable packets drain instead of deadlocking.
+	FaultTimeoutCycles int64
+
 	// Trace, when non-nil, receives a line per lifecycle event (GEN,
 	// INJECT, GRANT, EJECT, DELIVER) for the first TracePackets packets —
 	// a debugging and teaching aid for the VCT engine. Tracing does not
@@ -68,6 +88,9 @@ func Default() Config {
 		WarmupCycles:         20000,
 		MeasureCycles:        40000,
 		DrainCycles:          40000,
+		RetryBudget:          4,
+		RetryBackoffCycles:   64,
+		FaultTimeoutCycles:   2048,
 	}
 }
 
@@ -116,6 +139,8 @@ func (c Config) validateCommon() error {
 		return fmt.Errorf("netsim: bad link parameters")
 	case c.WarmupCycles < 0 || c.MeasureCycles < 1 || c.DrainCycles < 0:
 		return fmt.Errorf("netsim: bad measurement schedule")
+	case c.RetryBudget < 0 || c.RetryBackoffCycles < 0 || c.FaultTimeoutCycles < 0:
+		return fmt.Errorf("netsim: negative fault-tolerance parameters")
 	}
 	return nil
 }

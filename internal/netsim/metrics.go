@@ -25,6 +25,18 @@ type Result struct {
 	GeneratedTotal    int64
 	InFlightAtEnd     int64
 
+	// Fault-tolerance counters, nonzero only under a FaultPlan with at
+	// least one failure. Conservation under faults is
+	// GeneratedTotal == DeliveredTotal + InFlightAtEnd + Lost.
+	Dropped            int64 // drop events: flit loss on dead components + timeouts
+	Lost               int64 // packets permanently lost (retry budget exhausted)
+	Retried            int64 // source reinjections after a drop
+	TimedOut           int64 // of Dropped, head-of-line transport timeouts
+	Rerouted           int64 // packets that took >= 1 fault-detour grant
+	DeliveredPostFault int64 // measured deliveries generated at/after the first failure
+	PostFaultP50NS     float64
+	PostFaultP99NS     float64
+
 	// Saturated is set when a meaningful fraction of measured packets
 	// never arrived: latency figures are then unreliable (the network is
 	// past its saturation point).
@@ -65,6 +77,18 @@ func (s *Sim) result() Result {
 		r.P99LatencyNS = float64(sorted[idx]) * cyc
 		r.MaxLatencyNS = float64(sorted[len(sorted)-1]) * cyc
 	}
+	r.Dropped = s.droppedTotal
+	r.Lost = s.lostTotal
+	r.Retried = s.retriedTotal
+	r.TimedOut = s.timedOutTotal
+	r.Rerouted = s.reroutedPkts
+	r.DeliveredPostFault = s.delPostFault
+	if len(s.postFaultLats) > 0 {
+		sorted := append([]int64(nil), s.postFaultLats...)
+		sortInt64s(sorted)
+		r.PostFaultP50NS = float64(sorted[percentileIdx(len(sorted), 0.50)]) * cyc
+		r.PostFaultP99NS = float64(sorted[percentileIdx(len(sorted), 0.99)]) * cyc
+	}
 	if s.genMeasured > 0 {
 		undelivered := s.genMeasured - s.delMeasured
 		r.Saturated = float64(undelivered) > 0.02*float64(s.genMeasured)
@@ -73,6 +97,16 @@ func (s *Sim) result() Result {
 		r.Saturated = true
 	}
 	return r
+}
+
+// percentileIdx returns the clamped index of the q-quantile in a sorted
+// slice of length n.
+func percentileIdx(n int, q float64) int {
+	i := int(float64(n) * q)
+	if i >= n {
+		i = n - 1
+	}
+	return i
 }
 
 func sortInt64s(xs []int64) {

@@ -1,0 +1,9 @@
+//go:build race
+
+package netsim
+
+// Heavyweight perf-assertion tests skip under the race detector: its
+// 8-10x slowdown pushes the suite past go test's default timeout while
+// adding no race coverage beyond what the functional tests (which run
+// the same simulator loops) already provide.
+const raceDetectorEnabled = true

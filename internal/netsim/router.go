@@ -23,6 +23,11 @@ type Candidate struct {
 	// Routers use it to carry per-packet routing state across hops: the
 	// up*/down* descent latch, the DOR dateline bit, and so on.
 	NewState uint8
+	// Detour marks a candidate that exists only because of fabric faults:
+	// a longer-than-fault-free adaptive hop or a ring-only fallback after
+	// a dead shortcut. The simulator counts packets that take at least one
+	// Detour grant in Result.Rerouted.
+	Detour bool
 }
 
 // EdgeAny leaves the physical edge choice to the simulator.
@@ -77,6 +82,16 @@ type DuatoUpDown struct {
 	dt  *routing.DistanceTable
 	ud  *routing.UpDown
 	vcs int
+
+	// Fault state (UpdateFaults). dt0/ud0 are the pristine fault-free
+	// tables, kept so repairs can restore them without a rebuild and so
+	// Candidates can mark hops that are longer than the fault-free
+	// distance as detours.
+	dt0      *routing.DistanceTable
+	ud0      *routing.UpDown
+	edgeDead []bool
+	swDead   []bool
+	faulted  bool
 }
 
 // NewDuatoUpDown builds the routing function for graph g with the given
@@ -89,7 +104,48 @@ func NewDuatoUpDown(g *graph.Graph, vcs int) (*DuatoUpDown, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DuatoUpDown{g: g, dt: routing.NewDistanceTable(g), ud: ud, vcs: vcs}, nil
+	dt := routing.NewDistanceTable(g)
+	return &DuatoUpDown{g: g, dt: dt, ud: ud, vcs: vcs, dt0: dt, ud0: ud}, nil
+}
+
+// UpdateFaults implements FaultAware: distances and the up*/down* escape
+// tree are rebuilt on the surviving subgraph, rooted at the lowest-ID
+// live switch. Pairs separated by the faults get no candidates at all,
+// which the simulator's timeout/retry transport turns into drops rather
+// than deadlock.
+func (r *DuatoUpDown) UpdateFaults(edgeDead, swDead []bool) {
+	r.edgeDead = append(r.edgeDead[:0], edgeDead...)
+	r.swDead = append(r.swDead[:0], swDead...)
+	r.faulted = false
+	for _, d := range r.edgeDead {
+		if d {
+			r.faulted = true
+		}
+	}
+	for _, d := range r.swDead {
+		if d {
+			r.faulted = true
+		}
+	}
+	if !r.faulted { // everything repaired: restore the pristine tables
+		r.dt, r.ud = r.dt0, r.ud0
+		return
+	}
+	alive := r.g.Subgraph(func(e int) bool {
+		if r.edgeDead[e] {
+			return false
+		}
+		ed := r.g.Edge(e)
+		return !r.swDead[ed.U] && !r.swDead[ed.V]
+	})
+	root := 0
+	for root < len(r.swDead)-1 && r.swDead[root] {
+		root++
+	}
+	r.dt = routing.NewDistanceTable(alive)
+	if ud, err := routing.NewUpDownPartial(alive, root); err == nil {
+		r.ud = ud
+	}
 }
 
 // Candidates implements Router.
@@ -99,19 +155,28 @@ func (r *DuatoUpDown) Candidates(st PacketState, sw int, buf []Candidate) []Cand
 		return buf
 	}
 	du := r.dt.D(sw, dst)
+	if du == graph.Unreachable {
+		return buf // faults cut every path; transport times the packet out
+	}
+	// A surviving distance longer than the fault-free one means every
+	// remaining minimal hop is a fault detour.
+	detour := r.faulted && du > r.dt0.D(sw, dst)
 	for _, h := range r.g.Neighbors(sw) {
+		if r.faulted && (r.edgeDead[h.Edge] || r.swDead[h.To]) {
+			continue
+		}
 		if r.dt.D(int(h.To), dst) == du-1 {
 			for vc := 1; vc < r.vcs; vc++ {
 				// Taking an adaptive hop restarts the escape path, so the
 				// descent latch clears.
-				buf = append(buf, Candidate{Next: h.To, VC: int8(vc)})
+				buf = append(buf, Candidate{Next: h.To, VC: int8(vc), Detour: detour})
 			}
 		}
 	}
 	next, down := r.ud.NextHop(sw, dst, st.descended())
-	if next >= 0 {
+	if next >= 0 && !(r.faulted && r.swDead[next]) {
 		buf = append(buf, Candidate{
-			Next: int32(next), VC: 0, Escape: true,
+			Next: int32(next), VC: 0, Escape: true, Detour: detour,
 			NewState: descState(st.descended() || down),
 		})
 	}
@@ -181,6 +246,40 @@ type DSNSourceRouted struct {
 	// (+1, 0 = any): for DSN-E the Up and Extra classes must use their
 	// dedicated links rather than the parallel ring wire.
 	pins [][]int32
+
+	// Fault state (UpdateFaults). When the precomputed route's next hop
+	// dies under a packet, the packet abandons the route and re-sources
+	// onto a ring-only detour toward its destination (RtState bit 0),
+	// walking whichever direction is shorter and reversing if it hits a
+	// cut (bit 1). Detours ride the FINISH-phase channel classes; they
+	// are best-effort — a pathological fault set can cycle them, and the
+	// simulator's timeout/retry transport is the liveness backstop.
+	edgeDead []bool
+	swDead   []bool
+	faulted  bool
+}
+
+// RtState bits for fault detours.
+const (
+	dsnDetour uint8 = 1 << 0 // packet abandoned its precomputed route
+	dsnCCW    uint8 = 1 << 1 // detour walks counterclockwise (pred links)
+)
+
+// UpdateFaults implements FaultAware.
+func (r *DSNSourceRouted) UpdateFaults(edgeDead, swDead []bool) {
+	r.edgeDead = append(r.edgeDead[:0], edgeDead...)
+	r.swDead = append(r.swDead[:0], swDead...)
+	r.faulted = false
+	for _, d := range r.edgeDead {
+		if d {
+			r.faulted = true
+		}
+	}
+	for _, d := range r.swDead {
+		if d {
+			r.faulted = true
+		}
+	}
 }
 
 // NewDSNSourceRouted precomputes all-pairs routes with the DSN custom
@@ -275,10 +374,14 @@ func ClassVC(c core.LinkClass) (int8, error) {
 
 // Candidates implements Router. The custom routing is deterministic, so
 // exactly one candidate is returned, marked Escape so that a blocked
-// packet simply waits for it.
+// packet simply waits for it. Under faults the single candidate may
+// instead be the next hop of a ring-only detour (see UpdateFaults).
 func (r *DSNSourceRouted) Candidates(st PacketState, sw int, buf []Candidate) []Candidate {
 	if int32(sw) == st.DstSw {
 		return buf
+	}
+	if st.RtState&dsnDetour != 0 {
+		return r.detourCandidates(st, sw, buf)
 	}
 	idx := int(st.SrcSw)*r.d.N + int(st.DstSw)
 	route := r.routes[idx]
@@ -295,5 +398,69 @@ func (r *DSNSourceRouted) Candidates(st PacketState, sw int, buf []Candidate) []
 	if err != nil {
 		return buf
 	}
-	return append(buf, Candidate{Next: h.To, VC: vc, Escape: true, Edge: r.pins[idx][st.Step]})
+	pin := r.pins[idx][st.Step]
+	if r.faulted {
+		if r.swDead[st.DstSw] {
+			return buf // destination gone; transport times the packet out
+		}
+		alive, ok := r.usableEdge(sw, int(h.To), pin)
+		if !ok {
+			// The planned hop is dead under us: re-source onto the ring,
+			// preferring the direction with the shorter surviving walk.
+			ns := st.RtState | dsnDetour
+			if 2*r.d.ClockwiseDist(sw, int(st.DstSw)) > r.d.N {
+				ns |= dsnCCW
+			}
+			st.RtState = ns
+			return r.detourCandidates(st, sw, buf)
+		}
+		pin = alive
+	}
+	return append(buf, Candidate{Next: h.To, VC: vc, Escape: true, Edge: pin, NewState: st.RtState})
+}
+
+// detourCandidates offers the next ring hop of a fault detour. If the
+// preferred ring direction is cut at this switch, the packet reverses
+// once; if both directions are dead here it gets nothing and drains via
+// the transport timeout.
+func (r *DSNSourceRouted) detourCandidates(st PacketState, sw int, buf []Candidate) []Candidate {
+	for try := 0; try < 2; try++ {
+		h := r.d.DetourHop(sw, st.RtState&dsnCCW == 0)
+		if vc, err := ClassVC(h.Class); err == nil {
+			if edge, ok := r.usableEdge(sw, int(h.To), 0); ok {
+				return append(buf, Candidate{
+					Next: h.To, VC: vc, Escape: true, Detour: true,
+					Edge: edge, NewState: st.RtState,
+				})
+			}
+		}
+		st.RtState ^= dsnCCW // this ring direction is cut here; reverse
+	}
+	return buf
+}
+
+// usableEdge resolves the physical edge a fault-tolerant hop rides. A
+// pinned dedicated link (DSN-E Up/Extra) that died makes the hop
+// unusable — substituting the parallel ring wire would put the class on
+// a channel outside the verified deadlock-free CDG. An unpinned hop may
+// use any surviving parallel wire to the neighbor.
+func (r *DSNSourceRouted) usableEdge(sw, to int, pin int32) (int32, bool) {
+	if !r.faulted {
+		return pin, true
+	}
+	if r.swDead[to] {
+		return 0, false
+	}
+	if pin > 0 {
+		if r.edgeDead[pin-1] {
+			return 0, false
+		}
+		return pin, true
+	}
+	for _, h := range r.d.Graph().Neighbors(sw) {
+		if int(h.To) == to && !r.edgeDead[h.Edge] {
+			return h.Edge + 1, true
+		}
+	}
+	return 0, false
 }

@@ -19,6 +19,12 @@ type packet struct {
 	// blockSince is the cycle this packet's head first failed to get an
 	// adaptive grant, or -1. It drives the escape-patience policy.
 	blockSince int64
+	// attempts counts source reinjections after fault drops; bounded by
+	// Config.RetryBudget.
+	attempts int32
+	// rerouted marks packets that took at least one fault-detour grant,
+	// counted once per packet in Result.Rerouted.
+	rerouted bool
 }
 
 // vcEntry is a packet queued in an input VC buffer.
@@ -67,6 +73,9 @@ const (
 	evArrive = iota
 	evCredit
 	evDeliver
+	// evRetry reinjects a fault-dropped packet at its source host after
+	// its backoff expires.
+	evRetry
 )
 
 type timingWheel[E any] struct {
@@ -140,10 +149,34 @@ type Sim struct {
 	linkDelay []int64
 	maxDelay  int64
 
+	// Fault-injection state. The death masks are always allocated (all
+	// false without a plan) so the hot paths stay branch-light; the
+	// transport machinery (timeouts, retries) only arms once the first
+	// failure fires, keeping zero-fault runs bit-identical.
+	plan         *FaultPlan
+	planIdx      int
+	edgeDead     []bool // per edge
+	swDead       []bool // per switch
+	chanDead     []bool // per directed channel, derived from the masks
+	faultActive  bool   // at least one failure has occurred
+	firstFault   int64  // cycle of the first failure, -1 before
+	retryBudget  int
+	retryBackoff int64
+	faultTimeout int64
+
 	now          int64
 	nextID       int64
 	inFlight     int64
 	lastProgress int64
+
+	// fault accumulators
+	droppedTotal  int64 // drop events (flit loss, timeouts), pre-retry
+	lostTotal     int64 // packets permanently lost (budget exhausted)
+	retriedTotal  int64 // source reinjections
+	timedOutTotal int64 // of droppedTotal, head-of-line timeout drops
+	reroutedPkts  int64 // packets that took >= 1 fault-detour grant
+	delPostFault  int64 // measured deliveries generated at/after firstFault
+	postFaultLats []int64
 
 	// measurement accumulators
 	genMeasured       int64
@@ -216,7 +249,58 @@ func NewSim(cfg Config, g *graph.Graph, rt Router, p traffic.Pattern, rate float
 	s.hostQ = make([][]*packet, hosts)
 	s.rrIn = make([]int, nSw)
 	s.rrVC = make([]int, nChan)
+	s.edgeDead = make([]bool, g.M())
+	s.swDead = make([]bool, nSw)
+	s.chanDead = make([]bool, nChan)
+	s.firstFault = -1
 	return s, nil
+}
+
+// SetFaultPlan attaches a fault schedule to the simulation. Must be
+// called before Run. Failed channels stop granting, flits in flight on a
+// dying link (or buffered at a dying switch) are dropped, and the
+// transport layer retries dropped packets from the source with bounded
+// exponential backoff until Config.RetryBudget is exhausted. A plan with
+// no events leaves the simulation bit-identical to a plain run.
+func (s *Sim) SetFaultPlan(p *FaultPlan) error {
+	if s.now != 0 || s.nextID != 0 {
+		return fmt.Errorf("netsim: SetFaultPlan after Run started")
+	}
+	if p == nil {
+		return fmt.Errorf("netsim: nil fault plan")
+	}
+	if err := p.Validate(s.g); err != nil {
+		return err
+	}
+	s.plan = p
+	s.planIdx = 0
+	s.retryBudget = s.cfg.RetryBudget
+	s.retryBackoff = s.cfg.RetryBackoffCycles
+	s.faultTimeout = s.cfg.FaultTimeoutCycles
+	if s.retryBudget == 0 && s.cfg.RetryBackoffCycles == 0 && s.cfg.FaultTimeoutCycles == 0 {
+		// Hand-rolled Config with unset knobs: use the shipped defaults.
+		d := Default()
+		s.retryBudget = d.RetryBudget
+		s.retryBackoff = d.RetryBackoffCycles
+		s.faultTimeout = d.FaultTimeoutCycles
+	}
+	if s.retryBackoff < 1 {
+		s.retryBackoff = 1
+	}
+	if s.faultTimeout < 1 {
+		s.faultTimeout = Default().FaultTimeoutCycles
+	}
+	// Grow the timing wheel to cover the longest retry backoff.
+	maxShift := s.retryBudget - 1
+	if maxShift > 5 {
+		maxShift = 5
+	}
+	if maxShift < 0 {
+		maxShift = 0
+	}
+	horizon := int64(s.cfg.PacketFlits) + s.maxDelay + 2 + (s.retryBackoff << maxShift)
+	s.wheel = newTimingWheel[wheelEv](horizon)
+	return nil
 }
 
 // outChanOf returns the directed channel from sw along the given incident
@@ -246,7 +330,8 @@ func (s *Sim) chanFor(sw int, cand Candidate) int32 {
 }
 
 // findOutChan locates the directed channel from sw to next. With parallel
-// edges, the first non-busy one is preferred.
+// edges, the first live non-busy one is preferred; dead channels are
+// never offered.
 func (s *Sim) findOutChan(sw, next int) int32 {
 	best := int32(-1)
 	for _, h := range s.g.Neighbors(sw) {
@@ -254,6 +339,9 @@ func (s *Sim) findOutChan(sw, next int) int32 {
 			continue
 		}
 		c := s.outChanOf(sw, h)
+		if s.faultActive && s.chanDead[c] {
+			continue
+		}
 		if s.outBusy[c] <= s.now {
 			return c
 		}
@@ -274,6 +362,7 @@ func (s *Sim) Run() (Result, error) {
 	end := s.cfg.WarmupCycles + s.cfg.MeasureCycles + s.cfg.DrainCycles
 	s.lastProgress = 0
 	for s.now = 0; s.now < end; s.now++ {
+		s.applyFaults()
 		s.processEvents()
 		s.inject()
 		s.allocate()
@@ -289,11 +378,18 @@ func (s *Sim) processEvents() {
 	for _, ev := range s.wheel.drain(s.now) {
 		switch ev.kind {
 		case evArrive:
+			if s.faultActive && s.chanDead[int(ev.vcIdx)/s.cfg.VCs] {
+				// The link died while these flits were on the wire.
+				s.faultDrop(ev.pkt, "FAULT")
+				continue
+			}
 			s.vcq[ev.vcIdx].push(vcEntry{pkt: ev.pkt, routableAt: s.now + s.cfg.PipelineCycles})
 		case evCredit:
 			s.credits[ev.vcIdx] += ev.amt
 		case evDeliver:
 			s.deliver(ev.pkt, s.now)
+		case evRetry:
+			s.reinject(ev.pkt)
 		}
 	}
 }
@@ -311,6 +407,12 @@ func (s *Sim) trace(p *packet, event string, args ...any) {
 }
 
 func (s *Sim) deliver(p *packet, at int64) {
+	if s.faultActive && s.swDead[p.st.DstSw] {
+		// The destination switch died while the packet was crossing the
+		// ejection wire.
+		s.faultDrop(p, "FAULT")
+		return
+	}
 	s.inFlight--
 	s.deliveredTotal++
 	s.lastProgress = s.now
@@ -323,13 +425,65 @@ func (s *Sim) deliver(p *packet, at int64) {
 		s.latencySum += lat
 		s.latencies = append(s.latencies, lat)
 		s.hopsSum += int64(p.st.Step)
+		if s.firstFault >= 0 && p.genCycle >= s.firstFault {
+			s.delPostFault++
+			s.postFaultLats = append(s.postFaultLats, lat)
+		}
 	}
 	s.trace(p, "DELIVER", "host", p.dstHost, "hops", p.st.Step, "latency_cycles", at-p.genCycle)
+}
+
+// faultDrop handles the loss of one in-flight packet instance to a
+// fault: the transport layer reinjects it at the source after a bounded
+// exponential backoff until the retry budget runs out, at which point
+// the packet is permanently lost. Drops are progress for the watchdog:
+// a degraded network that drains unroutable packets is live, not
+// deadlocked.
+func (s *Sim) faultDrop(p *packet, why string) {
+	s.droppedTotal++
+	s.lastProgress = s.now
+	srcSw := int(p.srcHost) / s.cfg.HostsPerSwitch
+	if int(p.attempts) < s.retryBudget && !s.swDead[srcSw] {
+		shift := p.attempts
+		if shift > 5 {
+			shift = 5
+		}
+		p.attempts++
+		s.retriedTotal++
+		s.wheel.schedule(s.now, s.now+(s.retryBackoff<<shift), wheelEv{kind: evRetry, pkt: p})
+		s.trace(p, why, "action", "retry", "attempt", p.attempts)
+		return
+	}
+	s.lostTotal++
+	s.inFlight--
+	s.trace(p, why, "action", "lost", "attempts", p.attempts)
+}
+
+// reinject puts a retried packet back on its source host queue with
+// fresh routing state.
+func (s *Sim) reinject(p *packet) {
+	srcSw := int(p.srcHost) / s.cfg.HostsPerSwitch
+	if s.swDead[srcSw] {
+		s.lostTotal++
+		s.inFlight--
+		s.lastProgress = s.now
+		s.trace(p, "RETRY", "action", "lost-src-dead")
+		return
+	}
+	p.st.Step = 0
+	p.st.RtState = 0
+	p.blockSince = -1
+	s.hostQ[p.srcHost] = append(s.hostQ[p.srcHost], p)
+	s.lastProgress = s.now
+	s.trace(p, "REINJECT", "src", p.srcHost, "attempt", p.attempts)
 }
 
 func (s *Sim) inject() {
 	pktProb := s.rate / float64(s.cfg.PacketFlits)
 	for h := 0; h < s.hosts; h++ {
+		if s.faultActive && s.swDead[h/s.cfg.HostsPerSwitch] {
+			continue // hosts of a dead switch are offline
+		}
 		if s.rng.Float64() < pktProb {
 			p := &packet{
 				id:         s.nextID,
@@ -386,6 +540,9 @@ func (s *Sim) inject() {
 // port may accept at most one.
 func (s *Sim) allocate() {
 	for sw := 0; sw < s.nSw; sw++ {
+		if s.faultActive && s.swDead[sw] {
+			continue
+		}
 		ins := s.inChans[sw]
 		if len(ins) == 0 {
 			continue
@@ -431,6 +588,18 @@ func (s *Sim) tryInput(sw int, c int32) bool {
 		}
 		e := q.front()
 		if e.routableAt > s.now {
+			continue
+		}
+		if s.faultActive && s.now-e.routableAt > s.faultTimeout {
+			// Head-of-line timeout: under faults a packet that cannot get
+			// a grant (typically because its destination became
+			// unreachable) drains back to the source retry path instead
+			// of wedging the network.
+			p := e.pkt
+			q.pop()
+			s.timedOutTotal++
+			s.returnCredits(c, int32(vc))
+			s.faultDrop(p, "TIMEOUT")
 			continue
 		}
 		if s.grant(sw, c, int32(vc), e.pkt) {
@@ -481,7 +650,7 @@ func (s *Sim) launch(sw int, c, vc int32, p *packet, cands []Candidate) bool {
 		}
 		hasAdaptive = true
 		oc := s.chanFor(sw, cand)
-		if oc < 0 || s.outBusy[oc] > s.now {
+		if oc < 0 || s.outBusy[oc] > s.now || (s.faultActive && s.chanDead[oc]) {
 			continue
 		}
 		cr := s.credits[oc*int32(s.cfg.VCs)+int32(cand.VC)]
@@ -508,7 +677,7 @@ func (s *Sim) launch(sw int, c, vc int32, p *packet, cands []Candidate) bool {
 					continue
 				}
 				oc := s.chanFor(sw, cand)
-				if oc < 0 || s.outBusy[oc] > s.now {
+				if oc < 0 || s.outBusy[oc] > s.now || (s.faultActive && s.chanDead[oc]) {
 					continue
 				}
 				cr := s.credits[oc*int32(s.cfg.VCs)+int32(cand.VC)]
@@ -532,6 +701,10 @@ func (s *Sim) launch(sw int, c, vc int32, p *packet, cands []Candidate) bool {
 			s.escGrantsInWindow++
 		}
 	}
+	if cand.Detour && !p.rerouted {
+		p.rerouted = true
+		s.reroutedPkts++
+	}
 	pf64 := int64(s.cfg.PacketFlits)
 	s.inBusy[c] = s.now + pf64
 	s.outBusy[bestChan] = s.now + pf64
@@ -550,6 +723,127 @@ func (s *Sim) launch(sw int, c, vc int32, p *packet, cands []Candidate) bool {
 	p.st.RtState = cand.NewState
 	s.lastProgress = s.now
 	return true
+}
+
+// applyFaults fires the fault events due this cycle: updates the death
+// masks, drops flits caught on dead links and packets buffered at dead
+// switches, resets repaired channels, and notifies a fault-aware router.
+func (s *Sim) applyFaults() {
+	if s.plan == nil || s.planIdx >= len(s.plan.Events) || s.plan.Events[s.planIdx].Cycle > s.now {
+		return
+	}
+	for s.planIdx < len(s.plan.Events) && s.plan.Events[s.planIdx].Cycle <= s.now {
+		ev := s.plan.Events[s.planIdx]
+		s.planIdx++
+		if ev.Edge >= 0 {
+			s.edgeDead[ev.Edge] = !ev.Repair
+		} else {
+			s.swDead[ev.Switch] = !ev.Repair
+		}
+		if !ev.Repair && !s.faultActive {
+			s.faultActive = true
+			s.firstFault = s.now
+		}
+	}
+	s.rebuildChanDead()
+	s.scrubWheel()
+	s.dropDeadQueues()
+	if fa, ok := s.rt.(FaultAware); ok {
+		fa.UpdateFaults(s.edgeDead, s.swDead)
+	}
+}
+
+// rebuildChanDead recomputes the per-channel death mask from the edge
+// and switch masks, resetting the flow-control state of channels that
+// just came back from a repair.
+func (s *Sim) rebuildChanDead() {
+	vcs := s.cfg.VCs
+	for i, e := range s.g.Edges() {
+		dead := s.edgeDead[i] || s.swDead[e.U] || s.swDead[e.V]
+		s.setChanDead(int32(2*i), dead, vcs)
+		s.setChanDead(int32(2*i+1), dead, vcs)
+	}
+	for h := 0; h < s.hosts; h++ {
+		c := int32(2*s.g.M() + h)
+		s.setChanDead(c, s.swDead[h/s.cfg.HostsPerSwitch], vcs)
+	}
+}
+
+func (s *Sim) setChanDead(c int32, dead bool, vcs int) {
+	if s.chanDead[c] == dead {
+		return
+	}
+	s.chanDead[c] = dead
+	if !dead {
+		// Repair: fresh flow-control state. Credits restart at full
+		// buffer capacity minus whatever survived in the input VCs
+		// (packets already buffered downstream keep draining normally).
+		for vc := 0; vc < vcs; vc++ {
+			q := &s.vcq[c*int32(vcs)+int32(vc)]
+			occupied := int32(len(q.entries)-q.head) * int32(s.cfg.PacketFlits)
+			s.credits[c*int32(vcs)+int32(vc)] = int32(s.cfg.BufFlitsPerVC) - occupied
+		}
+		s.inBusy[c] = s.now
+		s.outBusy[c] = s.now
+	}
+}
+
+// scrubWheel removes scheduled events riding channels that are now dead:
+// arrivals become fault drops (the flits died on the wire) and pending
+// credits evaporate (the channel's flow control resets on repair).
+func (s *Sim) scrubWheel() {
+	vcs := s.cfg.VCs
+	var victims []*packet
+	for i, slot := range s.wheel.slots {
+		kept := slot[:0]
+		for _, ev := range slot {
+			switch ev.kind {
+			case evArrive:
+				if s.chanDead[int(ev.vcIdx)/vcs] {
+					victims = append(victims, ev.pkt)
+					continue
+				}
+			case evCredit:
+				if s.chanDead[int(ev.vcIdx)/vcs] {
+					continue
+				}
+			}
+			kept = append(kept, ev)
+		}
+		s.wheel.slots[i] = kept
+	}
+	// Drop after the scan: retries scheduled by faultDrop append to
+	// wheel slots and must not be visited by the filter above.
+	for _, p := range victims {
+		s.faultDrop(p, "FAULT")
+	}
+}
+
+// dropDeadQueues drains the input VCs and host queues of dead switches.
+func (s *Sim) dropDeadQueues() {
+	vcs := s.cfg.VCs
+	var victims []*packet
+	for sw := 0; sw < s.nSw; sw++ {
+		if !s.swDead[sw] {
+			continue
+		}
+		for _, c := range s.inChans[sw] {
+			for vc := 0; vc < vcs; vc++ {
+				q := &s.vcq[c*int32(vcs)+int32(vc)]
+				for !q.empty() {
+					victims = append(victims, q.front().pkt)
+					q.pop()
+				}
+			}
+		}
+		for h := sw * s.cfg.HostsPerSwitch; h < (sw+1)*s.cfg.HostsPerSwitch; h++ {
+			victims = append(victims, s.hostQ[h]...)
+			s.hostQ[h] = nil
+		}
+	}
+	for _, p := range victims {
+		s.faultDrop(p, "FAULT")
+	}
 }
 
 // returnCredits schedules the freed buffer space of input VC (c, vc) back

@@ -147,6 +147,9 @@ func TestConservation(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("three full runs in -race mode; determinism is race-insensitive")
+	}
 	cfg := shortCfg()
 	g := torusGraph(t)
 	a := runSim(t, cfg, g, 0.3)
@@ -438,8 +441,8 @@ func TestLargeScaleDSNSim(t *testing.T) {
 // while the same traffic on the Section V.A channel classes keeps
 // flowing. This is the paper's motivation for DSN-E/DSN-V, observed live.
 func TestBasicCustomRoutingDeadlocks(t *testing.T) {
-	if testing.Short() {
-		t.Skip("deadlock formation run in -short mode")
+	if testing.Short() || raceDetectorEnabled {
+		t.Skip("deadlock formation run in -short or -race mode")
 	}
 	basic, err := core.New(36, core.CeilLog2(36)-1)
 	if err != nil {

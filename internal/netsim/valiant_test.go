@@ -46,6 +46,9 @@ func TestValiantDeliversUniform(t *testing.T) {
 // randomizing the first phase beats minimal routing, which concentrates
 // all load on one ring direction.
 func TestValiantBeatsMinimalOnTornado(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("heavy saturation comparison in -race mode")
+	}
 	tor, err := topology.Torus2D(8, 8)
 	if err != nil {
 		t.Fatal(err)

@@ -65,6 +65,16 @@ type WormSim struct {
 	wheel     *timingWheel[wwheelEv]
 	linkDelay []int64 // per-channel wire delay in cycles
 
+	// Fault state (SetFaultPlan); see that method for the wormhole
+	// engine's masking-only semantics.
+	plan         *FaultPlan
+	planIdx      int
+	edgeDead     []bool
+	swDead       []bool
+	chanDead     []bool
+	faultActive  bool
+	reroutedPkts int64
+
 	now          int64
 	nextID       int64
 	inFlight     int64
@@ -96,6 +106,8 @@ type wpacket struct {
 	escLocked bool
 	// blockSince drives the escape-patience policy (see Config).
 	blockSince int64
+	// rerouted marks worms that took at least one fault-detour grant.
+	rerouted bool
 }
 
 // wwheelEv is the wormhole engine's timing-wheel event; amt doubles as
@@ -192,10 +204,80 @@ func (s *WormSim) inWindow(t int64) bool {
 	return t >= s.cfg.WarmupCycles && t < s.cfg.WarmupCycles+s.cfg.MeasureCycles
 }
 
+// SetFaultPlan attaches a fault schedule. Must be called before Run.
+//
+// Unlike the VCT engine, the wormhole engine supports faults at packet
+// granularity only (fail-stop admission): once a component dies, new
+// headers are never routed onto its channels, hosts on dead switches
+// stop generating, nobody addresses a dead switch, and FaultAware
+// routers are notified — but a worm already stretched across a dying
+// link keeps draining over it rather than being truncated mid-flight
+// (tearing down a partial worm would corrupt every slot in its chain).
+// There is no timeout/retry transport either, so a fault set that
+// disconnects live traffic from its destination freezes those worms in
+// place; they are reported in InFlightAtEnd, and only a full-network
+// stall trips the run watchdog. Use the VCT engine for drop/retry
+// degradation experiments.
+func (s *WormSim) SetFaultPlan(p *FaultPlan) error {
+	if s.now != 0 || s.nextID != 0 {
+		return fmt.Errorf("netsim: SetFaultPlan must be called before Run")
+	}
+	if p == nil {
+		return fmt.Errorf("netsim: nil fault plan")
+	}
+	if err := p.Validate(s.g); err != nil {
+		return err
+	}
+	s.plan = p
+	s.planIdx = 0
+	s.edgeDead = make([]bool, s.g.M())
+	s.swDead = make([]bool, s.nSw)
+	s.chanDead = make([]bool, s.nChan)
+	return nil
+}
+
+// applyFaults fires due fault events and refreshes the channel death
+// mask and the router's view.
+func (s *WormSim) applyFaults() {
+	if s.plan == nil || s.planIdx >= len(s.plan.Events) {
+		return
+	}
+	changed := false
+	for s.planIdx < len(s.plan.Events) && s.plan.Events[s.planIdx].Cycle <= s.now {
+		ev := s.plan.Events[s.planIdx]
+		s.planIdx++
+		if ev.Edge >= 0 {
+			s.edgeDead[ev.Edge] = !ev.Repair
+		} else {
+			s.swDead[ev.Switch] = !ev.Repair
+		}
+		if !ev.Repair {
+			s.faultActive = true
+		}
+		changed = true
+	}
+	if !changed {
+		return
+	}
+	for i := 0; i < s.g.M(); i++ {
+		e := s.g.Edge(i)
+		dead := s.edgeDead[i] || s.swDead[e.U] || s.swDead[e.V]
+		s.chanDead[2*i] = dead
+		s.chanDead[2*i+1] = dead
+	}
+	for h := 0; h < s.hosts; h++ {
+		s.chanDead[2*s.g.M()+h] = s.swDead[h/s.cfg.HostsPerSwitch]
+	}
+	if fa, ok := s.rt.(FaultAware); ok {
+		fa.UpdateFaults(s.edgeDead, s.swDead)
+	}
+}
+
 // Run executes the schedule and returns the aggregated result.
 func (s *WormSim) Run() (Result, error) {
 	end := s.cfg.WarmupCycles + s.cfg.MeasureCycles + s.cfg.DrainCycles
 	for s.now = 0; s.now < end; s.now++ {
+		s.applyFaults()
 		s.processEvents()
 		s.inject()
 		s.route()
@@ -255,12 +337,20 @@ func (s *WormSim) inject() {
 			p.dstHost = int32(s.pattern.Dest(h, s.rng))
 			p.st.SrcSw = int32(h / s.cfg.HostsPerSwitch)
 			p.st.DstSw = p.dstHost / int32(s.cfg.HostsPerSwitch)
-			s.hostQ[h] = append(s.hostQ[h], p)
-			s.generatedTotal++
-			if p.measured {
-				s.genMeasured++
+			// Fail-stop admission: hosts on dead switches generate
+			// nothing and nobody addresses a dead switch (the RNG draws
+			// above keep the injection process aligned across fault sets).
+			if s.faultActive && (s.swDead[p.st.SrcSw] || s.swDead[p.st.DstSw]) {
+				p = nil
 			}
-			s.inFlight++
+			if p != nil {
+				s.hostQ[h] = append(s.hostQ[h], p)
+				s.generatedTotal++
+				if p.measured {
+					s.genMeasured++
+				}
+				s.inFlight++
+			}
 		}
 		// Claim an injection VC for the next packet.
 		if s.hostCur[h] == nil && len(s.hostQ[h]) > 0 {
@@ -324,6 +414,7 @@ func (s *WormSim) route() {
 				bestSlot, bestChan := int32(-1), int32(-1)
 				var bestCr int32 = -1
 				bestEscape := false
+				bestDetour := false
 				var bestState uint8
 				hasAdaptive := false
 				for _, cand := range s.scratch {
@@ -338,7 +429,7 @@ func (s *WormSim) route() {
 						continue // escape considered below, after patience
 					}
 					oc := s.chanFor(sw, cand)
-					if oc < 0 {
+					if oc < 0 || (s.faultActive && s.chanDead[oc]) {
 						continue
 					}
 					oslot := s.slotOfChan(oc, cand.VC)
@@ -347,6 +438,7 @@ func (s *WormSim) route() {
 					}
 					if cr := s.credits[oslot]; cr > bestCr {
 						bestSlot, bestChan, bestCr, bestEscape, bestState = oslot, oc, cr, cand.Escape, cand.NewState
+						bestDetour = cand.Detour
 					}
 				}
 				if bestSlot < 0 && !p.escLocked {
@@ -363,7 +455,7 @@ func (s *WormSim) route() {
 								continue
 							}
 							oc := s.chanFor(sw, cand)
-							if oc < 0 {
+							if oc < 0 || (s.faultActive && s.chanDead[oc]) {
 								continue
 							}
 							oslot := s.slotOfChan(oc, cand.VC)
@@ -372,6 +464,7 @@ func (s *WormSim) route() {
 							}
 							if cr := s.credits[oslot]; cr > bestCr {
 								bestSlot, bestChan, bestCr, bestEscape, bestState = oslot, oc, cr, cand.Escape, cand.NewState
+								bestDetour = cand.Detour
 							}
 						}
 					}
@@ -388,6 +481,10 @@ func (s *WormSim) route() {
 				p.st.RtState = bestState
 				if bestEscape {
 					p.escLocked = true
+				}
+				if bestDetour && !p.rerouted {
+					p.rerouted = true
+					s.reroutedPkts++
 				}
 				s.lastProgress = s.now
 			}
@@ -423,6 +520,9 @@ func (s *WormSim) findOutChan(sw, next int) int32 {
 		c := 2 * h.Edge
 		if int32(sw) != e.U {
 			c = 2*h.Edge + 1
+		}
+		if s.faultActive && s.chanDead[c] {
+			continue
 		}
 		if s.outUsed[c] != s.now {
 			return c
@@ -549,6 +649,7 @@ func (s *WormSim) result() Result {
 		DeliveredTotal:       s.deliveredTotal,
 		GeneratedTotal:       s.generatedTotal,
 		InFlightAtEnd:        s.inFlight,
+		Rerouted:             s.reroutedPkts,
 		ChannelFlits:         s.chanFlits[:2*s.g.M()],
 	}
 	flitsPerHostPerCycle := float64(s.flitsInWindow) / float64(s.cfg.MeasureCycles) / float64(s.hosts)

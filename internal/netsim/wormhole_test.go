@@ -92,6 +92,9 @@ func TestWormZeroLoadMatchesVCT(t *testing.T) {
 // Under contention, wormhole saturates earlier than VCT: blocked worms
 // hold channels across switches instead of absorbing into buffers.
 func TestWormSaturatesEarlierThanVCT(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("heavy saturation comparison in -race mode")
+	}
 	rate := 0.22
 	worm := runWorm(t, wormCfg(), rate)
 	vctCfg := wormCfg()

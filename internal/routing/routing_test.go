@@ -431,3 +431,69 @@ func BenchmarkDistanceTable256(b *testing.B) {
 func init() {
 	_ = rand.Int // keep math/rand/v2 imported for future property tests
 }
+
+// NewUpDownPartial must tolerate a disconnected graph: routing inside the
+// root's component (and inside foreign components) still works, while
+// cross-component pairs report -1 next hops instead of failing to build.
+func TestUpDownPartialDisconnected(t *testing.T) {
+	// Two components: the path 0-1-2 (holding the root) and the edge 3-4.
+	g := graph.New(5)
+	g.AddEdge(0, 1, graph.KindRing)
+	g.AddEdge(1, 2, graph.KindRing)
+	g.AddEdge(3, 4, graph.KindRing)
+
+	if _, err := NewUpDown(g, 0); err == nil {
+		t.Fatal("NewUpDown accepted a disconnected graph")
+	}
+	if _, err := NewUpDownPartial(g, 5); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+	u, err := NewUpDownPartial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inside the root's component: shortest paths as usual.
+	if p, err := u.Path(2, 0); err != nil || len(p) != 3 {
+		t.Fatalf("path 2->0 = %v (%v), want length 2", p, err)
+	}
+	// Inside the foreign component: unreachable switches rank after all
+	// reachable ones (by ID), so 3->4 is a legal down move.
+	if p, err := u.Path(3, 4); err != nil || len(p) != 2 {
+		t.Fatalf("path 3->4 = %v (%v), want length 1", p, err)
+	}
+	// Across the cut: no legal continuation in either direction.
+	for _, pair := range [][2]int{{0, 3}, {2, 4}, {3, 0}, {4, 1}} {
+		if next, _ := u.NextHop(pair[0], pair[1], false); next >= 0 {
+			t.Fatalf("NextHop(%d, %d) = %d across a disconnected cut", pair[0], pair[1], next)
+		}
+		if _, err := u.Path(pair[0], pair[1]); err == nil {
+			t.Fatalf("path %d->%d materialized across a disconnected cut", pair[0], pair[1])
+		}
+	}
+}
+
+// On a connected graph the partial constructor must agree with NewUpDown.
+func TestUpDownPartialMatchesFullWhenConnected(t *testing.T) {
+	g, err := topology.DLNRandom(32, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewUpDown(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewUpDownPartial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < g.N(); s++ {
+		for d := 0; d < g.N(); d++ {
+			fn, fd := full.NextHop(s, d, false)
+			pn, pd := part.NextHop(s, d, false)
+			if fn != pn || fd != pd {
+				t.Fatalf("NextHop(%d, %d) differs: full (%d,%v) partial (%d,%v)", s, d, fn, fd, pn, pd)
+			}
+		}
+	}
+}

@@ -46,6 +46,26 @@ func NewUpDown(g *graph.Graph, root int) (*UpDown, error) {
 			return nil, fmt.Errorf("routing: up*/down* needs a connected graph; switch %d unreachable from root", v)
 		}
 	}
+	return buildUpDown(g, root, level), nil
+}
+
+// NewUpDownPartial builds up*/down* tables without requiring
+// connectivity, for routing on a fault-degraded graph. Switches outside
+// the root's component are ranked after every reachable switch (the
+// orientation stays a total order, so the escape network stays acyclic);
+// pairs with no legal surviving path simply get a -1 next hop, which
+// fault-aware callers translate into a timeout-and-drop rather than a
+// construction error.
+func NewUpDownPartial(g *graph.Graph, root int) (*UpDown, error) {
+	n := g.N()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("routing: up*/down* root %d out of range [0,%d)", root, n)
+	}
+	return buildUpDown(g, root, g.BFS(root)), nil
+}
+
+func buildUpDown(g *graph.Graph, root int, level []int32) *UpDown {
+	n := g.N()
 	u := &UpDown{
 		g: g, n: n, Root: root,
 		order:      make([]int32, n),
@@ -54,14 +74,21 @@ func NewUpDown(g *graph.Graph, root int) (*UpDown, error) {
 		moveIsDown: make([]bool, n*n),
 	}
 	// Rank switches by (BFS level, ID): up traversals strictly decrease
-	// the rank, so the up digraph is acyclic.
+	// the rank, so the up digraph is acyclic. Unreachable switches
+	// (level -1, partial builds only) rank after every reachable one.
 	ids := make([]int, n)
 	for i := range ids {
 		ids[i] = i
 	}
+	rankLevel := func(v int) int32 {
+		if level[v] == graph.Unreachable {
+			return int32(n) // deeper than any BFS level
+		}
+		return level[v]
+	}
 	sort.Slice(ids, func(a, b int) bool {
-		if level[ids[a]] != level[ids[b]] {
-			return level[ids[a]] < level[ids[b]]
+		if rankLevel(ids[a]) != rankLevel(ids[b]) {
+			return rankLevel(ids[a]) < rankLevel(ids[b])
 		}
 		return ids[a] < ids[b]
 	})
@@ -71,7 +98,7 @@ func NewUpDown(g *graph.Graph, root int) (*UpDown, error) {
 	for dst := 0; dst < n; dst++ {
 		u.buildDst(dst, ids)
 	}
-	return u, nil
+	return u
 }
 
 // IsUp reports whether traversing from a to b is an up move.
