@@ -238,6 +238,44 @@ func BenchmarkAblation_PlacementOptimizer(b *testing.B) {
 	b.ReportMetric(rndGain, "random_gain_pct")
 }
 
+// BenchmarkCollective_RingAllreduce replays the closed-loop ring
+// allreduce on the comparison topologies (plus DSN custom routing) and
+// reports each topology's mean makespan. Small scale — 16 switches,
+// one-packet chunks — so a -benchtime=1x run doubles as a CI smoke test
+// of the collectives engine.
+func BenchmarkCollective_RingAllreduce(b *testing.B) {
+	var rows []CollectiveRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = CollectiveSweep(benchSimConfig(), []int{16}, "allreduce", "ring", 0, 1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := map[string]string{"Torus": "torus", "RANDOM": "random", "DSN": "dsn", "DSN-custom": "dsn_custom"}[r.Name]
+		b.ReportMetric(r.MakespanUS, name+"_makespan_us")
+	}
+}
+
+// BenchmarkCollective_Broadcast replays the binomial-tree broadcast —
+// the fan-out shape whose critical path is log2(hosts) serialized hops —
+// and reports the makespans.
+func BenchmarkCollective_Broadcast(b *testing.B) {
+	var rows []CollectiveRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = CollectiveSweep(benchSimConfig(), []int{16}, "broadcast", "", 0, 1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := map[string]string{"Torus": "torus", "RANDOM": "random", "DSN": "dsn", "DSN-custom": "dsn_custom"}[r.Name]
+		b.ReportMetric(r.MakespanUS, name+"_makespan_us")
+	}
+}
+
 // BenchmarkAblation_EscapePatience contrasts post-saturation throughput
 // with and without the escape-patience policy.
 func BenchmarkAblation_EscapePatience(b *testing.B) {

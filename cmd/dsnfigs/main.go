@@ -8,7 +8,8 @@
 //	dsnfigs -fig 10a      # latency vs accepted, uniform traffic
 //	dsnfigs -fig 10b      # ... bit reversal
 //	dsnfigs -fig 10c      # ... neighboring
-//	dsnfigs -fig balance  # custom routing vs up*/down* traffic balance
+//	dsnfigs -fig balance     # custom routing vs up*/down* traffic balance
+//	dsnfigs -fig collective  # closed-loop ring-allreduce makespans
 //	dsnfigs -fig all
 package main
 
@@ -25,7 +26,7 @@ var jsonOut bool
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, balance, bottleneck, faults, faultsim, related, switching, physical, throughput, ladder, all")
+		fig   = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, balance, bottleneck, faults, faultsim, related, switching, physical, throughput, ladder, collective, all")
 		seed  = flag.Uint64("seed", 1, "seed for randomized topologies and simulations")
 		quick = flag.Bool("quick", false, "shorter simulation windows (for smoke runs)")
 	)
@@ -186,8 +187,25 @@ func run(fig string, seed uint64, quick bool) error {
 		fmt.Println("# Section III related-work diameter-and-degree comparison")
 		dsnet.WriteRelatedTable(os.Stdout, rows)
 		return nil
+	case "collective":
+		sizes := []int{64, 256}
+		reps := 3
+		if quick {
+			sizes = []int{64}
+			reps = 2
+		}
+		rows, err := dsnet.CollectiveSweep(simConfig(seed, quick), sizes, "allreduce", "ring", 0, reps, seed)
+		if err != nil {
+			return err
+		}
+		if emitJSON("collective", rows) {
+			return nil
+		}
+		fmt.Println("# Closed-loop ring allreduce: makespan across seeded rank placements")
+		dsnet.WriteCollectiveTable(os.Stdout, rows)
+		return nil
 	case "all":
-		for _, f := range []string{"7", "8", "9", "10a", "10b", "10c", "balance", "bottleneck", "faults", "faultsim", "related", "switching", "physical", "throughput", "ladder"} {
+		for _, f := range []string{"7", "8", "9", "10a", "10b", "10c", "balance", "bottleneck", "faults", "faultsim", "related", "switching", "physical", "throughput", "ladder", "collective"} {
 			if err := run(f, seed, quick); err != nil {
 				return err
 			}

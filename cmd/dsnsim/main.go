@@ -1,13 +1,18 @@
 // Command dsnsim runs the cycle-accurate network simulator on one
-// topology and traffic pattern across a range of offered loads, printing
-// a latency-vs-accepted-traffic series (one Figure 10 curve).
+// topology, either open-loop (one traffic pattern across a range of
+// offered loads, printing a latency-vs-accepted-traffic series — one
+// Figure 10 curve) or closed-loop (-collective: replay a collective
+// workload's message DAG and print its makespan per repetition).
 //
 // Usage:
 //
 //	dsnsim -topo dsn -pattern uniform
-//	dsnsim -topo torus -pattern bit-reversal -rates 0.02,0.05,0.1
+//	dsnsim -topo torus -pattern transpose -rates 0.02,0.05,0.1
+//	dsnsim -topo dsn -pattern stencil-2d -switching wormhole
 //	dsnsim -topo dsn-v -routing custom -rates 0.01,0.02
 //	dsnsim -topo dsn -faults 0.05
+//	dsnsim -topo dsn -collective allreduce -collalgo ring
+//	dsnsim -topo torus -collective broadcast -faults 0.05
 package main
 
 import (
@@ -38,16 +43,27 @@ type opts struct {
 	// Live fault injection: faults is the fraction of links to kill
 	// during the run (0 disables). faultCycle / faultSpread place the
 	// failures in time; negative values mean "at warmup end" and "across
-	// half the measurement window".
+	// half the measurement window" (in collective mode: "at cycle 0" and
+	// "across the first 5000 cycles", so failures land mid-collective).
 	faults      float64
 	faultCycle  int64
 	faultSpread int64
+
+	// Closed-loop collective replay: collective selects the workload
+	// (empty keeps the open-loop pattern mode), collalgo the algorithm
+	// (empty picks the collective's default), chunk the per-host chunk
+	// size in flits, reps the number of seeded rank placements.
+	collective string
+	collalgo   string
+	chunk      int
+	reps       int
 }
 
 func main() {
 	var o opts
 	flag.StringVar(&o.topo, "topo", "dsn", "topology: dsn, dsn-v, torus, random")
-	flag.StringVar(&o.pattern, "pattern", "uniform", "traffic: uniform, bit-reversal, neighboring")
+	flag.StringVar(&o.pattern, "pattern", "uniform",
+		"traffic: "+strings.Join(dsnet.PatternNames, ", "))
 	flag.StringVar(&o.routing, "routing", "adaptive", "routing: adaptive (Duato + up*/down* escape), updown, valiant, custom (DSN source-routed; needs -topo dsn-v)")
 	flag.IntVar(&o.n, "n", 64, "number of switches")
 	flag.Uint64Var(&o.seed, "seed", 1, "simulation seed")
@@ -61,6 +77,11 @@ func main() {
 	flag.Float64Var(&o.faults, "faults", 0, "fraction of links to fail during the run (live fault injection)")
 	flag.Int64Var(&o.faultCycle, "faultcycle", -1, "cycle of the first link failure (default: end of warmup)")
 	flag.Int64Var(&o.faultSpread, "faultspread", -1, "cycles over which failures are staggered (default: half the measurement window)")
+	flag.StringVar(&o.collective, "collective", "",
+		"closed-loop collective workload: "+strings.Join(dsnet.CollectiveNames, ", ")+" (empty: open-loop -pattern mode)")
+	flag.StringVar(&o.collalgo, "collalgo", "", "collective algorithm: ring, halving-doubling, binomial, pairwise (default: the collective's default)")
+	flag.IntVar(&o.chunk, "chunk", 0, "collective chunk size in flits per host (default: one packet)")
+	flag.IntVar(&o.reps, "reps", 3, "collective repetitions across seeded rank placements")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dsnsim:", err)
@@ -159,9 +180,15 @@ func run(o opts) error {
 		start, spread := o.faultCycle, o.faultSpread
 		if start < 0 {
 			start = cfg.WarmupCycles
+			if o.collective != "" {
+				start = 0 // a replay has no warmup: fail mid-collective
+			}
 		}
 		if spread < 0 {
 			spread = cfg.MeasureCycles / 2
+			if o.collective != "" {
+				spread = 5000
+			}
 		}
 		plan, err = dsnet.RandomLinkFaults(g, o.faults, start, spread, o.seed)
 		if err != nil {
@@ -174,9 +201,8 @@ func run(o opts) error {
 		return fmt.Errorf("-faults %g is negative", o.faults)
 	}
 
-	pat, err := dsnet.PatternFor(o.pattern, g.N(), cfg.HostsPerSwitch)
-	if err != nil {
-		return err
+	if o.collective != "" {
+		return runCollective(o, cfg, g, rt, plan)
 	}
 
 	fmt.Printf("# %s / %s / %s routing / %s switching, %d switches x %d hosts, seed %d\n",
@@ -191,6 +217,12 @@ func run(o opts) error {
 		fmt.Printf("%12s %12s %12s %12s %10s\n", "offered_gbps", "accepted", "latency_ns", "p99_ns", "saturated")
 	}
 	for _, rate := range rates {
+		// Built per run: some patterns (all-to-all) carry per-simulation
+		// state that must not leak between offered loads.
+		pat, err := dsnet.PatternFor(o.pattern, g.N(), cfg.HostsPerSwitch)
+		if err != nil {
+			return err
+		}
 		var res dsnet.SimResult
 		var runErr error
 		if o.switching == "wormhole" {
@@ -232,6 +264,96 @@ func run(o opts) error {
 			fmt.Printf("%12.2f %12.2f %12.1f %12.1f %10v\n",
 				res.OfferedGbps, res.AcceptedGbps, res.AvgLatencyNS, res.P99LatencyNS, sat)
 		}
+	}
+	return nil
+}
+
+// runCollective replays one collective workload's message DAG to
+// completion o.reps times, each under a different seeded rank placement,
+// and reports per-rep makespans plus a mean with a 95% CI.
+func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, rt dsnet.Router, plan *dsnet.FaultPlan) error {
+	if o.reps < 1 {
+		return fmt.Errorf("-reps %d must be >= 1", o.reps)
+	}
+	chunk := o.chunk
+	if chunk < 1 {
+		chunk = cfg.PacketFlits
+	}
+	hosts := g.N() * cfg.HostsPerSwitch
+	dag, err := dsnet.GenerateCollective(o.collective, o.collalgo, hosts, chunk)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s / %s / %s routing / %s switching, %d switches x %d hosts, seed %d\n",
+		o.topo, dag.Name(), o.routing, o.switching, g.N(), cfg.HostsPerSwitch, o.seed)
+	fmt.Printf("# %d messages, %d flits total, chunk %d flits, phases: %s\n",
+		len(dag.Messages), dag.TotalFlits(), chunk, strings.Join(dag.PhaseNames, ", "))
+	if plan != nil {
+		fmt.Printf("# live faults: %d links failing from cycle %d\n",
+			plan.FailureCount(), plan.Events[0].Cycle)
+	}
+	fmt.Printf("%4s %12s %10s %10s %10s", "rep", "makespan_us", "delivered", "completed", "cycles")
+	for _, ph := range dag.PhaseNames {
+		fmt.Printf(" %12s", ph+"_us")
+	}
+	if plan != nil {
+		fmt.Printf(" %8s %6s %8s", "dropped", "lost", "retried")
+	}
+	fmt.Println()
+	var makespans []float64
+	for rep := 0; rep < o.reps; rep++ {
+		// The same seed mixing as analysis.CollectiveSweep, so dsnsim reps
+		// reproduce the placements behind dsnfigs -fig collective rows.
+		replay := dsnet.CollectiveReplay(dag.Permuted(o.seed + uint64(rep)*0x9e37))
+		var res dsnet.SimResult
+		var runErr error
+		if o.switching == "wormhole" {
+			sim, err := dsnet.NewWormSimReplay(cfg, g, rt, replay)
+			if err != nil {
+				return err
+			}
+			if plan != nil {
+				if err := sim.SetFaultPlan(plan); err != nil {
+					return err
+				}
+			}
+			res, runErr = sim.Run()
+		} else {
+			sim, err := dsnet.NewSimReplay(cfg, g, rt, replay)
+			if err != nil {
+				return err
+			}
+			if plan != nil {
+				if err := sim.SetFaultPlan(plan); err != nil {
+					return err
+				}
+			}
+			res, runErr = sim.Run()
+		}
+		if runErr != nil {
+			fmt.Printf("%4d  watchdog: %v\n", rep, runErr)
+			continue
+		}
+		fmt.Printf("%4d %12.1f %6d/%-3d %10v %10d", rep,
+			res.MakespanNS/1e3, res.ReplayDelivered, res.ReplayMessages,
+			res.ReplayCompleted, res.MakespanCycles)
+		for _, p := range res.PhaseEndNS {
+			fmt.Printf(" %12.1f", p/1e3)
+		}
+		if plan != nil {
+			fmt.Printf(" %8d %6d %8d", res.Dropped, res.Lost, res.Retried)
+		}
+		fmt.Println()
+		if res.ReplayCompleted {
+			makespans = append(makespans, res.MakespanNS/1e3)
+		}
+	}
+	if len(makespans) > 0 {
+		mean, ci := dsnet.MeanAndCI(makespans)
+		fmt.Printf("# makespan %.1f +/- %.1f us over %d/%d completed reps\n",
+			mean, ci, len(makespans), o.reps)
+	} else {
+		fmt.Printf("# no rep delivered every message\n")
 	}
 	return nil
 }

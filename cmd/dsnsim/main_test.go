@@ -18,6 +18,55 @@ func TestRunVCT(t *testing.T) {
 	}
 }
 
+func TestRunNewPatterns(t *testing.T) {
+	for _, pattern := range []string{"transpose", "shuffle", "hotspot", "stencil-2d", "all-to-all", "tornado"} {
+		if err := run(quick("dsn", pattern, "adaptive", 64, "0.02", "vct", 0)); err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+	}
+}
+
+func TestRunCollective(t *testing.T) {
+	o := quick("dsn", "uniform", "adaptive", 16, "0.02", "vct", 0)
+	o.collective, o.collalgo, o.chunk, o.reps = "allgather", "ring", 8, 2
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// Wormhole replay, default algorithm.
+	o = quick("torus", "uniform", "adaptive", 16, "0.02", "wormhole", 20)
+	o.collective, o.chunk, o.reps = "broadcast", 8, 1
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCollectiveWithFaults(t *testing.T) {
+	o := quick("dsn", "uniform", "adaptive", 16, "0.02", "vct", 0)
+	o.collective, o.collalgo, o.chunk, o.reps = "allgather", "ring", 8, 1
+	o.faults = 0.05
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCollectiveRejections(t *testing.T) {
+	o := quick("dsn", "uniform", "adaptive", 16, "0.02", "vct", 0)
+	o.collective, o.reps = "bogus", 1
+	if err := run(o); err == nil {
+		t.Fatal("bad collective accepted")
+	}
+	o.collective, o.collalgo = "allreduce", "bogus"
+	if err := run(o); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+	o.collective, o.collalgo = "allreduce", "halving-doubling"
+	// 16 switches x 4 hosts = 64 hosts is a power of two; 60 switches is not.
+	o.reps = 0
+	if err := run(o); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
 func TestRunWormhole(t *testing.T) {
 	if err := run(quick("torus", "uniform", "adaptive", 64, "0.02", "wormhole", 20)); err != nil {
 		t.Fatal(err)

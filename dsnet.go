@@ -16,6 +16,9 @@
 //     VI.B, plus simulated-annealing placement optimization
 //   - the cycle-accurate simulators of Section VII (virtual cut-through
 //     and wormhole) with five routing functions
+//   - the collective-communication workload engine: message-DAG models
+//     of allreduce/allgather/broadcast/reduce/all-to-all and a
+//     closed-loop replay mode reporting collective makespans
 //   - the experiment drivers regenerating Figures 7-10 and the
 //     extension experiments recorded in EXPERIMENTS.md
 //
@@ -25,11 +28,13 @@ package dsnet
 
 import (
 	"dsnet/internal/analysis"
+	"dsnet/internal/collectives"
 	"dsnet/internal/core"
 	"dsnet/internal/graph"
 	"dsnet/internal/layout"
 	"dsnet/internal/netsim"
 	"dsnet/internal/routing"
+	"dsnet/internal/stats"
 	"dsnet/internal/topology"
 	"dsnet/internal/traffic"
 )
@@ -151,6 +156,26 @@ type FaultEvent = netsim.FaultEvent
 // FaultAware is implemented by routers that adapt to fabric faults.
 type FaultAware = netsim.FaultAware
 
+// CollectiveDAG is a collective-communication workload modeled as a
+// message DAG (ring/halving-doubling allreduce, binomial broadcast and
+// reduce, ring allgather, pairwise all-to-all).
+type CollectiveDAG = collectives.DAG
+
+// CollectiveMessage is one dependency-gated transfer of a CollectiveDAG.
+type CollectiveMessage = collectives.Message
+
+// Replay is a closed-loop workload executed by the simulators: injection
+// of each message is gated on the delivery of its dependencies, and the
+// run reports the makespan with a per-phase breakdown.
+type Replay = netsim.Replay
+
+// ReplayMessage is one dependency-gated message of a Replay.
+type ReplayMessage = netsim.ReplayMessage
+
+// CollectiveRow summarizes closed-loop collective replays on one
+// (topology, routing) pair.
+type CollectiveRow = analysis.CollectiveRow
+
 // RelatedRow is one entry of the Section III related-work comparison.
 type RelatedRow = analysis.RelatedRow
 
@@ -233,6 +258,8 @@ var (
 var (
 	DefaultSimConfig     = netsim.Default
 	NewSim               = netsim.NewSim
+	NewSimReplay         = netsim.NewSimReplay
+	NewWormSimReplay     = netsim.NewWormSimReplay
 	NewSimCableAware     = netsim.NewSimCableAware
 	NewWormSim           = netsim.NewWormSim
 	NewWormSimCableAware = netsim.NewWormSimCableAware
@@ -275,6 +302,27 @@ var (
 	ParseGraph = graph.Parse
 )
 
+// Collective workloads (closed-loop replay; see internal/collectives).
+var (
+	// GenerateCollective builds a collective's message DAG by name; an
+	// empty algo selects the collective's default algorithm.
+	GenerateCollective = collectives.Generate
+	// CollectiveReplay converts a CollectiveDAG into the Replay the
+	// simulators execute (NewSimReplay / NewWormSimReplay).
+	CollectiveReplay = collectives.ToReplay
+	// CollectiveNames lists the supported collectives.
+	CollectiveNames = collectives.Collectives
+	// DefaultCollectiveAlgo maps a collective to its default algorithm.
+	DefaultCollectiveAlgo = collectives.DefaultAlgo
+	// Collective DAG constructors for non-default roots/algorithms.
+	NewRingAllReduce            = collectives.RingAllReduce
+	NewHalvingDoublingAllReduce = collectives.HalvingDoublingAllReduce
+	NewBinomialBroadcast        = collectives.BinomialBroadcast
+	NewBinomialReduce           = collectives.BinomialReduce
+	NewRingAllGather            = collectives.RingAllGather
+	NewPairwiseAllToAll         = collectives.PairwiseAllToAll
+)
+
 // NewUniform returns the uniform random traffic pattern.
 func NewUniform(hosts int) TrafficPattern { return traffic.Uniform{Hosts: hosts} }
 
@@ -313,7 +361,15 @@ var (
 	WriteLatencyTable     = analysis.WriteLatencyTable
 	WriteBottleneckTable  = analysis.WriteBottleneckTable
 	PatternFor            = analysis.PatternFor
+	CollectiveSweep       = analysis.CollectiveSweep
+	WriteCollectiveTable  = analysis.WriteCollectiveTable
+	// MeanAndCI aggregates repetitions: sample mean with a 95%
+	// confidence half-width.
+	MeanAndCI = stats.MeanAndCI
 )
+
+// PatternNames lists the traffic patterns PatternFor accepts.
+var PatternNames = analysis.PatternNames
 
 // ComparisonNames lists the paper's comparison topologies in presentation
 // order: Torus, RANDOM, DSN.

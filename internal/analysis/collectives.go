@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"dsnet/internal/collectives"
+	"dsnet/internal/graph"
+	"dsnet/internal/netsim"
+	"dsnet/internal/stats"
+)
+
+// CollectiveRow summarizes closed-loop replays of one collective workload
+// on one (topology, routing) pair: mean makespan across placement
+// repetitions with a 95% confidence interval and a per-phase breakdown.
+// This is the collectives counterpart of Figure 10 — instead of
+// steady-state latency under open-loop load, it measures the
+// dependency-ordered completion time HPC jobs actually wait for.
+type CollectiveRow struct {
+	Name       string // topology ("Torus", "RANDOM", "DSN", "DSN-custom")
+	Routing    string // "adaptive" or "dsn-custom"
+	N          int    // switches
+	Hosts      int
+	Collective string
+	Algo       string
+	Reps       int
+	// MakespanUS and the CI half-width aggregate the completed reps; the
+	// per-phase means are cumulative completion times in microseconds.
+	MakespanUS    float64
+	MakespanCI    float64
+	PhaseUS       []float64
+	PhaseNames    []string
+	CompletedRate float64 // reps that delivered every message
+	Watchdog      bool    // some rep was aborted by the progress watchdog
+}
+
+// runCollective replays the workload reps times with seeded random rank
+// placements (DAG.Permuted) and aggregates the makespans.
+func runCollective(cfg netsim.Config, g *graph.Graph, mkRouter func() (netsim.Router, error),
+	d *collectives.DAG, reps int, seed uint64) (CollectiveRow, error) {
+	row := CollectiveRow{
+		N: g.N(), Hosts: d.Hosts,
+		Collective: d.Collective, Algo: d.Algo,
+		Reps:       reps,
+		PhaseNames: append([]string(nil), d.PhaseNames...),
+	}
+	var makespans []float64
+	phaseSums := make([]float64, len(d.PhaseNames))
+	completed := 0
+	for rep := 0; rep < reps; rep++ {
+		rt, err := mkRouter()
+		if err != nil {
+			return row, err
+		}
+		replay := collectives.ToReplay(d.Permuted(seed + uint64(rep)*0x9e37))
+		sim, err := netsim.NewSimReplay(cfg, g, rt, replay)
+		if err != nil {
+			return row, err
+		}
+		res, runErr := sim.Run()
+		if runErr != nil {
+			row.Watchdog = true
+			continue
+		}
+		if !res.ReplayCompleted {
+			continue
+		}
+		completed++
+		makespans = append(makespans, res.MakespanNS/1e3)
+		for i := 0; i < len(phaseSums) && i < len(res.PhaseEndNS); i++ {
+			phaseSums[i] += res.PhaseEndNS[i] / 1e3
+		}
+	}
+	row.CompletedRate = float64(completed) / float64(reps)
+	if completed > 0 {
+		row.MakespanUS, row.MakespanCI = stats.MeanAndCI(makespans)
+		row.PhaseUS = make([]float64, len(phaseSums))
+		for i, s := range phaseSums {
+			row.PhaseUS[i] = s / float64(completed)
+		}
+	}
+	return row, nil
+}
+
+// CollectiveSweep replays one collective workload on the three comparison
+// topologies under the adaptive router, plus the DSN-V custom source
+// routing, at each switch count in sizes. Repetitions permute the rank
+// placement; the workload itself is identical across topologies of equal
+// host count. Topology/size combinations the generator rejects (e.g.
+// halving-doubling on the non-power-of-two DSN-V host count) are skipped.
+func CollectiveSweep(cfg netsim.Config, sizes []int, collective, algo string,
+	chunkFlits, reps int, seed uint64) ([]CollectiveRow, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("analysis: collective sweep needs >= 1 rep, got %d", reps)
+	}
+	if chunkFlits < 1 {
+		chunkFlits = cfg.PacketFlits
+	}
+	var rows []CollectiveRow
+	for _, n := range sizes {
+		graphs, err := BuildComparison(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		d, err := collectives.Generate(collective, algo, n*cfg.HostsPerSwitch, chunkFlits)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range Names {
+			g := graphs[name]
+			row, err := runCollective(cfg, g, func() (netsim.Router, error) {
+				return netsim.NewDuatoUpDown(g, cfg.VCs)
+			}, d, reps, seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Name = name
+			row.Routing = "adaptive"
+			rows = append(rows, row)
+		}
+		// DSN custom source routing needs the DSN-V wiring; its size (and
+		// so host count) can differ from n when n % ceil(log2 n) != 0.
+		dv, err := dsnVFor(n)
+		if err != nil {
+			return nil, err
+		}
+		dc, err := collectives.Generate(collective, algo, dv.N*cfg.HostsPerSwitch, chunkFlits)
+		if err != nil {
+			continue // workload undefined at this host count (e.g. not a power of two)
+		}
+		row, err := runCollective(cfg, dv.Graph(), func() (netsim.Router, error) {
+			return netsim.NewDSNSourceRouted(dv)
+		}, dc, reps, seed)
+		if err != nil {
+			return nil, err
+		}
+		row.Name = "DSN-custom"
+		row.Routing = "dsn-custom"
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteCollectiveTable renders a collective sweep as a plain-text table.
+func WriteCollectiveTable(w io.Writer, rows []CollectiveRow) {
+	fmt.Fprintf(w, "%-11s %-10s %6s %6s %-12s %-17s %4s %12s %10s %9s %5s  %s\n",
+		"topo", "routing", "n", "hosts", "collective", "algo", "reps",
+		"makespan_us", "ci95_us", "completed", "wdog", "phase_us")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %-10s %6d %6d %-12s %-17s %4d %12.1f %10.1f %9.2f %5v ",
+			r.Name, r.Routing, r.N, r.Hosts, r.Collective, r.Algo, r.Reps,
+			r.MakespanUS, r.MakespanCI, r.CompletedRate, r.Watchdog)
+		for i, p := range r.PhaseUS {
+			name := ""
+			if i < len(r.PhaseNames) {
+				name = r.PhaseNames[i]
+			}
+			fmt.Fprintf(w, " %s=%.1f", name, p)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -20,10 +20,18 @@ type LatencyCurve struct {
 	Points   []netsim.Result
 }
 
-// PatternFor builds a Figure 10 traffic pattern by name ("uniform",
-// "bit-reversal", "neighboring") for a network of nSw switches with
-// hostsPerSwitch hosts each. The neighboring pattern arranges switches in
-// a near-square 2-D array as the paper describes.
+// PatternNames lists the traffic patterns PatternFor accepts: the
+// paper's three Figure 10 patterns plus the HPC application workloads.
+var PatternNames = []string{
+	"uniform", "bit-reversal", "neighboring",
+	"transpose", "shuffle", "hotspot", "stencil-2d", "all-to-all", "tornado",
+}
+
+// PatternFor builds a traffic pattern by name (see PatternNames) for a
+// network of nSw switches with hostsPerSwitch hosts each. The
+// neighboring pattern arranges switches — and the 2-D stencil arranges
+// hosts — in a near-square 2-D array as the paper describes. The
+// all-to-all pattern is stateful: build one per simulation.
 func PatternFor(name string, nSw, hostsPerSwitch int) (traffic.Pattern, error) {
 	hosts := nSw * hostsPerSwitch
 	switch name {
@@ -37,8 +45,24 @@ func PatternFor(name string, nSw, hostsPerSwitch int) (traffic.Pattern, error) {
 			return nil, err
 		}
 		return traffic.NewNeighboring(rows, cols, hostsPerSwitch, 0.9)
+	case "transpose":
+		return traffic.NewTranspose(hosts)
+	case "shuffle":
+		return traffic.NewShuffle(hosts)
+	case "hotspot":
+		return traffic.Hotspot{Hosts: hosts, Hot: 0, Fraction: 0.1}, nil
+	case "stencil-2d":
+		rows, cols, err := topology.NearSquareDims(hosts)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewStencil2D(rows, cols, true)
+	case "all-to-all", "alltoall":
+		return traffic.NewAllToAll(hosts)
+	case "tornado":
+		return traffic.NewTornado(nSw, hostsPerSwitch)
 	default:
-		return nil, fmt.Errorf("analysis: unknown traffic pattern %q", name)
+		return nil, fmt.Errorf("analysis: unknown traffic pattern %q (patterns: %v)", name, PatternNames)
 	}
 }
 
@@ -50,12 +74,15 @@ func LatencySweep(cfg netsim.Config, g *graph.Graph, name, patternName string, r
 	if err != nil {
 		return LatencyCurve{}, err
 	}
-	pat, err := PatternFor(patternName, g.N(), cfg.HostsPerSwitch)
-	if err != nil {
-		return LatencyCurve{}, err
-	}
 	curve := LatencyCurve{Topology: name, Pattern: patternName}
 	for _, rate := range rates {
+		// Built per run: some patterns (all-to-all) carry per-simulation
+		// state. Construction draws no simulation RNG, so stateless
+		// patterns are unaffected.
+		pat, err := PatternFor(patternName, g.N(), cfg.HostsPerSwitch)
+		if err != nil {
+			return LatencyCurve{}, err
+		}
 		sim, err := netsim.NewSim(cfg, g, rt, pat, rate)
 		if err != nil {
 			return LatencyCurve{}, err

@@ -1,0 +1,236 @@
+package collectives
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// messageCount returns the closed-form message count of each workload.
+func messageCount(collective, algo string, k int) int {
+	q := 0
+	for 1<<q < k {
+		q++
+	}
+	switch collective + "/" + algo {
+	case "allreduce/ring":
+		return 2 * (k - 1) * k
+	case "allreduce/halving-doubling":
+		return 2 * k * q
+	case "allgather/ring", "all-to-all/pairwise":
+		return (k - 1) * k
+	case "broadcast/binomial", "reduce/binomial":
+		return k - 1
+	}
+	return -1
+}
+
+// workloads enumerates every (collective, algo) pair, with the host
+// constraint halving-doubling imposes.
+var workloads = []struct {
+	collective, algo string
+	pow2Only         bool
+}{
+	{"allreduce", "ring", false},
+	{"allreduce", "halving-doubling", true},
+	{"allgather", "ring", false},
+	{"broadcast", "binomial", false},
+	{"reduce", "binomial", false},
+	{"all-to-all", "pairwise", false},
+}
+
+// hostsFor maps an arbitrary quick-generated value to a valid host count.
+func hostsFor(raw uint16, pow2Only bool) int {
+	if pow2Only {
+		return 2 << (raw % 6) // 2..64
+	}
+	return 2 + int(raw%63) // 2..64
+}
+
+func TestGeneratorsValidAndCounted(t *testing.T) {
+	for _, w := range workloads {
+		prop := func(raw uint16, chunkRaw uint8) bool {
+			hosts := hostsFor(raw, w.pow2Only)
+			chunk := 1 + int(chunkRaw%64)
+			d, err := Generate(w.collective, w.algo, hosts, chunk)
+			if err != nil {
+				t.Logf("%s/%s hosts=%d: %v", w.collective, w.algo, hosts, err)
+				return false
+			}
+			if err := d.Validate(); err != nil {
+				t.Logf("%s/%s hosts=%d: %v", w.collective, w.algo, hosts, err)
+				return false
+			}
+			if len(d.Messages) != messageCount(w.collective, w.algo, hosts) {
+				t.Logf("%s/%s hosts=%d: %d messages, want %d",
+					w.collective, w.algo, hosts, len(d.Messages), messageCount(w.collective, w.algo, hosts))
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s/%s: %v", w.collective, w.algo, err)
+		}
+	}
+}
+
+// Every host of a symmetric collective both sends and receives; for the
+// rooted trees every non-root receives (broadcast) or sends (reduce) and
+// the root does the converse.
+func TestEveryHostParticipates(t *testing.T) {
+	for _, w := range workloads {
+		prop := func(raw uint16) bool {
+			hosts := hostsFor(raw, w.pow2Only)
+			d, err := Generate(w.collective, w.algo, hosts, 4)
+			if err != nil {
+				return false
+			}
+			sends := make([]bool, hosts)
+			recvs := make([]bool, hosts)
+			for _, m := range d.Messages {
+				sends[m.Src] = true
+				recvs[m.Dst] = true
+			}
+			for h := 0; h < hosts; h++ {
+				wantSend, wantRecv := true, true
+				switch w.collective {
+				case "broadcast":
+					// Under a full binomial tree every internal host
+					// forwards; only the last-round leaves never send.
+					wantSend = sends[h]
+					wantRecv = h != 0
+				case "reduce":
+					wantSend = h != 0
+					wantRecv = recvs[h]
+				}
+				if sends[h] != wantSend || recvs[h] != wantRecv {
+					t.Logf("%s/%s hosts=%d: host %d sends=%v recvs=%v",
+						w.collective, w.algo, hosts, h, sends[h], recvs[h])
+					return false
+				}
+			}
+			// The roots participate on the complementary side.
+			if w.collective == "broadcast" && !sends[0] {
+				return false
+			}
+			if w.collective == "reduce" && !recvs[0] {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%s/%s: %v", w.collective, w.algo, err)
+		}
+	}
+}
+
+// Generation is a pure function of its arguments, and rank placement is a
+// pure function of the permutation seed.
+func TestGenerationBitIdentical(t *testing.T) {
+	for _, w := range workloads {
+		a, err := Generate(w.collective, w.algo, 16, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Generate(w.collective, w.algo, 16, 8)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s/%s: generation not deterministic", w.collective, w.algo)
+		}
+		pa := a.Permuted(42)
+		pb := b.Permuted(42)
+		if !reflect.DeepEqual(pa, pb) {
+			t.Errorf("%s/%s: Permuted(42) not deterministic", w.collective, w.algo)
+		}
+		if err := pa.Validate(); err != nil {
+			t.Errorf("%s/%s permuted: %v", w.collective, w.algo, err)
+		}
+		if reflect.DeepEqual(a.Messages, a.Permuted(7).Messages) {
+			t.Errorf("%s/%s: Permuted(7) left endpoints unchanged", w.collective, w.algo)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s/%s: Permuted mutated its receiver", w.collective, w.algo)
+		}
+	}
+}
+
+func TestPermutedPreservesStructure(t *testing.T) {
+	d, err := RingAllReduce(12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Permuted(3)
+	if p.TotalFlits() != d.TotalFlits() {
+		t.Fatalf("permutation changed total flits: %d vs %d", p.TotalFlits(), d.TotalFlits())
+	}
+	for i := range d.Messages {
+		if !reflect.DeepEqual(p.Messages[i].Deps, d.Messages[i].Deps) ||
+			p.Messages[i].Flits != d.Messages[i].Flits ||
+			p.Messages[i].Phase != d.Messages[i].Phase {
+			t.Fatalf("permutation changed structure of message %d", i)
+		}
+	}
+}
+
+func TestGenerateRejectsBadArgs(t *testing.T) {
+	cases := []struct {
+		collective, algo string
+		hosts, chunk     int
+	}{
+		{"allreduce", "ring", 1, 4},
+		{"allreduce", "ring", 8, 0},
+		{"allreduce", "halving-doubling", 12, 4}, // not a power of two
+		{"nonsense", "", 8, 4},
+		{"allreduce", "nonsense", 8, 4},
+	}
+	for _, c := range cases {
+		if _, err := Generate(c.collective, c.algo, c.hosts, c.chunk); err == nil {
+			t.Errorf("Generate(%q, %q, %d, %d) accepted", c.collective, c.algo, c.hosts, c.chunk)
+		}
+	}
+}
+
+func TestDefaultAlgoCoversCollectives(t *testing.T) {
+	for _, c := range Collectives {
+		if DefaultAlgo(c) == "" {
+			t.Errorf("no default algorithm for %q", c)
+		}
+		if _, err := Generate(c, "", 8, 4); err != nil {
+			t.Errorf("Generate(%q, default): %v", c, err)
+		}
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	d, err := RingAllGather(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Messages[0].Deps = []int32{int32(len(d.Messages) - 1)}
+	d.Messages[len(d.Messages)-1].Deps = []int32{0}
+	if err := d.Validate(); err == nil {
+		t.Fatal("cyclic DAG accepted")
+	}
+}
+
+// ToReplay is positional: the bridge must preserve indices so dependency
+// edges survive the translation.
+func TestToReplayPositional(t *testing.T) {
+	d, err := PairwiseAllToAll(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ToReplay(d)
+	if len(r.Messages) != len(d.Messages) {
+		t.Fatalf("%d replay messages, want %d", len(r.Messages), len(d.Messages))
+	}
+	if err := r.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	i := rand.New(rand.NewSource(1)).Intn(len(d.Messages))
+	if r.Messages[i].SrcHost != d.Messages[i].Src || r.Messages[i].DstHost != d.Messages[i].Dst ||
+		r.Messages[i].Flits != d.Messages[i].Flits || r.Messages[i].Phase != d.Messages[i].Phase ||
+		!reflect.DeepEqual(r.Messages[i].Deps, d.Messages[i].Deps) {
+		t.Fatalf("message %d not preserved: %+v vs %+v", i, r.Messages[i], d.Messages[i])
+	}
+}

@@ -37,6 +37,19 @@ type Result struct {
 	PostFaultP50NS     float64
 	PostFaultP99NS     float64
 
+	// Closed-loop replay metrics, meaningful only when the run executed a
+	// Replay (SetReplay). MakespanCycles/NS is the delivery time of the
+	// workload's last message; PhaseEndNS[i] is the delivery time of the
+	// last message of phase i (-CycleNS if the phase delivered nothing).
+	// ReplayCompleted is false when messages were permanently lost (fault
+	// retry budget exhausted) or the run bound was hit first.
+	ReplayMessages  int64
+	ReplayDelivered int64
+	ReplayCompleted bool
+	MakespanCycles  int64
+	MakespanNS      float64
+	PhaseEndNS      []float64
+
 	// Saturated is set when a meaningful fraction of measured packets
 	// never arrived: latency figures are then unreliable (the network is
 	// past its saturation point).
@@ -95,6 +108,9 @@ func (s *Sim) result() Result {
 	}
 	if s.watchdogTripped {
 		r.Saturated = true
+	}
+	if s.rep != nil {
+		s.rep.fill(&r, cyc)
 	}
 	return r
 }

@@ -25,6 +25,9 @@ type packet struct {
 	// rerouted marks packets that took at least one fault-detour grant,
 	// counted once per packet in Result.Rerouted.
 	rerouted bool
+	// msg is the index of the Replay message this packet carries a part
+	// of; meaningful only in closed-loop replay mode (see replay.go).
+	msg int32
 }
 
 // vcEntry is a packet queued in an input VC buffer.
@@ -163,6 +166,10 @@ type Sim struct {
 	retryBudget  int
 	retryBackoff int64
 	faultTimeout int64
+
+	// rep holds the closed-loop replay state (SetReplay); nil in open-loop
+	// runs, whose behavior is untouched.
+	rep *replayState
 
 	now          int64
 	nextID       int64
@@ -357,15 +364,26 @@ func (s *Sim) inWindow(t int64) bool {
 }
 
 // Run executes the full schedule (warmup + measurement + drain) and
-// returns the aggregated result.
+// returns the aggregated result. In closed-loop replay mode the schedule
+// is ignored: the run ends when the workload completes (or can no longer
+// make progress, e.g. after permanent packet loss under faults).
 func (s *Sim) Run() (Result, error) {
 	end := s.cfg.WarmupCycles + s.cfg.MeasureCycles + s.cfg.DrainCycles
+	if s.rep != nil {
+		end = s.rep.endCycle()
+	}
 	s.lastProgress = 0
 	for s.now = 0; s.now < end; s.now++ {
 		s.applyFaults()
 		s.processEvents()
 		s.inject()
 		s.allocate()
+		if s.rep != nil && s.inFlight == 0 {
+			// All released packets drained and inject() released every
+			// ready message this cycle: the workload is either complete or
+			// permanently wedged on lost messages. Either way, done.
+			break
+		}
 		if s.inFlight > 0 && s.now-s.lastProgress > 250000 {
 			s.watchdogTripped = true
 			return s.result(), fmt.Errorf("netsim: no progress for 250k cycles at cycle %d with %d packets in flight (deadlock?)", s.now, s.inFlight)
@@ -430,6 +448,9 @@ func (s *Sim) deliver(p *packet, at int64) {
 			s.postFaultLats = append(s.postFaultLats, lat)
 		}
 	}
+	if s.rep != nil {
+		s.rep.onDeliver(p.msg, at)
+	}
 	s.trace(p, "DELIVER", "host", p.dstHost, "hops", p.st.Step, "latency_cycles", at-p.genCycle)
 }
 
@@ -478,7 +499,24 @@ func (s *Sim) reinject(p *packet) {
 	s.trace(p, "REINJECT", "src", p.srcHost, "attempt", p.attempts)
 }
 
+// inject is one cycle of host-side work: sourcing new packets (open-loop
+// Bernoulli generation, or dependency-gated release in replay mode) and
+// streaming queued packets into the switches. Generation for one host
+// cannot affect streaming for another within a cycle, so performing all
+// generation first is behavior-identical to the historical interleaved
+// loop — the RNG draw order is unchanged.
 func (s *Sim) inject() {
+	if s.rep != nil {
+		s.releaseReady()
+	} else {
+		s.genTraffic()
+	}
+	s.driveHosts()
+}
+
+// genTraffic runs the open-loop Bernoulli injection process. All RNG
+// consumption of the injection path lives here.
+func (s *Sim) genTraffic() {
 	pktProb := s.rate / float64(s.cfg.PacketFlits)
 	for h := 0; h < s.hosts; h++ {
 		if s.faultActive && s.swDead[h/s.cfg.HostsPerSwitch] {
@@ -491,6 +529,7 @@ func (s *Sim) inject() {
 				genCycle:   s.now,
 				measured:   s.inWindow(s.now),
 				blockSince: -1,
+				msg:        -1,
 			}
 			s.nextID++
 			p.st.PktID = p.id
@@ -505,7 +544,17 @@ func (s *Sim) inject() {
 			}
 			s.inFlight++
 		}
-		// Try to start streaming the head packet into the switch.
+	}
+}
+
+// driveHosts starts streaming the head packet of each host queue into
+// its switch when the NIC is idle and a VC has a packet's worth of
+// credits.
+func (s *Sim) driveHosts() {
+	for h := 0; h < s.hosts; h++ {
+		if s.faultActive && s.swDead[h/s.cfg.HostsPerSwitch] {
+			continue // hosts of a dead switch are offline
+		}
 		if len(s.hostQ[h]) == 0 || s.hostBusy[h] > s.now {
 			continue
 		}

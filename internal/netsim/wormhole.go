@@ -75,6 +75,10 @@ type WormSim struct {
 	faultActive  bool
 	reroutedPkts int64
 
+	// rep holds the closed-loop replay state (SetReplay); nil in open-loop
+	// runs, whose behavior is untouched.
+	rep *replayState
+
 	now          int64
 	nextID       int64
 	inFlight     int64
@@ -108,6 +112,9 @@ type wpacket struct {
 	blockSince int64
 	// rerouted marks worms that took at least one fault-detour grant.
 	rerouted bool
+	// msg is the index of the Replay message this worm carries a part of;
+	// meaningful only in closed-loop replay mode (see replay.go).
+	msg int32
 }
 
 // wwheelEv is the wormhole engine's timing-wheel event; amt doubles as
@@ -273,15 +280,23 @@ func (s *WormSim) applyFaults() {
 	}
 }
 
-// Run executes the schedule and returns the aggregated result.
+// Run executes the schedule and returns the aggregated result. In
+// closed-loop replay mode the schedule is ignored: the run ends when the
+// workload completes (or can no longer make progress).
 func (s *WormSim) Run() (Result, error) {
 	end := s.cfg.WarmupCycles + s.cfg.MeasureCycles + s.cfg.DrainCycles
+	if s.rep != nil {
+		end = s.rep.endCycle()
+	}
 	for s.now = 0; s.now < end; s.now++ {
 		s.applyFaults()
 		s.processEvents()
 		s.inject()
 		s.route()
 		s.forward()
+		if s.rep != nil && s.inFlight == 0 {
+			break
+		}
 		if s.inFlight > 0 && s.now-s.lastProgress > 250000 {
 			return s.result(), fmt.Errorf("netsim: wormhole made no progress for 250k cycles at %d with %d packets in flight", s.now, s.inFlight)
 		}
@@ -319,11 +334,30 @@ func (s *WormSim) deliver(p *wpacket, at int64) {
 		s.latencies = append(s.latencies, lat)
 		s.hopsSum += int64(p.st.Step)
 	}
+	if s.rep != nil {
+		s.rep.onDeliver(p.msg, at)
+	}
 }
 
+// inject is one cycle of host-side work: sourcing new packets (open-loop
+// Bernoulli generation, or dependency-gated release in replay mode) and
+// streaming queued flits into the switches. Generation for one host
+// cannot affect streaming for another within a cycle, so performing all
+// generation first is behavior-identical to the historical interleaved
+// loop — the RNG draw order is unchanged.
 func (s *WormSim) inject() {
+	if s.rep != nil {
+		s.releaseReady()
+	} else {
+		s.genTraffic()
+	}
+	s.driveHosts()
+}
+
+// genTraffic runs the open-loop Bernoulli injection process. All RNG
+// consumption of the injection path lives here.
+func (s *WormSim) genTraffic() {
 	pktProb := s.rate / float64(s.cfg.PacketFlits)
-	vcs := s.cfg.VCs
 	for h := 0; h < s.hosts; h++ {
 		if s.rng.Float64() < pktProb {
 			p := &wpacket{
@@ -331,6 +365,7 @@ func (s *WormSim) inject() {
 				genCycle:   s.now,
 				measured:   s.inWindow(s.now),
 				blockSince: -1,
+				msg:        -1,
 			}
 			s.nextID++
 			p.st.PktID = p.id
@@ -352,6 +387,14 @@ func (s *WormSim) inject() {
 				s.inFlight++
 			}
 		}
+	}
+}
+
+// driveHosts claims injection VCs and streams queued flits, one per host
+// per cycle.
+func (s *WormSim) driveHosts() {
+	vcs := s.cfg.VCs
+	for h := 0; h < s.hosts; h++ {
 		// Claim an injection VC for the next packet.
 		if s.hostCur[h] == nil && len(s.hostQ[h]) > 0 {
 			c := int32(2*s.g.M() + h)
@@ -669,6 +712,9 @@ func (s *WormSim) result() Result {
 	if s.genMeasured > 0 {
 		undelivered := s.genMeasured - s.delMeasured
 		r.Saturated = float64(undelivered) > 0.02*float64(s.genMeasured)
+	}
+	if s.rep != nil {
+		s.rep.fill(&r, cyc)
 	}
 	return r
 }
