@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSimulatorPackages lints the default target packages (resolved
+// from the repo root, two levels up from this test's working
+// directory); they must be clean.
+func TestRunSimulatorPackages(t *testing.T) {
+	var sb strings.Builder
+	o := opts{dirs: []string{"../../internal/netsim", "../../internal/collectives", "../../internal/traffic"}}
+	if err := run(o, &sb); err != nil {
+		t.Fatalf("simulator packages dirty: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "clean") {
+		t.Errorf("unexpected output: %q", sb.String())
+	}
+}
+
+// TestRunDirtyFixture pins the failure mode: the lint fixture with
+// planted hazards must make dsnlint exit non-zero and print positioned
+// findings.
+func TestRunDirtyFixture(t *testing.T) {
+	var sb strings.Builder
+	o := opts{dirs: []string{"../../internal/lint/testdata/src/dirty"}}
+	err := run(o, &sb)
+	if err == nil {
+		t.Fatal("dirty fixture passed the linter")
+	}
+	if !strings.Contains(err.Error(), "hazard") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"[walltime]", "[globalrand]", "[maprange]", "dirty.go:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunList covers the analyzer listing.
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run(opts{list: true}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []string{"walltime", "globalrand", "maprange"} {
+		if !strings.Contains(sb.String(), a) {
+			t.Errorf("listing missing %s", a)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunMatrix exercises the standard matrix: it must pass, list every
+// expected combination, and print the witness for the known-negative.
+func TestRunMatrix(t *testing.T) {
+	var sb strings.Builder
+	if err := run(opts{}, &sb); err != nil {
+		t.Fatalf("matrix missed expectations: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"torus8x8/dor-dateline/2vc",
+		"dln-2-2-64/duato-escape/4vc",
+		"dsn-e-126/custom/3vc",
+		"dsn-v-126/custom/classes",
+		"dsn-64/custom/ring-shared-finish",
+		"witness:",
+		"cyclic as proven",
+		"met their expectation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("report contains failures:\n%s", out)
+	}
+}
+
+// TestRunReportFile covers -o: the written artifact equals the stdout
+// report.
+func TestRunReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var sb strings.Builder
+	if err := run(opts{out: path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != sb.String() {
+		t.Error("report file differs from stdout report")
+	}
+}
+
+// TestRunFaultTimeline covers -faults: the timeline section appears and
+// repair restores both pristine certificates.
+func TestRunFaultTimeline(t *testing.T) {
+	var sb strings.Builder
+	if err := run(opts{faults: true}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fault/repair timeline",
+		"updown-escape",
+		"dsn-ring-detour",
+		"[repair restored the pristine certificate]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+	if strings.Contains(out, "DID NOT RESTORE") {
+		t.Errorf("repair failed to restore a certificate:\n%s", out)
+	}
+}

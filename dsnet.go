@@ -21,6 +21,11 @@
 //     closed-loop replay mode reporting collective makespans
 //   - the experiment drivers regenerating Figures 7-10 and the
 //     extension experiments recorded in EXPERIMENTS.md
+//   - the static verification subsystem (CertifyAll): deadlock
+//     certification via channel-dependency-graph acyclicity, the
+//     paper-theorem bounds as executable checks, routing-table
+//     totality, and fault-degraded re-certification — the engine behind
+//     cmd/dsnverify and the certification matrix in EXPERIMENTS.md
 //
 // See examples/ for runnable walk-throughs and EXPERIMENTS.md for the
 // paper-vs-measured record.
@@ -37,6 +42,7 @@ import (
 	"dsnet/internal/stats"
 	"dsnet/internal/topology"
 	"dsnet/internal/traffic"
+	"dsnet/internal/verify"
 )
 
 // Graph is the shared interconnect graph representation.
@@ -366,6 +372,39 @@ var (
 	// MeanAndCI aggregates repetitions: sample mean with a 95%
 	// confidence half-width.
 	MeanAndCI = stats.MeanAndCI
+)
+
+// Static verification: the certification engine behind cmd/dsnverify.
+// CertifyAll builds the full channel dependency graph of every
+// registered topology x routing x VC-assignment combination, certifies
+// deadlock freedom via Dally-Seitz acyclicity, and evaluates the
+// paper-theorem bounds and routing-table totality as executable checks;
+// the CertifyDegraded* functions re-certify fault-degraded fabrics
+// along a FaultPlan timeline.
+type (
+	Certificate     = verify.Certificate
+	CertCheckResult = verify.CheckResult
+	CertOptions     = verify.Options
+	CertStatus      = verify.Status
+	TimelineEntry   = verify.TimelineEntry
+)
+
+// Certification statuses.
+const (
+	StatusCertified = verify.StatusCertified
+	StatusCyclic    = verify.StatusCyclic
+	StatusError     = verify.StatusError
+)
+
+// Verification entry points.
+var (
+	CertifyAll            = verify.CertifyAll
+	DefaultCertOptions    = verify.DefaultOptions
+	StandardCombos        = verify.StandardCombos
+	CertifyDegradedUpDown = verify.CertifyDegradedUpDown
+	CertifyDegradedDSN    = verify.CertifyDegradedDSN
+	CertifyFaultTimeline  = verify.CertifyFaultTimeline
+	SameCertificate       = verify.SameCertificate
 )
 
 // PatternNames lists the traffic patterns PatternFor accepts.

@@ -91,10 +91,10 @@ func New(n, x int) (*DSN, error) {
 // Extra links duplicating ring links (i, i-1) for i = 1..2p. n must be a
 // multiple of p so that every super node has a full shortcut ladder.
 func NewE(n int) (*DSN, error) {
-	p := CeilLog2(n)
-	if p < 2 {
+	if n < 8 {
 		return nil, fmt.Errorf("core: DSN-E needs n >= 8, got %d", n)
 	}
+	p := CeilLog2(n)
 	if n%p != 0 {
 		return nil, fmt.Errorf("core: DSN-E requires n to be a multiple of p=%d, got n=%d", p, n)
 	}
@@ -106,10 +106,10 @@ func NewE(n int) (*DSN, error) {
 // links rather than dedicated cables. Routing and deadlock analysis are
 // identical to DSN-E; only the physical edge set differs.
 func NewV(n int) (*DSN, error) {
-	p := CeilLog2(n)
-	if p < 2 {
+	if n < 8 {
 		return nil, fmt.Errorf("core: DSN-V needs n >= 8, got %d", n)
 	}
+	p := CeilLog2(n)
 	if n%p != 0 {
 		return nil, fmt.Errorf("core: DSN-V requires n to be a multiple of p=%d, got n=%d", p, n)
 	}
@@ -121,6 +121,9 @@ func NewV(n int) (*DSN, error) {
 // short links joining every pair of ring positions q apart, q = ceil(p/k),
 // which bounds the local PRE-WORK/FINISH walks by roughly q instead of p.
 func NewD(n, k int) (*DSN, error) {
+	if n < 8 {
+		return nil, fmt.Errorf("core: DSN-D needs n >= 8, got %d", n)
+	}
 	p := CeilLog2(n)
 	if k < 1 {
 		return nil, fmt.Errorf("core: DSN-D needs k >= 1, got %d", k)

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Walltime flags reads of the wall clock. Simulated time is the only
+// clock the simulator may observe; a time.Now anywhere in a hot path
+// makes runs irreproducible and silently couples results to host load.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbids wall-clock reads (time.Now, time.Since, time.Until) in simulator packages",
+	Run: func(p *Pass) {
+		banned := map[string]bool{"Now": true, "Since": true, "Until": true}
+		for id, obj := range p.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				continue
+			}
+			if banned[fn.Name()] {
+				p.Reportf(id.Pos(), "wall-clock read time.%s; derive timing from simulated cycles", fn.Name())
+			}
+		}
+	},
+}
+
+// randConstructors are the math/rand functions that build explicit,
+// seedable sources — the only sanctioned way to get randomness into the
+// simulator. Everything else package-level draws from the shared global
+// source, whose sequence depends on whatever else has consumed it.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// Globalrand flags draws from the process-global math/rand source.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbids the global math/rand source; randomness must flow from an explicitly seeded *rand.Rand",
+	Run: func(p *Pass) {
+		for id, obj := range p.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				continue
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil || randConstructors[fn.Name()] {
+				continue // method on an explicit source, or a constructor
+			}
+			p.Reportf(id.Pos(), "global rand.%s draws from the shared source; use an explicitly seeded *rand.Rand", fn.Name())
+		}
+	},
+}
+
+// Maprange flags range statements over maps. Go randomizes map
+// iteration order per run, so any map-range whose body feeds simulator
+// state (event order, route construction, aggregate floats) produces
+// run-to-run drift. Loops that provably don't — sorting the keys first,
+// or pure counting — carry a same-line "dsnlint:ok maprange <reason>"
+// waiver.
+var Maprange = &Analyzer{
+	Name: "maprange",
+	Doc:  "forbids iteration over maps in simulator packages unless waived; iteration order is randomized per run",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					p.Reportf(rs.Range, "map iteration order is randomized; sort keys first or waive with a reason")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// All is the analyzer suite dsnlint runs.
+var All = []*Analyzer{Walltime, Globalrand, Maprange}

@@ -1,0 +1,224 @@
+// Package lint is a small, dependency-free static-analysis framework in
+// the style of golang.org/x/tools/go/analysis, built on the standard
+// library's go/parser and go/types so it runs in hermetic environments.
+//
+// It exists for one job: keeping the cycle-accurate simulator
+// deterministic. Simulation results are pinned byte-for-byte by tests
+// and compared across machines in CI, so any wall-clock read, global
+// (unseeded) random source, or map-iteration-order dependence in the
+// simulator packages is a reproducibility bug even when the code is
+// otherwise correct. The dsnlint command wires the analyzers in this
+// package over internal/netsim, internal/collectives and
+// internal/traffic.
+//
+// A finding can be waived where the hazard is provably benign with a
+// trailing comment on the offending line:
+//
+//	for k := range set { // dsnlint:ok maprange keys sorted below
+//
+// The waiver names the analyzer it silences and should carry a reason.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string // short lowercase identifier, used in waivers
+	Doc  string // one-line description of the hazard it finds
+	Run  func(*Pass)
+}
+
+// Pass carries one package's parse and type information through an
+// analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Package is a loaded, type-checked, non-test view of one directory.
+type Package struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	waivers map[string]map[int][]string // filename -> line -> waived analyzer names
+}
+
+// Load parses and type-checks the non-test Go files of dir. It must run
+// with the module root as working directory so that intra-module
+// imports resolve through the source importer.
+func Load(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(paths))
+	pkgName := ""
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s mixes packages %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Uses:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(dir, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", dir, err)
+	}
+	return &Package{
+		Fset:    fset,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+		waivers: collectWaivers(fset, files),
+	}, nil
+}
+
+// collectWaivers scans comments for "dsnlint:ok <analyzer> [reason]"
+// markers and indexes them by file and line.
+func collectWaivers(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := map[string]map[int][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+				if !strings.HasPrefix(text, "dsnlint:ok") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "dsnlint:ok"))
+				if len(fields) == 0 {
+					continue // malformed waiver: names no analyzer, waives nothing
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+			}
+		}
+	}
+	return out
+}
+
+// waived reports whether a diagnostic is silenced by a same-line waiver.
+func (p *Package) waived(d Diagnostic) bool {
+	for _, name := range p.waivers[d.Pos.Filename][d.Pos.Line] {
+		if name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the package and returns the surviving
+// diagnostics sorted by position.
+func (p *Package) Run(analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     p.Fset,
+			Files:    p.Files,
+			Pkg:      p.Pkg,
+			Info:     p.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !p.waived(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// LintDirs loads each directory and runs the analyzers, concatenating
+// diagnostics in directory order.
+func LintDirs(dirs []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, pkg.Run(analyzers)...)
+	}
+	return all, nil
+}

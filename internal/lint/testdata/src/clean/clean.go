@@ -1,0 +1,25 @@
+// Package clean is a lint fixture: deterministic idioms that dsnlint
+// must accept, including a waived map range.
+package clean
+
+import (
+	randv2 "math/rand/v2"
+	"sort"
+)
+
+// Draw uses an explicitly seeded source (the sanctioned idiom).
+func Draw(seed uint64) float64 {
+	rng := randv2.New(randv2.NewPCG(seed, 1))
+	return rng.Float64()
+}
+
+// Keys iterates a map only to collect keys, then sorts them; the range
+// is waived with a reason.
+func Keys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // dsnlint:ok maprange keys sorted before use
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

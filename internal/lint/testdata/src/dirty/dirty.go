@@ -1,0 +1,30 @@
+// Package dirty is a lint fixture: every determinism hazard dsnlint
+// hunts for appears here exactly where the tests expect it.
+package dirty
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Stamp reads the wall clock (walltime: time.Now).
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Elapsed reads the wall clock (walltime: time.Since).
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Pick draws from the global v1 source (globalrand: rand.Intn).
+func Pick(n int) int { return rand.Intn(n) }
+
+// Jitter draws from the global v2 source (globalrand: rand.Float64).
+func Jitter() float64 { return randv2.Float64() }
+
+// Sum folds a map in iteration order (maprange).
+func Sum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"sort"
 )
 
 // ChannelHop is one traversal of a directed channel: a physical link
@@ -48,21 +49,35 @@ func (c *CDG) channel(h ChannelHop) int32 {
 	return id
 }
 
+// AddChannel registers a channel even when no dependency touches it
+// (single-hop routes still occupy their channel).
+func (c *CDG) AddChannel(h ChannelHop) { c.channel(h) }
+
+// AddDependency records that some route can hold channel `from` while
+// requesting channel `to`. Callers enumerating adaptive routing
+// functions use it directly to add the cross product of candidate
+// channel sets between consecutive hops; duplicate dependencies are
+// deduplicated internally.
+func (c *CDG) AddDependency(from, to ChannelHop) {
+	f := c.channel(from)
+	t := c.channel(to)
+	depKey := uint64(uint32(f))<<32 | uint64(uint32(t))
+	if _, dup := c.depSet[depKey]; dup {
+		return
+	}
+	c.depSet[depKey] = struct{}{}
+	c.deps[f] = append(c.deps[f], t)
+}
+
 // AddRoute records the channel sequence of one route: every consecutive
 // pair of hops contributes a dependency.
 func (c *CDG) AddRoute(hops []ChannelHop) {
 	for i := range hops {
-		cur := c.channel(hops[i])
 		if i == 0 {
+			c.AddChannel(hops[i])
 			continue
 		}
-		prev := c.channel(hops[i-1])
-		depKey := uint64(uint32(prev))<<32 | uint64(uint32(cur))
-		if _, dup := c.depSet[depKey]; dup {
-			continue
-		}
-		c.depSet[depKey] = struct{}{}
-		c.deps[prev] = append(c.deps[prev], cur)
+		c.AddDependency(hops[i-1], hops[i])
 	}
 }
 
@@ -72,17 +87,54 @@ func (c *CDG) Channels() int { return len(c.channels) }
 // Dependencies returns the number of distinct dependencies observed.
 func (c *CDG) Dependencies() int { return len(c.depSet) }
 
+// hopLess orders channels lexicographically by (From, To, Class); it is
+// the ordering behind FindCycle's determinism guarantee.
+func hopLess(a, b ChannelHop) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.Class < b.Class
+}
+
 // FindCycle returns a dependency cycle as a channel sequence (first ==
 // last), or nil if the CDG is acyclic. Acyclicity certifies deadlock
 // freedom for the recorded routes.
+//
+// Ordering guarantee: FindCycle is a pure function of the channel and
+// dependency SETS — the reported cycle does not depend on the order in
+// which AddRoute populated the CDG. The search visits channels in
+// ascending (From, To, Class) order, explores dependencies in the same
+// order, and rotates the reported cycle so its lexicographically least
+// channel comes first (and, the cycle being closed, also last). The
+// dsnverify certification reports rely on this to stay byte-identical
+// across runs and route-enumeration orders.
 func (c *CDG) FindCycle() []ChannelHop {
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
-	color := make([]uint8, len(c.channels))
-	parent := make([]int32, len(c.channels))
+	n := len(c.channels)
+	lessID := func(a, b int32) bool { return hopLess(c.channels[a], c.channels[b]) }
+	starts := make([]int32, n)
+	for i := range starts {
+		starts[i] = int32(i)
+	}
+	sort.Slice(starts, func(i, j int) bool { return lessID(starts[i], starts[j]) })
+	deps := make([][]int32, n)
+	for v := range deps {
+		if len(c.deps[v]) == 0 {
+			continue
+		}
+		deps[v] = append([]int32(nil), c.deps[v]...)
+		d := deps[v]
+		sort.Slice(d, func(i, j int) bool { return lessID(d[i], d[j]) })
+	}
+	color := make([]uint8, n)
+	parent := make([]int32, n)
 	for i := range parent {
 		parent[i] = -1
 	}
@@ -90,16 +142,16 @@ func (c *CDG) FindCycle() []ChannelHop {
 		node int32
 		next int
 	}
-	for start := range c.channels {
+	for _, start := range starts {
 		if color[start] != white {
 			continue
 		}
-		stack := []frame{{node: int32(start)}}
+		stack := []frame{{node: start}}
 		color[start] = gray
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.next < len(c.deps[f.node]) {
-				child := c.deps[f.node][f.next]
+			if f.next < len(deps[f.node]) {
+				child := deps[f.node][f.next]
 				f.next++
 				switch color[child] {
 				case white:
@@ -122,7 +174,7 @@ func (c *CDG) FindCycle() []ChannelHop {
 					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
 						cyc[i], cyc[j] = cyc[j], cyc[i]
 					}
-					return cyc
+					return canonicalCycle(cyc)
 				}
 			} else {
 				color[f.node] = black
@@ -131,4 +183,20 @@ func (c *CDG) FindCycle() []ChannelHop {
 		}
 	}
 	return nil
+}
+
+// canonicalCycle rotates a closed cycle (first == last) so that its
+// lexicographically least channel leads, preserving dependency order.
+func canonicalCycle(cyc []ChannelHop) []ChannelHop {
+	body := cyc[:len(cyc)-1]
+	min := 0
+	for i := range body {
+		if hopLess(body[i], body[min]) {
+			min = i
+		}
+	}
+	out := make([]ChannelHop, 0, len(cyc))
+	out = append(out, body[min:]...)
+	out = append(out, body[:min]...)
+	return append(out, body[min])
 }

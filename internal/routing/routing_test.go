@@ -275,6 +275,60 @@ func TestCDGCycleDetection(t *testing.T) {
 	}
 }
 
+// FindCycle's documented ordering guarantee: the witness cycle is a pure
+// function of the channel/dependency sets, independent of AddRoute order,
+// and starts at its lexicographically least channel.
+func TestCDGFindCycleDeterministic(t *testing.T) {
+	// Two distinct dependency cycles plus pendant routes, inserted in
+	// several different orders; every build must report the identical
+	// canonical witness.
+	routes := [][]ChannelHop{
+		{{From: 5, To: 6}, {From: 6, To: 7}},
+		{{From: 6, To: 7}, {From: 7, To: 5}},
+		{{From: 7, To: 5}, {From: 5, To: 6}},
+		{{From: 2, To: 3, Class: 1}, {From: 3, To: 2, Class: 1}},
+		{{From: 3, To: 2, Class: 1}, {From: 2, To: 3, Class: 1}},
+		{{From: 0, To: 1}, {From: 1, To: 2}},
+	}
+	perms := [][]int{
+		{0, 1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0},
+		{3, 4, 0, 1, 2, 5},
+		{2, 5, 1, 4, 0, 3},
+	}
+	var want []ChannelHop
+	for pi, perm := range perms {
+		cdg := NewCDG()
+		for _, ri := range perm {
+			cdg.AddRoute(routes[ri])
+		}
+		cyc := cdg.FindCycle()
+		if cyc == nil {
+			t.Fatalf("perm %d: cycle not found", pi)
+		}
+		if cyc[0] != cyc[len(cyc)-1] {
+			t.Fatalf("perm %d: cycle %v not closed", pi, cyc)
+		}
+		for _, h := range cyc[1:] {
+			if hopLess(h, cyc[0]) {
+				t.Fatalf("perm %d: cycle %v does not start at its least channel", pi, cyc)
+			}
+		}
+		if pi == 0 {
+			want = cyc
+			continue
+		}
+		if len(cyc) != len(want) {
+			t.Fatalf("perm %d: cycle %v, want %v", pi, cyc, want)
+		}
+		for i := range cyc {
+			if cyc[i] != want[i] {
+				t.Fatalf("perm %d: cycle %v, want %v", pi, cyc, want)
+			}
+		}
+	}
+}
+
 func TestCDGClassesSeparateChannels(t *testing.T) {
 	cdg := NewCDG()
 	// Same physical direction, different classes: no cycle.

@@ -1,0 +1,223 @@
+package verify
+
+import (
+	"fmt"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/netsim"
+	"dsnet/internal/routing"
+	"dsnet/internal/topology"
+)
+
+// The channel identity used throughout the engine is
+// routing.ChannelHop{From, To, Class}: a directed traversal of a link on
+// a channel class (a Section V.A LinkClass or a simulator VC).
+//
+// The VC views work at link granularity: DSN-E's dedicated Up/Extra
+// wires are merged into their link direction. That is sound — a cycle in
+// the finer wire-level CDG projects onto a closed walk (hence a cycle)
+// in the link-level CDG, so link-level acyclicity certifies the
+// pinned-edge simulator too, while remaining valid for DSN-V where the
+// same classes ride virtual channels over shared wires.
+
+// addCandidateHops records one route given as per-hop candidate channel
+// sets: the dependency cross product between consecutive hops is added,
+// which is the conservative CDG for an adaptive router that may hold any
+// candidate of hop i-1 while requesting any candidate of hop i.
+func addCandidateHops(cdg *routing.CDG, hops [][]routing.ChannelHop) {
+	for i, opts := range hops {
+		if i == 0 {
+			for _, h := range opts {
+				cdg.AddChannel(h)
+			}
+			continue
+		}
+		for _, a := range hops[i-1] {
+			for _, b := range opts {
+				cdg.AddDependency(a, b)
+			}
+		}
+	}
+}
+
+// dorStep mirrors netsim.DORTorus.Candidates for one hop: it returns the
+// next switch, the VC base the hop rides (the dateline bit), and the
+// packet's dateline bit after the hop.
+func dorStep(tor *topology.Torus, sw, dst int, bit uint8) (next int, base uint8, newBit uint8, ok bool) {
+	cc := tor.Coord(sw)
+	cd := tor.Coord(dst)
+	for dim := range tor.Dims {
+		delta := tor.DimDist(cc[dim], cd[dim], dim)
+		if delta == 0 {
+			continue
+		}
+		k := tor.Dims[dim]
+		step := 1
+		if delta < 0 {
+			step = -1
+		}
+		from := cc[dim]
+		to := ((from+step)%k + k) % k
+		cc[dim] = to
+		wrapped := (from == k-1 && to == 0) || (from == 0 && to == k-1)
+		b := bit
+		if wrapped {
+			b = 1
+		}
+		nb := b
+		if delta == step { // this hop aligns the dimension
+			nb = 0
+		}
+		return tor.ID(cc), b, nb, true
+	}
+	return 0, 0, 0, false
+}
+
+// DORChannels builds the full CDG of dimension-order dateline routing on
+// the torus: all-pairs routes, with the (base, base+2) VC pair offered
+// per hop when vcs >= 4, exactly as netsim.DORTorus does.
+func DORChannels(tor *topology.Torus, vcs int) (*routing.CDG, error) {
+	if vcs < 2 {
+		return nil, fmt.Errorf("verify: DOR dateline scheme needs >= 2 VCs, got %d", vcs)
+	}
+	cdg := routing.NewCDG()
+	n := tor.N()
+	var hops [][]routing.ChannelHop
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			hops = hops[:0]
+			cur, bit := s, uint8(0)
+			for steps := 0; cur != t; steps++ {
+				if steps > 4*n {
+					return nil, fmt.Errorf("verify: DOR walk %d->%d did not terminate", s, t)
+				}
+				next, base, nb, ok := dorStep(tor, cur, t, bit)
+				if !ok {
+					return nil, fmt.Errorf("verify: DOR stalled at %d toward %d", cur, t)
+				}
+				opts := []routing.ChannelHop{{From: int32(cur), To: int32(next), Class: base}}
+				if vcs >= 4 {
+					opts = append(opts, routing.ChannelHop{From: int32(cur), To: int32(next), Class: base + 2})
+				}
+				hops = append(hops, opts)
+				cur, bit = next, nb
+			}
+			addCandidateHops(cdg, hops)
+		}
+	}
+	return cdg, nil
+}
+
+// UpDownChannels builds the CDG of deterministic up*/down* routing with
+// packets spread across vcs virtual channels of each hop (vcs = 1 yields
+// the pure escape network of the Duato-style adaptive router). Pairs
+// that route nothing occupy no channels and are skipped: pairs
+// disconnected in g, and — on fault-degraded partial builds — connected
+// pairs outside the root's component with no up*/down*-legal path
+// (those degrade to timeout-drops in the simulator). An unroutable pair
+// inside the root component is still an error.
+func UpDownChannels(g *graph.Graph, ud *routing.UpDown, vcs int) (*routing.CDG, error) {
+	if vcs < 1 {
+		return nil, fmt.Errorf("verify: up*/down* needs >= 1 VC, got %d", vcs)
+	}
+	cdg := routing.NewCDG()
+	n := g.N()
+	rootDist := g.BFS(ud.Root)
+	var hops [][]routing.ChannelHop
+	for s := 0; s < n; s++ {
+		dist := g.BFS(s)
+		for t := 0; t < n; t++ {
+			if s == t || dist[t] == graph.Unreachable {
+				continue
+			}
+			path, err := ud.Path(s, t)
+			if err != nil {
+				if rootDist[s] != graph.Unreachable && rootDist[t] != graph.Unreachable {
+					return nil, fmt.Errorf("verify: up*/down* %d->%d: %w", s, t, err)
+				}
+				continue
+			}
+			hops = hops[:0]
+			for i := 0; i+1 < len(path); i++ {
+				opts := make([]routing.ChannelHop, vcs)
+				for vc := 0; vc < vcs; vc++ {
+					opts[vc] = routing.ChannelHop{From: int32(path[i]), To: int32(path[i+1]), Class: uint8(vc)}
+				}
+				hops = append(hops, opts)
+			}
+			addCandidateHops(cdg, hops)
+		}
+	}
+	return cdg, nil
+}
+
+// DSNClassChannels builds the CDG of the DSN custom routing at the
+// paper's channel-class granularity (Section V.A): one channel per
+// (link direction, LinkClass). route is d.Route or d.RouteShortAware.
+func DSNClassChannels(d *core.DSN, route func(s, t int) (*core.Route, error)) (*routing.CDG, error) {
+	cdg := routing.NewCDG()
+	var hops []routing.ChannelHop
+	for s := 0; s < d.N; s++ {
+		for t := 0; t < d.N; t++ {
+			if s == t {
+				continue
+			}
+			r, err := route(s, t)
+			if err != nil {
+				return nil, err
+			}
+			hops = hops[:0]
+			for _, h := range r.Hops {
+				hops = append(hops, routing.ChannelHop{From: h.From, To: h.To, Class: uint8(h.Class)})
+			}
+			cdg.AddRoute(hops)
+		}
+	}
+	return cdg, nil
+}
+
+// DSNVCChannels builds the CDG of the DSN custom routing as the
+// simulator runs it: Section V.A classes mapped onto virtual channels
+// with netsim.ClassVC, at link granularity (see the package note on why
+// merging DSN-E's parallel wires is sound).
+func DSNVCChannels(d *core.DSN) (*routing.CDG, error) {
+	if d.Variant != core.VariantE && d.Variant != core.VariantV {
+		return nil, fmt.Errorf("verify: VC-mapped certification needs DSN-E or DSN-V, got %v", d.Variant)
+	}
+	cdg := routing.NewCDG()
+	var hops []routing.ChannelHop
+	for s := 0; s < d.N; s++ {
+		for t := 0; t < d.N; t++ {
+			if s == t {
+				continue
+			}
+			r, err := d.Route(s, t)
+			if err != nil {
+				return nil, err
+			}
+			hops = hops[:0]
+			for _, h := range r.Hops {
+				ch, err := dsnVCChannel(d, h)
+				if err != nil {
+					return nil, err
+				}
+				hops = append(hops, ch)
+			}
+			cdg.AddRoute(hops)
+		}
+	}
+	return cdg, nil
+}
+
+// dsnVCChannel maps one custom-routing hop to its simulated channel.
+func dsnVCChannel(d *core.DSN, h core.Hop) (routing.ChannelHop, error) {
+	vc, err := netsim.ClassVC(h.Class)
+	if err != nil {
+		return routing.ChannelHop{}, err
+	}
+	return routing.ChannelHop{From: h.From, To: h.To, Class: uint8(vc)}, nil
+}

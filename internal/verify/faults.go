@@ -1,0 +1,284 @@
+package verify
+
+import (
+	"fmt"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/netsim"
+	"dsnet/internal/routing"
+)
+
+// CertifyDegradedUpDown certifies the up*/down* escape network rebuilt
+// on a fault-degraded graph, exactly as netsim.DuatoUpDown.UpdateFaults
+// rebuilds it: dead edges and edges touching dead switches are dropped,
+// the tree re-roots at the lowest-ID live switch, and the partial build
+// tolerates disconnection (cross-cut pairs get no channels — the
+// simulator's timeout transport handles them). The certificate must stay
+// acyclic for every fault set: the rank orientation is a total order on
+// any subgraph.
+func CertifyDegradedUpDown(g *graph.Graph, edgeDead, swDead []bool, vcs int) Certificate {
+	cert := Certificate{
+		Combo:    "degraded/updown",
+		Topology: fmt.Sprintf("surviving subgraph (%d dead edges, %d dead switches)", countTrue(edgeDead), countTrue(swDead)),
+		Routing:  "updown-partial",
+		VCs:      vcs,
+		Doc:      "escape network re-certified on the surviving subgraph",
+	}
+	alive := survivingGraph(g, edgeDead, swDead)
+	root := 0
+	for root < g.N()-1 && len(swDead) > root && swDead[root] {
+		root++
+	}
+	ud, err := routing.NewUpDownPartial(alive, root)
+	if err != nil {
+		finish(&cert, nil, err)
+		return cert
+	}
+	cdg, err := UpDownChannels(alive, ud, vcs)
+	if err == nil {
+		cert.Checks = append(cert.Checks, CheckUpDownTotality(alive, ud))
+	}
+	finish(&cert, cdg, err)
+	return cert
+}
+
+// CertifyDegradedDSN certifies the channel usage of the fault-tolerant
+// DSN source routing on a degraded fabric, statically replaying
+// netsim.DSNSourceRouted's behavior: packets follow their precomputed
+// route until a hop dies under them, then re-source onto a ring-only
+// detour (shorter surviving direction first, reversing once per switch
+// at a cut) riding the FINISH-phase channel classes.
+//
+// The detour is best-effort by design: it ignores the Extra-window
+// destination scoping that Theorem 3 uses to break the ring cycle, so a
+// fault set that detours traffic across the ring seam can make the
+// degraded CDG cyclic. The certificate reports that honestly — the
+// simulator's timeout/retry transport, not the CDG, is the liveness
+// backstop under faults — and repair events must restore the original
+// acyclic certificate (see the regression tests).
+func CertifyDegradedDSN(d *core.DSN, edgeDead, swDead []bool) Certificate {
+	cert := Certificate{
+		Combo:    "degraded/dsn-custom",
+		Topology: fmt.Sprintf("%s (%d dead edges, %d dead switches)", d, countTrue(edgeDead), countTrue(swDead)),
+		Routing:  "dsn-custom+ring-detour",
+		VCs:      3,
+		Doc:      "static replay of fault re-sourcing onto ring detours",
+	}
+	cdg := routing.NewCDG()
+	dropped, detoured := 0, 0
+	for s := 0; s < d.N; s++ {
+		for t := 0; t < d.N; t++ {
+			if s == t {
+				continue
+			}
+			if swAt(swDead, s) || swAt(swDead, t) {
+				continue // no injection toward/from a dead switch
+			}
+			chans, delivered, usedDetour, err := degradedDSNRoute(d, edgeDead, swDead, s, t)
+			if err != nil {
+				finish(&cert, nil, err)
+				return cert
+			}
+			cdg.AddRoute(chans)
+			if !delivered {
+				dropped++
+			}
+			if usedDetour {
+				detoured++
+			}
+		}
+	}
+	cert.Checks = append(cert.Checks, CheckResult{
+		Name:   "faulted:delivery",
+		OK:     true, // drops are legal under faults; recorded for the report
+		Detail: fmt.Sprintf("%d pairs detoured, %d pairs degraded to timeout-drop", detoured, dropped),
+	})
+	finish(&cert, cdg, nil)
+	return cert
+}
+
+// degradedDSNRoute statically replays one packet's channel sequence on
+// the degraded fabric.
+func degradedDSNRoute(d *core.DSN, edgeDead, swDead []bool, s, t int) (chans []routing.ChannelHop, delivered, usedDetour bool, err error) {
+	r, err := d.Route(s, t)
+	if err != nil {
+		return nil, false, false, err
+	}
+	u := s
+	ccw := false
+	detour := false
+	for _, h := range r.Hops {
+		if detour {
+			break
+		}
+		if hopUsable(d, edgeDead, swDead, h) {
+			ch, err := dsnVCChannel(d, h)
+			if err != nil {
+				return nil, false, false, err
+			}
+			chans = append(chans, ch)
+			u = int(h.To)
+			continue
+		}
+		// The planned hop is dead under the packet: re-source onto the
+		// ring, preferring the direction with the shorter walk
+		// (mirrors DSNSourceRouted.Candidates).
+		detour = true
+		ccw = 2*d.ClockwiseDist(u, t) > d.N
+	}
+	if !detour {
+		return chans, true, false, nil
+	}
+	usedDetour = true
+	// Ring-only detour, reversing once per switch at a cut; a packet
+	// boxed in (or oscillating between two cuts) drains via the
+	// transport timeout — cap the walk and report it dropped.
+	for steps := 0; u != t; steps++ {
+		if steps > 4*d.N {
+			return chans, false, true, nil // oscillation: timeout backstop
+		}
+		advanced := false
+		for try := 0; try < 2; try++ {
+			h := d.DetourHop(u, !ccw)
+			if !swAt(swDead, int(h.To)) && anyEdgeAlive(d.Graph(), edgeDead, u, int(h.To)) {
+				ch, err := dsnVCChannel(d, h)
+				if err != nil {
+					return nil, false, true, err
+				}
+				chans = append(chans, ch)
+				u = int(h.To)
+				advanced = true
+				break
+			}
+			ccw = !ccw // this ring direction is cut here; reverse
+		}
+		if !advanced {
+			return chans, false, true, nil // boxed in: timeout-drop
+		}
+	}
+	return chans, true, true, nil
+}
+
+// hopUsable mirrors DSNSourceRouted.usableEdge for a planned hop: a
+// pinned dedicated wire (DSN-E Up/Extra) must itself survive; an
+// unpinned hop may ride any surviving parallel wire.
+func hopUsable(d *core.DSN, edgeDead, swDead []bool, h core.Hop) bool {
+	if swAt(swDead, int(h.To)) {
+		return false
+	}
+	var want graph.EdgeKind
+	if d.Variant == core.VariantE {
+		switch h.Class {
+		case core.ClassUp:
+			want = graph.KindUp
+		case core.ClassExtraPred, core.ClassExtraSucc:
+			want = graph.KindExtra
+		}
+	}
+	for _, half := range d.Graph().Neighbors(int(h.From)) {
+		if half.To != h.To {
+			continue
+		}
+		if len(edgeDead) > int(half.Edge) && edgeDead[half.Edge] {
+			continue
+		}
+		if want != graph.KindUnknown && d.Graph().Edge(int(half.Edge)).Kind != want {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// anyEdgeAlive reports whether any parallel edge u->v survives.
+func anyEdgeAlive(g *graph.Graph, edgeDead []bool, u, v int) bool {
+	for _, half := range g.Neighbors(u) {
+		if int(half.To) == v && !(len(edgeDead) > int(half.Edge) && edgeDead[half.Edge]) {
+			return true
+		}
+	}
+	return false
+}
+
+// survivingGraph drops dead edges and edges incident to dead switches,
+// as netsim.DuatoUpDown.UpdateFaults does.
+func survivingGraph(g *graph.Graph, edgeDead, swDead []bool) *graph.Graph {
+	return g.Subgraph(func(e int) bool {
+		if len(edgeDead) > e && edgeDead[e] {
+			return false
+		}
+		ed := g.Edge(e)
+		return !swAt(swDead, int(ed.U)) && !swAt(swDead, int(ed.V))
+	})
+}
+
+func swAt(swDead []bool, i int) bool { return len(swDead) > i && swDead[i] }
+
+func countTrue(b []bool) int {
+	k := 0
+	for _, v := range b {
+		if v {
+			k++
+		}
+	}
+	return k
+}
+
+// TimelineEntry is the certificate after one fault event was applied
+// (Index -1, Cycle -1 is the pristine baseline before any event).
+type TimelineEntry struct {
+	Index int
+	Cycle int64
+	Cert  Certificate
+}
+
+// CertifyFaultTimeline applies a FaultPlan's events cumulatively and
+// re-certifies after each one using the supplied certifier (typically a
+// closure over CertifyDegradedUpDown or CertifyDegradedDSN). The first
+// entry is the pristine baseline; after the last repair of a
+// fail-then-repair plan the certificate must match it again.
+func CertifyFaultTimeline(g *graph.Graph, plan *netsim.FaultPlan, certify func(edgeDead, swDead []bool) Certificate) ([]TimelineEntry, error) {
+	if err := plan.Validate(g); err != nil {
+		return nil, err
+	}
+	edgeDead := make([]bool, g.M())
+	swDead := make([]bool, g.N())
+	entries := []TimelineEntry{{Index: -1, Cycle: -1, Cert: certify(edgeDead, swDead)}}
+	for i, ev := range plan.Events {
+		switch {
+		case ev.Edge >= 0:
+			edgeDead[ev.Edge] = !ev.Repair
+		case ev.Switch >= 0:
+			swDead[ev.Switch] = !ev.Repair
+		}
+		entries = append(entries, TimelineEntry{Index: i, Cycle: ev.Cycle, Cert: certify(edgeDead, swDead)})
+	}
+	return entries, nil
+}
+
+// SameCertificate reports whether two certificates agree on everything a
+// repair must restore: status, channel/dependency counts, witness, and
+// per-check outcomes.
+func SameCertificate(a, b *Certificate) bool {
+	if a.Status != b.Status || a.Channels != b.Channels || a.Deps != b.Deps {
+		return false
+	}
+	if len(a.Witness) != len(b.Witness) {
+		return false
+	}
+	for i := range a.Witness {
+		if a.Witness[i] != b.Witness[i] {
+			return false
+		}
+	}
+	if len(a.Checks) != len(b.Checks) {
+		return false
+	}
+	for i := range a.Checks {
+		if a.Checks[i].OK != b.Checks[i].OK {
+			return false
+		}
+	}
+	return true
+}

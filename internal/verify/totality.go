@@ -1,0 +1,317 @@
+package verify
+
+import (
+	"fmt"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/netsim"
+	"dsnet/internal/routing"
+	"dsnet/internal/topology"
+)
+
+// check wraps an error-returning totality verifier into a CheckResult.
+func check(name string, err error) CheckResult {
+	if err != nil {
+		return CheckResult{Name: name, OK: false, Detail: err.Error()}
+	}
+	return CheckResult{Name: name, OK: true, Detail: "all pairs routed, edges real, progress monotone"}
+}
+
+// UpDownTotality verifies the up*/down* tables over every src→dst pair.
+// Pairs in the root's component must materialize a route — BFS-level
+// ranking guarantees one — whose hops ride real edges, never self-loop,
+// and never go up after going down (the monotone claim of the
+// algorithm). Pairs outside the root's component (partial,
+// fault-degraded builds) are ranked by ID, which can leave a connected
+// pair with no up*/down*-legal path; such pairs may refuse, but the
+// refusal must be consistent: no next hop offered anywhere it cannot
+// route. Disconnected pairs must always refuse.
+func UpDownTotality(g *graph.Graph, ud *routing.UpDown) error {
+	n := g.N()
+	rootDist := g.BFS(ud.Root)
+	for s := 0; s < n; s++ {
+		dist := g.BFS(s)
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			if dist[t] == graph.Unreachable {
+				if next, _ := ud.NextHop(s, t, false); next >= 0 {
+					return fmt.Errorf("verify: up*/down* offers hop %d for disconnected pair %d->%d", next, s, t)
+				}
+				continue
+			}
+			path, err := ud.Path(s, t)
+			if err != nil {
+				if rootDist[s] != graph.Unreachable && rootDist[t] != graph.Unreachable {
+					return fmt.Errorf("verify: up*/down* %d->%d unrouted inside the root component: %w", s, t, err)
+				}
+				// Legally unroutable off-root pair: must refuse cleanly.
+				if next, _ := ud.NextHop(s, t, false); next >= 0 {
+					return fmt.Errorf("verify: up*/down* %d->%d has no path yet offers hop %d", s, t, next)
+				}
+				continue
+			}
+			if path[0] != s || path[len(path)-1] != t {
+				return fmt.Errorf("verify: up*/down* %d->%d endpoints %v", s, t, path)
+			}
+			descended := false
+			for i := 0; i+1 < len(path); i++ {
+				u, v := path[i], path[i+1]
+				if u == v {
+					return fmt.Errorf("verify: up*/down* %d->%d self-loop at %d", s, t, u)
+				}
+				if !g.HasEdge(u, v) {
+					return fmt.Errorf("verify: up*/down* %d->%d hop %d->%d rides no edge", s, t, u, v)
+				}
+				down := !ud.IsUp(u, v)
+				if descended && !down {
+					return fmt.Errorf("verify: up*/down* %d->%d goes up after down at hop %d", s, t, i)
+				}
+				descended = descended || down
+			}
+		}
+	}
+	return nil
+}
+
+// CheckUpDownTotality is UpDownTotality as a report check.
+func CheckUpDownTotality(g *graph.Graph, ud *routing.UpDown) CheckResult {
+	return check("totality:updown", UpDownTotality(g, ud))
+}
+
+// DuatoConsistency verifies the adaptive layer of the Duato-style
+// router: for every connected pair the minimal candidate set is
+// non-empty and every candidate strictly decreases the distance (the
+// monotone claim of minimal adaptive routing), and the escape
+// continuation exists at every intermediate state — a blocked packet can
+// always fall back to the escape channel.
+func DuatoConsistency(g *graph.Graph, ud *routing.UpDown) error {
+	dt := routing.NewDistanceTable(g)
+	n := g.N()
+	var buf []int32
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t || dt.D(s, t) == graph.Unreachable {
+				continue
+			}
+			buf = dt.MinimalNextHops(g, s, t, buf)
+			if len(buf) == 0 {
+				return fmt.Errorf("verify: no minimal next hop for %d->%d at distance %d", s, t, dt.D(s, t))
+			}
+			for _, h := range buf {
+				if dt.D(int(h), t) != dt.D(s, t)-1 {
+					return fmt.Errorf("verify: candidate %d for %d->%d does not decrease distance", h, s, t)
+				}
+			}
+			if next, _ := ud.NextHop(s, t, false); next < 0 {
+				return fmt.Errorf("verify: escape continuation missing at %d toward %d", s, t)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDuatoConsistency is DuatoConsistency as a report check.
+func CheckDuatoConsistency(g *graph.Graph, ud *routing.UpDown) CheckResult {
+	return check("consistency:duato-adaptive", DuatoConsistency(g, ud))
+}
+
+// DORTotality verifies dimension-order routing over every pair: the walk
+// terminates, rides real torus edges, and strictly decreases the hop
+// distance on every hop (DOR on a torus is minimal).
+func DORTotality(tor *topology.Torus) error {
+	n := tor.N()
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			cur, bit := s, uint8(0)
+			remain := tor.HopDist(s, t)
+			for steps := 0; cur != t; steps++ {
+				if steps > 4*n {
+					return fmt.Errorf("verify: DOR %d->%d did not terminate", s, t)
+				}
+				next, _, nb, ok := dorStep(tor, cur, t, bit)
+				if !ok {
+					return fmt.Errorf("verify: DOR stalled at %d toward %d", cur, t)
+				}
+				if next == cur {
+					return fmt.Errorf("verify: DOR self-loop at %d toward %d", cur, t)
+				}
+				if !tor.Graph().HasEdge(cur, next) {
+					return fmt.Errorf("verify: DOR hop %d->%d rides no edge", cur, next)
+				}
+				if d := tor.HopDist(next, t); d != remain-1 {
+					return fmt.Errorf("verify: DOR hop %d->%d toward %d not minimal (%d -> %d)", cur, next, t, remain, d)
+				}
+				remain--
+				cur, bit = next, nb
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDORTotality is DORTotality as a report check.
+func CheckDORTotality(tor *topology.Torus) CheckResult {
+	return check("totality:dor", DORTotality(tor))
+}
+
+// ringDelta returns the signed clockwise progress of one custom-routing
+// hop, derived from its channel class.
+func ringDelta(d *core.DSN, h core.Hop) (int, error) {
+	u, v := int(h.From), int(h.To)
+	switch h.Class {
+	case core.ClassSucc, core.ClassFinishSucc, core.ClassExtraSucc:
+		if v != d.Succ(u) {
+			return 0, fmt.Errorf("verify: %v hop %d->%d is not the succ link", h.Class, u, v)
+		}
+		return 1, nil
+	case core.ClassPred, core.ClassExtraPred, core.ClassUp:
+		if v != d.Pred(u) {
+			return 0, fmt.Errorf("verify: %v hop %d->%d is not the pred link", h.Class, u, v)
+		}
+		return -1, nil
+	case core.ClassShortcut:
+		return d.ClockwiseDist(u, v), nil
+	case core.ClassShort:
+		if v == (u+d.Q)%d.N {
+			return d.Q, nil
+		}
+		if u == (v+d.Q)%d.N {
+			return -d.Q, nil
+		}
+		return 0, fmt.Errorf("verify: short hop %d->%d spans neither +q nor -q", u, v)
+	default:
+		return 0, fmt.Errorf("verify: unknown channel class %v", h.Class)
+	}
+}
+
+// DSNTotality verifies the custom three-phase routing over every pair:
+// the route is contiguous from src to dst, every hop rides a real edge
+// (DSN-E's Up/Extra hops additionally have their dedicated wire), no hop
+// self-loops, the phase sequence is monotone (PRE-WORK, MAIN, FINISH),
+// MAIN hops strictly advance the clockwise position, and FINISH hops
+// strictly shrink the residue to the route's net displacement — the
+// monotone-progress claims
+// of Figure 2. For the E/V variants every hop class must map onto a
+// simulator VC (netsim.ClassVC), keeping the static certificate aligned
+// with what the simulator actually runs.
+func DSNTotality(d *core.DSN, route func(s, t int) (*core.Route, error)) error {
+	deadlockFree := d.Variant == core.VariantE || d.Variant == core.VariantV
+	for s := 0; s < d.N; s++ {
+		for t := 0; t < d.N; t++ {
+			if s == t {
+				continue
+			}
+			r, err := route(s, t)
+			if err != nil {
+				return fmt.Errorf("verify: %d->%d unrouted: %w", s, t, err)
+			}
+			if len(r.Hops) == 0 {
+				return fmt.Errorf("verify: %d->%d has an empty route", s, t)
+			}
+			// The route's net displacement must be congruent to the
+			// clockwise distance mod N; short backward routes
+			// legitimately realize D-N (a net counterclockwise walk).
+			D := d.ClockwiseDist(s, t)
+			target := 0
+			for i, h := range r.Hops {
+				delta, err := ringDelta(d, h)
+				if err != nil {
+					return fmt.Errorf("verify: route %d->%d hop %d: %w", s, t, i, err)
+				}
+				target += delta
+			}
+			if ((target-D)%d.N+d.N)%d.N != 0 {
+				return fmt.Errorf("verify: route %d->%d displacement %d not congruent to %d mod %d", s, t, target, D, d.N)
+			}
+			pos := 0
+			cur := s
+			lastPhase := core.PhasePreWork
+			for i, h := range r.Hops {
+				if int(h.From) != cur {
+					return fmt.Errorf("verify: route %d->%d discontinuous at hop %d (%d != %d)", s, t, i, h.From, cur)
+				}
+				if h.From == h.To {
+					return fmt.Errorf("verify: route %d->%d self-loop at hop %d", s, t, i)
+				}
+				if !d.Graph().HasEdge(int(h.From), int(h.To)) {
+					return fmt.Errorf("verify: route %d->%d hop %d rides no edge %d->%d", s, t, i, h.From, h.To)
+				}
+				if h.Phase < lastPhase {
+					return fmt.Errorf("verify: route %d->%d phase regresses at hop %d (%v after %v)", s, t, i, h.Phase, lastPhase)
+				}
+				lastPhase = h.Phase
+				if deadlockFree {
+					if _, err := netsim.ClassVC(h.Class); err != nil {
+						return fmt.Errorf("verify: route %d->%d hop %d: %w", s, t, i, err)
+					}
+					if d.Variant == core.VariantE {
+						if err := checkDedicatedWire(d, h); err != nil {
+							return fmt.Errorf("verify: route %d->%d hop %d: %w", s, t, i, err)
+						}
+					}
+				}
+				delta, err := ringDelta(d, h)
+				if err != nil {
+					return fmt.Errorf("verify: route %d->%d hop %d: %w", s, t, i, err)
+				}
+				if h.Phase == core.PhaseMain && delta <= 0 {
+					return fmt.Errorf("verify: route %d->%d MAIN hop %d does not advance (delta %d)", s, t, i, delta)
+				}
+				if h.Phase == core.PhaseFinish {
+					before := target - pos
+					after := target - (pos + delta)
+					if abs(after) >= abs(before) {
+						return fmt.Errorf("verify: route %d->%d FINISH hop %d does not shrink the residue (%d -> %d)", s, t, i, before, after)
+					}
+				}
+				pos += delta
+				cur = int(h.To)
+			}
+			if cur != t {
+				return fmt.Errorf("verify: route %d->%d ends at %d", s, t, cur)
+			}
+			if pos != target {
+				return fmt.Errorf("verify: route %d->%d position bookkeeping ends at %d, want %d", s, t, pos, target)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDedicatedWire verifies that a DSN-E Up/Extra hop has the
+// dedicated physical link its channel class demands.
+func checkDedicatedWire(d *core.DSN, h core.Hop) error {
+	var want graph.EdgeKind
+	switch h.Class {
+	case core.ClassUp:
+		want = graph.KindUp
+	case core.ClassExtraPred, core.ClassExtraSucc:
+		want = graph.KindExtra
+	default:
+		return nil
+	}
+	for _, half := range d.Graph().Neighbors(int(h.From)) {
+		if half.To == h.To && d.Graph().Edge(int(half.Edge)).Kind == want {
+			return nil
+		}
+	}
+	return fmt.Errorf("no dedicated %v wire for %v hop %d->%d", want, h.Class, h.From, h.To)
+}
+
+// CheckDSNTotality is DSNTotality as a report check.
+func CheckDSNTotality(d *core.DSN, route func(s, t int) (*core.Route, error)) CheckResult {
+	return check("totality:dsn-custom", DSNTotality(d, route))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
