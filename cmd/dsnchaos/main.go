@@ -1,0 +1,189 @@
+// Command dsnchaos runs seeded chaos campaigns against the
+// cycle-accurate simulators with the runtime invariant monitors armed
+// (progress watchdog, flit conservation, hop-TTL from the 3p+r routing
+// diameter theorem, head-of-line starvation, post-repair
+// reconvergence). Any campaign that trips a monitor can be shrunk to a
+// minimal reproducer and written out as a regression artifact for the
+// checked-in corpus under internal/chaos/testdata/repro.
+//
+// Usage:
+//
+//	dsnchaos -topo torus,dsn -campaigns 10
+//	dsnchaos -topo dsn-v-custom -switching wormhole -seed 7
+//	dsnchaos -topo dsn-basic-unsafe -shrink -o repros/
+//	dsnchaos -replay internal/chaos/testdata/repro/unsafe-basic-dsn-deadlock.repro
+//
+// The exit status is 0 only when every verdict is clean, so a bounded
+// invocation doubles as a CI smoke gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dsnet"
+)
+
+type opts struct {
+	topos        string
+	n            int
+	seed         uint64
+	campaigns    int
+	rate         float64
+	switching    string
+	fstart, fend int64
+	shrink       bool
+	out          string
+	replay       string
+}
+
+func main() {
+	var o opts
+	flag.StringVar(&o.topos, "topo", "torus,dsn,dsn-v-custom",
+		"comma-separated chaos targets: "+strings.Join(dsnet.ChaosTargetNames, ", "))
+	flag.IntVar(&o.n, "n", 36, "number of switches (36 satisfies every DSN variant)")
+	flag.Uint64Var(&o.seed, "seed", 1, "campaign seed (scenarios and simulations derive from it)")
+	flag.IntVar(&o.campaigns, "campaigns", 5, "scenarios per target")
+	flag.Float64Var(&o.rate, "rate", 0, "offered load in flits/cycle/host (0: the target's default)")
+	flag.StringVar(&o.switching, "switching", "vct", "simulator engine: vct or wormhole")
+	flag.Int64Var(&o.fstart, "faultstart", 0, "fault injection window start cycle (0: after warmup)")
+	flag.Int64Var(&o.fend, "faultend", 0, "fault injection window end cycle (0: end of measurement)")
+	flag.BoolVar(&o.shrink, "shrink", false, "delta-debug each failing campaign to a minimal reproducer")
+	flag.StringVar(&o.out, "o", "", "directory to write shrunk reproducer artifacts into (with -shrink)")
+	flag.StringVar(&o.replay, "replay", "", "replay one .repro artifact and verify it still trips its monitor")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "dsnchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o opts) error {
+	if o.replay != "" {
+		return replay(o.replay)
+	}
+	if o.switching != "vct" && o.switching != "wormhole" {
+		return fmt.Errorf("unknown switching mode %q", o.switching)
+	}
+	if o.campaigns < 1 {
+		return fmt.Errorf("-campaigns %d must be >= 1", o.campaigns)
+	}
+	violations := 0
+	for _, name := range strings.Split(o.topos, ",") {
+		name = strings.TrimSpace(name)
+		bad, err := campaign(o, name)
+		if err != nil {
+			return err
+		}
+		violations += bad
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d scenario(s) tripped a monitor", violations)
+	}
+	return nil
+}
+
+func campaign(o opts, name string) (int, error) {
+	t, err := dsnet.ChaosTarget(name, o.n)
+	if err != nil {
+		return 0, err
+	}
+	opt := dsnet.ChaosDefaultOptions()
+	opt.Wormhole = o.switching == "wormhole"
+	if o.rate > 0 {
+		opt.Rate = o.rate
+	} else if t.SafeRate > 0 {
+		opt.Rate = t.SafeRate
+	}
+	e, err := dsnet.NewChaosEngine(t, opt)
+	if err != nil {
+		return 0, err
+	}
+	w := opt.FaultWindow()
+	if o.fstart > 0 || o.fend > 0 {
+		w = dsnet.ChaosWindow{Start: o.fstart, End: o.fend}
+	}
+	scs, err := dsnet.ChaosCampaign(t.Graph, e.T.Layout, w, o.seed, o.campaigns)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("# chaos campaign: %s / %s, %d switches, seed %d, %d scenarios + golden\n",
+		name, opt.EngineName(), t.Graph.N(), o.seed, len(scs))
+	bad := 0
+	gv, err := e.GoldenVerdict()
+	if err != nil {
+		return bad, err
+	}
+	n, err := report(o, e, gv)
+	bad += n
+	if err != nil {
+		return bad, err
+	}
+	for _, sc := range scs {
+		v, err := e.RunScenario(sc)
+		if err != nil {
+			return bad, err
+		}
+		n, err := report(o, e, v)
+		bad += n
+		if err != nil {
+			return bad, err
+		}
+	}
+	return bad, nil
+}
+
+// report prints one verdict and, on a violation with -shrink, emits the
+// minimal reproducer. It returns 1 when the verdict is a violation.
+func report(o opts, e *dsnet.ChaosEngine, v dsnet.ChaosVerdict) (int, error) {
+	fmt.Println(v)
+	if v.OK() {
+		return 0, nil
+	}
+	if !o.shrink {
+		return 1, nil
+	}
+	shrunk, runs, err := e.ShrinkPlan(v.Scenario.Plan, v.Monitor)
+	if err != nil {
+		return 1, err
+	}
+	fmt.Printf("  shrunk %d -> %d events in %d runs\n", len(v.Scenario.Plan.Events), len(shrunk.Events), runs)
+	r := &dsnet.ChaosRepro{
+		Target: v.Target, N: e.T.Graph.N(), Engine: v.Engine,
+		Rate: e.Opt.Rate, Seed: e.Opt.Cfg.Seed,
+		Watchdog: e.Opt.Cfg.WatchdogCycles, HOL: e.Opt.HOLBound,
+		TTL: e.T.HopTTL > 0, Monitor: v.Monitor, Events: shrunk.Events,
+	}
+	if o.out == "" {
+		os.Stdout.Write(r.Marshal())
+		return 1, nil
+	}
+	if err := os.MkdirAll(o.out, 0o755); err != nil {
+		return 1, err
+	}
+	file := filepath.Join(o.out, fmt.Sprintf("%s-%s-%s-%s-seed%d.repro", v.Target, v.Engine, v.Scenario.Kind, v.Monitor, v.Scenario.Seed))
+	if err := os.WriteFile(file, r.Marshal(), 0o644); err != nil {
+		return 1, err
+	}
+	fmt.Printf("  wrote %s\n", file)
+	return 1, nil
+}
+
+func replay(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	r, err := dsnet.ParseChaosRepro(data)
+	if err != nil {
+		return err
+	}
+	if err := r.Verify(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: reproduced %s on %s/%s\n", filepath.Base(path), r.Monitor, r.Target, r.Engine)
+	return nil
+}

@@ -33,6 +33,7 @@ package dsnet
 
 import (
 	"dsnet/internal/analysis"
+	"dsnet/internal/chaos"
 	"dsnet/internal/collectives"
 	"dsnet/internal/core"
 	"dsnet/internal/graph"
@@ -405,6 +406,66 @@ var (
 	CertifyDegradedDSN    = verify.CertifyDegradedDSN
 	CertifyFaultTimeline  = verify.CertifyFaultTimeline
 	SameCertificate       = verify.SameCertificate
+)
+
+// Runtime invariant monitors (armed per run with (*Sim).SetMonitors /
+// (*WormSim).SetMonitors): packet conservation at every fault epoch,
+// per-packet hop TTL from the Theorem 1(c) routing diameter bound, and
+// head-of-line starvation. The progress watchdog is always on and
+// configurable via SimConfig.WatchdogCycles.
+type (
+	SimMonitors      = netsim.Monitors
+	MonitorViolation = netsim.MonitorViolation
+	NoProgressError  = netsim.NoProgressError
+	// HopBounder is implemented by routers with a provable per-packet
+	// hop bound (DSNSourceRouted returns 3p+r; UpDownOnly its routing
+	// diameter).
+	HopBounder = netsim.HopBounder
+)
+
+// Monitor names, as reported by ViolatedMonitor and chaos verdicts.
+const (
+	MonitorWatchdog      = netsim.MonitorWatchdog
+	MonitorConservation  = netsim.MonitorConservation
+	MonitorHopTTL        = netsim.MonitorHopTTL
+	MonitorHOLWait       = netsim.MonitorHOLWait
+	MonitorReconvergence = netsim.MonitorReconvergence
+)
+
+var (
+	// ErrNoProgress is the sentinel under every watchdog trip.
+	ErrNoProgress = netsim.ErrNoProgress
+	// ViolatedMonitor extracts the violated monitor's name from a Run
+	// error.
+	ViolatedMonitor = netsim.ViolatedMonitor
+)
+
+// Chaos engine (cmd/dsnchaos): seeded fault-injection campaigns run
+// against both simulator engines with the monitors armed, plus
+// delta-debugging of failing campaigns into minimal checked-in
+// reproducers.
+type (
+	ChaosTargetSpec = chaos.Target
+	ChaosOptions    = chaos.Options
+	ChaosScenario   = chaos.Scenario
+	ChaosVerdict    = chaos.Verdict
+	ChaosEngine     = chaos.Engine
+	ChaosRepro      = chaos.Repro
+	ChaosWindow     = chaos.Window
+	ChaosRow        = analysis.ChaosRow
+)
+
+var (
+	ChaosTarget         = chaos.BuildTarget
+	ChaosTargetNames    = chaos.TargetNames
+	ChaosDefaultOptions = chaos.DefaultOptions
+	NewChaosEngine      = chaos.New
+	ChaosCampaign       = chaos.Campaign
+	ChaosGenerate       = chaos.Generate
+	ChaosShrink         = chaos.Shrink
+	ParseChaosRepro     = chaos.ParseRepro
+	ChaosSweep          = analysis.ChaosSweep
+	WriteChaosTable     = analysis.WriteChaosTable
 )
 
 // PatternNames lists the traffic patterns PatternFor accepts.

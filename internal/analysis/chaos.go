@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"dsnet/internal/chaos"
+)
+
+// ChaosRow summarizes one chaos campaign: one target topology under one
+// simulator engine, with every monitor verdict aggregated. Violations
+// on the healthy targets are regressions; the deliberately broken
+// dsn-basic-unsafe target is expected to light up — that contrast is
+// the point of the table.
+type ChaosRow struct {
+	Target     string
+	Engine     string
+	Scenarios  int
+	Clean      int
+	Violations map[string]int // monitor name -> count
+	FirstBad   string         // first failing scenario, for replay
+}
+
+// ChaosSweep runs a campaign of count scenarios (plus the zero-fault
+// golden baseline) against each named target (chaos.BuildTarget names)
+// through the given simulator engine.
+// Campaign generation and every simulation are seeded, so a row is
+// reproducible from (target, n, seed, count, wormhole) alone.
+func ChaosSweep(targets []string, n int, seed uint64, count int, wormhole bool) ([]ChaosRow, error) {
+	var rows []ChaosRow
+	for _, name := range targets {
+		t, err := chaos.BuildTarget(name, n)
+		if err != nil {
+			return nil, err
+		}
+		opt := chaos.DefaultOptions()
+		opt.Wormhole = wormhole
+		if t.SafeRate > 0 {
+			opt.Rate = t.SafeRate
+		}
+		e, err := chaos.New(t, opt)
+		if err != nil {
+			return nil, err
+		}
+		scs, err := chaos.Campaign(t.Graph, e.T.Layout, opt.FaultWindow(), seed, count)
+		if err != nil {
+			return nil, err
+		}
+		verdicts, err := e.RunCampaign(scs)
+		if err != nil {
+			return nil, err
+		}
+		row := ChaosRow{
+			Target:     name,
+			Engine:     opt.EngineName(),
+			Scenarios:  len(verdicts),
+			Violations: map[string]int{},
+		}
+		for _, v := range verdicts {
+			if v.OK() {
+				row.Clean++
+				continue
+			}
+			row.Violations[v.Monitor]++
+			if row.FirstBad == "" {
+				row.FirstBad = v.Scenario.String()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteChaosTable renders the campaign summary.
+func WriteChaosTable(w io.Writer, rows []ChaosRow) {
+	fmt.Fprintf(w, "%-18s %-9s %9s %6s %-28s %s\n", "target", "engine", "scenarios", "clean", "violations", "first_failing")
+	for _, r := range rows {
+		viol := "-"
+		if len(r.Violations) > 0 {
+			viol = ""
+			for mon, k := range r.Violations {
+				if viol != "" {
+					viol += " "
+				}
+				viol += fmt.Sprintf("%s:%d", mon, k)
+			}
+		}
+		first := r.FirstBad
+		if first == "" {
+			first = "-"
+		}
+		fmt.Fprintf(w, "%-18s %-9s %9d %6d %-28s %s\n", r.Target, r.Engine, r.Scenarios, r.Clean, viol, first)
+	}
+}

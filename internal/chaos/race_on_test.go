@@ -1,0 +1,9 @@
+//go:build race
+
+package chaos
+
+// Chaos campaigns run full simulations; under the race detector's
+// 8-10x slowdown they blow the test timeout without adding coverage,
+// so the campaign-driving tests skip (the CI chaos smoke job runs the
+// same paths without -race).
+const raceDetectorEnabled = true

@@ -1,0 +1,262 @@
+// Package chaos runs seeded fault-injection campaigns against the
+// cycle-accurate simulators with the runtime invariant monitors armed,
+// and shrinks any failing campaign to a minimal reproducer.
+//
+// A campaign is a batch of randomized-but-reproducible FaultPlans
+// drawn from scenario families that mirror how real fabrics break:
+// simultaneous bursts of link kills, rolling cabinet outages, flapping
+// links, switch crash-and-repair storms, and layout-correlated blasts
+// that take out everything cabled near one cabinet. Every plan is a
+// pure function of (graph, layout, kind, window, seed), so a verdict
+// can always be replayed from its seed alone.
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dsnet/internal/graph"
+	"dsnet/internal/layout"
+	"dsnet/internal/netsim"
+)
+
+// Kind selects a scenario family.
+type Kind int
+
+const (
+	// Burst kills a batch of random links at one instant and repairs
+	// them all together later.
+	Burst Kind = iota
+	// RollingCabinets takes cabinets down one after another in a random
+	// order, each repaired before the window ends — a rolling
+	// maintenance outage correlated with the physical layout.
+	RollingCabinets
+	// FlappingLinks toggles a few links down/up repeatedly — the
+	// classic bad-transceiver failure mode.
+	FlappingLinks
+	// SwitchStorm crashes random switches at random times with
+	// overlapping repair intervals.
+	SwitchStorm
+	// CabinetBurst kills every link cabled within a blast radius of one
+	// cabinet's floor position (a cable-tray cut or PDU failure), then
+	// repairs the lot.
+	CabinetBurst
+
+	numKinds
+)
+
+// GoldenKind marks the zero-fault baseline pseudo-scenario that every
+// campaign starts with: a healthy target must survive its own golden
+// run before fault scenarios mean anything, and a target that fails it
+// (like the deliberately broken dsn-basic-unsafe routing) is flagged
+// even when armed fault transports would mask the failure under a
+// FaultPlan.
+const GoldenKind Kind = -1
+
+func (k Kind) String() string {
+	switch k {
+	case GoldenKind:
+		return "golden"
+	case Burst:
+		return "burst"
+	case RollingCabinets:
+		return "rolling-cabinets"
+	case FlappingLinks:
+		return "flapping-links"
+	case SwitchStorm:
+		return "switch-storm"
+	case CabinetBurst:
+		return "cabinet-burst"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Window is the cycle interval faults are injected into. Generators
+// keep every event (repairs included) inside it, so a campaign windowed
+// to [warmup, warmup+measure] is fully repaired before the drain phase
+// and the post-repair reconvergence check applies.
+type Window struct {
+	Start, End int64
+}
+
+func (w Window) span() int64 { return w.End - w.Start }
+
+// maxOutage caps how long any one component stays down. It must sit
+// well under the engines' default head-of-line monitor bound: a worm
+// legitimately parked on a dead channel until its repair would
+// otherwise be indistinguishable from starvation.
+const maxOutage = 6000
+
+// Scenario is one generated fault plan plus the recipe that produced
+// it.
+type Scenario struct {
+	Kind Kind
+	Seed uint64
+	Plan *netsim.FaultPlan
+}
+
+func (s Scenario) String() string {
+	return fmt.Sprintf("%s/seed=%d (%d events)", s.Kind, s.Seed, len(s.Plan.Events))
+}
+
+// Generate builds the deterministic fault plan for one scenario.
+func Generate(g *graph.Graph, l *layout.Layout, kind Kind, w Window, seed uint64) (*netsim.FaultPlan, error) {
+	if w.Start < 0 || w.span() < 10 {
+		return nil, fmt.Errorf("chaos: degenerate fault window [%d,%d]", w.Start, w.End)
+	}
+	if l == nil {
+		return nil, fmt.Errorf("chaos: nil layout")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xc4a05^uint64(kind)))
+	switch kind {
+	case Burst:
+		return burst(g, w, rng), nil
+	case RollingCabinets:
+		return rollingCabinets(g, l, w, rng), nil
+	case FlappingLinks:
+		return flappingLinks(g, w, rng), nil
+	case SwitchStorm:
+		return switchStorm(g, w, rng), nil
+	case CabinetBurst:
+		return cabinetBurst(g, l, w, rng), nil
+	}
+	return nil, fmt.Errorf("chaos: unknown scenario kind %d", int(kind))
+}
+
+// outage returns a down duration within [1, maxOutage] that also fits
+// before the window end.
+func outage(w Window, at int64, rng *rand.Rand) int64 {
+	room := w.End - at
+	if room > maxOutage {
+		room = maxOutage
+	}
+	if room <= 1 {
+		return 1
+	}
+	return 1 + rng.Int64N(room-1)
+}
+
+func burst(g *graph.Graph, w Window, rng *rand.Rand) *netsim.FaultPlan {
+	maxK := g.M() / 10
+	if maxK < 1 {
+		maxK = 1
+	}
+	k := 1 + rng.IntN(maxK)
+	at := w.Start + rng.Int64N(w.span()/3+1)
+	dur := outage(w, at, rng)
+	edges := graph.SampleIndices(g.M(), k, rng)
+	var evs []netsim.FaultEvent
+	for _, e := range edges {
+		evs = append(evs, netsim.LinkDown(at, e), netsim.LinkUp(at+dur, e))
+	}
+	return netsim.NewFaultPlan(evs...)
+}
+
+func rollingCabinets(g *graph.Graph, l *layout.Layout, w Window, rng *rand.Rand) *netsim.FaultPlan {
+	order := rng.Perm(l.Cabinets)
+	// Roll through at most enough cabinets to fit non-trivial outages.
+	step := w.span() / int64(len(order)+1)
+	if step < 4 {
+		step = 4
+	}
+	var evs []netsim.FaultEvent
+	for i, cab := range order {
+		at := w.Start + int64(i)*step
+		if at >= w.End-2 {
+			break
+		}
+		dur := step * 3 / 4
+		if dur > maxOutage {
+			dur = maxOutage
+		}
+		if at+dur >= w.End {
+			dur = w.End - at - 1
+		}
+		for sw := 0; sw < g.N(); sw++ {
+			if l.CabinetOf(sw) != cab {
+				continue
+			}
+			evs = append(evs, netsim.SwitchDown(at, sw), netsim.SwitchUp(at+dur, sw))
+		}
+	}
+	return netsim.NewFaultPlan(evs...)
+}
+
+func flappingLinks(g *graph.Graph, w Window, rng *rand.Rand) *netsim.FaultPlan {
+	nf := 1 + rng.IntN(3)
+	flaps := 2 + rng.IntN(3)
+	edges := graph.SampleIndices(g.M(), nf, rng)
+	period := w.span() / int64(flaps+1)
+	if period < 4 {
+		period = 4
+	}
+	down := period / 2
+	if down > maxOutage {
+		down = maxOutage
+	}
+	var evs []netsim.FaultEvent
+	for _, e := range edges {
+		t0 := w.Start + rng.Int64N(period)
+		for j := 0; j < flaps; j++ {
+			at := t0 + int64(j)*period
+			if at+down >= w.End {
+				break
+			}
+			evs = append(evs, netsim.LinkDown(at, e), netsim.LinkUp(at+down, e))
+		}
+	}
+	return netsim.NewFaultPlan(evs...)
+}
+
+func switchStorm(g *graph.Graph, w Window, rng *rand.Rand) *netsim.FaultPlan {
+	maxK := g.N() / 8
+	if maxK < 1 {
+		maxK = 1
+	}
+	k := 1 + rng.IntN(maxK)
+	sws := graph.SampleIndices(g.N(), k, rng)
+	var evs []netsim.FaultEvent
+	for _, sw := range sws {
+		at := w.Start + rng.Int64N(w.span()*2/3+1)
+		dur := outage(w, at, rng)
+		evs = append(evs, netsim.SwitchDown(at, sw), netsim.SwitchUp(at+dur, sw))
+	}
+	return netsim.NewFaultPlan(evs...)
+}
+
+func cabinetBurst(g *graph.Graph, l *layout.Layout, w Window, rng *rand.Rand) *netsim.FaultPlan {
+	epicenter := rng.IntN(l.Cabinets)
+	// Blast radius: a third of the widest floor span, so the blast
+	// clips neighbouring cabinets but not the whole room.
+	fw, fd := l.FloorDims()
+	radius := (fw + fd) / 3
+	near := func(sw int) bool {
+		return l.CabinetDistance(l.CabinetOf(sw), epicenter) <= radius
+	}
+	at := w.Start + rng.Int64N(w.span()/2+1)
+	dur := outage(w, at, rng)
+	var evs []netsim.FaultEvent
+	for e, ed := range g.Edges() {
+		if near(int(ed.U)) || near(int(ed.V)) {
+			evs = append(evs, netsim.LinkDown(at, e), netsim.LinkUp(at+dur, e))
+		}
+	}
+	return netsim.NewFaultPlan(evs...)
+}
+
+// Campaign generates count scenarios cycling through every kind, each
+// with a seed derived from the campaign seed, so campaign (seed, i)
+// names one plan forever.
+func Campaign(g *graph.Graph, l *layout.Layout, w Window, seed uint64, count int) ([]Scenario, error) {
+	var scs []Scenario
+	for i := 0; i < count; i++ {
+		kind := Kind(i % int(numKinds))
+		s := seed + uint64(i)*0x9e3779b97f4a7c15
+		plan, err := Generate(g, l, kind, w, s)
+		if err != nil {
+			return nil, err
+		}
+		scs = append(scs, Scenario{Kind: kind, Seed: s, Plan: plan})
+	}
+	return scs, nil
+}

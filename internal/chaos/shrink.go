@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"fmt"
+
+	"dsnet/internal/netsim"
+)
+
+// Shrink reduces a failing event list to a locally minimal one with
+// Zeller's ddmin: it repeatedly tries dropping chunks of events (at
+// finer and finer granularity) and keeps any reduction that still
+// fails. fails must be deterministic; it is memoized on the canonical
+// plan, so NewFaultPlan's normalization directly bounds the number of
+// simulator runs. The result can be empty — a target that fails with no
+// faults at all shrinks to the zero-event reproducer.
+func Shrink(events []netsim.FaultEvent, fails func([]netsim.FaultEvent) bool) []netsim.FaultEvent {
+	memo := map[string]bool{}
+	check := func(evs []netsim.FaultEvent) bool {
+		key := planKey(evs)
+		if r, ok := memo[key]; ok {
+			return r
+		}
+		r := fails(evs)
+		memo[key] = r
+		return r
+	}
+	// Work on the canonical order so chunk boundaries are stable.
+	cur := netsim.NewFaultPlan(events...).Events
+	if check(nil) {
+		return nil
+	}
+	n := 2
+	for len(cur) >= 2 {
+		reduced := false
+		chunk := (len(cur) + n - 1) / n
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			comp := make([]netsim.FaultEvent, 0, len(cur)-(hi-lo))
+			comp = append(comp, cur[:lo]...)
+			comp = append(comp, cur[hi:]...)
+			if check(comp) {
+				cur = comp
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break // single-event removals all passed: minimal
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur
+}
+
+// planKey is a canonical string of an event list for memoization.
+func planKey(evs []netsim.FaultEvent) string {
+	p := netsim.NewFaultPlan(evs...)
+	key := ""
+	for _, ev := range p.Events {
+		key += fmt.Sprintf("%d:%d:%d:%v;", ev.Cycle, ev.Edge, ev.Switch, ev.Repair)
+	}
+	return key
+}

@@ -63,6 +63,13 @@ type Config struct {
 	// destination: unroutable packets drain instead of deadlocking.
 	FaultTimeoutCycles int64
 
+	// WatchdogCycles is the progress watchdog's deadline: Run aborts
+	// with a *NoProgressError (errors.Is ErrNoProgress) when no packet
+	// is generated, granted, delivered, or dropped for this many cycles
+	// while traffic is in flight. 0 selects the built-in default, so
+	// hand-rolled Configs keep the historical behavior.
+	WatchdogCycles int64
+
 	// Trace, when non-nil, receives a line per lifecycle event (GEN,
 	// INJECT, GRANT, EJECT, DELIVER) for the first TracePackets packets —
 	// a debugging and teaching aid for the VCT engine. Tracing does not
@@ -91,6 +98,7 @@ func Default() Config {
 		RetryBudget:          4,
 		RetryBackoffCycles:   64,
 		FaultTimeoutCycles:   2048,
+		WatchdogCycles:       250000,
 	}
 }
 
@@ -141,6 +149,8 @@ func (c Config) validateCommon() error {
 		return fmt.Errorf("netsim: bad measurement schedule")
 	case c.RetryBudget < 0 || c.RetryBackoffCycles < 0 || c.FaultTimeoutCycles < 0:
 		return fmt.Errorf("netsim: negative fault-tolerance parameters")
+	case c.WatchdogCycles < 0:
+		return fmt.Errorf("netsim: negative watchdog deadline %d", c.WatchdogCycles)
 	}
 	return nil
 }

@@ -45,11 +45,34 @@ type FaultPlan struct {
 	Events []FaultEvent // sorted by cycle (NewFaultPlan normalizes)
 }
 
-// NewFaultPlan builds a plan from the given events, sorted by cycle
-// (stable, so same-cycle events keep their given order).
+// NewFaultPlan builds a plan from the given events, normalized into a
+// canonical order: events are sorted by cycle, and same-cycle events on
+// *different* components are ordered switch events first, then by
+// component id — so two plans built from the same events in any
+// argument order compare equal (reflect.DeepEqual), which the chaos
+// shrinker relies on to deduplicate candidates. Same-cycle events on
+// the *same* component keep their given order, because that order is
+// semantic: down-then-repair leaves the component alive,
+// repair-then-down leaves it dead. (Found by FuzzFaultPlanNormalize:
+// the old cycle-only stable sort made equal-content plans compare
+// unequal and their cross-component application order
+// construction-dependent.)
 func NewFaultPlan(events ...FaultEvent) *FaultPlan {
 	p := &FaultPlan{Events: append([]FaultEvent(nil), events...)}
-	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].Cycle < p.Events[j].Cycle })
+	sort.SliceStable(p.Events, func(i, j int) bool {
+		a, b := p.Events[i], p.Events[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		aSwitch, bSwitch := a.Edge < 0, b.Edge < 0
+		if aSwitch != bSwitch {
+			return aSwitch // switch events before link events
+		}
+		if aSwitch {
+			return a.Switch < b.Switch
+		}
+		return a.Edge < b.Edge
+	})
 	return p
 }
 

@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"dsnet/internal/topology"
+)
+
+// decodeFaultEvents turns fuzz bytes into a deterministic event list:
+// 5 bytes per event — cycle (2 bytes, capped), kind/repair flags
+// (1 byte), component id (2 bytes, left raw so Validate also sees
+// out-of-range components).
+func decodeFaultEvents(data []byte) []FaultEvent {
+	var evs []FaultEvent
+	for len(data) >= 5 {
+		cycle := int64(data[0])<<8 | int64(data[1])
+		id := int(data[3])<<8 | int(data[4])
+		ev := FaultEvent{Cycle: cycle, Edge: -1, Switch: -1, Repair: data[2]&2 != 0}
+		if data[2]&1 == 0 {
+			ev.Edge = id
+		} else {
+			ev.Switch = id
+		}
+		evs = append(evs, ev)
+		data = data[5:]
+	}
+	return evs
+}
+
+// eventKey identifies a component-at-cycle; same-key events are the only
+// ones whose relative order is semantic.
+type eventKey struct {
+	cycle    int64
+	isSwitch bool
+	id       int
+}
+
+func keyOf(ev FaultEvent) eventKey {
+	if ev.Edge >= 0 {
+		return eventKey{ev.Cycle, false, ev.Edge}
+	}
+	return eventKey{ev.Cycle, true, ev.Switch}
+}
+
+// FuzzFaultPlanNormalize checks the normalization contract of
+// NewFaultPlan on arbitrary event lists: the result is sorted and
+// canonical (the same events in any argument order produce an equal
+// plan, as long as no two events target the same component at the same
+// cycle — that relative order is semantic and must be preserved),
+// normalization is idempotent, and Validate/FailureCount never panic.
+func FuzzFaultPlanNormalize(f *testing.F) {
+	f.Add([]byte{})
+	// One link-down event.
+	f.Add([]byte{0x00, 0x64, 0x00, 0x00, 0x03})
+	// Same-cycle down+repair of one link (order is semantic).
+	f.Add([]byte{0x00, 0x64, 0x00, 0x00, 0x03, 0x00, 0x64, 0x02, 0x00, 0x03})
+	// Same-cycle events on distinct components, given out of canonical order.
+	f.Add([]byte{0x00, 0x64, 0x00, 0x00, 0x07, 0x00, 0x64, 0x01, 0x00, 0x02, 0x00, 0x64, 0x00, 0x00, 0x01})
+	// Out-of-order cycles with an out-of-range switch id.
+	f.Add([]byte{0x0f, 0x00, 0x03, 0xff, 0xff, 0x00, 0x10, 0x01, 0x00, 0x01})
+	tor, err := topology.Torus2D(4, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	g := tor.Graph()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs := decodeFaultEvents(data)
+		p := NewFaultPlan(evs...)
+		if len(p.Events) != len(evs) {
+			t.Fatalf("normalization changed the event count: %d -> %d", len(evs), len(p.Events))
+		}
+		// Sorted by cycle, canonical across components within a cycle.
+		for i := 1; i < len(p.Events); i++ {
+			a, b := p.Events[i-1], p.Events[i]
+			if a.Cycle > b.Cycle {
+				t.Fatalf("events %d,%d out of cycle order: %+v after %+v", i-1, i, b, a)
+			}
+		}
+		// Multiset of events preserved.
+		count := func(evs []FaultEvent) map[FaultEvent]int {
+			m := make(map[FaultEvent]int, len(evs))
+			for _, ev := range evs {
+				m[ev]++
+			}
+			return m
+		}
+		if !reflect.DeepEqual(count(evs), count(p.Events)) {
+			t.Fatalf("normalization changed the event multiset:\nin  %+v\nout %+v", evs, p.Events)
+		}
+		// Idempotent.
+		p2 := NewFaultPlan(p.Events...)
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("normalization not idempotent:\nonce  %+v\ntwice %+v", p.Events, p2.Events)
+		}
+		// Canonical: reversing the argument order yields an equal plan,
+		// unless two events share a (cycle, component) key — that
+		// relative order is semantic and is intentionally kept as given.
+		keys := make(map[eventKey]bool, len(evs))
+		dupKey := false
+		for _, ev := range evs {
+			k := keyOf(ev)
+			if keys[k] {
+				dupKey = true
+				break
+			}
+			keys[k] = true
+		}
+		if !dupKey {
+			rev := make([]FaultEvent, len(evs))
+			for i, ev := range evs {
+				rev[len(evs)-1-i] = ev
+			}
+			if pr := NewFaultPlan(rev...); !reflect.DeepEqual(p, pr) {
+				t.Fatalf("same events, different order, different plan:\nfwd %+v\nrev %+v", p.Events, pr.Events)
+			}
+		}
+		// Validate and FailureCount must never panic on arbitrary input.
+		_ = p.Validate(g)
+		if k := p.FailureCount(); k < 0 || k > len(p.Events) {
+			t.Fatalf("FailureCount %d outside [0,%d]", k, len(p.Events))
+		}
+		// The plan owns its events: mutating the input must not leak in.
+		if len(evs) > 0 {
+			before := append([]FaultEvent(nil), p.Events...)
+			evs[0].Cycle = 1 << 40
+			if !reflect.DeepEqual(before, p.Events) {
+				t.Fatal("plan aliases the caller's event slice")
+			}
+		}
+	})
+}

@@ -24,6 +24,12 @@ type Result struct {
 	DeliveredTotal    int64
 	GeneratedTotal    int64
 	InFlightAtEnd     int64
+	// MaxHOLWaitCycles is the largest head-of-line wait observed over
+	// the whole run: how long a routable head-of-queue packet sat
+	// blocked before its grant (or drop). Low below saturation; grows
+	// under congestion; explodes toward the run length when the fabric
+	// deadlocks or starves a flow (the hol-wait monitor's raw signal).
+	MaxHOLWaitCycles int64
 
 	// Fault-tolerance counters, nonzero only under a FaultPlan with at
 	// least one failure. Conservation under faults is
@@ -71,6 +77,7 @@ func (s *Sim) result() Result {
 		DeliveredTotal:       s.deliveredTotal,
 		GeneratedTotal:       s.generatedTotal,
 		InFlightAtEnd:        s.inFlight,
+		MaxHOLWaitCycles:     s.maxHOLWait,
 		ChannelFlits:         s.chanFlits[:2*s.g.M()],
 	}
 	if s.grantsInWindow > 0 {

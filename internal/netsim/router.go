@@ -204,6 +204,12 @@ func NewUpDownOnly(g *graph.Graph, vcs int) (*UpDownOnly, error) {
 	return &UpDownOnly{ud: ud, vcs: vcs}, nil
 }
 
+// HopBound implements HopBounder: deterministic up*/down* routes never
+// exceed the orientation's routing diameter. The bound holds only while
+// the fabric is fault-free — UpDownOnly is not FaultAware, so monitors
+// should not arm it for runs with a FaultPlan.
+func (r *UpDownOnly) HopBound() int { return r.ud.MaxHops() }
+
 // Candidates implements Router.
 func (r *UpDownOnly) Candidates(st PacketState, sw int, buf []Candidate) []Candidate {
 	dst := int(st.DstSw)
@@ -371,6 +377,14 @@ func ClassVC(c core.LinkClass) (int8, error) {
 		return 0, fmt.Errorf("netsim: unmapped link class %v", c)
 	}
 }
+
+// HopBound implements HopBounder with Theorem 1(c)'s routing-diameter
+// bound 3p+r: no precomputed custom route is longer, so a packet at or
+// past the bound that is still on its route (not a fault detour —
+// detoured packets set Rerouted and are exempt from TTL monitoring)
+// witnesses a routing bug. The simulator's hop-ttl monitor uses this as
+// the per-packet TTL when the chaos engine arms it.
+func (r *DSNSourceRouted) HopBound() int { return r.d.RoutingDiameterBound() }
 
 // Candidates implements Router. The custom routing is deterministic, so
 // exactly one candidate is returned, marked Escape so that a blocked

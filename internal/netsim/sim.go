@@ -171,6 +171,14 @@ type Sim struct {
 	// runs, whose behavior is untouched.
 	rep *replayState
 
+	// mon holds the armed runtime invariant monitors (SetMonitors);
+	// violation records the first trip, which aborts Run at the end of
+	// the cycle. maxHOLWait tracks the largest observed head-of-line
+	// wait for Result.MaxHOLWaitCycles (always on; purely passive).
+	mon        Monitors
+	violation  *MonitorViolation
+	maxHOLWait int64
+
 	now          int64
 	nextID       int64
 	inFlight     int64
@@ -310,6 +318,49 @@ func (s *Sim) SetFaultPlan(p *FaultPlan) error {
 	return nil
 }
 
+// SetMonitors arms the runtime invariant monitors for this run. Must be
+// called before Run. The monitors are passive observers: arming them
+// never changes packet timing, RNG draws, or flow control — a run that
+// trips no monitor is bit-identical to an unmonitored one.
+func (s *Sim) SetMonitors(m Monitors) error {
+	if s.now != 0 || s.nextID != 0 {
+		return fmt.Errorf("netsim: SetMonitors after Run started")
+	}
+	if err := m.validate(); err != nil {
+		return err
+	}
+	s.mon = m
+	return nil
+}
+
+// violate records the first monitor violation; later ones are dropped so
+// the reported failure is the root event, not a cascade.
+func (s *Sim) violate(monitor string, pkt int64, format string, args ...any) {
+	if s.violation != nil {
+		return
+	}
+	s.violation = &MonitorViolation{
+		Monitor: monitor,
+		Cycle:   s.now,
+		Packet:  pkt,
+		Detail:  fmt.Sprintf(format, args...),
+	}
+}
+
+// checkConservation verifies generated == delivered + lost + in-flight,
+// the packet-conservation identity that must hold at every cycle
+// boundary (drops are transient: a dropped packet either retries,
+// staying in flight, or becomes lost).
+func (s *Sim) checkConservation() {
+	if !s.mon.Conservation {
+		return
+	}
+	if s.generatedTotal != s.deliveredTotal+s.lostTotal+s.inFlight {
+		s.violate(MonitorConservation, -1, "generated %d != delivered %d + lost %d + in-flight %d",
+			s.generatedTotal, s.deliveredTotal, s.lostTotal, s.inFlight)
+	}
+}
+
 // outChanOf returns the directed channel from sw along the given incident
 // half-edge.
 func (s *Sim) outChanOf(sw int, h graph.Half) int32 {
@@ -372,22 +423,33 @@ func (s *Sim) Run() (Result, error) {
 	if s.rep != nil {
 		end = s.rep.endCycle()
 	}
+	watchdog := s.cfg.WatchdogCycles
+	if watchdog <= 0 {
+		watchdog = Default().WatchdogCycles
+	}
 	s.lastProgress = 0
 	for s.now = 0; s.now < end; s.now++ {
 		s.applyFaults()
 		s.processEvents()
 		s.inject()
 		s.allocate()
+		if s.violation != nil {
+			return s.result(), s.violation
+		}
 		if s.rep != nil && s.inFlight == 0 {
 			// All released packets drained and inject() released every
 			// ready message this cycle: the workload is either complete or
 			// permanently wedged on lost messages. Either way, done.
 			break
 		}
-		if s.inFlight > 0 && s.now-s.lastProgress > 250000 {
+		if s.inFlight > 0 && s.now-s.lastProgress > watchdog {
 			s.watchdogTripped = true
-			return s.result(), fmt.Errorf("netsim: no progress for 250k cycles at cycle %d with %d packets in flight (deadlock?)", s.now, s.inFlight)
+			return s.result(), &NoProgressError{Cycle: s.now, InFlight: s.inFlight, WatchdogCycles: watchdog}
 		}
+	}
+	s.checkConservation()
+	if s.violation != nil {
+		return s.result(), s.violation
 	}
 	return s.result(), nil
 }
@@ -639,6 +701,14 @@ func (s *Sim) tryInput(sw int, c int32) bool {
 		if e.routableAt > s.now {
 			continue
 		}
+		if wait := s.now - e.routableAt; wait > s.maxHOLWait {
+			s.maxHOLWait = wait
+		}
+		if s.mon.MaxHOLWaitCycles > 0 && s.now-e.routableAt > s.mon.MaxHOLWaitCycles {
+			s.violate(MonitorHOLWait, e.pkt.id,
+				"head-of-line packet waited %d cycles (bound %d) at switch %d channel %d",
+				s.now-e.routableAt, s.mon.MaxHOLWaitCycles, sw, c)
+		}
 		if s.faultActive && s.now-e.routableAt > s.faultTimeout {
 			// Head-of-line timeout: under faults a packet that cannot get
 			// a grant (typically because its destination became
@@ -677,6 +747,13 @@ func (s *Sim) grant(sw int, c, vc int32, p *packet) bool {
 		s.trace(p, "EJECT", "switch", sw, "host", host)
 		s.lastProgress = s.now
 		return true
+	}
+	if s.mon.HopTTL > 0 && !p.rerouted && p.st.Step >= s.mon.HopTTL {
+		// The packet has already taken HopTTL hops and still is not at
+		// its destination: the next grant would exceed the bound.
+		s.violate(MonitorHopTTL, p.id, "packet exceeded the %d-hop route bound (src sw %d, dst sw %d, at sw %d)",
+			s.mon.HopTTL, p.st.SrcSw, p.st.DstSw, sw)
+		return false
 	}
 	s.scratch = s.rt.Candidates(p.st, sw, s.scratch[:0])
 	return s.launch(sw, c, vc, p, s.scratch)
@@ -800,6 +877,9 @@ func (s *Sim) applyFaults() {
 	if fa, ok := s.rt.(FaultAware); ok {
 		fa.UpdateFaults(s.edgeDead, s.swDead)
 	}
+	// Fault epoch boundary: the conservation monitor audits the books
+	// right after the masks, wheel, and queues were rewritten.
+	s.checkConservation()
 }
 
 // rebuildChanDead recomputes the per-channel death mask from the edge

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -456,13 +457,31 @@ func TestBasicCustomRoutingDeadlocks(t *testing.T) {
 	cfg.WarmupCycles = 5000
 	cfg.MeasureCycles = 10000
 	cfg.DrainCycles = 400000
+	cfg.WatchdogCycles = 60000 // tighter than the default: fail fast
 	pat := traffic.Uniform{Hosts: 36 * cfg.HostsPerSwitch}
 	sim, err := NewSim(cfg, basic.Graph(), unsafeRt, pat, 0.30)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.Run(); err == nil {
+	_, runErr := sim.Run()
+	if runErr == nil {
 		t.Fatal("basic-variant custom routing survived heavy load; expected a deadlock watchdog trip")
+	}
+	if !errors.Is(runErr, ErrNoProgress) {
+		t.Fatalf("deadlock error is not ErrNoProgress: %v", runErr)
+	}
+	var np *NoProgressError
+	if !errors.As(runErr, &np) {
+		t.Fatalf("deadlock error is not a *NoProgressError: %v", runErr)
+	}
+	if np.WatchdogCycles != cfg.WatchdogCycles {
+		t.Fatalf("NoProgressError reports deadline %d, configured %d", np.WatchdogCycles, cfg.WatchdogCycles)
+	}
+	if np.InFlight <= 0 {
+		t.Fatalf("deadlocked run reports %d packets in flight", np.InFlight)
+	}
+	if mon, ok := ViolatedMonitor(runErr); !ok || mon != MonitorWatchdog {
+		t.Fatalf("ViolatedMonitor(%v) = %q, %v; want %q", runErr, mon, ok, MonitorWatchdog)
 	}
 
 	// Same wiring, same load, Section V.A channels: saturated but alive.

@@ -79,6 +79,13 @@ type WormSim struct {
 	// runs, whose behavior is untouched.
 	rep *replayState
 
+	// mon holds the armed runtime invariant monitors (SetMonitors);
+	// violation records the first trip. maxHOLWait tracks the largest
+	// routing wait of a headered worm (Result.MaxHOLWaitCycles).
+	mon        Monitors
+	violation  *MonitorViolation
+	maxHOLWait int64
+
 	now          int64
 	nextID       int64
 	inFlight     int64
@@ -243,6 +250,46 @@ func (s *WormSim) SetFaultPlan(p *FaultPlan) error {
 	return nil
 }
 
+// SetMonitors arms the runtime invariant monitors for this run. Must be
+// called before Run. Monitors are passive: a run that trips none is
+// bit-identical to an unmonitored one.
+func (s *WormSim) SetMonitors(m Monitors) error {
+	if s.now != 0 || s.nextID != 0 {
+		return fmt.Errorf("netsim: SetMonitors after Run started")
+	}
+	if err := m.validate(); err != nil {
+		return err
+	}
+	s.mon = m
+	return nil
+}
+
+// violate records the first monitor violation; later ones are dropped.
+func (s *WormSim) violate(monitor string, pkt int64, format string, args ...any) {
+	if s.violation != nil {
+		return
+	}
+	s.violation = &MonitorViolation{
+		Monitor: monitor,
+		Cycle:   s.now,
+		Packet:  pkt,
+		Detail:  fmt.Sprintf(format, args...),
+	}
+}
+
+// checkConservation verifies the wormhole identity generated ==
+// delivered + in-flight (this engine never drops or loses packets:
+// fail-stop admission keeps doomed packets out instead).
+func (s *WormSim) checkConservation() {
+	if !s.mon.Conservation {
+		return
+	}
+	if s.generatedTotal != s.deliveredTotal+s.inFlight {
+		s.violate(MonitorConservation, -1, "generated %d != delivered %d + in-flight %d",
+			s.generatedTotal, s.deliveredTotal, s.inFlight)
+	}
+}
+
 // applyFaults fires due fault events and refreshes the channel death
 // mask and the router's view.
 func (s *WormSim) applyFaults() {
@@ -278,6 +325,8 @@ func (s *WormSim) applyFaults() {
 	if fa, ok := s.rt.(FaultAware); ok {
 		fa.UpdateFaults(s.edgeDead, s.swDead)
 	}
+	// Fault epoch boundary: audit the books after the masks changed.
+	s.checkConservation()
 }
 
 // Run executes the schedule and returns the aggregated result. In
@@ -288,18 +337,29 @@ func (s *WormSim) Run() (Result, error) {
 	if s.rep != nil {
 		end = s.rep.endCycle()
 	}
+	watchdog := s.cfg.WatchdogCycles
+	if watchdog <= 0 {
+		watchdog = Default().WatchdogCycles
+	}
 	for s.now = 0; s.now < end; s.now++ {
 		s.applyFaults()
 		s.processEvents()
 		s.inject()
 		s.route()
 		s.forward()
+		if s.violation != nil {
+			return s.result(), s.violation
+		}
 		if s.rep != nil && s.inFlight == 0 {
 			break
 		}
-		if s.inFlight > 0 && s.now-s.lastProgress > 250000 {
-			return s.result(), fmt.Errorf("netsim: wormhole made no progress for 250k cycles at %d with %d packets in flight", s.now, s.inFlight)
+		if s.inFlight > 0 && s.now-s.lastProgress > watchdog {
+			return s.result(), &NoProgressError{Cycle: s.now, InFlight: s.inFlight, WatchdogCycles: watchdog}
 		}
+	}
+	s.checkConservation()
+	if s.violation != nil {
+		return s.result(), s.violation
 	}
 	return s.result(), nil
 }
@@ -447,10 +507,26 @@ func (s *WormSim) route() {
 				if p == nil || s.routed[slot] || s.readyAt[slot] > s.now {
 					continue
 				}
+				if wait := s.now - s.readyAt[slot]; wait > s.maxHOLWait {
+					s.maxHOLWait = wait
+				}
+				if s.mon.MaxHOLWaitCycles > 0 && s.now-s.readyAt[slot] > s.mon.MaxHOLWaitCycles {
+					// This engine has no drop/retry transport, so a worm
+					// starved of a route (deadlock, or faults that cut its
+					// destination) is caught here rather than draining.
+					s.violate(MonitorHOLWait, p.id,
+						"headered worm waited %d cycles for a route (bound %d) at switch %d channel %d",
+						s.now-s.readyAt[slot], s.mon.MaxHOLWaitCycles, sw, c)
+				}
 				if p.st.DstSw == int32(sw) {
 					s.routed[slot] = true
 					s.isEject[slot] = true
 					s.lastProgress = s.now
+					continue
+				}
+				if s.mon.HopTTL > 0 && !p.rerouted && p.st.Step >= s.mon.HopTTL {
+					s.violate(MonitorHopTTL, p.id, "worm exceeded the %d-hop route bound (src sw %d, dst sw %d, at sw %d)",
+						s.mon.HopTTL, p.st.SrcSw, p.st.DstSw, sw)
 					continue
 				}
 				s.scratch = s.rt.Candidates(p.st, sw, s.scratch[:0])
@@ -692,6 +768,7 @@ func (s *WormSim) result() Result {
 		DeliveredTotal:       s.deliveredTotal,
 		GeneratedTotal:       s.generatedTotal,
 		InFlightAtEnd:        s.inFlight,
+		MaxHOLWaitCycles:     s.maxHOLWait,
 		Rerouted:             s.reroutedPkts,
 		ChannelFlits:         s.chanFlits[:2*s.g.M()],
 	}

@@ -551,3 +551,41 @@ func TestUpDownPartialMatchesFullWhenConnected(t *testing.T) {
 		}
 	}
 }
+
+func TestUpDownMaxHopsIsTight(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"torus8x8", torus8x8(t).Graph()},
+		{"dln-2-2", mustDLN22(t, 64)},
+		{"dsn", mustDSN(t, 64).Graph()},
+	} {
+		ud, err := NewUpDown(build.g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", build.name, err)
+		}
+		n := build.g.N()
+		worst := 0
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				l, err := ud.PathLen(s, d)
+				if err != nil {
+					t.Fatalf("%s: PathLen(%d,%d): %v", build.name, s, d, err)
+				}
+				if l > ud.MaxHops() {
+					t.Fatalf("%s: path %d->%d takes %d hops, MaxHops claims %d",
+						build.name, s, d, l, ud.MaxHops())
+				}
+				if l > worst {
+					worst = l
+				}
+			}
+		}
+		// Tight, not just sound: some pair attains the bound.
+		if worst != ud.MaxHops() {
+			t.Fatalf("%s: MaxHops %d but the longest route is %d hops",
+				build.name, ud.MaxHops(), worst)
+		}
+	}
+}

@@ -31,7 +31,18 @@ type UpDown struct {
 	// moveIsDown[u*n+dst]: whether the nextAny hop is a down traversal
 	// (after which the packet must keep descending).
 	moveIsDown []bool
+
+	// maxHops is the longest shortest legal path over all reachable
+	// pairs: the up*/down* routing diameter of this orientation.
+	maxHops int32
 }
+
+// MaxHops returns the up*/down* routing diameter: the hop count of the
+// longest route the tables will ever produce. Every packet following
+// NextHop from any source reaches its destination in at most MaxHops
+// hops, which makes it a sound TTL bound for runtime monitors. Pairs
+// disconnected by faults (partial builds) do not contribute.
+func (u *UpDown) MaxHops() int { return int(u.maxHops) }
 
 // NewUpDown builds up*/down* tables for g rooted at root. The graph must
 // be connected.
@@ -164,6 +175,9 @@ func (u *UpDown) buildDst(dst int, ids []int) {
 		u.nextAny[v*n+base] = anext[v]
 		u.nextDown[v*n+base] = dnext[v]
 		u.moveIsDown[v*n+base] = adown[v]
+		if full[v] < inf && full[v] > u.maxHops {
+			u.maxHops = full[v]
+		}
 	}
 }
 
