@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestGridFor(t *testing.T) {
+	smoke := gridFor(true, 7)
+	std := gridFor(false, 7)
+	if smoke.name != "smoke" || std.name != "standard" {
+		t.Fatalf("grid names = %q, %q", smoke.name, std.name)
+	}
+	if smoke.cfg.Seed != 7 || std.cfg.Seed != 7 {
+		t.Fatal("seed not threaded into the sim config")
+	}
+	// The smoke grid must actually be smaller — it is the CI gate.
+	if smoke.cfg.MeasureCycles >= std.cfg.MeasureCycles {
+		t.Fatal("smoke grid does not shorten the measurement window")
+	}
+	if len(smoke.latRates) >= len(std.latRates) || smoke.trials >= std.trials ||
+		smoke.scenarios >= std.scenarios || len(smoke.targets) >= len(std.targets) {
+		t.Fatal("smoke grid is not smaller than the standard grid")
+	}
+	for _, g := range []grid{smoke, std} {
+		if len(g.latRates) == 0 || len(g.fracs) == 0 || len(g.collSizes) == 0 ||
+			len(g.targets) == 0 || g.trials < 1 || g.collReps < 1 || g.scenarios < 1 {
+			t.Fatalf("%s grid has an empty dimension: %+v", g.name, g)
+		}
+	}
+}
+
+func TestRunRejectsUnknownSwitching(t *testing.T) {
+	if err := run(opts{switching: "buffered"}); err == nil {
+		t.Fatal("run accepted an unknown switching mode")
+	}
+}

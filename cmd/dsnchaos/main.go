@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"dsnet"
+	"dsnet/internal/harness"
 )
 
 type opts struct {
@@ -40,6 +41,11 @@ type opts struct {
 	replay       string
 }
 
+// runner executes scenario cells on a bounded worker pool with an
+// optional content-addressed cache; verdicts are reported in campaign
+// order regardless of execution order.
+var runner *harness.Runner
+
 func main() {
 	var o opts
 	flag.StringVar(&o.topos, "topo", "torus,dsn,dsn-v-custom",
@@ -54,9 +60,26 @@ func main() {
 	flag.BoolVar(&o.shrink, "shrink", false, "delta-debug each failing campaign to a minimal reproducer")
 	flag.StringVar(&o.out, "o", "", "directory to write shrunk reproducer artifacts into (with -shrink)")
 	flag.StringVar(&o.replay, "replay", "", "replay one .repro artifact and verify it still trips its monitor")
+	jobs := flag.Int("j", 0, "parallel scenario workers (0: all CPUs)")
+	cache := flag.String("cache", harness.DefaultCacheDir, "sweep result cache directory")
+	nocache := flag.Bool("nocache", false, "bypass the sweep result cache")
+	bench := flag.String("bench", "", "write machine-readable sweep benchmarks to this JSON file")
 	flag.Parse()
-	if err := run(o); err != nil {
+	var err error
+	runner, err = harness.NewRunner(*jobs, *cache, *nocache)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsnchaos:", err)
+		os.Exit(1)
+	}
+	runErr := run(o)
+	if *bench != "" {
+		if err := harness.NewReport(runner.Bench, runner.JobCount()).WriteFile(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "dsnchaos:", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "dsnchaos:", runErr)
 		os.Exit(1)
 	}
 }
@@ -87,46 +110,93 @@ func run(o opts) error {
 }
 
 func campaign(o opts, name string) (int, error) {
-	t, err := dsnet.ChaosTarget(name, o.n)
+	// buildEngine rebuilds the deterministic (target, options) pair so
+	// every scenario cell is independent — fault-aware routers mutate
+	// their tables during a run, so engines must not be shared across
+	// parallel cells.
+	buildEngine := func() (*dsnet.ChaosEngine, error) {
+		t, err := dsnet.ChaosTarget(name, o.n)
+		if err != nil {
+			return nil, err
+		}
+		opt := dsnet.ChaosDefaultOptions()
+		opt.Wormhole = o.switching == "wormhole"
+		if o.rate > 0 {
+			opt.Rate = o.rate
+		} else if t.SafeRate > 0 {
+			opt.Rate = t.SafeRate
+		}
+		return dsnet.NewChaosEngine(t, opt)
+	}
+	e, err := buildEngine()
 	if err != nil {
 		return 0, err
 	}
-	opt := dsnet.ChaosDefaultOptions()
-	opt.Wormhole = o.switching == "wormhole"
-	if o.rate > 0 {
-		opt.Rate = o.rate
-	} else if t.SafeRate > 0 {
-		opt.Rate = t.SafeRate
-	}
-	e, err := dsnet.NewChaosEngine(t, opt)
-	if err != nil {
-		return 0, err
-	}
-	w := opt.FaultWindow()
+	w := e.Opt.FaultWindow()
 	if o.fstart > 0 || o.fend > 0 {
 		w = dsnet.ChaosWindow{Start: o.fstart, End: o.fend}
 	}
-	scs, err := dsnet.ChaosCampaign(t.Graph, e.T.Layout, w, o.seed, o.campaigns)
+	scs, err := dsnet.ChaosCampaign(e.T.Graph, e.T.Layout, w, o.seed, o.campaigns)
 	if err != nil {
 		return 0, err
 	}
 	fmt.Printf("# chaos campaign: %s / %s, %d switches, seed %d, %d scenarios + golden\n",
-		name, opt.EngineName(), t.Graph.N(), o.seed, len(scs))
-	bad := 0
-	gv, err := e.GoldenVerdict()
+		name, e.Opt.EngineName(), e.T.Graph.N(), o.seed, len(scs))
+
+	optFP := harness.Fingerprint(fmt.Sprintf("%+v", e.Opt))
+	goldenKey := harness.NewKey("chaos-golden")
+	goldenKey.Topo, goldenKey.Switching = name, e.Opt.EngineName()
+	goldenKey.N, goldenKey.Rate, goldenKey.Seed = e.T.Graph.N(), e.Opt.Rate, e.Opt.Cfg.Seed
+	goldenKey.Params = []harness.Param{harness.P("opt", optFP)}
+	goldens, err := harness.Run(runner, "chaos-golden", []harness.Cell[dsnet.ChaosVerdict]{
+		{Key: goldenKey, Run: func() (dsnet.ChaosVerdict, error) {
+			ge, err := buildEngine()
+			if err != nil {
+				return dsnet.ChaosVerdict{}, err
+			}
+			return ge.GoldenVerdict()
+		}},
+	})
 	if err != nil {
-		return bad, err
+		return 0, err
 	}
+	gv := goldens[0]
+	// Seed the serially-held engine too: shrinking re-applies the
+	// reconvergence check, which needs the golden baseline.
+	e.SetGolden(gv.Result, gv.Monitor)
+
+	cells := make([]harness.Cell[dsnet.ChaosVerdict], 0, len(scs))
+	for _, sc := range scs {
+		key := harness.NewKey("chaos")
+		key.Topo, key.Switching = name, e.Opt.EngineName()
+		key.N, key.Seed = o.n, sc.Seed
+		key.Params = []harness.Param{
+			harness.P("kind", sc.Kind.String()),
+			harness.P("plan", harness.FaultPlanFingerprint(sc.Plan)),
+			harness.P("opt", optFP),
+			harness.Pd("golden", gv.Result.DeliveredTotal),
+		}
+		cells = append(cells, harness.Cell[dsnet.ChaosVerdict]{Key: key, Run: func() (dsnet.ChaosVerdict, error) {
+			ge, err := buildEngine()
+			if err != nil {
+				return dsnet.ChaosVerdict{}, err
+			}
+			ge.SetGolden(gv.Result, gv.Monitor)
+			return ge.RunScenario(sc)
+		}})
+	}
+	verdicts, err := harness.Run(runner, "chaos", cells)
+	if err != nil {
+		return 0, err
+	}
+
+	bad := 0
 	n, err := report(o, e, gv)
 	bad += n
 	if err != nil {
 		return bad, err
 	}
-	for _, sc := range scs {
-		v, err := e.RunScenario(sc)
-		if err != nil {
-			return bad, err
-		}
+	for _, v := range verdicts {
 		n, err := report(o, e, v)
 		bad += n
 		if err != nil {

@@ -22,19 +22,41 @@ import (
 	"dsnet"
 )
 
-var jsonOut bool
+var (
+	jsonOut bool
+	// runner executes the ported sweeps: a bounded worker pool with an
+	// optional content-addressed cache. Parallel assembly is
+	// deterministic, so tables are bit-identical at any -j.
+	runner *dsnet.SweepRunner
+)
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, balance, bottleneck, faults, faultsim, related, switching, physical, throughput, ladder, collective, all")
-		seed  = flag.Uint64("seed", 1, "seed for randomized topologies and simulations")
-		quick = flag.Bool("quick", false, "shorter simulation windows (for smoke runs)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, balance, bottleneck, faults, faultsim, related, switching, physical, throughput, ladder, collective, all")
+		seed    = flag.Uint64("seed", 1, "seed for randomized topologies and simulations")
+		quick   = flag.Bool("quick", false, "shorter simulation windows (for smoke runs)")
+		jobs    = flag.Int("j", 0, "parallel sweep workers (0: all CPUs)")
+		cache   = flag.String("cache", dsnet.DefaultSweepCacheDir, "sweep result cache directory")
+		nocache = flag.Bool("nocache", false, "bypass the sweep result cache")
+		bench   = flag.String("bench", "", "write machine-readable sweep benchmarks to this JSON file")
 	)
 	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
+	var err error
+	runner, err = dsnet.NewSweepRunner(*jobs, *cache, *nocache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsnfigs:", err)
+		os.Exit(1)
+	}
 	if err := run(*fig, *seed, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "dsnfigs:", err)
 		os.Exit(1)
+	}
+	if *bench != "" {
+		if err := dsnet.NewBenchReport(runner.Bench, runner.JobCount()).WriteFile(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "dsnfigs:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -58,7 +80,7 @@ var sweepSizes = []int{5, 6, 7, 8, 9, 10, 11}
 func run(fig string, seed uint64, quick bool) error {
 	switch fig {
 	case "7", "8":
-		rows, err := dsnet.PathSweep(sweepSizes, []uint64{seed, seed + 1, seed + 2})
+		rows, err := dsnet.PathSweepWith(runner, sweepSizes, []uint64{seed, seed + 1, seed + 2})
 		if err != nil {
 			return err
 		}
@@ -72,7 +94,7 @@ func run(fig string, seed uint64, quick bool) error {
 		fmt.Println("# Figure 8: average shortest path length (hops) vs network size")
 		return dsnet.WritePathTable(os.Stdout, rows, "aspl")
 	case "9":
-		rows, err := dsnet.CableSweep(sweepSizes, []uint64{seed, seed + 1, seed + 2}, dsnet.DefaultLayoutConfig())
+		rows, err := dsnet.CableSweepWith(runner, sweepSizes, []uint64{seed, seed + 1, seed + 2}, dsnet.DefaultLayoutConfig())
 		if err != nil {
 			return err
 		}
@@ -102,7 +124,7 @@ func run(fig string, seed uint64, quick bool) error {
 		dsnet.WriteBottleneckTable(os.Stdout, rows)
 		return nil
 	case "faults":
-		rows, err := dsnet.FaultSweep(64, []float64{0.02, 0.05, 0.10}, 10, seed)
+		rows, err := dsnet.FaultSweepWith(runner, 64, []float64{0.02, 0.05, 0.10}, 10, seed)
 		if err != nil {
 			return err
 		}
@@ -113,7 +135,7 @@ func run(fig string, seed uint64, quick bool) error {
 		dsnet.WriteFaultTable(os.Stdout, rows)
 		return nil
 	case "faultsim":
-		rows, err := dsnet.DegradationSweep(simConfig(seed, quick), 64, []float64{0, 0.02, 0.05, 0.10}, 0.06, seed)
+		rows, err := dsnet.DegradationSweepWith(runner, simConfig(seed, quick), 64, []float64{0, 0.02, 0.05, 0.10}, 0.06, seed)
 		if err != nil {
 			return err
 		}
@@ -194,7 +216,7 @@ func run(fig string, seed uint64, quick bool) error {
 			sizes = []int{64}
 			reps = 2
 		}
-		rows, err := dsnet.CollectiveSweep(simConfig(seed, quick), sizes, "allreduce", "ring", 0, reps, seed)
+		rows, err := dsnet.CollectiveSweepWith(runner, simConfig(seed, quick), sizes, "allreduce", "ring", 0, reps, seed)
 		if err != nil {
 			return err
 		}
@@ -230,7 +252,7 @@ func simConfig(seed uint64, quick bool) dsnet.SimConfig {
 
 func fig10(pattern string, seed uint64, quick bool) error {
 	rates := []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14}
-	curves, err := dsnet.Fig10Curves(simConfig(seed, quick), pattern, rates, seed)
+	curves, err := dsnet.Fig10CurvesWith(runner, simConfig(seed, quick), pattern, rates, seed)
 	if err != nil {
 		return err
 	}

@@ -26,7 +26,10 @@ import (
 )
 
 // DefaultDirs are the packages whose determinism CI enforces.
-var DefaultDirs = []string{"internal/netsim", "internal/collectives", "internal/traffic"}
+var DefaultDirs = []string{
+	"internal/netsim", "internal/collectives", "internal/traffic",
+	"internal/analysis", "internal/chaos", "internal/harness",
+}
 
 type opts struct {
 	list bool

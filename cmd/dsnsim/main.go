@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"dsnet"
+	"dsnet/internal/harness"
 )
 
 // opts carries the command-line configuration of one dsnsim invocation.
@@ -59,6 +60,11 @@ type opts struct {
 	reps       int
 }
 
+// runner executes the per-rate / per-rep cells on a bounded worker pool
+// with an optional content-addressed cache; assembly is deterministic,
+// so the printed series is bit-identical at any -j.
+var runner *harness.Runner
+
 func main() {
 	var o opts
 	flag.StringVar(&o.topo, "topo", "dsn", "topology: dsn, dsn-v, torus, random")
@@ -82,10 +88,26 @@ func main() {
 	flag.StringVar(&o.collalgo, "collalgo", "", "collective algorithm: ring, halving-doubling, binomial, pairwise (default: the collective's default)")
 	flag.IntVar(&o.chunk, "chunk", 0, "collective chunk size in flits per host (default: one packet)")
 	flag.IntVar(&o.reps, "reps", 3, "collective repetitions across seeded rank placements")
+	jobs := flag.Int("j", 0, "parallel sweep workers (0: all CPUs)")
+	cache := flag.String("cache", harness.DefaultCacheDir, "sweep result cache directory")
+	nocache := flag.Bool("nocache", false, "bypass the sweep result cache")
+	bench := flag.String("bench", "", "write machine-readable sweep benchmarks to this JSON file")
 	flag.Parse()
+	var err error
+	runner, err = harness.NewRunner(*jobs, *cache, *nocache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsnsim:", err)
+		os.Exit(1)
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dsnsim:", err)
 		os.Exit(1)
+	}
+	if *bench != "" {
+		if err := harness.NewReport(runner.Bench, runner.JobCount()).WriteFile(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "dsnsim:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -98,6 +120,10 @@ func run(o opts) error {
 	if o.trace > 0 {
 		cfg.Trace = os.Stderr
 		cfg.TracePackets = o.trace
+		// Tracing wants readable, always-executed output: parallel cells
+		// would interleave stderr and a cache hit would skip the traced
+		// run entirely.
+		runner = harness.Serial()
 	}
 	switch o.switching {
 	case "vct":
@@ -154,27 +180,37 @@ func run(o opts) error {
 		return fmt.Errorf("unknown topology %q", o.topo)
 	}
 
-	var rt dsnet.Router
-	var err error
+	// mkRouter builds a fresh router per cell: construction is
+	// deterministic, and fault-aware routers mutate their tables as
+	// faults land, so sharing one instance across offered loads would
+	// leak degraded state between points.
+	mkRouter := func() (dsnet.Router, error) {
+		switch o.routing {
+		case "adaptive":
+			return dsnet.NewDuatoUpDown(g, cfg.VCs)
+		case "updown":
+			return dsnet.NewUpDownOnly(g, cfg.VCs)
+		case "valiant":
+			return dsnet.NewValiant(g, cfg.VCs)
+		case "custom":
+			if dsnV == nil {
+				return nil, fmt.Errorf("-routing custom requires -topo dsn-v")
+			}
+			return dsnet.NewDSNSourceRouted(dsnV)
+		}
+		return nil, fmt.Errorf("unknown routing %q", o.routing)
+	}
 	switch o.routing {
-	case "adaptive":
-		rt, err = dsnet.NewDuatoUpDown(g, cfg.VCs)
-	case "updown":
-		rt, err = dsnet.NewUpDownOnly(g, cfg.VCs)
-	case "valiant":
-		rt, err = dsnet.NewValiant(g, cfg.VCs)
+	case "adaptive", "updown", "valiant":
 	case "custom":
 		if dsnV == nil {
 			return fmt.Errorf("-routing custom requires -topo dsn-v")
 		}
-		rt, err = dsnet.NewDSNSourceRouted(dsnV)
 	default:
-		err = fmt.Errorf("unknown routing %q", o.routing)
-	}
-	if err != nil {
-		return err
+		return fmt.Errorf("unknown routing %q", o.routing)
 	}
 
+	var err error
 	var plan *dsnet.FaultPlan
 	if o.faults > 0 {
 		start, spread := o.faultCycle, o.faultSpread
@@ -202,7 +238,7 @@ func run(o opts) error {
 	}
 
 	if o.collective != "" {
-		return runCollective(o, cfg, g, rt, plan)
+		return runCollective(o, cfg, g, mkRouter, plan)
 	}
 
 	fmt.Printf("# %s / %s / %s routing / %s switching, %d switches x %d hosts, seed %d\n",
@@ -216,42 +252,69 @@ func run(o opts) error {
 	} else {
 		fmt.Printf("%12s %12s %12s %12s %10s\n", "offered_gbps", "accepted", "latency_ns", "p99_ns", "saturated")
 	}
+	// point memoizes one offered load: the run result plus whether the
+	// progress watchdog aborted it (printed as saturated).
+	type point struct {
+		Res      dsnet.SimResult
+		Watchdog bool
+	}
+	graphFP := harness.GraphFingerprint(g)
+	cfgFP := harness.SimConfigFingerprint(cfg)
+	planFP := harness.FaultPlanFingerprint(plan)
+	cells := make([]harness.Cell[point], 0, len(rates))
 	for _, rate := range rates {
-		// Built per run: some patterns (all-to-all) carry per-simulation
-		// state that must not leak between offered loads.
-		pat, err := dsnet.PatternFor(o.pattern, g.N(), cfg.HostsPerSwitch)
-		if err != nil {
-			return err
+		key := harness.NewKey("dsnsim")
+		key.Topo, key.Routing, key.Switching, key.Pattern = o.topo, o.routing, o.switching, o.pattern
+		key.N, key.Rate, key.Seed = g.N(), rate, o.seed
+		key.Params = []harness.Param{
+			harness.P("graph", graphFP), harness.P("cfg", cfgFP), harness.P("plan", planFP),
 		}
-		var res dsnet.SimResult
-		var runErr error
-		if o.switching == "wormhole" {
-			sim, err := dsnet.NewWormSim(cfg, g, rt, pat, rate)
+		cells = append(cells, harness.Cell[point]{Key: key, Run: func() (point, error) {
+			rt, err := mkRouter()
 			if err != nil {
-				return err
+				return point{}, err
 			}
-			if plan != nil {
-				if err := sim.SetFaultPlan(plan); err != nil {
-					return err
-				}
-			}
-			res, runErr = sim.Run()
-		} else {
-			sim, err := dsnet.NewSim(cfg, g, rt, pat, rate)
+			// Built per cell: some patterns (all-to-all) carry per-simulation
+			// state that must not leak between offered loads.
+			pat, err := dsnet.PatternFor(o.pattern, g.N(), cfg.HostsPerSwitch)
 			if err != nil {
-				return err
+				return point{}, err
 			}
-			if plan != nil {
-				if err := sim.SetFaultPlan(plan); err != nil {
-					return err
+			var res dsnet.SimResult
+			var runErr error
+			if o.switching == "wormhole" {
+				sim, err := dsnet.NewWormSim(cfg, g, rt, pat, rate)
+				if err != nil {
+					return point{}, err
 				}
+				if plan != nil {
+					if err := sim.SetFaultPlan(plan); err != nil {
+						return point{}, err
+					}
+				}
+				res, runErr = sim.Run()
+			} else {
+				sim, err := dsnet.NewSim(cfg, g, rt, pat, rate)
+				if err != nil {
+					return point{}, err
+				}
+				if plan != nil {
+					if err := sim.SetFaultPlan(plan); err != nil {
+						return point{}, err
+					}
+				}
+				res, runErr = sim.Run()
 			}
-			res, runErr = sim.Run()
-		}
-		sat := res.Saturated
-		if runErr != nil {
-			sat = true
-		}
+			return point{Res: res, Watchdog: runErr != nil}, nil
+		}})
+	}
+	points, err := harness.Run(runner, "dsnsim", cells)
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		res := p.Res
+		sat := res.Saturated || p.Watchdog
 		if plan != nil {
 			delRate := 0.0
 			if res.GeneratedMeasured > 0 {
@@ -271,7 +334,7 @@ func run(o opts) error {
 // runCollective replays one collective workload's message DAG to
 // completion o.reps times, each under a different seeded rank placement,
 // and reports per-rep makespans plus a mean with a 95% CI.
-func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, rt dsnet.Router, plan *dsnet.FaultPlan) error {
+func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, mkRouter func() (dsnet.Router, error), plan *dsnet.FaultPlan) error {
 	if o.reps < 1 {
 		return fmt.Errorf("-reps %d must be >= 1", o.reps)
 	}
@@ -300,40 +363,74 @@ func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, rt dsnet.Router,
 		fmt.Printf(" %8s %6s %8s", "dropped", "lost", "retried")
 	}
 	fmt.Println()
-	var makespans []float64
+	// repResult memoizes one placement repetition; Watchdog carries the
+	// abort message of a run the progress watchdog killed.
+	type repResult struct {
+		Res      dsnet.SimResult
+		Watchdog string
+	}
+	graphFP := harness.GraphFingerprint(g)
+	cfgFP := harness.SimConfigFingerprint(cfg)
+	planFP := harness.FaultPlanFingerprint(plan)
+	cells := make([]harness.Cell[repResult], 0, o.reps)
 	for rep := 0; rep < o.reps; rep++ {
-		// The same seed mixing as analysis.CollectiveSweep, so dsnsim reps
-		// reproduce the placements behind dsnfigs -fig collective rows.
-		replay := dsnet.CollectiveReplay(dag.Permuted(o.seed + uint64(rep)*0x9e37))
-		var res dsnet.SimResult
-		var runErr error
-		if o.switching == "wormhole" {
-			sim, err := dsnet.NewWormSimReplay(cfg, g, rt, replay)
-			if err != nil {
-				return err
-			}
-			if plan != nil {
-				if err := sim.SetFaultPlan(plan); err != nil {
-					return err
-				}
-			}
-			res, runErr = sim.Run()
-		} else {
-			sim, err := dsnet.NewSimReplay(cfg, g, rt, replay)
-			if err != nil {
-				return err
-			}
-			if plan != nil {
-				if err := sim.SetFaultPlan(plan); err != nil {
-					return err
-				}
-			}
-			res, runErr = sim.Run()
+		key := harness.NewKey("dsnsim-collective")
+		key.Topo, key.Routing, key.Switching, key.Pattern = o.topo, o.routing, o.switching, dag.Name()
+		key.N, key.Seed = g.N(), o.seed
+		key.Params = []harness.Param{
+			harness.Pd("chunk", int64(chunk)), harness.Pd("rep", int64(rep)),
+			harness.P("graph", graphFP), harness.P("cfg", cfgFP), harness.P("plan", planFP),
 		}
-		if runErr != nil {
-			fmt.Printf("%4d  watchdog: %v\n", rep, runErr)
+		cells = append(cells, harness.Cell[repResult]{Key: key, Run: func() (repResult, error) {
+			rt, err := mkRouter()
+			if err != nil {
+				return repResult{}, err
+			}
+			// The same seed mixing as analysis.CollectiveSweep, so dsnsim reps
+			// reproduce the placements behind dsnfigs -fig collective rows.
+			replay := dsnet.CollectiveReplay(dag.Permuted(o.seed + uint64(rep)*0x9e37))
+			var res dsnet.SimResult
+			var runErr error
+			if o.switching == "wormhole" {
+				sim, err := dsnet.NewWormSimReplay(cfg, g, rt, replay)
+				if err != nil {
+					return repResult{}, err
+				}
+				if plan != nil {
+					if err := sim.SetFaultPlan(plan); err != nil {
+						return repResult{}, err
+					}
+				}
+				res, runErr = sim.Run()
+			} else {
+				sim, err := dsnet.NewSimReplay(cfg, g, rt, replay)
+				if err != nil {
+					return repResult{}, err
+				}
+				if plan != nil {
+					if err := sim.SetFaultPlan(plan); err != nil {
+						return repResult{}, err
+					}
+				}
+				res, runErr = sim.Run()
+			}
+			if runErr != nil {
+				return repResult{Res: res, Watchdog: runErr.Error()}, nil
+			}
+			return repResult{Res: res}, nil
+		}})
+	}
+	repResults, err := harness.Run(runner, "dsnsim-collective", cells)
+	if err != nil {
+		return err
+	}
+	var makespans []float64
+	for rep, rr := range repResults {
+		if rr.Watchdog != "" {
+			fmt.Printf("%4d  watchdog: %s\n", rep, rr.Watchdog)
 			continue
 		}
+		res := rr.Res
 		fmt.Printf("%4d %12.1f %6d/%-3d %10v %10d", rep,
 			res.MakespanNS/1e3, res.ReplayDelivered, res.ReplayMessages,
 			res.ReplayCompleted, res.MakespanCycles)

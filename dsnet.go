@@ -37,6 +37,7 @@ import (
 	"dsnet/internal/collectives"
 	"dsnet/internal/core"
 	"dsnet/internal/graph"
+	"dsnet/internal/harness"
 	"dsnet/internal/layout"
 	"dsnet/internal/netsim"
 	"dsnet/internal/routing"
@@ -466,6 +467,59 @@ var (
 	ParseChaosRepro     = chaos.ParseRepro
 	ChaosSweep          = analysis.ChaosSweep
 	WriteChaosTable     = analysis.WriteChaosTable
+)
+
+// Sweep-orchestration harness (cmd/dsnbench and the -j/-cache flags of
+// dsnfigs, dsnsim and dsnchaos): sweeps decompose into independent
+// seeded cells executed on a bounded worker pool with deterministic
+// assembly — parallel output is bit-identical to serial — and a
+// content-addressed on-disk cache replays completed cells across runs.
+type (
+	// SweepRunner executes sweep cells (worker bound, cache, bench).
+	SweepRunner = harness.Runner
+	// SweepCellKey is the canonical identity of one sweep cell.
+	SweepCellKey = harness.CellKey
+	// SweepCache is the content-addressed on-disk result cache.
+	SweepCache = harness.Cache
+	// SweepBench accumulates per-sweep execution statistics.
+	SweepBench = harness.Bench
+	// SweepStats summarizes one sweep's execution.
+	SweepStats = harness.Stats
+	// BenchReport is the machine-readable BENCH_sweeps.json document.
+	BenchReport = harness.Report
+	// BenchSweepStat is one sweep's serialized statistics.
+	BenchSweepStat = harness.SweepStat
+	// BenchReplayCheck records a cached-replay bit-identity verification.
+	BenchReplayCheck = harness.ReplayCheck
+)
+
+const (
+	// SweepEngineVersion stamps every cell key; bumping it invalidates
+	// the whole cache when simulator semantics change.
+	SweepEngineVersion = harness.EngineVersion
+	// DefaultSweepCacheDir is where the CLIs keep cached cells.
+	DefaultSweepCacheDir = harness.DefaultCacheDir
+	// BenchSchema versions the BENCH_sweeps.json document.
+	BenchSchema = harness.BenchSchema
+)
+
+var (
+	NewSweepRunner     = harness.NewRunner
+	DefaultSweepRunner = harness.Default
+	SerialSweepRunner  = harness.Serial
+	OpenSweepCache     = harness.OpenCache
+	NewBenchReport     = harness.NewReport
+
+	// Sweep drivers on an explicit runner; the plain variants above run
+	// the same cells on the default (parallel, uncached) runner.
+	PathSweepWith        = analysis.PathSweepWith
+	CableSweepWith       = analysis.CableSweepWith
+	LatencySweepWith     = analysis.LatencySweepWith
+	Fig10CurvesWith      = analysis.Fig10CurvesWith
+	FaultSweepWith       = analysis.FaultSweepWith
+	DegradationSweepWith = analysis.DegradationSweepWith
+	CollectiveSweepWith  = analysis.CollectiveSweepWith
+	ChaosSweepWith       = analysis.ChaosSweepWith
 )
 
 // PatternNames lists the traffic patterns PatternFor accepts.

@@ -19,6 +19,7 @@ import (
 
 	"dsnet/internal/core"
 	"dsnet/internal/graph"
+	"dsnet/internal/harness"
 	"dsnet/internal/layout"
 	"dsnet/internal/topology"
 )
@@ -27,26 +28,46 @@ import (
 // order.
 var Names = []string{"Torus", "RANDOM", "DSN"}
 
+// buildOne constructs one named comparison topology at n switches.
+// Sweep cells rebuild their own topology from (name, n, seed) so that a
+// cell is a pure function of its key; construction is deterministic, so
+// per-cell rebuilds cost a little CPU and buy full independence.
+func buildOne(name string, n int, seed uint64) (*graph.Graph, error) {
+	switch name {
+	case "DSN":
+		d, err := core.New(n, core.CeilLog2(n)-1)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: DSN at n=%d: %w", n, err)
+		}
+		return d.Graph(), nil
+	case "Torus":
+		t, err := topology.Torus2DFor(n)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: torus at n=%d: %w", n, err)
+		}
+		return t.Graph(), nil
+	case "RANDOM":
+		g, err := topology.DLNRandom(n, 2, 2, seed)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: DLN-2-2 at n=%d: %w", n, err)
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("analysis: unknown comparison topology %q", name)
+}
+
 // BuildComparison constructs the paper's three degree-4 comparison
 // topologies at n switches. The RANDOM instance uses the given seed.
 func BuildComparison(n int, seed uint64) (map[string]*graph.Graph, error) {
-	dsn, err := core.New(n, core.CeilLog2(n)-1)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: DSN at n=%d: %w", n, err)
+	out := make(map[string]*graph.Graph, len(Names))
+	for _, name := range Names {
+		g, err := buildOne(name, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = g
 	}
-	tor, err := topology.Torus2DFor(n)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: torus at n=%d: %w", n, err)
-	}
-	random, err := topology.DLNRandom(n, 2, 2, seed)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: DLN-2-2 at n=%d: %w", n, err)
-	}
-	return map[string]*graph.Graph{
-		"DSN":    dsn.Graph(),
-		"Torus":  tor.Graph(),
-		"RANDOM": random,
-	}, nil
+	return out, nil
 }
 
 // PathRow is one network size of Figures 7 and 8.
@@ -57,35 +78,71 @@ type PathRow struct {
 	ASPL     map[string]float64
 }
 
+// pathCell is the memoized result of one (size, topology, seed)
+// all-pairs measurement.
+type pathCell struct {
+	Diameter int32
+	ASPL     float64
+}
+
 // PathSweep computes diameter and average shortest path length for every
 // log2 size in logSizes (the paper sweeps 5..11). Random topologies are
 // averaged over the provided seeds.
 func PathSweep(logSizes []int, seeds []uint64) ([]PathRow, error) {
+	return PathSweepWith(harness.Default(), logSizes, seeds)
+}
+
+// PathSweepWith is PathSweep on an explicit harness runner: one cell
+// per (size, topology, seed) measurement, assembled into rows exactly
+// as the serial sweep orders them.
+func PathSweepWith(r *harness.Runner, logSizes []int, seeds []uint64) ([]PathRow, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
-	rows := make([]PathRow, 0, len(logSizes))
+	var cells []harness.Cell[pathCell]
 	for _, lg := range logSizes {
 		n := 1 << uint(lg)
-		row := PathRow{
-			LogN:     lg,
-			N:        n,
-			Diameter: make(map[string]float64),
-			ASPL:     make(map[string]float64),
-		}
 		for si, seed := range seeds {
-			graphs, err := BuildComparison(n, seed)
-			if err != nil {
-				return nil, err
-			}
-			for name, g := range graphs {
+			for _, name := range Names {
 				if si > 0 && name != "RANDOM" {
 					continue // deterministic topologies measured once
 				}
-				m := g.AllPairs()
-				if !m.Connected {
-					return nil, fmt.Errorf("analysis: %s at n=%d disconnected", name, n)
+				key := harness.NewKey("path")
+				key.Topo, key.N, key.Seed = name, n, seed
+				cells = append(cells, harness.Cell[pathCell]{Key: key, Run: func() (pathCell, error) {
+					g, err := buildOne(name, n, seed)
+					if err != nil {
+						return pathCell{}, err
+					}
+					m := g.AllPairs()
+					if !m.Connected {
+						return pathCell{}, fmt.Errorf("analysis: %s at n=%d disconnected", name, n)
+					}
+					return pathCell{Diameter: m.Diameter, ASPL: m.ASPL}, nil
+				}})
+			}
+		}
+	}
+	results, err := harness.Run(r, "path", cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PathRow, 0, len(logSizes))
+	i := 0
+	for _, lg := range logSizes {
+		row := PathRow{
+			LogN:     lg,
+			N:        1 << uint(lg),
+			Diameter: make(map[string]float64),
+			ASPL:     make(map[string]float64),
+		}
+		for si := range seeds {
+			for _, name := range Names {
+				if si > 0 && name != "RANDOM" {
+					continue
 				}
+				m := results[i]
+				i++
 				w := 1.0
 				if name == "RANDOM" {
 					w = 1 / float64(len(seeds))
@@ -109,31 +166,55 @@ type CableRow struct {
 // CableSweep computes the average cable length of each comparison
 // topology under the Section VI.B machine-room layout.
 func CableSweep(logSizes []int, seeds []uint64, cfg layout.Config) ([]CableRow, error) {
+	return CableSweepWith(harness.Default(), logSizes, seeds, cfg)
+}
+
+// CableSweepWith is CableSweep on an explicit harness runner.
+func CableSweepWith(r *harness.Runner, logSizes []int, seeds []uint64, cfg layout.Config) ([]CableRow, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
-	rows := make([]CableRow, 0, len(logSizes))
+	layoutFP := harness.Fingerprint(fmt.Sprintf("%+v", cfg))
+	var cells []harness.Cell[float64]
 	for _, lg := range logSizes {
 		n := 1 << uint(lg)
-		row := CableRow{LogN: lg, N: n, Average: make(map[string]float64)}
 		for si, seed := range seeds {
-			graphs, err := BuildComparison(n, seed)
-			if err != nil {
-				return nil, err
-			}
-			for name, g := range graphs {
+			for _, name := range Names {
 				if si > 0 && name != "RANDOM" {
 					continue
 				}
-				avg, err := layout.AverageCableLength(g, cfg)
-				if err != nil {
-					return nil, err
+				key := harness.NewKey("cable")
+				key.Topo, key.N, key.Seed = name, n, seed
+				key.Params = []harness.Param{harness.P("layout", layoutFP)}
+				cells = append(cells, harness.Cell[float64]{Key: key, Run: func() (float64, error) {
+					g, err := buildOne(name, n, seed)
+					if err != nil {
+						return 0, err
+					}
+					return layout.AverageCableLength(g, cfg)
+				}})
+			}
+		}
+	}
+	results, err := harness.Run(r, "cable", cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CableRow, 0, len(logSizes))
+	i := 0
+	for _, lg := range logSizes {
+		row := CableRow{LogN: lg, N: 1 << uint(lg), Average: make(map[string]float64)}
+		for si := range seeds {
+			for _, name := range Names {
+				if si > 0 && name != "RANDOM" {
+					continue
 				}
 				w := 1.0
 				if name == "RANDOM" {
 					w = 1 / float64(len(seeds))
 				}
-				row.Average[name] += w * avg
+				row.Average[name] += w * results[i]
+				i++
 			}
 		}
 		rows = append(rows, row)

@@ -3,8 +3,10 @@ package analysis
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"dsnet/internal/chaos"
+	"dsnet/internal/harness"
 )
 
 // ChaosRow summarizes one chaos campaign: one target topology under one
@@ -27,8 +29,19 @@ type ChaosRow struct {
 // Campaign generation and every simulation are seeded, so a row is
 // reproducible from (target, n, seed, count, wormhole) alone.
 func ChaosSweep(targets []string, n int, seed uint64, count int, wormhole bool) ([]ChaosRow, error) {
-	var rows []ChaosRow
-	for _, name := range targets {
+	return ChaosSweepWith(harness.Default(), targets, n, seed, count, wormhole)
+}
+
+// ChaosSweepWith is ChaosSweep on an explicit harness runner. The
+// zero-fault golden baselines run first (one cell per target); every
+// scenario then runs as an independent cell on a fresh engine seeded
+// with its target's golden result, so the reconvergence check matches
+// the serial campaign exactly.
+func ChaosSweepWith(r *harness.Runner, targets []string, n int, seed uint64, count int, wormhole bool) ([]ChaosRow, error) {
+	// buildEngine rebuilds the deterministic (target, options) pair, so a
+	// cell is a pure function of (target name, n, wormhole) plus its
+	// scenario.
+	buildEngine := func(name string) (*chaos.Engine, error) {
 		t, err := chaos.BuildTarget(name, n)
 		if err != nil {
 			return nil, err
@@ -38,21 +51,79 @@ func ChaosSweep(targets []string, n int, seed uint64, count int, wormhole bool) 
 		if t.SafeRate > 0 {
 			opt.Rate = t.SafeRate
 		}
-		e, err := chaos.New(t, opt)
+		return chaos.New(t, opt)
+	}
+
+	type series struct {
+		name, engine, optFP string
+		scs                 []chaos.Scenario
+	}
+	all := make([]series, 0, len(targets))
+	goldenCells := make([]harness.Cell[chaos.Verdict], 0, len(targets))
+	for _, name := range targets {
+		e, err := buildEngine(name)
 		if err != nil {
 			return nil, err
 		}
-		scs, err := chaos.Campaign(t.Graph, e.T.Layout, opt.FaultWindow(), seed, count)
+		scs, err := chaos.Campaign(e.T.Graph, e.T.Layout, e.Opt.FaultWindow(), seed, count)
 		if err != nil {
 			return nil, err
 		}
-		verdicts, err := e.RunCampaign(scs)
-		if err != nil {
-			return nil, err
+		optFP := harness.Fingerprint(fmt.Sprintf("%+v", e.Opt))
+		all = append(all, series{name: name, engine: e.Opt.EngineName(), optFP: optFP, scs: scs})
+		key := harness.NewKey("chaos-golden")
+		key.Topo, key.Switching = name, e.Opt.EngineName()
+		key.N, key.Rate, key.Seed = e.T.Graph.N(), e.Opt.Rate, e.Opt.Cfg.Seed
+		key.Params = []harness.Param{harness.P("opt", optFP)}
+		goldenCells = append(goldenCells, harness.Cell[chaos.Verdict]{Key: key, Run: func() (chaos.Verdict, error) {
+			ge, err := buildEngine(name)
+			if err != nil {
+				return chaos.Verdict{}, err
+			}
+			return ge.GoldenVerdict()
+		}})
+	}
+	goldens, err := harness.Run(r, "chaos-golden", goldenCells)
+	if err != nil {
+		return nil, err
+	}
+
+	var cells []harness.Cell[chaos.Verdict]
+	for si, s := range all {
+		gv := goldens[si]
+		for _, sc := range s.scs {
+			key := harness.NewKey("chaos")
+			key.Topo, key.Switching = s.name, s.engine
+			key.N, key.Seed = n, sc.Seed
+			key.Params = []harness.Param{
+				harness.P("kind", sc.Kind.String()),
+				harness.P("plan", harness.FaultPlanFingerprint(sc.Plan)),
+				harness.P("opt", s.optFP),
+				harness.Pd("golden", gv.Result.DeliveredTotal),
+			}
+			cells = append(cells, harness.Cell[chaos.Verdict]{Key: key, Run: func() (chaos.Verdict, error) {
+				ge, err := buildEngine(s.name)
+				if err != nil {
+					return chaos.Verdict{}, err
+				}
+				ge.SetGolden(gv.Result, gv.Monitor)
+				return ge.RunScenario(sc)
+			}})
 		}
+	}
+	results, err := harness.Run(r, "chaos", cells)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]ChaosRow, 0, len(all))
+	i := 0
+	for si, s := range all {
+		verdicts := append([]chaos.Verdict{goldens[si]}, results[i:i+len(s.scs)]...)
+		i += len(s.scs)
 		row := ChaosRow{
-			Target:     name,
-			Engine:     opt.EngineName(),
+			Target:     s.name,
+			Engine:     s.engine,
 			Scenarios:  len(verdicts),
 			Violations: map[string]int{},
 		}
@@ -77,12 +148,17 @@ func WriteChaosTable(w io.Writer, rows []ChaosRow) {
 	for _, r := range rows {
 		viol := "-"
 		if len(r.Violations) > 0 {
+			mons := make([]string, 0, len(r.Violations))
+			for mon := range r.Violations { // dsnlint:ok maprange keys sorted below
+				mons = append(mons, mon)
+			}
+			sort.Strings(mons)
 			viol = ""
-			for mon, k := range r.Violations {
+			for _, mon := range mons {
 				if viol != "" {
 					viol += " "
 				}
-				viol += fmt.Sprintf("%s:%d", mon, k)
+				viol += fmt.Sprintf("%s:%d", mon, r.Violations[mon])
 			}
 		}
 		first := r.FirstBad

@@ -6,6 +6,7 @@ import (
 
 	"dsnet/internal/collectives"
 	"dsnet/internal/graph"
+	"dsnet/internal/harness"
 	"dsnet/internal/netsim"
 	"dsnet/internal/stats"
 )
@@ -34,12 +35,71 @@ type CollectiveRow struct {
 	Watchdog      bool    // some rep was aborted by the progress watchdog
 }
 
-// runCollective replays the workload reps times with seeded random rank
-// placements (DAG.Permuted) and aggregates the makespans.
-func runCollective(cfg netsim.Config, g *graph.Graph, mkRouter func() (netsim.Router, error),
-	d *collectives.DAG, reps int, seed uint64) (CollectiveRow, error) {
+// collectiveRep is the memoized outcome of one placement repetition.
+// Nanosecond-to-microsecond conversion happens inside the cell, exactly
+// where the serial loop performed it, so downstream float accumulation
+// is bit-identical.
+type collectiveRep struct {
+	Watchdog   bool
+	Completed  bool
+	MakespanUS float64
+	PhaseEndUS []float64
+}
+
+// collectiveRepCells decomposes one (topology, routing, workload) series
+// into one cell per placement repetition. mkRouter must be a
+// deterministic constructor (both NewDuatoUpDown and NewDSNSourceRouted
+// are), so rebuilding the router per cell leaves results unchanged.
+func collectiveRepCells(cfg netsim.Config, g *graph.Graph, mkRouter func() (netsim.Router, error),
+	d *collectives.DAG, name, routing string, chunkFlits, reps int, seed uint64) []harness.Cell[collectiveRep] {
+	graphFP := harness.GraphFingerprint(g)
+	cfgFP := harness.SimConfigFingerprint(cfg)
+	cells := make([]harness.Cell[collectiveRep], 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		key := harness.NewKey("collective")
+		key.Topo, key.Routing, key.Switching, key.Pattern = name, routing, "vct", d.Collective
+		key.N, key.Seed = g.N(), seed
+		key.Params = []harness.Param{
+			harness.P("algo", d.Algo),
+			harness.Pd("hosts", int64(d.Hosts)),
+			harness.Pd("chunk", int64(chunkFlits)),
+			harness.Pd("rep", int64(rep)),
+			harness.P("graph", graphFP),
+			harness.P("cfg", cfgFP),
+		}
+		cells = append(cells, harness.Cell[collectiveRep]{Key: key, Run: func() (collectiveRep, error) {
+			rt, err := mkRouter()
+			if err != nil {
+				return collectiveRep{}, err
+			}
+			replay := collectives.ToReplay(d.Permuted(seed + uint64(rep)*0x9e37))
+			sim, err := netsim.NewSimReplay(cfg, g, rt, replay)
+			if err != nil {
+				return collectiveRep{}, err
+			}
+			res, runErr := sim.Run()
+			if runErr != nil {
+				return collectiveRep{Watchdog: true}, nil
+			}
+			if !res.ReplayCompleted {
+				return collectiveRep{}, nil
+			}
+			out := collectiveRep{Completed: true, MakespanUS: res.MakespanNS / 1e3}
+			out.PhaseEndUS = make([]float64, 0, len(res.PhaseEndNS))
+			for _, p := range res.PhaseEndNS {
+				out.PhaseEndUS = append(out.PhaseEndUS, p/1e3)
+			}
+			return out, nil
+		}})
+	}
+	return cells
+}
+
+// assembleCollective aggregates one series' repetition cells into a row,
+// accumulating in repetition order exactly as the serial loop did.
+func assembleCollective(d *collectives.DAG, n, reps int, repResults []collectiveRep) CollectiveRow {
 	row := CollectiveRow{
-		N: g.N(), Hosts: d.Hosts,
+		N: n, Hosts: d.Hosts,
 		Collective: d.Collective, Algo: d.Algo,
 		Reps:       reps,
 		PhaseNames: append([]string(nil), d.PhaseNames...),
@@ -47,28 +107,18 @@ func runCollective(cfg netsim.Config, g *graph.Graph, mkRouter func() (netsim.Ro
 	var makespans []float64
 	phaseSums := make([]float64, len(d.PhaseNames))
 	completed := 0
-	for rep := 0; rep < reps; rep++ {
-		rt, err := mkRouter()
-		if err != nil {
-			return row, err
-		}
-		replay := collectives.ToReplay(d.Permuted(seed + uint64(rep)*0x9e37))
-		sim, err := netsim.NewSimReplay(cfg, g, rt, replay)
-		if err != nil {
-			return row, err
-		}
-		res, runErr := sim.Run()
-		if runErr != nil {
+	for _, rr := range repResults {
+		if rr.Watchdog {
 			row.Watchdog = true
 			continue
 		}
-		if !res.ReplayCompleted {
+		if !rr.Completed {
 			continue
 		}
 		completed++
-		makespans = append(makespans, res.MakespanNS/1e3)
-		for i := 0; i < len(phaseSums) && i < len(res.PhaseEndNS); i++ {
-			phaseSums[i] += res.PhaseEndNS[i] / 1e3
+		makespans = append(makespans, rr.MakespanUS)
+		for i := 0; i < len(phaseSums) && i < len(rr.PhaseEndUS); i++ {
+			phaseSums[i] += rr.PhaseEndUS[i]
 		}
 	}
 	row.CompletedRate = float64(completed) / float64(reps)
@@ -79,7 +129,7 @@ func runCollective(cfg netsim.Config, g *graph.Graph, mkRouter func() (netsim.Ro
 			row.PhaseUS[i] = s / float64(completed)
 		}
 	}
-	return row, nil
+	return row
 }
 
 // CollectiveSweep replays one collective workload on the three comparison
@@ -90,13 +140,29 @@ func runCollective(cfg netsim.Config, g *graph.Graph, mkRouter func() (netsim.Ro
 // halving-doubling on the non-power-of-two DSN-V host count) are skipped.
 func CollectiveSweep(cfg netsim.Config, sizes []int, collective, algo string,
 	chunkFlits, reps int, seed uint64) ([]CollectiveRow, error) {
+	return CollectiveSweepWith(harness.Default(), cfg, sizes, collective, algo, chunkFlits, reps, seed)
+}
+
+// CollectiveSweepWith is CollectiveSweep on an explicit harness runner.
+// All sizes, topologies and repetitions form one flat cell grid so the
+// worker pool stays busy across series boundaries; rows aggregate each
+// series' contiguous cell range in repetition order.
+func CollectiveSweepWith(r *harness.Runner, cfg netsim.Config, sizes []int, collective, algo string,
+	chunkFlits, reps int, seed uint64) ([]CollectiveRow, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("analysis: collective sweep needs >= 1 rep, got %d", reps)
 	}
 	if chunkFlits < 1 {
 		chunkFlits = cfg.PacketFlits
 	}
-	var rows []CollectiveRow
+	type series struct {
+		name, routing string
+		d             *collectives.DAG
+		n             int // switches (DSN-custom may differ from the sweep size)
+		lo            int // first cell index
+	}
+	var all []series
+	var cells []harness.Cell[collectiveRep]
 	for _, n := range sizes {
 		graphs, err := BuildComparison(n, seed)
 		if err != nil {
@@ -108,15 +174,10 @@ func CollectiveSweep(cfg netsim.Config, sizes []int, collective, algo string,
 		}
 		for _, name := range Names {
 			g := graphs[name]
-			row, err := runCollective(cfg, g, func() (netsim.Router, error) {
+			all = append(all, series{name, "adaptive", d, g.N(), len(cells)})
+			cells = append(cells, collectiveRepCells(cfg, g, func() (netsim.Router, error) {
 				return netsim.NewDuatoUpDown(g, cfg.VCs)
-			}, d, reps, seed)
-			if err != nil {
-				return nil, err
-			}
-			row.Name = name
-			row.Routing = "adaptive"
-			rows = append(rows, row)
+			}, d, name, "adaptive", chunkFlits, reps, seed)...)
 		}
 		// DSN custom source routing needs the DSN-V wiring; its size (and
 		// so host count) can differ from n when n % ceil(log2 n) != 0.
@@ -128,14 +189,19 @@ func CollectiveSweep(cfg netsim.Config, sizes []int, collective, algo string,
 		if err != nil {
 			continue // workload undefined at this host count (e.g. not a power of two)
 		}
-		row, err := runCollective(cfg, dv.Graph(), func() (netsim.Router, error) {
+		all = append(all, series{"DSN-custom", "dsn-custom", dc, dv.N, len(cells)})
+		cells = append(cells, collectiveRepCells(cfg, dv.Graph(), func() (netsim.Router, error) {
 			return netsim.NewDSNSourceRouted(dv)
-		}, dc, reps, seed)
-		if err != nil {
-			return nil, err
-		}
-		row.Name = "DSN-custom"
-		row.Routing = "dsn-custom"
+		}, dc, "DSN-custom", "dsn-custom", chunkFlits, reps, seed)...)
+	}
+	results, err := harness.Run(r, "collective", cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CollectiveRow, 0, len(all))
+	for _, s := range all {
+		row := assembleCollective(s.d, s.n, reps, results[s.lo:s.lo+reps])
+		row.Name, row.Routing = s.name, s.routing
 		rows = append(rows, row)
 	}
 	return rows, nil

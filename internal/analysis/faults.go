@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"dsnet/internal/graph"
+	"dsnet/internal/harness"
 	"dsnet/internal/netsim"
 	"dsnet/internal/traffic"
 )
@@ -26,35 +27,92 @@ type FaultRow struct {
 	ASPLInfl           float64 // mean ASPL / fault-free ASPL
 }
 
+// faultTrialCell is the memoized result of one damaged-graph
+// measurement: the surviving topology's raw path metrics.
+type faultTrialCell struct {
+	Connected bool
+	Diameter  int32
+	ASPL      float64
+}
+
 // FaultSweep removes a random fraction of links from each comparison
 // topology over several trials and measures the degradation.
 func FaultSweep(n int, fracs []float64, trials int, seed uint64) ([]FaultRow, error) {
+	return FaultSweepWith(harness.Default(), n, fracs, trials, seed)
+}
+
+// FaultSweepWith is FaultSweep on an explicit harness runner. The
+// fault-free baselines and every (fraction, topology, trial) damage
+// measurement are independent cells; rows aggregate the trial cells in
+// exactly the serial order, so the inflation sums are bit-identical.
+func FaultSweepWith(r *harness.Runner, n int, fracs []float64, trials int, seed uint64) ([]FaultRow, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("analysis: fault sweep needs >= 1 trial, got %d", trials)
 	}
-	graphs, err := BuildComparison(n, seed)
-	if err != nil {
-		return nil, err
-	}
-	base := make(map[string]graph.PathMetrics, len(Names))
-	for _, name := range Names {
-		base[name] = graphs[name].AllPairs()
-	}
-	var rows []FaultRow
 	for _, frac := range fracs {
 		if frac < 0 || frac >= 1 {
 			return nil, fmt.Errorf("analysis: fail fraction %g outside [0,1)", frac)
 		}
+	}
+
+	baseCells := make([]harness.Cell[faultTrialCell], 0, len(Names))
+	for _, name := range Names {
+		key := harness.NewKey("fault-base")
+		key.Topo, key.N, key.Seed = name, n, seed
+		baseCells = append(baseCells, harness.Cell[faultTrialCell]{Key: key, Run: func() (faultTrialCell, error) {
+			g, err := buildOne(name, n, seed)
+			if err != nil {
+				return faultTrialCell{}, err
+			}
+			m := g.AllPairs()
+			return faultTrialCell{Connected: m.Connected, Diameter: m.Diameter, ASPL: m.ASPL}, nil
+		}})
+	}
+	baseResults, err := harness.Run(r, "fault-base", baseCells)
+	if err != nil {
+		return nil, err
+	}
+	base := make(map[string]faultTrialCell, len(Names))
+	for i, name := range Names {
+		base[name] = baseResults[i]
+	}
+
+	var cells []harness.Cell[faultTrialCell]
+	for _, frac := range fracs {
 		for _, name := range Names {
-			g := graphs[name]
+			for trial := 0; trial < trials; trial++ {
+				key := harness.NewKey("fault")
+				key.Topo, key.N, key.Seed = name, n, seed
+				key.Params = []harness.Param{harness.Pf("frac", frac), harness.Pd("trial", int64(trial))}
+				cells = append(cells, harness.Cell[faultTrialCell]{Key: key, Run: func() (faultTrialCell, error) {
+					g, err := buildOne(name, n, seed)
+					if err != nil {
+						return faultTrialCell{}, err
+					}
+					rng := rand.New(rand.NewPCG(seed+uint64(trial)*7919, uint64(frac*1e6)))
+					kill := pickFailures(g.M(), frac, rng)
+					sub := g.Subgraph(func(e int) bool { return !kill[e] })
+					m := sub.AllPairs()
+					return faultTrialCell{Connected: m.Connected, Diameter: m.Diameter, ASPL: m.ASPL}, nil
+				}})
+			}
+		}
+	}
+	results, err := harness.Run(r, "fault", cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []FaultRow
+	i := 0
+	for _, frac := range fracs {
+		for _, name := range Names {
 			row := FaultRow{Name: name, FailFraction: frac, Trials: trials}
 			var diamSum, asplSum float64
 			connected := 0
 			for trial := 0; trial < trials; trial++ {
-				rng := rand.New(rand.NewPCG(seed+uint64(trial)*7919, uint64(frac*1e6)))
-				kill := pickFailures(g.M(), frac, rng)
-				sub := g.Subgraph(func(e int) bool { return !kill[e] })
-				m := sub.AllPairs()
+				m := results[i]
+				i++
 				if !m.Connected {
 					continue
 				}
@@ -124,53 +182,65 @@ type DegradationRow struct {
 // kills links across the first half of the measurement window. Fraction
 // 0 rows are the fault-free baseline.
 func DegradationSweep(cfg netsim.Config, n int, fracs []float64, rate float64, seed uint64) ([]DegradationRow, error) {
-	graphs, err := BuildComparison(n, seed)
-	if err != nil {
-		return nil, err
-	}
-	var rows []DegradationRow
+	return DegradationSweepWith(harness.Default(), cfg, n, fracs, rate, seed)
+}
+
+// DegradationSweepWith is DegradationSweep on an explicit harness
+// runner: one cell per (topology, fraction) live-fault simulation.
+func DegradationSweepWith(r *harness.Runner, cfg netsim.Config, n int, fracs []float64, rate float64, seed uint64) ([]DegradationRow, error) {
+	cfgFP := harness.SimConfigFingerprint(cfg)
+	var cells []harness.Cell[DegradationRow]
 	for _, name := range Names {
-		g := graphs[name]
 		for _, frac := range fracs {
-			rt, err := netsim.NewDuatoUpDown(g, cfg.VCs)
-			if err != nil {
-				return nil, err
-			}
-			pat := traffic.Uniform{Hosts: g.N() * cfg.HostsPerSwitch}
-			sim, err := netsim.NewSim(cfg, g, rt, pat, rate)
-			if err != nil {
-				return nil, err
-			}
-			plan, err := netsim.RandomLinkFaults(g, frac, cfg.WarmupCycles, cfg.MeasureCycles/2, seed)
-			if err != nil {
-				return nil, err
-			}
-			if err := sim.SetFaultPlan(plan); err != nil {
-				return nil, err
-			}
-			res, runErr := sim.Run()
-			row := DegradationRow{
-				Name:           name,
-				FailFraction:   frac,
-				FailedLinks:    plan.FailureCount(),
-				OfferedGbps:    res.OfferedGbps,
-				AcceptedGbps:   res.AcceptedGbps,
-				AvgLatencyNS:   res.AvgLatencyNS,
-				P99LatencyNS:   res.P99LatencyNS,
-				PostFaultP99NS: res.PostFaultP99NS,
-				Dropped:        res.Dropped,
-				Lost:           res.Lost,
-				Retried:        res.Retried,
-				Rerouted:       res.Rerouted,
-				Watchdog:       runErr != nil,
-			}
-			if res.GeneratedMeasured > 0 {
-				row.DeliveredRate = float64(res.DeliveredMeasured) / float64(res.GeneratedMeasured)
-			}
-			rows = append(rows, row)
+			key := harness.NewKey("degradation")
+			key.Topo, key.Routing, key.Switching, key.Pattern = name, "adaptive", "vct", "uniform"
+			key.N, key.Rate, key.Seed = n, rate, seed
+			key.Params = []harness.Param{harness.Pf("frac", frac), harness.P("cfg", cfgFP)}
+			cells = append(cells, harness.Cell[DegradationRow]{Key: key, Run: func() (DegradationRow, error) {
+				g, err := buildOne(name, n, seed)
+				if err != nil {
+					return DegradationRow{}, err
+				}
+				rt, err := netsim.NewDuatoUpDown(g, cfg.VCs)
+				if err != nil {
+					return DegradationRow{}, err
+				}
+				pat := traffic.Uniform{Hosts: g.N() * cfg.HostsPerSwitch}
+				sim, err := netsim.NewSim(cfg, g, rt, pat, rate)
+				if err != nil {
+					return DegradationRow{}, err
+				}
+				plan, err := netsim.RandomLinkFaults(g, frac, cfg.WarmupCycles, cfg.MeasureCycles/2, seed)
+				if err != nil {
+					return DegradationRow{}, err
+				}
+				if err := sim.SetFaultPlan(plan); err != nil {
+					return DegradationRow{}, err
+				}
+				res, runErr := sim.Run()
+				row := DegradationRow{
+					Name:           name,
+					FailFraction:   frac,
+					FailedLinks:    plan.FailureCount(),
+					OfferedGbps:    res.OfferedGbps,
+					AcceptedGbps:   res.AcceptedGbps,
+					AvgLatencyNS:   res.AvgLatencyNS,
+					P99LatencyNS:   res.P99LatencyNS,
+					PostFaultP99NS: res.PostFaultP99NS,
+					Dropped:        res.Dropped,
+					Lost:           res.Lost,
+					Retried:        res.Retried,
+					Rerouted:       res.Rerouted,
+					Watchdog:       runErr != nil,
+				}
+				if res.GeneratedMeasured > 0 {
+					row.DeliveredRate = float64(res.DeliveredMeasured) / float64(res.GeneratedMeasured)
+				}
+				return row, nil
+			}})
 		}
 	}
-	return rows, nil
+	return harness.Run(r, "degradation", cells)
 }
 
 // WriteDegradationTable renders the live-fault degradation sweep.

@@ -6,6 +6,7 @@ import (
 
 	"dsnet/internal/core"
 	"dsnet/internal/graph"
+	"dsnet/internal/harness"
 	"dsnet/internal/netsim"
 	"dsnet/internal/stats"
 	"dsnet/internal/topology"
@@ -66,36 +67,59 @@ func PatternFor(name string, nSw, hostsPerSwitch int) (traffic.Pattern, error) {
 	}
 }
 
+// latencyCells decomposes one latency curve into one cell per offered
+// load. Every cell builds its own router, pattern and simulator, so
+// cells are fully independent; router construction is deterministic,
+// making the per-cell rebuild invisible in the results.
+func latencyCells(cfg netsim.Config, g *graph.Graph, name, patternName string, rates []float64) []harness.Cell[netsim.Result] {
+	graphFP := harness.GraphFingerprint(g)
+	cfgFP := harness.SimConfigFingerprint(cfg)
+	cells := make([]harness.Cell[netsim.Result], 0, len(rates))
+	for _, rate := range rates {
+		key := harness.NewKey("latency")
+		key.Topo, key.Routing, key.Switching, key.Pattern = name, "adaptive", "vct", patternName
+		key.N, key.Rate, key.Seed = g.N(), rate, cfg.Seed
+		key.Params = []harness.Param{harness.P("graph", graphFP), harness.P("cfg", cfgFP)}
+		cells = append(cells, harness.Cell[netsim.Result]{Key: key, Run: func() (netsim.Result, error) {
+			rt, err := netsim.NewDuatoUpDown(g, cfg.VCs)
+			if err != nil {
+				return netsim.Result{}, err
+			}
+			// Built per run: some patterns (all-to-all) carry per-simulation
+			// state. Construction draws no simulation RNG, so stateless
+			// patterns are unaffected.
+			pat, err := PatternFor(patternName, g.N(), cfg.HostsPerSwitch)
+			if err != nil {
+				return netsim.Result{}, err
+			}
+			sim, err := netsim.NewSim(cfg, g, rt, pat, rate)
+			if err != nil {
+				return netsim.Result{}, err
+			}
+			// A watchdog trip marks the point saturated; keep the curve.
+			res, _ := sim.Run()
+			return res, nil
+		}})
+	}
+	return cells
+}
+
 // LatencySweep runs the simulator across the given offered loads
 // (flits/cycle/host) for one topology graph using the paper's adaptive
 // routing with up*/down* escape.
 func LatencySweep(cfg netsim.Config, g *graph.Graph, name, patternName string, rates []float64) (LatencyCurve, error) {
-	rt, err := netsim.NewDuatoUpDown(g, cfg.VCs)
+	return LatencySweepWith(harness.Default(), cfg, g, name, patternName, rates)
+}
+
+// LatencySweepWith is LatencySweep on an explicit harness runner: one
+// cell per offered load, executed on the runner's worker pool and
+// assembled in rate order (bit-identical to the serial sweep).
+func LatencySweepWith(r *harness.Runner, cfg netsim.Config, g *graph.Graph, name, patternName string, rates []float64) (LatencyCurve, error) {
+	points, err := harness.Run(r, "latency", latencyCells(cfg, g, name, patternName, rates))
 	if err != nil {
 		return LatencyCurve{}, err
 	}
-	curve := LatencyCurve{Topology: name, Pattern: patternName}
-	for _, rate := range rates {
-		// Built per run: some patterns (all-to-all) carry per-simulation
-		// state. Construction draws no simulation RNG, so stateless
-		// patterns are unaffected.
-		pat, err := PatternFor(patternName, g.N(), cfg.HostsPerSwitch)
-		if err != nil {
-			return LatencyCurve{}, err
-		}
-		sim, err := netsim.NewSim(cfg, g, rt, pat, rate)
-		if err != nil {
-			return LatencyCurve{}, err
-		}
-		res, err := sim.Run()
-		if err != nil {
-			// A watchdog trip marks the point saturated; keep the curve.
-			curve.Points = append(curve.Points, res)
-			continue
-		}
-		curve.Points = append(curve.Points, res)
-	}
-	return curve, nil
+	return LatencyCurve{Topology: name, Pattern: patternName, Points: points}, nil
 }
 
 // Fig10Curves reproduces one subfigure of Figure 10: the three comparison
@@ -103,17 +127,32 @@ func LatencySweep(cfg netsim.Config, g *graph.Graph, name, patternName string, r
 // loads. Rates are flits/cycle/host; the paper's x axis (accepted
 // Gbit/s/host) is rate * 96 at the unsaturated points.
 func Fig10Curves(cfg netsim.Config, patternName string, rates []float64, seed uint64) ([]LatencyCurve, error) {
+	return Fig10CurvesWith(harness.Default(), cfg, patternName, rates, seed)
+}
+
+// Fig10CurvesWith runs the full subfigure as one flat cell grid
+// (topologies x rates), so the pool stays busy across topology
+// boundaries instead of draining at each curve.
+func Fig10CurvesWith(r *harness.Runner, cfg netsim.Config, patternName string, rates []float64, seed uint64) ([]LatencyCurve, error) {
 	graphs, err := BuildComparison(64, seed)
 	if err != nil {
 		return nil, err
 	}
-	var curves []LatencyCurve
+	var cells []harness.Cell[netsim.Result]
 	for _, name := range Names {
-		c, err := LatencySweep(cfg, graphs[name], name, patternName, rates)
-		if err != nil {
-			return nil, err
-		}
-		curves = append(curves, c)
+		cells = append(cells, latencyCells(cfg, graphs[name], name, patternName, rates)...)
+	}
+	points, err := harness.Run(r, "fig10-"+patternName, cells)
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]LatencyCurve, 0, len(Names))
+	for i, name := range Names {
+		curves = append(curves, LatencyCurve{
+			Topology: name,
+			Pattern:  patternName,
+			Points:   points[i*len(rates) : (i+1)*len(rates)],
+		})
 	}
 	return curves, nil
 }

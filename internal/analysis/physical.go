@@ -50,7 +50,8 @@ func PhysicalLatencySweep(logSizes []int, seeds []uint64, cfg layout.Config, pc 
 			if err != nil {
 				return nil, err
 			}
-			for name, g := range graphs {
+			for _, name := range Names {
+				g := graphs[name]
 				if si > 0 && name != "RANDOM" {
 					continue
 				}

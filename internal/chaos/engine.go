@@ -205,6 +205,15 @@ func (e *Engine) Golden() (netsim.Result, string, error) {
 	return e.golden, e.goldenMon, e.goldenErr
 }
 
+// SetGolden preloads the zero-fault golden baseline. Parallel sweep
+// cells build a fresh engine per scenario; seeding them with the
+// already-measured golden result keeps reconvergence checkable without
+// each cell re-running the baseline.
+func (e *Engine) SetGolden(res netsim.Result, monitor string) {
+	e.golden, e.goldenMon, e.goldenErr = res, monitor, nil
+	e.goldenDone = true
+}
+
 // fullyRepaired reports whether every failed component is repaired by
 // the end of the plan.
 func fullyRepaired(p *netsim.FaultPlan) bool {
@@ -217,12 +226,12 @@ func fullyRepaired(p *netsim.FaultPlan) bool {
 			sw[ev.Switch] = !ev.Repair
 		}
 	}
-	for _, dead := range edge {
+	for _, dead := range edge { // dsnlint:ok maprange order-independent any-true reduction
 		if dead {
 			return false
 		}
 	}
-	for _, dead := range sw {
+	for _, dead := range sw { // dsnlint:ok maprange order-independent any-true reduction
 		if dead {
 			return false
 		}

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DefaultCacheDir is where the CLIs keep memoized cells, relative to
+// the working directory. It is a build artifact: disposable, never
+// committed (see .gitignore).
+const DefaultCacheDir = ".dsncache"
+
+// cacheSchema versions the on-disk entry envelope.
+const cacheSchema = "dsncache/v1"
+
+// Cache is a content-addressed store of completed cell results. The
+// address is the SHA-256 of the canonically encoded CellKey; the entry
+// embeds the full canonical key (collision and debugging guard) and a
+// checksum of the payload, so corrupt, truncated or stale entries are
+// detected and silently treated as misses — the cell simply re-runs
+// and overwrites them.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		dir = DefaultCacheDir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the on-disk envelope around one memoized result.
+type entry struct {
+	Schema string          `json:"schema"`
+	Key    string          `json:"key"`   // canonical CellKey text
+	Sum    string          `json:"sum"`   // SHA-256 hex of Value
+	Value  json.RawMessage `json:"value"` // the cell result, as JSON
+}
+
+// path shards entries by the first byte of the hash so directories stay
+// small on big grids.
+func (c *Cache) path(k CellKey) string {
+	h := k.Hash()
+	return filepath.Join(c.dir, h[:2], h+".json")
+}
+
+// Get loads the memoized result for k into out (a pointer) and reports
+// whether it was present and intact. Any defect — missing file, bad
+// JSON, schema or key mismatch, checksum failure — is a miss, never an
+// error: the contract is "either the stored result of this exact key,
+// or run the cell again".
+func (c *Cache) Get(k CellKey, out any) bool {
+	data, err := os.ReadFile(c.path(k))
+	if err != nil {
+		return false
+	}
+	var e entry
+	if json.Unmarshal(data, &e) != nil {
+		return false
+	}
+	if e.Schema != cacheSchema || e.Key != string(k.Canonical()) {
+		return false
+	}
+	sum := sha256.Sum256(e.Value)
+	if e.Sum != hex.EncodeToString(sum[:]) {
+		return false
+	}
+	return json.Unmarshal(e.Value, out) == nil
+}
+
+// Put memoizes v under k. The write is atomic (temp file + rename), so
+// a crash mid-write leaves either the old entry or none — never a torn
+// one. Results that cannot be marshalled are reported but are not
+// fatal to a sweep: the runner degrades to simply not caching them.
+func (c *Cache) Put(k CellKey, v any) error {
+	val, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	sum := sha256.Sum256(val)
+	e := entry{
+		Schema: cacheSchema,
+		Key:    string(k.Canonical()),
+		Sum:    hex.EncodeToString(sum[:]),
+		Value:  val,
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	path := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	A int     `json:"a"`
+	B string  `json:"b"`
+	C float64 `json:"c"`
+}
+
+func testCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	return c
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := testCache(t)
+	k := sampleKey()
+	want := payload{A: 7, B: "x", C: 0.25}
+
+	var got payload
+	if c.Get(k, &got) {
+		t.Fatal("Get hit on an empty cache")
+	}
+	if err := c.Put(k, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if !c.Get(k, &got) {
+		t.Fatal("Get missed a freshly stored entry")
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+
+	other := sampleKey()
+	other.Seed++
+	if c.Get(other, &got) {
+		t.Fatal("Get hit for a different key")
+	}
+}
+
+// TestCacheCorruptEntryIsMissAndRecoverable covers the re-run contract:
+// every on-disk defect is a miss, and a subsequent Put heals it.
+func TestCacheCorruptEntryIsMissAndRecoverable(t *testing.T) {
+	k := sampleKey()
+	want := payload{A: 1, B: "ok", C: 1.5}
+
+	corruptions := map[string]func(t *testing.T, path string){
+		"truncated": func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"not json": func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"wrong schema": func(t *testing.T, path string) {
+			rewriteEntry(t, path, func(e *entry) { e.Schema = "dsncache/v0" })
+		},
+		"key mismatch": func(t *testing.T, path string) {
+			rewriteEntry(t, path, func(e *entry) { e.Key = "dsncell v1\nsomething else" })
+		},
+		"checksum mismatch": func(t *testing.T, path string) {
+			rewriteEntry(t, path, func(e *entry) { e.Value = json.RawMessage(`{"a":999}`) })
+		},
+		"payload type mismatch": func(t *testing.T, path string) {
+			rewriteEntry(t, path, func(e *entry) {
+				e.Value = json.RawMessage(`[1,2,3]`)
+				e.Sum = sumOf(e.Value)
+			})
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			c := testCache(t)
+			if err := c.Put(k, want); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			corrupt(t, c.path(k))
+			var got payload
+			if c.Get(k, &got) {
+				t.Fatal("Get hit a corrupted entry")
+			}
+			// The cell re-runs and overwrites; the entry must be whole again.
+			if err := c.Put(k, want); err != nil {
+				t.Fatalf("re-Put over corrupt entry: %v", err)
+			}
+			if !c.Get(k, &got) || got != want {
+				t.Fatalf("entry not healed: hit=%v got=%+v", c.Get(k, &got), got)
+			}
+		})
+	}
+}
+
+func rewriteEntry(t *testing.T, path string, mutate func(*entry)) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&e)
+	out, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sumOf(v json.RawMessage) string {
+	sum := sha256.Sum256(v)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestCacheEntryIsSharded(t *testing.T) {
+	c := testCache(t)
+	k := sampleKey()
+	if err := c.Put(k, payload{}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	h := k.Hash()
+	want := filepath.Join(c.Dir(), h[:2], h+".json")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("entry not at sharded path %s: %v", want, err)
+	}
+}
+
+func TestOpenCacheCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "cache")
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	if c.Dir() != dir {
+		t.Fatalf("Dir() = %q, want %q", c.Dir(), dir)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("cache dir not created: %v", err)
+	}
+}

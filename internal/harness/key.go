@@ -1,0 +1,236 @@
+// Package harness is the sweep-orchestration engine behind the
+// experiment drivers: it decomposes a sweep into independent, seeded
+// cells, executes them on a bounded worker pool with deterministic
+// result assembly (parallel output is bit-identical to serial output),
+// memoizes completed cells in a content-addressed on-disk cache so
+// interrupted sweeps resume instead of re-simulating, and records
+// per-sweep timing into a machine-readable benchmark report.
+//
+// A cell is a pure function of its CellKey: everything that can change
+// the result — topology, routing, switching mode, traffic pattern,
+// offered rate, network size, seed, fault/chaos/collective
+// configuration, simulator parameters and the engine version — must be
+// captured in the key, because the cache replays a stored result for
+// any later run presenting the same key.
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EngineVersion tags every CellKey with the simulator generation.
+// Bump it whenever a change alters simulation results (router policy,
+// flow control, RNG consumption order, metric definitions): the bump
+// invalidates every cached cell at once, which is exactly what stale
+// results need.
+const EngineVersion = "dsn-sim/1"
+
+// keySchema versions the canonical encoding itself, independently of
+// the simulator generation.
+const keySchema = "dsncell v1"
+
+// Param is one sweep-specific key dimension beyond the common fields
+// (e.g. a fault fraction, a collective algorithm, a fault-plan
+// fingerprint). Params compare and hash order-insensitively: the
+// canonical encoding sorts them.
+type Param struct {
+	K, V string
+}
+
+// P is shorthand for building a Param.
+func P(k, v string) Param { return Param{K: k, V: v} }
+
+// Pf builds a Param with a canonically formatted float value.
+func Pf(k string, v float64) Param { return Param{K: k, V: CanonFloat(v)} }
+
+// Pd builds a Param with a decimal integer value.
+func Pd(k string, v int64) Param { return Param{K: k, V: strconv.FormatInt(v, 10)} }
+
+// CellKey identifies one independent sweep cell as a pure value. Two
+// cells with equal normalized keys must compute identical results; the
+// cache depends on it.
+type CellKey struct {
+	Sweep     string // sweep family: "latency", "fault", "chaos", ...
+	Engine    string // EngineVersion at key construction
+	Topo      string // topology name ("DSN", "Torus", "RANDOM", ...)
+	Routing   string // routing scheme ("adaptive", "dsn-custom", ...)
+	Switching string // "vct" or "wormhole"
+	Pattern   string // traffic pattern or workload name
+	N         int    // switches
+	Rate      float64
+	Seed      uint64
+	Params    []Param // extra dimensions, order-insensitive
+}
+
+// NewKey returns a CellKey for the sweep stamped with the current
+// EngineVersion.
+func NewKey(sweep string) CellKey {
+	return CellKey{Sweep: sweep, Engine: EngineVersion}
+}
+
+// CanonFloat formats f canonically: the shortest decimal string that
+// parses back to the same bits, with negative zero normalized to zero
+// so semantically equal rates hash identically.
+func CanonFloat(f float64) string {
+	if f == 0 && !math.IsNaN(f) {
+		f = 0 // collapse -0 into +0
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Normalize returns a copy with Params sorted (stably, by key then
+// value) and float fields canonicalized. Canonical, Hash and Equal all
+// operate on the normalized form.
+func (k CellKey) Normalize() CellKey {
+	if k.Rate == 0 {
+		k.Rate = 0 // collapse -0
+	}
+	ps := append([]Param(nil), k.Params...)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].K != ps[j].K {
+			return ps[i].K < ps[j].K
+		}
+		return ps[i].V < ps[j].V
+	})
+	if len(ps) == 0 {
+		ps = nil
+	}
+	k.Params = ps
+	return k
+}
+
+// Canonical renders the normalized key in the stable text form that is
+// hashed for the cache. The format is line-oriented and fully quoted,
+// so arbitrary strings (including newlines) round-trip.
+func (k CellKey) Canonical() []byte {
+	k = k.Normalize()
+	var b strings.Builder
+	b.WriteString(keySchema)
+	b.WriteByte('\n')
+	field := func(name, v string) {
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(strconv.Quote(v))
+		b.WriteByte('\n')
+	}
+	field("sweep", k.Sweep)
+	field("engine", k.Engine)
+	field("topo", k.Topo)
+	field("routing", k.Routing)
+	field("switching", k.Switching)
+	field("pattern", k.Pattern)
+	fmt.Fprintf(&b, "n %d\n", k.N)
+	fmt.Fprintf(&b, "rate %s\n", strconv.Quote(CanonFloat(k.Rate)))
+	fmt.Fprintf(&b, "seed %d\n", k.Seed)
+	for _, p := range k.Params {
+		fmt.Fprintf(&b, "p %s %s\n", strconv.Quote(p.K), strconv.Quote(p.V))
+	}
+	return []byte(b.String())
+}
+
+func (k CellKey) String() string { return string(k.Canonical()) }
+
+// Hash returns the full hex SHA-256 of the canonical encoding — the
+// cell's content address.
+func (k CellKey) Hash() string {
+	sum := sha256.Sum256(k.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// Equal reports whether two keys are semantically equal (equal after
+// normalization, hence equal hashes).
+func (k CellKey) Equal(o CellKey) bool {
+	return string(k.Canonical()) == string(o.Canonical())
+}
+
+// ParseKey decodes a canonical encoding back into a (normalized)
+// CellKey. It is strict: the input must be exactly what Canonical
+// emits, field order included, except that Params may appear in any
+// order (they are re-sorted).
+func ParseKey(data []byte) (CellKey, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) < 10 || lines[0] != keySchema {
+		return CellKey{}, fmt.Errorf("harness: not a %q encoding", keySchema)
+	}
+	var k CellKey
+	unq := func(line, name string) (string, error) {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			return "", fmt.Errorf("harness: want %q field, got %q", name, line)
+		}
+		return strconv.Unquote(rest)
+	}
+	var err error
+	if k.Sweep, err = unq(lines[1], "sweep"); err != nil {
+		return CellKey{}, err
+	}
+	if k.Engine, err = unq(lines[2], "engine"); err != nil {
+		return CellKey{}, err
+	}
+	if k.Topo, err = unq(lines[3], "topo"); err != nil {
+		return CellKey{}, err
+	}
+	if k.Routing, err = unq(lines[4], "routing"); err != nil {
+		return CellKey{}, err
+	}
+	if k.Switching, err = unq(lines[5], "switching"); err != nil {
+		return CellKey{}, err
+	}
+	if k.Pattern, err = unq(lines[6], "pattern"); err != nil {
+		return CellKey{}, err
+	}
+	if _, err = fmt.Sscanf(lines[7], "n %d", &k.N); err != nil {
+		return CellKey{}, fmt.Errorf("harness: bad n line %q: %w", lines[7], err)
+	}
+	rateStr, err := unq(lines[8], "rate")
+	if err != nil {
+		return CellKey{}, err
+	}
+	if k.Rate, err = strconv.ParseFloat(rateStr, 64); err != nil {
+		return CellKey{}, fmt.Errorf("harness: bad rate %q: %w", rateStr, err)
+	}
+	if _, err = fmt.Sscanf(lines[9], "seed %d", &k.Seed); err != nil {
+		return CellKey{}, fmt.Errorf("harness: bad seed line %q: %w", lines[9], err)
+	}
+	for _, line := range lines[10:] {
+		rest, ok := strings.CutPrefix(line, "p ")
+		if !ok {
+			return CellKey{}, fmt.Errorf("harness: want param line, got %q", line)
+		}
+		// Two quoted strings: split at the quote boundary by decoding the
+		// first quoted token, then the remainder.
+		kq, rest2, err := cutQuoted(rest)
+		if err != nil {
+			return CellKey{}, fmt.Errorf("harness: bad param line %q: %w", line, err)
+		}
+		vq, tail, err := cutQuoted(strings.TrimPrefix(rest2, " "))
+		if err != nil || tail != "" {
+			return CellKey{}, fmt.Errorf("harness: bad param line %q", line)
+		}
+		k.Params = append(k.Params, Param{K: kq, V: vq})
+	}
+	return k.Normalize(), nil
+}
+
+// cutQuoted decodes one Go-quoted string at the start of s and returns
+// it with the unconsumed remainder.
+func cutQuoted(s string) (string, string, error) {
+	v, err := strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", err
+	}
+	u, err := strconv.Unquote(v)
+	if err != nil {
+		return "", "", err
+	}
+	return u, s[len(v):], nil
+}

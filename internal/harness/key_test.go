@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleKey() CellKey {
+	k := NewKey("latency")
+	k.Topo, k.Routing, k.Switching, k.Pattern = "DSN", "adaptive", "vct", "uniform"
+	k.N, k.Rate, k.Seed = 64, 0.06, 7
+	k.Params = []Param{P("graph", "abc123"), Pf("frac", 0.05), Pd("trial", 3)}
+	return k
+}
+
+func TestNewKeyStampsEngineVersion(t *testing.T) {
+	k := NewKey("x")
+	if k.Engine != EngineVersion {
+		t.Fatalf("engine = %q, want %q", k.Engine, EngineVersion)
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	k := sampleKey()
+	got, err := ParseKey(k.Canonical())
+	if err != nil {
+		t.Fatalf("ParseKey: %v", err)
+	}
+	if !reflect.DeepEqual(got, k.Normalize()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, k.Normalize())
+	}
+}
+
+func TestCanonicalRoundTripHostileStrings(t *testing.T) {
+	k := NewKey("s\nweep \"quoted\"")
+	k.Topo = "tab\tand\\backslash"
+	k.Pattern = "unicode é世界"
+	k.Params = []Param{P("new\nline", "va\"lue"), P("", "")}
+	got, err := ParseKey(k.Canonical())
+	if err != nil {
+		t.Fatalf("ParseKey: %v", err)
+	}
+	if !got.Equal(k) {
+		t.Fatalf("hostile strings did not round-trip:\n got %+v\nwant %+v", got, k.Normalize())
+	}
+}
+
+func TestParamOrderInsensitive(t *testing.T) {
+	a := sampleKey()
+	b := sampleKey()
+	b.Params = []Param{b.Params[2], b.Params[0], b.Params[1]}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("param order changed the hash:\n%s\nvs\n%s", a.Canonical(), b.Canonical())
+	}
+	if !a.Equal(b) {
+		t.Fatal("Equal() is param-order sensitive")
+	}
+}
+
+func TestNegativeZeroRate(t *testing.T) {
+	a := sampleKey()
+	b := sampleKey()
+	a.Rate = 0
+	b.Rate = math.Copysign(0, -1)
+	if a.Hash() != b.Hash() {
+		t.Fatal("-0 and +0 rates hash differently")
+	}
+	if CanonFloat(math.Copysign(0, -1)) != "0" {
+		t.Fatalf("CanonFloat(-0) = %q, want %q", CanonFloat(math.Copysign(0, -1)), "0")
+	}
+}
+
+func TestCanonFloatShortestRoundTrip(t *testing.T) {
+	for _, f := range []float64{0.1, 1.0 / 3.0, math.MaxFloat64, math.SmallestNonzeroFloat64, -2.5e-17, math.Inf(1), math.Inf(-1)} {
+		k := sampleKey()
+		k.Rate = f
+		got, err := ParseKey(k.Canonical())
+		if err != nil {
+			t.Fatalf("rate %g: %v", f, err)
+		}
+		if got.Rate != f {
+			t.Fatalf("rate %g round-tripped to %g", f, got.Rate)
+		}
+	}
+	// NaN != NaN, so check it separately.
+	k := sampleKey()
+	k.Rate = math.NaN()
+	got, err := ParseKey(k.Canonical())
+	if err != nil {
+		t.Fatalf("NaN rate: %v", err)
+	}
+	if !math.IsNaN(got.Rate) {
+		t.Fatalf("NaN rate round-tripped to %g", got.Rate)
+	}
+}
+
+func TestHashDiffersAcrossFields(t *testing.T) {
+	base := sampleKey()
+	mutations := map[string]func(*CellKey){
+		"sweep":     func(k *CellKey) { k.Sweep = "other" },
+		"engine":    func(k *CellKey) { k.Engine = "dsn-sim/999" },
+		"topo":      func(k *CellKey) { k.Topo = "Torus" },
+		"routing":   func(k *CellKey) { k.Routing = "updown" },
+		"switching": func(k *CellKey) { k.Switching = "wormhole" },
+		"pattern":   func(k *CellKey) { k.Pattern = "transpose" },
+		"n":         func(k *CellKey) { k.N = 128 },
+		"rate":      func(k *CellKey) { k.Rate = 0.07 },
+		"seed":      func(k *CellKey) { k.Seed = 8 },
+		"param":     func(k *CellKey) { k.Params[0].V = "different" },
+	}
+	for name, mutate := range mutations {
+		k := sampleKey()
+		k.Params = append([]Param(nil), base.Params...)
+		mutate(&k)
+		if k.Hash() == base.Hash() {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+}
+
+func TestParseKeyRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a key",
+		"dsncell v2\n",
+		strings.Replace(string(sampleKey().Canonical()), "rate", "ratE", 1),
+		string(sampleKey().Canonical()) + "trailing junk\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseKey([]byte(c)); err == nil {
+			t.Errorf("ParseKey accepted %q", c)
+		}
+	}
+}
+
+func FuzzCellKeyCanonical(f *testing.F) {
+	f.Add("latency", "DSN", "adaptive", "vct", "uniform", 64, 0.06, uint64(7), "graph", "abc")
+	f.Add("", "", "", "", "", 0, 0.0, uint64(0), "", "")
+	f.Add("chaos", "torus\n", "up\"down", "wormhole", "p\tq", -3, math.Inf(-1), uint64(1<<63), "k", "v")
+	f.Add("fault", "RANDOM", "", "", "", 1<<20, 1e-300, ^uint64(0), "frac", "0.05")
+	f.Fuzz(func(t *testing.T, sweep, topo, routing, switching, pattern string, n int, rate float64, seed uint64, pk, pv string) {
+		k := CellKey{
+			Sweep: sweep, Engine: EngineVersion, Topo: topo, Routing: routing,
+			Switching: switching, Pattern: pattern, N: n, Rate: rate, Seed: seed,
+			Params: []Param{{K: pk, V: pv}},
+		}
+		enc := k.Canonical()
+		got, err := ParseKey(enc)
+		if err != nil {
+			t.Fatalf("ParseKey(Canonical()) failed: %v\nencoding:\n%s", err, enc)
+		}
+		// Encode/decode round trip: the decoded key is semantically equal
+		// and re-encodes to the identical bytes.
+		if !got.Equal(k) {
+			t.Fatalf("decoded key not Equal:\n got %+v\nwant %+v", got, k)
+		}
+		if string(got.Canonical()) != string(enc) {
+			t.Fatalf("re-encoding differs:\n got %s\nwant %s", got.Canonical(), enc)
+		}
+		if got.Hash() != k.Hash() {
+			t.Fatal("hash changed across round trip")
+		}
+		// Semantically equal variants hash identically: permuted params
+		// (padded with a second param) and -0 rates.
+		k2 := k
+		k2.Params = append([]Param{{K: "zz", V: "pad"}}, k.Params...)
+		k3 := k
+		k3.Params = append(append([]Param(nil), k.Params...), Param{K: "zz", V: "pad"})
+		if k2.Hash() != k3.Hash() {
+			t.Fatal("param order changed the hash")
+		}
+		if rate == 0 {
+			neg := k
+			neg.Rate = math.Copysign(0, -1)
+			if neg.Hash() != k.Hash() {
+				t.Fatal("-0 rate hashes differently from +0")
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runner executes sweep cells. The zero value runs cells serially with
+// no cache and no bench recording; Default returns the parallel
+// configuration the CLIs use.
+type Runner struct {
+	// Jobs bounds the worker pool. <= 0 selects GOMAXPROCS.
+	Jobs int
+	// Cache, when non-nil, memoizes completed cells and replays them on
+	// later runs with equal keys.
+	Cache *Cache
+	// Bench, when non-nil, receives one SweepStat per Run call.
+	Bench *Bench
+}
+
+// Default returns a Runner that saturates the machine: one worker per
+// CPU, no cache, no bench. Parallel assembly is deterministic, so this
+// is safe as the library-wide default.
+func Default() *Runner { return &Runner{} }
+
+// Serial returns a single-worker Runner — the reference execution that
+// parallel runs are pinned bit-identical to.
+func Serial() *Runner { return &Runner{Jobs: 1} }
+
+// NewRunner builds the Runner behind the CLI -j/-cache/-nocache flags:
+// jobs workers (<= 0 selects GOMAXPROCS), a content-addressed cache at
+// cacheDir unless nocache, and a Bench collecting per-sweep statistics.
+func NewRunner(jobs int, cacheDir string, nocache bool) (*Runner, error) {
+	r := &Runner{Jobs: jobs, Bench: &Bench{}}
+	if !nocache {
+		c, err := OpenCache(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		r.Cache = c
+	}
+	return r, nil
+}
+
+func (r *Runner) jobs() int {
+	if r == nil || r.Jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Jobs
+}
+
+// JobCount resolves the effective worker bound this runner uses.
+func (r *Runner) JobCount() int { return r.jobs() }
+
+// Cell is one independent unit of a sweep: a pure, seeded computation
+// identified by Key. Run must not share mutable state with other
+// cells — each cell builds its own routers, patterns and simulators —
+// and must be deterministic given the key, because the cache replays
+// stored results for equal keys.
+type Cell[T any] struct {
+	Key CellKey
+	Run func() (T, error)
+}
+
+// Stats summarizes one Run call.
+type Stats struct {
+	Sweep    string
+	Cells    int // total cells presented
+	Executed int // cells actually run
+	Cached   int // cells served from the cache
+	Jobs     int // worker bound used
+	Wall     time.Duration
+}
+
+// Run executes the cells of one sweep and returns their results in
+// cell order. Execution order is unspecified (bounded by r.Jobs), but
+// assembly is deterministic: results land at their cell's index, and
+// when cells fail, the error of the lowest-indexed failing cell is
+// returned — exactly what a serial loop would have surfaced first.
+//
+// With a cache attached, cells whose key is already stored are not
+// executed; fresh results are stored as soon as each cell completes,
+// so an interrupted sweep resumes where it stopped.
+func Run[T any](r *Runner, sweep string, cells []Cell[T]) ([]T, error) {
+	out, _, err := RunStats(r, sweep, cells)
+	return out, err
+}
+
+// RunStats is Run plus the sweep's execution statistics.
+func RunStats[T any](r *Runner, sweep string, cells []Cell[T]) ([]T, Stats, error) {
+	if r == nil {
+		r = Default()
+	}
+	start := time.Now() // dsnlint:ok walltime bench timing metadata; never feeds cell results
+	results := make([]T, len(cells))
+	errs := make([]error, len(cells))
+
+	var pending []int
+	cachedCount := 0
+	for i := range cells {
+		if r.Cache != nil && r.Cache.Get(cells[i].Key, &results[i]) {
+			cachedCount++
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	jobs := r.jobs()
+	if jobs > len(pending) {
+		jobs = len(pending)
+	}
+	if len(pending) > 0 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					v, err := cells[i].Run()
+					results[i], errs[i] = v, err
+					if err == nil && r.Cache != nil {
+						// Best effort: an unmarshallable or unwritable result
+						// simply isn't memoized; the sweep itself is unaffected.
+						_ = r.Cache.Put(cells[i].Key, v)
+					}
+				}
+			}()
+		}
+		for _, i := range pending {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	st := Stats{
+		Sweep:    sweep,
+		Cells:    len(cells),
+		Executed: len(pending),
+		Cached:   cachedCount,
+		Jobs:     jobs,
+		Wall:     time.Since(start), // dsnlint:ok walltime bench timing metadata; never feeds cell results
+	}
+	if r.Bench != nil {
+		r.Bench.add(st)
+	}
+	for i := range cells {
+		if errs[i] != nil {
+			return results, st, errs[i]
+		}
+	}
+	return results, st, nil
+}

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// synthCells builds n cells whose result is a pure function of the
+// index, with a counter recording how many actually executed.
+func synthCells(n int, executed *atomic.Int64) []Cell[payload] {
+	cells := make([]Cell[payload], n)
+	for i := range cells {
+		k := NewKey("synthetic")
+		k.N, k.Seed = n, uint64(i)
+		cells[i] = Cell[payload]{Key: k, Run: func() (payload, error) {
+			if executed != nil {
+				executed.Add(1)
+			}
+			return payload{A: i * i, B: fmt.Sprint(i), C: float64(i) / 8}, nil
+		}}
+	}
+	return cells
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	want, err := Run(Serial(), "synthetic", synthCells(64, nil))
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, jobs := range []int{2, 8, 64, 200} {
+		got, err := Run(&Runner{Jobs: jobs}, "synthetic", synthCells(64, nil))
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("jobs=%d results differ from serial", jobs)
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	cells := synthCells(16, nil)
+	errHigh := errors.New("cell 12 failed")
+	errLow := errors.New("cell 3 failed")
+	cells[12].Run = func() (payload, error) { return payload{}, errHigh }
+	cells[3].Run = func() (payload, error) { return payload{}, errLow }
+	for _, r := range []*Runner{Serial(), {Jobs: 8}} {
+		if _, err := Run(r, "synthetic", cells); !errors.Is(err, errLow) {
+			t.Fatalf("jobs=%d: got %v, want the lowest-indexed error %v", r.jobs(), err, errLow)
+		}
+	}
+}
+
+func TestRunBoundsWorkerPool(t *testing.T) {
+	const jobs = 3
+	var cur, peak atomic.Int64
+	cells := make([]Cell[int], 32)
+	var mu sync.Mutex
+	for i := range cells {
+		k := NewKey("bounded")
+		k.Seed = uint64(i)
+		cells[i] = Cell[int]{Key: k, Run: func() (int, error) {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			defer cur.Add(-1)
+			return i, nil
+		}}
+	}
+	if _, err := Run(&Runner{Jobs: jobs}, "bounded", cells); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > jobs {
+		t.Fatalf("observed %d concurrent cells, worker bound is %d", p, jobs)
+	}
+}
+
+func TestRunStatsAndCacheResume(t *testing.T) {
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := &Bench{}
+	r := &Runner{Jobs: 4, Cache: cache, Bench: bench}
+
+	var executed atomic.Int64
+	first, st, err := RunStats(r, "synthetic", synthCells(20, &executed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 20 || st.Executed != 20 || st.Cached != 0 {
+		t.Fatalf("first run stats = %+v, want 20 executed, 0 cached", st)
+	}
+	if got := executed.Load(); got != 20 {
+		t.Fatalf("first run executed %d cells, want 20", got)
+	}
+
+	// Fully cached replay: zero executions, identical results.
+	second, st, err := RunStats(r, "synthetic", synthCells(20, &executed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != 0 || st.Cached != 20 {
+		t.Fatalf("replay stats = %+v, want 0 executed, 20 cached", st)
+	}
+	if got := executed.Load(); got != 20 {
+		t.Fatalf("replay executed %d extra cells", got-20)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached replay results differ from the fresh run")
+	}
+
+	// Interrupted-sweep resume: grow the grid; only the new cells run.
+	third, st, err := RunStats(r, "synthetic", synthCells(32, &executed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// synthCells keys include N, so a 32-cell grid shares no keys with
+	// the 20-cell one — all 32 run. Shrink back to the 20-cell grid to
+	// model resuming the same sweep.
+	if st.Executed != 32 {
+		t.Fatalf("distinct grid executed %d, want 32 (keys include N)", st.Executed)
+	}
+	_ = third
+	if _, st, err = RunStats(r, "synthetic", synthCells(20, &executed)); err != nil || st.Executed != 0 {
+		t.Fatalf("resume after unrelated run: executed %d, err %v", st.Executed, err)
+	}
+
+	if got := len(bench.Sweeps()); got != 4 {
+		t.Fatalf("bench recorded %d sweeps, want 4", got)
+	}
+}
+
+func TestRunNocacheExecutesEveryTime(t *testing.T) {
+	var executed atomic.Int64
+	r := &Runner{Jobs: 2}
+	for pass := 0; pass < 2; pass++ {
+		if _, err := Run(r, "synthetic", synthCells(8, &executed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := executed.Load(); got != 16 {
+		t.Fatalf("executed %d cells across two uncached passes, want 16", got)
+	}
+}
+
+func TestRunNilAndEmpty(t *testing.T) {
+	out, err := Run[int](nil, "empty", nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("nil runner, empty cells: %v %v", out, err)
+	}
+	var r *Runner
+	if got := r.JobCount(); got < 1 {
+		t.Fatalf("nil runner JobCount = %d", got)
+	}
+}
+
+// TestRunParallelStress hammers the pool with many tiny cells; its real
+// value is under -race, where any unsynchronized result/error write or
+// cache access in the worker loop is reported.
+func TestRunParallelStress(t *testing.T) {
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Jobs: 16, Cache: cache, Bench: &Bench{}}
+	want, err := Run(Serial(), "stress", synthCells(300, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		got, err := Run(r, "stress", synthCells(300, nil))
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pass %d: parallel results differ from serial", pass)
+		}
+	}
+}
