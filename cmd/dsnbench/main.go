@@ -19,7 +19,7 @@
 //	dsnbench -smoke               # small grid (CI)
 //	dsnbench -smoke -switching wormhole
 //	dsnbench -j 8 -o BENCH_sweeps.json
-//	dsnbench -scaling -j 8       # serial-vs-parallel scaling table
+//	dsnbench -scaling -j 8       # grid + serial-vs-parallel scaling curve
 package main
 
 import (
@@ -44,7 +44,7 @@ type opts struct {
 func main() {
 	var o opts
 	flag.BoolVar(&o.smoke, "smoke", false, "small grid with short simulation windows (CI)")
-	flag.BoolVar(&o.scaling, "scaling", false, "print the serial-vs-parallel fault-sweep scaling table and exit")
+	flag.BoolVar(&o.scaling, "scaling", false, "also measure the serial-vs-parallel fault-sweep scaling curve and embed it in the report")
 	flag.StringVar(&o.switching, "switching", "vct", "chaos campaign engine: vct or wormhole")
 	flag.IntVar(&o.jobs, "j", 0, "parallel sweep workers (0: all CPUs)")
 	flag.Uint64Var(&o.seed, "seed", 1, "seed for topologies and simulations")
@@ -143,8 +143,14 @@ func run(o opts) error {
 	if o.switching != "vct" && o.switching != "wormhole" {
 		return fmt.Errorf("unknown switching mode %q", o.switching)
 	}
+	var scalingRows []dsnet.BenchScalingRow
 	if o.scaling {
-		return scaling(o.jobs, o.seed)
+		fmt.Println("# scaling: serial-vs-parallel fault sweep")
+		rows, err := scaling(o.jobs, o.seed)
+		if err != nil {
+			return err
+		}
+		scalingRows = rows
 	}
 	wormhole := o.switching == "wormhole"
 	g := gridFor(o.smoke, o.seed)
@@ -217,6 +223,7 @@ func run(o opts) error {
 		report.Speedup = report.SerialWallMS / report.TotalWallMS
 	}
 	report.Replay = &dsnet.BenchReplayCheck{Executed: executed, Cached: cached, Identical: identical}
+	report.Scaling = scalingRows
 	if err := report.WriteFile(o.out); err != nil {
 		return err
 	}
@@ -224,6 +231,9 @@ func run(o opts) error {
 	fmt.Printf("# serial %.0f ms, parallel %.0f ms (-j %d, gomaxprocs %d): speedup %.2fx\n",
 		report.SerialWallMS, report.TotalWallMS, report.Jobs, report.GoMaxProcs, report.Speedup)
 	fmt.Printf("# replay: %d executed, %d cached, identical=%v\n", executed, cached, identical)
+	if report.CacheErrors > 0 {
+		fmt.Printf("# cache: %d write failures (results unaffected; affected cells re-run next time)\n", report.CacheErrors)
+	}
 	fmt.Printf("# wrote %s\n", o.out)
 
 	if !identical {

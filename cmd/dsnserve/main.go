@@ -1,0 +1,115 @@
+// Command dsnserve runs the sweep service daemon: an HTTP+JSON front
+// end over the parallel sweep harness that executes sweep, chaos and
+// certification requests with a bounded job queue, load shedding
+// (429 + Retry-After), per-request deadlines, singleflight dedup of
+// identical in-flight requests over the shared content-addressed
+// cache, streaming NDJSON progress, and graceful drain on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/sweep    run one sweep family (body selects family/grid)
+//	POST /v1/chaos    chaos campaign sweep (family forced to "chaos")
+//	POST /v1/certify  static certification of the standard combos
+//	GET  /healthz     liveness (always 200 while the process serves)
+//	GET  /readyz      readiness (503 once draining)
+//	GET  /v1/stats    counters snapshot (accepted/deduped/shed/...)
+//
+// Usage:
+//
+//	dsnserve                         # listen on :8437, cache in .dsncache
+//	dsnserve -addr 127.0.0.1:0       # ephemeral port (printed on stdout)
+//	dsnserve -j 8 -concurrent 2 -queue 32
+//	dsnserve -nocache -timeout 30s -drain 2m
+//
+// On SIGTERM or SIGINT the daemon stops admitting work, finishes the
+// jobs it accepted (up to -drain), then exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dsnet/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8437", "listen address (host:port; port 0 picks one)")
+		jobs       = flag.Int("j", 0, "harness workers per executing job (0: all CPUs)")
+		concurrent = flag.Int("concurrent", 1, "jobs executing simultaneously")
+		queue      = flag.Int("queue", 16, "queued jobs admitted beyond the executing ones")
+		cacheDir   = flag.String("cache", "", "content-addressed cell cache directory (default .dsncache)")
+		nocache    = flag.Bool("nocache", false, "disable the cell cache")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
+		maxTimeout = flag.Duration("max-timeout", 15*time.Minute, "ceiling on client-requested deadlines")
+		drain      = flag.Duration("drain", 5*time.Minute, "shutdown drain deadline before in-flight jobs are cancelled")
+	)
+	flag.Parse()
+	if err := run(*addr, serve.Config{
+		Jobs: *jobs, Concurrency: *concurrent, QueueDepth: *queue,
+		CacheDir: *cacheDir, NoCache: *nocache,
+		DefaultTimeout: *timeout, MaxTimeout: *maxTimeout,
+	}, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "dsnserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config, drain time.Duration) error {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s}
+
+	// The resolved address goes to stdout (and nothing else does), so
+	// scripts can `addr=$(dsnserve -addr :0 &)`-style capture it.
+	fmt.Println(ln.Addr())
+	if cache := s.CacheDir(); cache != "" {
+		fmt.Fprintln(os.Stderr, "dsnserve: cell cache at", cache)
+	}
+	fmt.Fprintln(os.Stderr, "dsnserve: serving on", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "dsnserve: %s: draining (deadline %s)\n", sig, drain)
+	case err := <-serveErr:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dsnserve: drain deadline hit, in-flight jobs cancelled")
+	} else {
+		fmt.Fprintln(os.Stderr, "dsnserve: drained cleanly")
+	}
+	// Connections are already terminal-evented; close the listener and
+	// any stragglers.
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		httpSrv.Close()
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

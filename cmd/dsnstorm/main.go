@@ -1,0 +1,318 @@
+// Command dsnstorm load-tests a dsnserve daemon: it fires thousands of
+// concurrent requests in a deterministic cache-hit / cache-miss /
+// client-cancelled mix and records what the service did under the
+// storm — completions, sheds (429), cancellations, failures, latency
+// percentiles and the server's own counters — as BENCH_serve.json.
+//
+// With no -addr it boots an in-process dsnserve engine on a loopback
+// port, so the storm is self-contained (this is how the committed
+// benchmark artifact is produced).
+//
+// Usage:
+//
+//	dsnstorm                          # in-process server, 1000 requests
+//	dsnstorm -requests 5000 -c 64
+//	dsnstorm -addr 127.0.0.1:8437     # storm an external daemon
+//	dsnstorm -hit 0.5 -cancel 0.2     # shift the request mix
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsnet/internal/serve"
+)
+
+type opts struct {
+	addr       string
+	requests   int
+	clients    int
+	hitFrac    float64
+	cancelFrac float64
+	seed       uint64
+	queue      int
+	concurrent int
+	jobs       int
+	out        string
+}
+
+func main() {
+	var o opts
+	flag.StringVar(&o.addr, "addr", "", "dsnserve address (empty: boot an in-process server)")
+	flag.IntVar(&o.requests, "requests", 1000, "total requests to fire")
+	flag.IntVar(&o.clients, "c", 32, "concurrent client connections")
+	flag.Float64Var(&o.hitFrac, "hit", 0.4, "fraction of requests that replay a primed (fully cached) sweep")
+	flag.Float64Var(&o.cancelFrac, "cancel", 0.1, "fraction of requests the client abandons after acceptance")
+	flag.Uint64Var(&o.seed, "seed", 1, "base seed for the cache-miss request grid")
+	flag.IntVar(&o.queue, "queue", 64, "in-process server queue depth")
+	flag.IntVar(&o.concurrent, "concurrent", 1, "in-process server job concurrency")
+	flag.IntVar(&o.jobs, "j", 0, "in-process server harness workers per job (0: all CPUs)")
+	flag.StringVar(&o.out, "o", "BENCH_serve.json", "storm report output path")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "dsnstorm:", err)
+		os.Exit(1)
+	}
+}
+
+// request classes, assigned deterministically from the index.
+const (
+	classHit = iota
+	classMiss
+	classCancel
+)
+
+// classify deals request i into the hit/miss/cancel mix along the
+// golden-ratio low-discrepancy sequence — deterministic, no RNG, the
+// classes interleave (no contiguous runs), and the realized mix tracks
+// the requested fractions even for small request counts.
+func classify(i int, hitFrac, cancelFrac float64) int {
+	const phi = 0.6180339887498949
+	p := float64(i) * phi
+	p -= math.Floor(p)
+	switch {
+	case p < cancelFrac:
+		return classCancel
+	case p < cancelFrac+hitFrac:
+		return classHit
+	default:
+		return classMiss
+	}
+}
+
+// stormBody builds the request body for index i. Every class uses the
+// same cheap fault-sweep family (9 graph cells); hits replay the primed
+// seed, misses and cancels get per-index seeds so each is novel work.
+func stormBody(i, class int, seed uint64) string {
+	s := seed
+	switch class {
+	case classMiss:
+		s = seed + 1000 + uint64(i)
+	case classCancel:
+		s = seed + 2_000_000 + uint64(i)
+	}
+	return fmt.Sprintf(`{"family":"fault","n":24,"fracs":[0.05],"trials":2,"seed":%d}`, s)
+}
+
+// Report is the committed BENCH_serve.json document.
+type Report struct {
+	Schema     string  `json:"schema"`
+	Requests   int     `json:"requests"`
+	Clients    int     `json:"clients"`
+	HitFrac    float64 `json:"hit_frac"`
+	CancelFrac float64 `json:"cancel_frac"`
+
+	Completed int `json:"completed"`
+	Deduped   int `json:"deduped"`
+	Shed      int `json:"shed"`
+	Cancelled int `json:"cancelled"`
+	Failed    int `json:"failed"`
+
+	WallMS       float64 `json:"wall_ms"`
+	ThroughputRS float64 `json:"throughput_req_s"`
+	ShedRate     float64 `json:"shed_rate"`
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP90MS float64 `json:"latency_p90_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	LatencyMaxMS float64 `json:"latency_max_ms"`
+
+	Server serve.StatsSnapshot `json:"server"`
+}
+
+func run(o opts) error {
+	base := o.addr
+	if base == "" {
+		srv, err := serve.New(serve.Config{
+			Jobs: o.jobs, Concurrency: o.concurrent, QueueDepth: o.queue,
+			CacheDir: ".dsnstorm-cache",
+		})
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(".dsnstorm-cache")
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		base = ln.Addr().String()
+		fmt.Fprintln(os.Stderr, "dsnstorm: in-process dsnserve on", base)
+	}
+	base = "http://" + strings.TrimPrefix(base, "http://")
+
+	// Prime the hot entry so hit-class requests are pure cache replays.
+	if _, _, err := fire(base, stormBody(0, classHit, o.seed), false); err != nil {
+		return fmt.Errorf("priming the hot sweep: %w", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "dsnstorm: firing %d requests over %d clients (hit %.0f%% / cancel %.0f%% / miss rest)\n",
+		o.requests, o.clients, o.hitFrac*100, o.cancelFrac*100)
+
+	var completed, deduped, shed, cancelled, failed atomic.Int64
+	latencies := make([]float64, o.requests)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				class := classify(i, o.hitFrac, o.cancelFrac)
+				t0 := time.Now()
+				outcome, wasDedup, err := fire(base, stormBody(i, class, o.seed), class == classCancel)
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1e3
+				if wasDedup {
+					deduped.Add(1)
+				}
+				switch {
+				case err != nil:
+					failed.Add(1)
+				case outcome == "result":
+					completed.Add(1)
+				case outcome == "shed":
+					shed.Add(1)
+				case outcome == "cancelled":
+					cancelled.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < o.requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	snap, err := serverStats(base)
+	if err != nil {
+		return fmt.Errorf("final stats: %w", err)
+	}
+
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	pct := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	rep := Report{
+		Schema:   "dsn-serve-bench/v1",
+		Requests: o.requests, Clients: o.clients,
+		HitFrac: o.hitFrac, CancelFrac: o.cancelFrac,
+		Completed: int(completed.Load()), Deduped: int(deduped.Load()),
+		Shed: int(shed.Load()), Cancelled: int(cancelled.Load()), Failed: int(failed.Load()),
+		WallMS:       float64(wall.Microseconds()) / 1e3,
+		ThroughputRS: float64(o.requests) / wall.Seconds(),
+		ShedRate:     float64(shed.Load()) / float64(o.requests),
+		LatencyP50MS: pct(0.50), LatencyP90MS: pct(0.90),
+		LatencyP99MS: pct(0.99), LatencyMaxMS: sorted[len(sorted)-1],
+		Server: snap,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("requests    %d over %d clients in %.1fs (%.0f req/s)\n",
+		o.requests, o.clients, wall.Seconds(), rep.ThroughputRS)
+	fmt.Printf("outcomes    %d completed (%d deduped), %d shed, %d cancelled, %d failed\n",
+		rep.Completed, rep.Deduped, rep.Shed, rep.Cancelled, rep.Failed)
+	fmt.Printf("latency ms  p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
+		rep.LatencyP50MS, rep.LatencyP90MS, rep.LatencyP99MS, rep.LatencyMaxMS)
+	fmt.Printf("server      %d cells executed, %d cached, %d cache errors, %d panics\n",
+		snap.CellsExecuted, snap.CellsCached, snap.CacheErrors, snap.Panics)
+	fmt.Println("report     ", o.out)
+
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d requests failed", rep.Failed)
+	}
+	return nil
+}
+
+// fire sends one request and consumes its NDJSON stream. It returns
+// "result", "shed", "cancelled" or the terminal error code. When
+// abandon is set the client drops the connection right after the
+// accepted event — the cancelled-mid-flight class of the storm.
+func fire(base, body string, abandon bool) (outcome string, wasDedup bool, err error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return "shed", false, nil
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Event string `json:"event"`
+			Dedup bool   `json:"dedup"`
+			Code  string `json:"code"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return "", wasDedup, fmt.Errorf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "accepted":
+			wasDedup = ev.Dedup
+			if abandon {
+				cancel()
+				return "cancelled", wasDedup, nil
+			}
+		case "result":
+			return "result", wasDedup, nil
+		case "error":
+			return ev.Code, wasDedup, fmt.Errorf("server error %s: %s", ev.Code, ev.Error)
+		}
+	}
+	return "", wasDedup, fmt.Errorf("stream ended without terminal event: %v", sc.Err())
+}
+
+func serverStats(base string) (serve.StatsSnapshot, error) {
+	var snap serve.StatsSnapshot
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}

@@ -491,6 +491,8 @@ type (
 	BenchSweepStat = harness.SweepStat
 	// BenchReplayCheck records a cached-replay bit-identity verification.
 	BenchReplayCheck = harness.ReplayCheck
+	// BenchScalingRow is one point of the serial-vs-parallel scaling curve.
+	BenchScalingRow = harness.ScalingRow
 )
 
 const (
@@ -520,6 +522,22 @@ var (
 	DegradationSweepWith = analysis.DegradationSweepWith
 	CollectiveSweepWith  = analysis.CollectiveSweepWith
 	ChaosSweepWith       = analysis.ChaosSweepWith
+
+	// Context-aware sweep drivers (cmd/dsnserve): cancelling the context
+	// stops dispatching cells and surfaces ctx.Err() instead of partial
+	// results.
+	PathSweepCtx        = analysis.PathSweepCtx
+	CableSweepCtx       = analysis.CableSweepCtx
+	LatencySweepCtx     = analysis.LatencySweepCtx
+	Fig10CurvesCtx      = analysis.Fig10CurvesCtx
+	FaultSweepCtx       = analysis.FaultSweepCtx
+	DegradationSweepCtx = analysis.DegradationSweepCtx
+	CollectiveSweepCtx  = analysis.CollectiveSweepCtx
+	ChaosSweepCtx       = analysis.ChaosSweepCtx
+
+	// BuildTopology constructs one named comparison topology — the
+	// request-driven entry point dsnserve uses.
+	BuildTopology = analysis.BuildTopology
 )
 
 // PatternNames lists the traffic patterns PatternFor accepts.

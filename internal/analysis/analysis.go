@@ -14,6 +14,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -56,6 +57,13 @@ func buildOne(name string, n int, seed uint64) (*graph.Graph, error) {
 	return nil, fmt.Errorf("analysis: unknown comparison topology %q", name)
 }
 
+// BuildTopology constructs one named comparison topology (see Names)
+// at n switches — the exported entry point request-driven callers
+// (dsnserve) use to turn a topology name into a graph.
+func BuildTopology(name string, n int, seed uint64) (*graph.Graph, error) {
+	return buildOne(name, n, seed)
+}
+
 // BuildComparison constructs the paper's three degree-4 comparison
 // topologies at n switches. The RANDOM instance uses the given seed.
 func BuildComparison(n int, seed uint64) (map[string]*graph.Graph, error) {
@@ -96,6 +104,12 @@ func PathSweep(logSizes []int, seeds []uint64) ([]PathRow, error) {
 // per (size, topology, seed) measurement, assembled into rows exactly
 // as the serial sweep orders them.
 func PathSweepWith(r *harness.Runner, logSizes []int, seeds []uint64) ([]PathRow, error) {
+	return PathSweepCtx(context.Background(), r, logSizes, seeds)
+}
+
+// PathSweepCtx is PathSweepWith under a context: cancellation stops
+// dispatching cells and surfaces ctx.Err() instead of partial rows.
+func PathSweepCtx(ctx context.Context, r *harness.Runner, logSizes []int, seeds []uint64) ([]PathRow, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
@@ -123,7 +137,7 @@ func PathSweepWith(r *harness.Runner, logSizes []int, seeds []uint64) ([]PathRow
 			}
 		}
 	}
-	results, err := harness.Run(r, "path", cells)
+	results, err := harness.RunCtx(ctx, r, "path", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -171,6 +185,11 @@ func CableSweep(logSizes []int, seeds []uint64, cfg layout.Config) ([]CableRow, 
 
 // CableSweepWith is CableSweep on an explicit harness runner.
 func CableSweepWith(r *harness.Runner, logSizes []int, seeds []uint64, cfg layout.Config) ([]CableRow, error) {
+	return CableSweepCtx(context.Background(), r, logSizes, seeds, cfg)
+}
+
+// CableSweepCtx is CableSweepWith under a context.
+func CableSweepCtx(ctx context.Context, r *harness.Runner, logSizes []int, seeds []uint64, cfg layout.Config) ([]CableRow, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
@@ -196,7 +215,7 @@ func CableSweepWith(r *harness.Runner, logSizes []int, seeds []uint64, cfg layou
 			}
 		}
 	}
-	results, err := harness.Run(r, "cable", cells)
+	results, err := harness.RunCtx(ctx, r, "cable", cells)
 	if err != nil {
 		return nil, err
 	}

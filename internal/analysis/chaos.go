@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -38,6 +39,12 @@ func ChaosSweep(targets []string, n int, seed uint64, count int, wormhole bool) 
 // with its target's golden result, so the reconvergence check matches
 // the serial campaign exactly.
 func ChaosSweepWith(r *harness.Runner, targets []string, n int, seed uint64, count int, wormhole bool) ([]ChaosRow, error) {
+	return ChaosSweepCtx(context.Background(), r, targets, n, seed, count, wormhole)
+}
+
+// ChaosSweepCtx is ChaosSweepWith under a context: both the golden
+// baseline grid and the scenario grid observe cancellation.
+func ChaosSweepCtx(ctx context.Context, r *harness.Runner, targets []string, n int, seed uint64, count int, wormhole bool) ([]ChaosRow, error) {
 	// buildEngine rebuilds the deterministic (target, options) pair, so a
 	// cell is a pure function of (target name, n, wormhole) plus its
 	// scenario.
@@ -83,7 +90,7 @@ func ChaosSweepWith(r *harness.Runner, targets []string, n int, seed uint64, cou
 			return ge.GoldenVerdict()
 		}})
 	}
-	goldens, err := harness.Run(r, "chaos-golden", goldenCells)
+	goldens, err := harness.RunCtx(ctx, r, "chaos-golden", goldenCells)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +118,7 @@ func ChaosSweepWith(r *harness.Runner, targets []string, n int, seed uint64, cou
 			}})
 		}
 	}
-	results, err := harness.Run(r, "chaos", cells)
+	results, err := harness.RunCtx(ctx, r, "chaos", cells)
 	if err != nil {
 		return nil, err
 	}

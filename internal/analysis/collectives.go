@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -149,6 +150,12 @@ func CollectiveSweep(cfg netsim.Config, sizes []int, collective, algo string,
 // series' contiguous cell range in repetition order.
 func CollectiveSweepWith(r *harness.Runner, cfg netsim.Config, sizes []int, collective, algo string,
 	chunkFlits, reps int, seed uint64) ([]CollectiveRow, error) {
+	return CollectiveSweepCtx(context.Background(), r, cfg, sizes, collective, algo, chunkFlits, reps, seed)
+}
+
+// CollectiveSweepCtx is CollectiveSweepWith under a context.
+func CollectiveSweepCtx(ctx context.Context, r *harness.Runner, cfg netsim.Config, sizes []int, collective, algo string,
+	chunkFlits, reps int, seed uint64) ([]CollectiveRow, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("analysis: collective sweep needs >= 1 rep, got %d", reps)
 	}
@@ -194,7 +201,7 @@ func CollectiveSweepWith(r *harness.Runner, cfg netsim.Config, sizes []int, coll
 			return netsim.NewDSNSourceRouted(dv)
 		}, dc, "DSN-custom", "dsn-custom", chunkFlits, reps, seed)...)
 	}
-	results, err := harness.Run(r, "collective", cells)
+	results, err := harness.RunCtx(ctx, r, "collective", cells)
 	if err != nil {
 		return nil, err
 	}

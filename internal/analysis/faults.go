@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -46,6 +47,11 @@ func FaultSweep(n int, fracs []float64, trials int, seed uint64) ([]FaultRow, er
 // measurement are independent cells; rows aggregate the trial cells in
 // exactly the serial order, so the inflation sums are bit-identical.
 func FaultSweepWith(r *harness.Runner, n int, fracs []float64, trials int, seed uint64) ([]FaultRow, error) {
+	return FaultSweepCtx(context.Background(), r, n, fracs, trials, seed)
+}
+
+// FaultSweepCtx is FaultSweepWith under a context.
+func FaultSweepCtx(ctx context.Context, r *harness.Runner, n int, fracs []float64, trials int, seed uint64) ([]FaultRow, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("analysis: fault sweep needs >= 1 trial, got %d", trials)
 	}
@@ -68,7 +74,7 @@ func FaultSweepWith(r *harness.Runner, n int, fracs []float64, trials int, seed 
 			return faultTrialCell{Connected: m.Connected, Diameter: m.Diameter, ASPL: m.ASPL}, nil
 		}})
 	}
-	baseResults, err := harness.Run(r, "fault-base", baseCells)
+	baseResults, err := harness.RunCtx(ctx, r, "fault-base", baseCells)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +104,7 @@ func FaultSweepWith(r *harness.Runner, n int, fracs []float64, trials int, seed 
 			}
 		}
 	}
-	results, err := harness.Run(r, "fault", cells)
+	results, err := harness.RunCtx(ctx, r, "fault", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +194,11 @@ func DegradationSweep(cfg netsim.Config, n int, fracs []float64, rate float64, s
 // DegradationSweepWith is DegradationSweep on an explicit harness
 // runner: one cell per (topology, fraction) live-fault simulation.
 func DegradationSweepWith(r *harness.Runner, cfg netsim.Config, n int, fracs []float64, rate float64, seed uint64) ([]DegradationRow, error) {
+	return DegradationSweepCtx(context.Background(), r, cfg, n, fracs, rate, seed)
+}
+
+// DegradationSweepCtx is DegradationSweepWith under a context.
+func DegradationSweepCtx(ctx context.Context, r *harness.Runner, cfg netsim.Config, n int, fracs []float64, rate float64, seed uint64) ([]DegradationRow, error) {
 	cfgFP := harness.SimConfigFingerprint(cfg)
 	var cells []harness.Cell[DegradationRow]
 	for _, name := range Names {
@@ -240,7 +251,7 @@ func DegradationSweepWith(r *harness.Runner, cfg netsim.Config, n int, fracs []f
 			}})
 		}
 	}
-	return harness.Run(r, "degradation", cells)
+	return harness.RunCtx(ctx, r, "degradation", cells)
 }
 
 // WriteDegradationTable renders the live-fault degradation sweep.

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -115,7 +116,14 @@ func LatencySweep(cfg netsim.Config, g *graph.Graph, name, patternName string, r
 // cell per offered load, executed on the runner's worker pool and
 // assembled in rate order (bit-identical to the serial sweep).
 func LatencySweepWith(r *harness.Runner, cfg netsim.Config, g *graph.Graph, name, patternName string, rates []float64) (LatencyCurve, error) {
-	points, err := harness.Run(r, "latency", latencyCells(cfg, g, name, patternName, rates))
+	return LatencySweepCtx(context.Background(), r, cfg, g, name, patternName, rates)
+}
+
+// LatencySweepCtx is LatencySweepWith under a context: cancellation or
+// deadline expiry stops dispatching cells (in-flight cells finish) and
+// the sweep returns ctx.Err() instead of a partial curve.
+func LatencySweepCtx(ctx context.Context, r *harness.Runner, cfg netsim.Config, g *graph.Graph, name, patternName string, rates []float64) (LatencyCurve, error) {
+	points, err := harness.RunCtx(ctx, r, "latency", latencyCells(cfg, g, name, patternName, rates))
 	if err != nil {
 		return LatencyCurve{}, err
 	}
@@ -134,6 +142,11 @@ func Fig10Curves(cfg netsim.Config, patternName string, rates []float64, seed ui
 // (topologies x rates), so the pool stays busy across topology
 // boundaries instead of draining at each curve.
 func Fig10CurvesWith(r *harness.Runner, cfg netsim.Config, patternName string, rates []float64, seed uint64) ([]LatencyCurve, error) {
+	return Fig10CurvesCtx(context.Background(), r, cfg, patternName, rates, seed)
+}
+
+// Fig10CurvesCtx is Fig10CurvesWith under a context.
+func Fig10CurvesCtx(ctx context.Context, r *harness.Runner, cfg netsim.Config, patternName string, rates []float64, seed uint64) ([]LatencyCurve, error) {
 	graphs, err := BuildComparison(64, seed)
 	if err != nil {
 		return nil, err
@@ -142,7 +155,7 @@ func Fig10CurvesWith(r *harness.Runner, cfg netsim.Config, patternName string, r
 	for _, name := range Names {
 		cells = append(cells, latencyCells(cfg, graphs[name], name, patternName, rates)...)
 	}
-	points, err := harness.Run(r, "fig10-"+patternName, cells)
+	points, err := harness.RunCtx(ctx, r, "fig10-"+patternName, cells)
 	if err != nil {
 		return nil, err
 	}

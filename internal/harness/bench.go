@@ -18,6 +18,7 @@ type SweepStat struct {
 	Cells       int     `json:"cells"`
 	Executed    int     `json:"executed"`
 	Cached      int     `json:"cached"`
+	CacheErrors int     `json:"cache_errors,omitempty"`
 	Jobs        int     `json:"jobs"`
 	WallMS      float64 `json:"wall_ms"`
 	CellsPerSec float64 `json:"cells_per_sec"`
@@ -25,12 +26,13 @@ type SweepStat struct {
 
 func statOf(s Stats) SweepStat {
 	st := SweepStat{
-		Sweep:    s.Sweep,
-		Cells:    s.Cells,
-		Executed: s.Executed,
-		Cached:   s.Cached,
-		Jobs:     s.Jobs,
-		WallMS:   float64(s.Wall.Microseconds()) / 1e3,
+		Sweep:       s.Sweep,
+		Cells:       s.Cells,
+		Executed:    s.Executed,
+		Cached:      s.Cached,
+		CacheErrors: s.CacheErrors,
+		Jobs:        s.Jobs,
+		WallMS:      float64(s.Wall.Microseconds()) / 1e3,
 	}
 	if sec := s.Wall.Seconds(); sec > 0 {
 		st.CellsPerSec = float64(s.Cells) / sec
@@ -68,6 +70,26 @@ func (b *Bench) TotalWallMS() float64 {
 	return total
 }
 
+// TotalCacheErrors sums the recorded cache write failures.
+func (b *Bench) TotalCacheErrors() int {
+	total := 0
+	for _, s := range b.Sweeps() {
+		total += s.CacheErrors
+	}
+	return total
+}
+
+// ScalingRow is one point of the serial-vs-parallel scaling curve
+// (dsnbench -scaling): the same harness-backed sweep timed at Jobs=1
+// and at the configured worker bound.
+type ScalingRow struct {
+	Switches   int     `json:"switches"`
+	Cells      int     `json:"cells"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
 // ReplayCheck records the cached-replay verification of a grid: a
 // fully cached re-run must execute zero cells and reproduce the fresh
 // results byte-for-byte.
@@ -92,7 +114,11 @@ type Report struct {
 	TotalWallMS  float64      `json:"total_wall_ms"`
 	SerialWallMS float64      `json:"serial_wall_ms,omitempty"`
 	Speedup      float64      `json:"speedup,omitempty"`
+	CacheErrors  int          `json:"cache_errors,omitempty"`
 	Replay       *ReplayCheck `json:"replay,omitempty"`
+	// Scaling, when present, is the -scaling serial-vs-parallel curve
+	// recorded in the same invocation.
+	Scaling []ScalingRow `json:"scaling,omitempty"`
 }
 
 // NewReport assembles a Report around the recorded sweeps.
@@ -104,6 +130,7 @@ func NewReport(b *Bench, jobs int) *Report {
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Sweeps:      b.Sweeps(),
 		TotalWallMS: b.TotalWallMS(),
+		CacheErrors: b.TotalCacheErrors(),
 	}
 }
 

@@ -2,11 +2,13 @@ package harness
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // DefaultCacheDir is where the CLIs keep memoized cells, relative to
@@ -24,8 +26,31 @@ const cacheSchema = "dsncache/v1"
 // detected and silently treated as misses — the cell simply re-runs
 // and overwrites them.
 type Cache struct {
-	dir string
+	dir   string
+	retry RetryPolicy
+	// sleep is swapped out by tests; nil means time.Sleep.
+	sleep func(time.Duration)
 }
+
+// RetryPolicy bounds the transient-I/O retry loop a long-running
+// service wraps around cache writes. The zero value disables retries
+// (every Put failure is final), which is what the batch CLIs use.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first.
+	// <= 1 disables retries.
+	Attempts int
+	// Base is the first backoff delay; each retry doubles it and adds a
+	// deterministic jitter in [0, Base) derived from the cell key, so
+	// colliding writers under contention spread out without drawing from
+	// any RNG the simulator could observe.
+	Base time.Duration
+}
+
+// SetRetry configures transient-I/O retry on Put. Marshalling failures
+// are permanent and never retried; filesystem errors (full disk,
+// read-only mount mid-flight, NFS hiccups) are retried with jittered
+// exponential backoff up to the policy's attempt budget.
+func (c *Cache) SetRetry(p RetryPolicy) { c.retry = p }
 
 // OpenCache opens (creating if needed) a cache rooted at dir.
 func OpenCache(dir string) (*Cache, error) {
@@ -84,6 +109,8 @@ func (c *Cache) Get(k CellKey, out any) bool {
 // a crash mid-write leaves either the old entry or none — never a torn
 // one. Results that cannot be marshalled are reported but are not
 // fatal to a sweep: the runner degrades to simply not caching them.
+// When a RetryPolicy is set, transient filesystem failures are retried
+// with deterministic jittered backoff before the error is final.
 func (c *Cache) Put(k CellKey, v any) error {
 	val, err := json.Marshal(v)
 	if err != nil {
@@ -101,6 +128,21 @@ func (c *Cache) Put(k CellKey, v any) error {
 		return fmt.Errorf("harness: cache put: %w", err)
 	}
 	path := c.path(k)
+	attempts := c.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		err = c.writeEntry(path, data)
+		if err == nil || attempt+1 >= attempts {
+			return err
+		}
+		c.backoff(k, attempt)
+	}
+}
+
+// writeEntry performs one atomic temp-file + rename write.
+func (c *Cache) writeEntry(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("harness: cache put: %w", err)
 	}
@@ -122,4 +164,24 @@ func (c *Cache) Put(k CellKey, v any) error {
 		return fmt.Errorf("harness: cache put: %w", err)
 	}
 	return nil
+}
+
+// backoff sleeps Base<<attempt plus a deterministic jitter in [0, Base)
+// derived from the key hash and attempt number. No RNG is consumed:
+// determinism-sensitive callers share the process with the simulator,
+// and the jitter only has to decorrelate concurrent writers, which
+// distinct key hashes already do.
+func (c *Cache) backoff(k CellKey, attempt int) {
+	base := c.retry.Base
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	delay := base << uint(attempt)
+	sum := sha256.Sum256(append(k.Canonical(), byte(attempt)))
+	jitter := time.Duration(binary.BigEndian.Uint64(sum[:8]) % uint64(base))
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(delay + jitter)
 }

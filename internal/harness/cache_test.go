@@ -6,7 +6,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 type payload struct {
@@ -129,6 +133,186 @@ func rewriteEntry(t *testing.T, path string, mutate func(*entry)) {
 func sumOf(v json.RawMessage) string {
 	sum := sha256.Sum256(v)
 	return hex.EncodeToString(sum[:])
+}
+
+// TestCacheBitFlipIsMiss flips every single bit of a committed entry in
+// turn and asserts none of the damaged variants ever replays: either
+// the JSON envelope breaks, the embedded key no longer matches, or the
+// payload checksum catches it.
+func TestCacheBitFlipIsMiss(t *testing.T) {
+	c := testCache(t)
+	k := sampleKey()
+	want := payload{A: 42, B: "bits", C: 0.5}
+	if err := c.Put(k, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	pristine, err := os.ReadFile(c.path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < len(pristine)*8; bit++ {
+		flipped := append([]byte(nil), pristine...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		if err := os.WriteFile(c.path(k), flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got payload
+		if c.Get(k, &got) && got != want {
+			t.Fatalf("bit %d: corrupted entry replayed wrong payload %+v", bit, got)
+		}
+	}
+}
+
+// TestRunnerRecoversCorruptCache is the end-to-end self-heal contract:
+// corrupt entries under a committed sweep are treated as misses, the
+// affected cells re-run, and the store is whole again afterwards.
+func TestRunnerRecoversCorruptCache(t *testing.T) {
+	c := testCache(t)
+	var executed atomic.Int64
+	cells := synthCells(12, &executed)
+	want, _, err := RunStats(&Runner{Jobs: 2, Cache: c}, "synthetic", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage entries 0..3: truncate two, bit-flip one, replace one with
+	// garbage. Entries 4..11 stay pristine.
+	for i, wreck := range []func(path string) error{
+		func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, data[:len(data)/3], 0o644)
+		},
+		func(p string) error { return os.WriteFile(p, nil, 0o644) },
+		func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			data[len(data)/2] ^= 0x40
+			return os.WriteFile(p, data, 0o644)
+		},
+		func(p string) error { return os.WriteFile(p, []byte(`{"schema":"junk"}`), 0o644) },
+	} {
+		if err := wreck(c.path(cells[i].Key)); err != nil {
+			t.Fatalf("corrupting entry %d: %v", i, err)
+		}
+	}
+
+	executed.Store(0)
+	got, st, err := RunStats(&Runner{Jobs: 2, Cache: c}, "synthetic", synthCells(12, &executed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != 4 || st.Cached != 8 {
+		t.Fatalf("recovery run stats = %+v, want 4 executed / 8 cached", st)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered results differ from the original sweep")
+	}
+
+	// Self-healed: a third pass is fully cached.
+	if _, st, err = RunStats(&Runner{Jobs: 2, Cache: c}, "synthetic", synthCells(12, nil)); err != nil || st.Executed != 0 {
+		t.Fatalf("store did not heal: executed %d, err %v", st.Executed, err)
+	}
+}
+
+// TestCachePutConcurrentSameKey hammers one key from many goroutines;
+// under -race this pins that concurrent atomic rename writers never
+// tear an entry, and the surviving entry is always readable.
+func TestCachePutConcurrentSameKey(t *testing.T) {
+	c := testCache(t)
+	k := sampleKey()
+	want := payload{A: 9, B: "same", C: 2.5}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := c.Put(k, want); err != nil {
+					t.Errorf("concurrent Put: %v", err)
+					return
+				}
+				var got payload
+				if c.Get(k, &got) && got != want {
+					t.Errorf("torn read: %+v", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var got payload
+	if !c.Get(k, &got) || got != want {
+		t.Fatalf("final entry unreadable: hit=%v got=%+v", c.Get(k, &got), got)
+	}
+}
+
+// TestCachePutRetryTransient: with a RetryPolicy set, a transient
+// filesystem failure is retried (with deterministic jittered backoff)
+// until the write lands; without one the first failure is final.
+func TestCachePutRetryTransient(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sampleKey()
+
+	// Simulate a transiently broken filesystem: the cache root is a
+	// regular file (ENOTDIR on every write) until the second backoff
+	// sleep "repairs" it.
+	breakFS := func() {
+		os.RemoveAll(dir)
+		if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	healFS := func() {
+		os.Remove(dir)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	breakFS()
+	if err := c.Put(k, payload{A: 1}); err == nil {
+		t.Fatal("Put on a broken filesystem succeeded without retries")
+	}
+
+	var sleeps []time.Duration
+	c.SetRetry(RetryPolicy{Attempts: 4, Base: time.Millisecond})
+	c.sleep = func(d time.Duration) {
+		sleeps = append(sleeps, d)
+		if len(sleeps) == 2 {
+			healFS()
+		}
+	}
+	if err := c.Put(k, payload{A: 1}); err != nil {
+		t.Fatalf("Put with retries on a healing filesystem: %v", err)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("observed %d backoff sleeps, want 2", len(sleeps))
+	}
+	for i, d := range sleeps {
+		base := time.Millisecond << uint(i)
+		if d < base || d >= base+time.Millisecond {
+			t.Fatalf("sleep %d = %v outside [%v, %v)", i, d, base, base+time.Millisecond)
+		}
+	}
+	var got payload
+	if !c.Get(k, &got) || got.A != 1 {
+		t.Fatalf("retried entry not readable: %+v", got)
+	}
+
+	// Marshal failures are permanent: no retry, no sleep.
+	sleeps = nil
+	if err := c.Put(k, func() {}); err == nil || len(sleeps) != 0 {
+		t.Fatalf("unmarshallable value: err=%v sleeps=%d, want error with 0 sleeps", err, len(sleeps))
+	}
 }
 
 func TestCacheEntryIsSharded(t *testing.T) {

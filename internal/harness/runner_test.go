@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
@@ -160,6 +162,173 @@ func TestRunNilAndEmpty(t *testing.T) {
 	var r *Runner
 	if got := r.JobCount(); got < 1 {
 		t.Fatalf("nil runner JobCount = %d", got)
+	}
+}
+
+// TestRunCtxCancelStopsPendingCells pins the daemon-facing contract: a
+// cancelled context stops dispatch between cells, Stats.Executed
+// reflects only the cells that actually ran, and the call reports
+// context.Canceled instead of presenting partial results as complete.
+func TestRunCtxCancelStopsPendingCells(t *testing.T) {
+	const total = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int64
+	release := make(chan struct{})
+	cells := make([]Cell[int], total)
+	for i := range cells {
+		k := NewKey("cancel")
+		k.Seed = uint64(i)
+		cells[i] = Cell[int]{Key: k, Run: func() (int, error) {
+			if executed.Add(1) == 2 {
+				cancel()
+				close(release)
+			} else {
+				<-release // hold the first worker until cancellation happened
+			}
+			return i, nil
+		}}
+	}
+	_, st, err := RunStatsCtx(ctx, &Runner{Jobs: 2}, "cancel", cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Executed >= total {
+		t.Fatalf("executed %d of %d cells despite cancellation", st.Executed, total)
+	}
+	if got := int(executed.Load()); got != st.Executed {
+		t.Fatalf("Stats.Executed = %d, actual executions %d", st.Executed, got)
+	}
+}
+
+func TestRunCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var executed atomic.Int64
+	_, st, err := RunStatsCtx(ctx, Serial(), "cancel", synthCells(8, &executed))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Executed != 0 || executed.Load() != 0 {
+		t.Fatalf("executed %d cells under a dead context", executed.Load())
+	}
+}
+
+// TestRunFailFast pins the satellite contract: the first failing cell
+// cancels the pending queue, so later cells never start, while the
+// reported error is still the lowest-indexed failure.
+func TestRunFailFast(t *testing.T) {
+	const total = 256
+	boom := errors.New("cell 1 failed")
+	var executed atomic.Int64
+	cells := make([]Cell[int], total)
+	for i := range cells {
+		k := NewKey("failfast")
+		k.Seed = uint64(i)
+		cells[i] = Cell[int]{Key: k, Run: func() (int, error) {
+			executed.Add(1)
+			if i == 1 {
+				return 0, boom
+			}
+			return i, nil
+		}}
+	}
+	for _, r := range []*Runner{Serial(), {Jobs: 4}} {
+		executed.Store(0)
+		_, st, err := RunStats(r, "failfast", cells)
+		if !errors.Is(err, boom) {
+			t.Fatalf("jobs=%d: err = %v, want %v", r.jobs(), err, boom)
+		}
+		if st.Executed >= total {
+			t.Fatalf("jobs=%d: executed all %d cells after an early failure", r.jobs(), st.Executed)
+		}
+		if got := int(executed.Load()); got != st.Executed {
+			t.Fatalf("jobs=%d: Stats.Executed = %d, actual %d", r.jobs(), st.Executed, got)
+		}
+	}
+}
+
+// TestRunPanicIsolation: a panicking cell fails its sweep with a typed
+// *PanicError instead of crashing the process.
+func TestRunPanicIsolation(t *testing.T) {
+	cells := synthCells(8, nil)
+	cells[5].Run = func() (payload, error) { panic("router exploded") }
+	for _, r := range []*Runner{Serial(), {Jobs: 4}} {
+		_, err := Run(r, "panic", cells)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("jobs=%d: err = %v, want *PanicError", r.jobs(), err)
+		}
+		if pe.Value != "router exploded" || len(pe.Stack) == 0 {
+			t.Fatalf("jobs=%d: panic payload %+v lost value or stack", r.jobs(), pe.Value)
+		}
+	}
+}
+
+// TestRunCountsCacheErrors: an unwritable cache degrades to not
+// memoizing, and the failure count is surfaced in Stats.
+func TestRunCountsCacheErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the cache root with a regular file: every shard MkdirAll
+	// now fails with ENOTDIR, even when the test runs as root (where
+	// read-only permission bits would not bite).
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, st, err := RunStats(&Runner{Jobs: 2, Cache: cache}, "synthetic", synthCells(8, nil))
+	if err != nil {
+		t.Fatalf("sweep must survive cache write failures: %v", err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results, want 8", len(results))
+	}
+	if st.CacheErrors != 8 {
+		t.Fatalf("Stats.CacheErrors = %d, want 8", st.CacheErrors)
+	}
+}
+
+// TestRunProgressTicks: the Progress hook sees the cache-scan tick and
+// one tick per executed cell, ending exactly at (total, total).
+func TestRunProgressTicks(t *testing.T) {
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var last, calls int
+	r := &Runner{Jobs: 4, Cache: cache, Progress: func(sweep string, done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if done > last {
+			last = done
+		}
+		if total != 12 || sweep != "synthetic" {
+			t.Errorf("Progress(%q, %d, %d)", sweep, done, total)
+		}
+	}}
+	if _, err := Run(r, "synthetic", synthCells(12, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if last != 12 || calls != 13 { // 1 cache-scan tick + 12 cell ticks
+		t.Fatalf("progress peaked at %d over %d calls, want 12 over 13", last, calls)
+	}
+	// Fully cached replay: single tick reporting everything done.
+	mu.Lock()
+	last, calls = 0, 0
+	mu.Unlock()
+	if _, err := Run(r, "synthetic", synthCells(12, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if last != 12 || calls != 1 {
+		t.Fatalf("cached replay progress peaked at %d over %d calls, want 12 over 1", last, calls)
 	}
 }
 

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+
+	"dsnet/internal/harness"
+)
+
+// Event is one NDJSON line of a job's progress stream. The Event field
+// discriminates: "accepted" (queue admission), "progress" (harness cell
+// completion ticks), "result" (terminal success) or "error" (terminal
+// failure, with a machine-readable Code).
+type Event struct {
+	Event string `json:"event"`
+	Job   string `json:"job,omitempty"`   // request fingerprint prefix
+	Dedup bool   `json:"dedup,omitempty"` // true when attached to an in-flight twin
+
+	// Progress fields: done of total cells of the named sweep family.
+	Sweep string `json:"sweep,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+
+	// Terminal fields.
+	ElapsedMS float64             `json:"elapsed_ms,omitempty"`
+	Stats     []harness.SweepStat `json:"stats,omitempty"`
+	Data      json.RawMessage     `json:"data,omitempty"`
+	Code      string              `json:"code,omitempty"` // canceled|deadline|panic|invalid|internal
+	Error     string              `json:"error,omitempty"`
+}
+
+// Terminal error codes.
+const (
+	CodeCanceled = "canceled"
+	CodeDeadline = "deadline"
+	CodePanic    = "panic"
+	CodeInvalid  = "invalid"
+	CodeInternal = "internal"
+)
+
+// sub is one waiter's view of a flight: progress events on a bounded
+// channel (droppable under backpressure) and the terminal event on its
+// own capacity-1 channel, which therefore can never be lost.
+type sub struct {
+	events chan Event
+	final  chan Event
+}
+
+// flight is one deduplicated executing job. Concurrent requests whose
+// normalized body fingerprints match attach to the same flight and see
+// the same event stream; the underlying sweep executes once. The
+// flight's context is cancelled when every waiter has detached (dead
+// clients, expired deadlines) or when the server force-drains, and the
+// harness observes that cancellation between cells.
+type flight struct {
+	key    string
+	req    *Request
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	subs    map[int]*sub
+	nextSub int
+	done    bool
+	final   Event
+}
+
+func newFlight(base context.Context, key string, req *Request) *flight {
+	ctx, cancel := context.WithCancel(base)
+	return &flight{key: key, req: req, ctx: ctx, cancel: cancel, subs: map[int]*sub{}}
+}
+
+// attach registers a waiter. When the flight already finished, the
+// terminal event is returned immediately and no subscription is made.
+func (f *flight) attach() (id int, s *sub, final *Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		ev := f.final
+		return 0, nil, &ev
+	}
+	id = f.nextSub
+	f.nextSub++
+	s = &sub{events: make(chan Event, 64), final: make(chan Event, 1)}
+	f.subs[id] = s
+	return id, s, nil
+}
+
+// detach removes a waiter; when the last one leaves before completion
+// the flight is cancelled — nobody is listening, so burning more CPU on
+// it would be pure waste.
+func (f *flight) detach(id int) {
+	f.mu.Lock()
+	delete(f.subs, id)
+	abandoned := len(f.subs) == 0 && !f.done
+	f.mu.Unlock()
+	if abandoned {
+		f.cancel()
+	}
+}
+
+// waiters reports the live subscriber count.
+func (f *flight) waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// publish fans a progress event out to every waiter. Slow consumers
+// shed progress (their channel is full) rather than stalling the job —
+// the terminal event travels on a dedicated channel and is never shed.
+func (f *flight) publish(ev Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.subs {
+		select {
+		case s.events <- ev:
+		default: // backpressure: drop progress for this laggard
+		}
+	}
+}
+
+// finish delivers the terminal event exactly once to every waiter and
+// to all future attach calls, and releases the flight's context.
+func (f *flight) finish(ev Event) {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return
+	}
+	f.done = true
+	f.final = ev
+	for _, s := range f.subs {
+		s.final <- ev // cap 1, sole writer: never blocks
+	}
+	f.mu.Unlock()
+	f.cancel()
+}

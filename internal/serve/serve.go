@@ -1,0 +1,457 @@
+// Package serve turns the batch sweep machinery into a resilient
+// long-running service: an HTTP+JSON daemon that executes
+// sweep/certify/chaos requests on the harness worker pool with a
+// bounded job queue, load shedding (429 + Retry-After), per-request
+// deadlines, singleflight deduplication of identical in-flight
+// requests over the shared content-addressed cache, panic isolation
+// per job, streaming NDJSON progress, health/readiness probes, and
+// graceful drain on shutdown.
+//
+// Robustness model, end to end:
+//
+//   - Admission: a full queue sheds the request immediately with 429
+//     and a Retry-After hint — the daemon never buffers unboundedly.
+//   - Dedup: requests with equal normalized fingerprints attach to one
+//     in-flight execution; its cells run once and land in .dsncache/,
+//     so even non-concurrent repeats are served from storage.
+//   - Cancellation: a dead client, an expired per-request deadline, or
+//     shutdown cancels the job's context; the harness observes it
+//     between cells, so no CPU is burned for an answer nobody awaits,
+//     and a cancelled job reports "canceled" — never partial results.
+//   - Isolation: a panicking cell (or job) fails that job with a
+//     "panic" error event; the daemon itself keeps serving.
+//   - Drain: Shutdown stops admission (readyz goes 503), lets accepted
+//     jobs finish, and past the drain deadline cancels what remains.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsnet/internal/harness"
+)
+
+// Config parameterizes a Server. Zero values select the documented
+// defaults.
+type Config struct {
+	// Jobs is the harness worker bound per executing job (<= 0 selects
+	// GOMAXPROCS).
+	Jobs int
+	// Concurrency is the number of jobs executing simultaneously
+	// (default 1: jobs already parallelize internally across cells).
+	Concurrency int
+	// QueueDepth bounds the jobs waiting behind the executing ones;
+	// admission beyond it sheds with 429 (default 16).
+	QueueDepth int
+	// CacheDir roots the shared content-addressed cache ("" selects
+	// harness.DefaultCacheDir); NoCache disables it.
+	CacheDir string
+	NoCache  bool
+	// DefaultTimeout bounds requests that set no deadline (default 2m);
+	// MaxTimeout clamps client-requested deadlines (default 15m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the backoff hint attached to shed responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// CacheRetry is the transient-I/O retry policy installed on the
+	// cache (default 4 attempts from a 10ms base).
+	CacheRetry harness.RetryPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 15 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CacheRetry.Attempts == 0 {
+		c.CacheRetry = harness.RetryPolicy{Attempts: 4, Base: 10 * time.Millisecond}
+	}
+	return c
+}
+
+// counters are the server's monotone occurrence counts, served by
+// /v1/stats.
+type counters struct {
+	accepted, deduped, shed, rejected       atomic.Uint64
+	completed, failed, cancelled, panicked  atomic.Uint64
+	cellsExecuted, cellsCached, cacheErrors atomic.Uint64
+}
+
+// StatsSnapshot is the /v1/stats document.
+type StatsSnapshot struct {
+	Accepted      uint64 `json:"accepted"`
+	Deduped       uint64 `json:"deduped"`
+	Shed          uint64 `json:"shed"`
+	Rejected      uint64 `json:"rejected"` // invalid requests
+	Completed     uint64 `json:"completed"`
+	Failed        uint64 `json:"failed"`
+	Cancelled     uint64 `json:"cancelled"`
+	Panics        uint64 `json:"panics"`
+	CellsExecuted uint64 `json:"cells_executed"`
+	CellsCached   uint64 `json:"cells_cached"`
+	CacheErrors   uint64 `json:"cache_errors"`
+	QueueLen      int    `json:"queue_len"`
+	QueueCap      int    `json:"queue_cap"`
+	Draining      bool   `json:"draining"`
+}
+
+// Server is the dsnserve request engine. It implements http.Handler;
+// transport (net/http server, TLS, listeners) stays with the caller.
+type Server struct {
+	cfg   Config
+	cache *harness.Cache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mux     *http.ServeMux
+	queue   chan *flight
+	workers sync.WaitGroup
+	jobs    sync.WaitGroup
+
+	mu       sync.Mutex // guards inflight + the draining/admission handshake
+	inflight map[string]*flight
+	draining bool
+
+	c counters
+}
+
+// New builds and starts a Server: cache opened (with transient-I/O
+// retry installed), worker pool running, routes registered.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *flight, cfg.QueueDepth),
+		inflight: map[string]*flight{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if !cfg.NoCache {
+		c, err := harness.OpenCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		c.SetRetry(cfg.CacheRetry)
+		s.cache = c
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) { s.handleJob(w, r, "sweep", "") })
+	s.mux.HandleFunc("POST /v1/chaos", func(w http.ResponseWriter, r *http.Request) { s.handleJob(w, r, "sweep", "chaos") })
+	s.mux.HandleFunc("POST /v1/certify", func(w http.ResponseWriter, r *http.Request) { s.handleJob(w, r, "certify", "") })
+	for i := 0; i < cfg.Concurrency; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// CacheDir returns the open cache root ("" when caching is disabled).
+func (s *Server) CacheDir() string {
+	if s.cache == nil {
+		return ""
+	}
+	return s.cache.Dir()
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the server: admission stops immediately (readyz and
+// new jobs answer 503), accepted jobs — queued or executing — run to
+// completion, and when ctx expires first the remainder is cancelled
+// (their clients receive "canceled" error events) before workers are
+// released. It returns ctx.Err() when the drain deadline forced
+// cancellation, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+
+	done := make(chan struct{})
+	go func() { s.jobs.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel() // force: in-flight harnesses stop between cells
+		<-done
+	}
+	close(s.queue)
+	s.workers.Wait()
+	s.baseCancel()
+	return err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	snap := StatsSnapshot{
+		Accepted:      s.c.accepted.Load(),
+		Deduped:       s.c.deduped.Load(),
+		Shed:          s.c.shed.Load(),
+		Rejected:      s.c.rejected.Load(),
+		Completed:     s.c.completed.Load(),
+		Failed:        s.c.failed.Load(),
+		Cancelled:     s.c.cancelled.Load(),
+		Panics:        s.c.panicked.Load(),
+		CellsExecuted: s.c.cellsExecuted.Load(),
+		CellsCached:   s.c.cellsCached.Load(),
+		CacheErrors:   s.c.cacheErrors.Load(),
+		QueueLen:      len(s.queue),
+		QueueCap:      cap(s.queue),
+		Draining:      draining,
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// maxBodyBytes bounds request bodies; sweep requests are small JSON.
+const maxBodyBytes = 1 << 20
+
+// handleJob is the admission + streaming path shared by every job
+// endpoint.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind, forceFamily string) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.c.rejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, Event{Event: "error", Code: CodeInvalid, Error: "bad request body: " + err.Error()})
+		return
+	}
+	if forceFamily != "" {
+		req.Family = forceFamily
+	}
+	if err := req.normalize(kind); err != nil {
+		s.c.rejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, Event{Event: "error", Code: CodeInvalid, Error: err.Error()})
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	key := req.fingerprint()
+
+	// Admission: attach to an in-flight twin, or enqueue a new flight;
+	// shed when the queue is full, refuse when draining. The map probe
+	// and queue reservation happen under one lock so two identical
+	// concurrent requests cannot both enqueue.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, Event{Event: "error", Code: CodeCanceled, Error: "server is draining"})
+		return
+	}
+	fl, dedup := s.inflight[key]
+	if !dedup {
+		fl = newFlight(s.baseCtx, key, &req)
+		select {
+		case s.queue <- fl:
+			s.inflight[key] = fl
+			s.jobs.Add(1)
+		default:
+			s.mu.Unlock()
+			fl.cancel() // release the stillborn flight's context
+			s.c.shed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			writeJSON(w, http.StatusTooManyRequests, Event{
+				Event: "error", Code: "shed",
+				Error: fmt.Sprintf("job queue full (%d waiting); retry after %s", cap(s.queue), s.cfg.RetryAfter),
+			})
+			return
+		}
+	}
+	id, sub, final := fl.attach()
+	s.mu.Unlock()
+
+	s.c.accepted.Add(1)
+	if dedup {
+		s.c.deduped.Add(1)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	emit(Event{Event: "accepted", Job: key[:12], Dedup: dedup})
+	if final != nil {
+		// The flight finished between registration and attach: replay its
+		// terminal event.
+		emit(*final)
+		return
+	}
+
+	reqCtx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	for {
+		select {
+		case ev := <-sub.events:
+			if !emit(ev) {
+				fl.detach(id)
+				return
+			}
+		case ev := <-sub.final:
+			emit(ev)
+			fl.detach(id)
+			return
+		case <-reqCtx.Done():
+			fl.detach(id)
+			code := CodeCanceled
+			if reqCtx.Err() == context.DeadlineExceeded {
+				code = CodeDeadline
+			}
+			emit(Event{Event: "error", Code: code, Error: "request " + code + " before completion"})
+			return
+		}
+	}
+}
+
+// worker executes queued flights until the queue closes at shutdown.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for fl := range s.queue {
+		s.runFlight(fl)
+	}
+}
+
+// runFlight executes one deduplicated job with panic isolation and
+// publishes its terminal event.
+func (s *Server) runFlight(fl *flight) {
+	defer s.jobs.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, fl.key)
+		s.mu.Unlock()
+	}()
+	defer func() {
+		if p := recover(); p != nil {
+			s.c.panicked.Add(1)
+			s.c.failed.Add(1)
+			fl.finish(Event{Event: "error", Code: CodePanic, Error: fmt.Sprintf("job panicked: %v", p)})
+		}
+	}()
+
+	if err := fl.ctx.Err(); err != nil {
+		s.c.cancelled.Add(1)
+		fl.finish(Event{Event: "error", Code: CodeCanceled, Error: "cancelled before execution: " + err.Error()})
+		return
+	}
+
+	start := time.Now()
+	bench := &harness.Bench{}
+	runner := &harness.Runner{
+		Jobs:  s.cfg.Jobs,
+		Cache: s.cache,
+		Bench: bench,
+		Progress: func(sweep string, done, total int) {
+			fl.publish(Event{Event: "progress", Job: fl.key[:12], Sweep: sweep, Done: done, Total: total})
+		},
+	}
+	data, err := fl.req.run(fl.ctx, runner)
+	elapsed := float64(time.Since(start).Microseconds()) / 1e3
+
+	stats := bench.Sweeps()
+	for _, st := range stats {
+		s.c.cellsExecuted.Add(uint64(st.Executed))
+		s.c.cellsCached.Add(uint64(st.Cached))
+		s.c.cacheErrors.Add(uint64(st.CacheErrors))
+	}
+
+	switch {
+	case err == nil:
+		payload, merr := json.Marshal(data)
+		if merr != nil {
+			s.c.failed.Add(1)
+			fl.finish(Event{Event: "error", Code: CodeInternal, Error: "marshal result: " + merr.Error(), ElapsedMS: elapsed})
+			return
+		}
+		s.c.completed.Add(1)
+		fl.finish(Event{Event: "result", Job: fl.key[:12], ElapsedMS: elapsed, Stats: stats, Data: payload})
+	case context.Cause(fl.ctx) != nil:
+		// The job's own context was cancelled (all waiters gone, or
+		// force-drain) — whatever error surfaced, the verdict is
+		// "canceled", and partial results are discarded, never served.
+		s.c.cancelled.Add(1)
+		fl.finish(Event{Event: "error", Code: CodeCanceled, Error: "job cancelled: " + err.Error(), ElapsedMS: elapsed})
+	default:
+		code := CodeInternal
+		var pe *harness.PanicError
+		if errors.As(err, &pe) {
+			s.c.panicked.Add(1)
+			code = CodePanic
+		}
+		s.c.failed.Add(1)
+		fl.finish(Event{Event: "error", Code: code, Error: err.Error(), ElapsedMS: elapsed, Stats: stats})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(append(data, '\n'))
+}
