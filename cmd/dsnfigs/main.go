@@ -10,10 +10,12 @@
 //	dsnfigs -fig 10c      # ... neighboring
 //	dsnfigs -fig balance     # custom routing vs up*/down* traffic balance
 //	dsnfigs -fig collective  # closed-loop ring-allreduce makespans
+//	dsnfigs -fig pareto      # design-space search front: ASPL vs cost
 //	dsnfigs -fig all
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -226,8 +228,31 @@ func run(fig string, seed uint64, quick bool) error {
 		fmt.Println("# Closed-loop ring allreduce: makespan across seeded rank placements")
 		dsnet.WriteCollectiveTable(os.Stdout, rows)
 		return nil
+	case "pareto":
+		// Quality/cost plane at 64 switches: the seeded design-space
+		// search's Pareto front over the Figure 8 quality axis (ASPL)
+		// against the Section VI.B itemized cost. The ASPL objective keeps
+		// the figure simulation-free; dsnsearch runs the throughput-aware
+		// searches.
+		cfg := dsnet.DefaultSearchConfig(64, 7)
+		cfg.Seed = seed
+		cfg.Budget = 48
+		cfg.Eval.Objective = "aspl"
+		if quick {
+			cfg.Budget = 24
+		}
+		res, _, err := dsnet.SearchRun(context.Background(), runner, cfg)
+		if err != nil {
+			return err
+		}
+		if emitJSON("pareto", res.Front) {
+			return nil
+		}
+		fmt.Printf("# Pareto front: ASPL vs itemized cost at 64 switches, degree <= 7 (seeded search, budget %d)\n", cfg.Budget)
+		dsnet.WriteParetoTable(os.Stdout, res.Objective, dsnet.SearchPoints(res.Front))
+		return nil
 	case "all":
-		for _, f := range []string{"7", "8", "9", "10a", "10b", "10c", "balance", "bottleneck", "faults", "faultsim", "related", "switching", "physical", "throughput", "ladder", "collective"} {
+		for _, f := range []string{"7", "8", "9", "10a", "10b", "10c", "balance", "bottleneck", "faults", "faultsim", "related", "switching", "physical", "throughput", "ladder", "collective", "pareto"} {
 			if err := run(f, seed, quick); err != nil {
 				return err
 			}

@@ -29,6 +29,7 @@ import (
 var DefaultDirs = []string{
 	"internal/netsim", "internal/collectives", "internal/traffic",
 	"internal/analysis", "internal/chaos", "internal/harness",
+	"internal/search", "cmd/dsnsearch",
 }
 
 type opts struct {

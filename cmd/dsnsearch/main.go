@@ -1,0 +1,167 @@
+// Command dsnsearch runs the seeded topology design-space search: a
+// quality/cost Pareto optimizer over ring-plus-shortcut genomes.
+//
+// The search seeds from the paper's own families (DSN-x, DSN-D-k, DLN
+// loops, the RANDOM DLN-2-2) plus Kleinberg-α span distributions and
+// multiplicative circulants, then explores with an evolutionary (μ+λ)
+// loop or simulated annealing. Every candidate is Dally–Seitz certified
+// before it is simulated; every evaluation is a content-addressed sweep
+// cell, so searches replay from the cache and the emitted archive is
+// bit-identical across -j values and resumed runs.
+//
+// Usage:
+//
+//	dsnsearch -n 64 -degree 7 -budget 64 -objective combined -o front.json
+//	dsnsearch -n 64 -degree 7 -budget 64 -resume -o front2.json   # replay from cache
+//	dsnsearch -n 32 -objective aspl -driver anneal -quick
+//	dsnsearch -n 64 -budget 64 -replay -bench BENCH_search.json   # run + cached replay gate
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dsnet"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 64, "number of switches")
+		degree    = flag.Int("degree", 7, "port budget per switch (0: unbounded; the ring uses 2)")
+		seed      = flag.Uint64("seed", 1, "search seed: drives every proposal draw")
+		budget    = flag.Int("budget", 64, "total candidate evaluations, seeds included")
+		objective = flag.String("objective", "combined", fmt.Sprintf("quality axis: %v", dsnet.SearchObjectives))
+		driver    = flag.String("driver", "evolve", fmt.Sprintf("search driver: %v", dsnet.SearchDrivers))
+		mu        = flag.Int("mu", 8, "evolutionary survivors per generation")
+		lambda    = flag.Int("lambda", 8, "offspring per generation (also the annealer batch size)")
+		crossp    = flag.Float64("crossp", 0.25, "crossover probability per offspring")
+		alpha     = flag.Float64("alpha", 1.0, "mutation span bias: new shortcuts draw span d with P(d) ~ d^-alpha")
+		pattern   = flag.String("pattern", "uniform", "traffic pattern for the throughput probe")
+		simSeed   = flag.Uint64("simseed", 1, "simulator seed used inside every evaluation")
+		quick     = flag.Bool("quick", false, "shorter simulation windows (for smoke runs)")
+		jobs      = flag.Int("j", 0, "parallel evaluation workers (0: all CPUs)")
+		cache     = flag.String("cache", dsnet.DefaultSweepCacheDir, "sweep result cache directory")
+		nocache   = flag.Bool("nocache", false, "bypass the sweep result cache")
+		resume    = flag.Bool("resume", false, "require a warm cache: fail unless some evaluations replay from it")
+		replay    = flag.Bool("replay", false, "after the run, replay the whole search from the cache and gate on byte-identity")
+		out       = flag.String("o", "", "write the full result document (JSON) to this file")
+		bench     = flag.String("bench", "", "write machine-readable sweep benchmarks to this JSON file")
+		jsonOut   = flag.Bool("json", false, "emit the result document as JSON on stdout instead of tables")
+	)
+	flag.Parse()
+	if err := run(*n, *degree, *seed, *budget, *objective, *driver, *mu, *lambda,
+		*crossp, *alpha, *pattern, *simSeed, *quick, *jobs, *cache, *nocache,
+		*resume, *replay, *out, *bench, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "dsnsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, degree int, seed uint64, budget int, objective, driver string,
+	mu, lambda int, crossp, alpha float64, pattern string, simSeed uint64,
+	quick bool, jobs int, cache string, nocache, resume, replay bool,
+	out, bench string, jsonOut bool) error {
+	if (resume || replay) && nocache {
+		return fmt.Errorf("-resume/-replay need the cache; drop -nocache")
+	}
+	cfg := dsnet.DefaultSearchConfig(n, degree)
+	cfg.Seed = seed
+	cfg.Budget = budget
+	cfg.Driver = driver
+	cfg.Mu = mu
+	cfg.Lambda = lambda
+	cfg.CrossoverP = crossp
+	cfg.Alpha = alpha
+	cfg.Eval.Objective = objective
+	cfg.Eval.Pattern = pattern
+	cfg.Eval.Sim.Seed = simSeed
+	if quick {
+		cfg.Eval = cfg.Eval.Quick()
+	}
+
+	runner, err := dsnet.NewSweepRunner(jobs, cache, nocache)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, st, err := dsnet.SearchRun(ctx, runner, cfg)
+	if err != nil {
+		return err
+	}
+	if resume && st.Cached == 0 {
+		return fmt.Errorf("-resume: no evaluation replayed from the cache at %s (cold cache, or different parameters)", cache)
+	}
+	var check *dsnet.BenchReplayCheck
+	if replay {
+		res2, st2, err := dsnet.SearchRun(ctx, runner, cfg)
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		a, _ := json.Marshal(res)
+		b, _ := json.Marshal(res2)
+		check = &dsnet.BenchReplayCheck{Executed: st2.Executed, Cached: st2.Cached, Identical: string(a) == string(b)}
+		if !check.Identical {
+			return fmt.Errorf("replay: cached re-run diverged from the fresh result")
+		}
+		if st2.Executed != 0 {
+			return fmt.Errorf("replay: cached re-run executed %d cells, want 0", st2.Executed)
+		}
+	}
+
+	if out != "" {
+		if err := writeResult(out, res); err != nil {
+			return err
+		}
+	}
+	if bench != "" {
+		report := dsnet.NewBenchReport(runner.Bench, runner.JobCount())
+		report.Grid = fmt.Sprintf("search/%s/%s/n%d", driver, objective, n)
+		report.Replay = check
+		if err := report.WriteFile(bench); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	report(os.Stdout, res, st)
+	return nil
+}
+
+// writeResult persists the deterministic result document. The encoding
+// carries no timing or cache statistics, so two runs of the same search
+// — serial, parallel, or replayed — produce byte-identical files.
+func writeResult(path string, res dsnet.SearchResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func report(w *os.File, res dsnet.SearchResult, st dsnet.SearchRunStats) {
+	fmt.Fprintf(w, "# dsnsearch: %s/%s at n=%d degree<=%d, seed %d, budget %d\n",
+		res.Driver, res.Objective, res.N, res.MaxDegree, res.Seed, res.Budget)
+	fmt.Fprintf(w, "# evaluated %d (%d unique), %d executed, %d from cache\n",
+		res.Evaluated, res.Unique, st.Executed, st.Cached)
+	for _, r := range res.Rejected {
+		fmt.Fprintf(w, "# rejected %-20s %d\n", r.Reason, r.Count)
+	}
+	fmt.Fprintf(w, "\n# seeds (%d)\n", len(res.Seeds))
+	dsnet.WriteParetoTable(w, res.Objective, dsnet.SearchPoints(res.Seeds))
+	fmt.Fprintf(w, "\n# pareto front (%d, all certified)\n", len(res.Front))
+	dsnet.WriteParetoTable(w, res.Objective, dsnet.SearchPoints(res.Front))
+	if res.Best != nil {
+		fmt.Fprintf(w, "\n# best (scalarized): %s from %s — %s\n",
+			res.Best.Eval.Fingerprint[:12], res.Best.Origin, res.Best.Eval.CertDetail)
+	}
+}

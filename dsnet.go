@@ -41,6 +41,7 @@ import (
 	"dsnet/internal/layout"
 	"dsnet/internal/netsim"
 	"dsnet/internal/routing"
+	"dsnet/internal/search"
 	"dsnet/internal/stats"
 	"dsnet/internal/topology"
 	"dsnet/internal/traffic"
@@ -538,6 +539,58 @@ var (
 	// BuildTopology constructs one named comparison topology — the
 	// request-driven entry point dsnserve uses.
 	BuildTopology = analysis.BuildTopology
+)
+
+// Topology design-space search (cmd/dsnsearch): a seeded quality/cost
+// Pareto optimizer over ring-plus-shortcut genomes. Candidates are
+// evaluated as content-addressed sweep cells (resumable, bit-identical
+// at any -j), Dally–Seitz certified before simulation, and archived on
+// a deterministic Pareto front over the paper's quality/cost axes.
+type (
+	// Genome is one candidate topology: a canonical extra-edge set over
+	// a base ring.
+	Genome = search.Genome
+	// Gene is one canonical extra edge of a genome.
+	Gene = search.Gene
+	// SearchConstraints bound the design space (switch count, port budget).
+	SearchConstraints = search.Constraints
+	// SearchEvalConfig fixes how candidates are measured.
+	SearchEvalConfig = search.EvalConfig
+	// SearchEval is one candidate's cached evaluation.
+	SearchEval = search.Eval
+	// SearchCandidate pairs a genome with its origin and evaluation.
+	SearchCandidate = search.Candidate
+	// SearchConfig parameterizes one search run.
+	SearchConfig = search.Config
+	// SearchResult is the deterministic outcome document of one search.
+	SearchResult = search.Result
+	// SearchRunStats reports cache/execution statistics of one search.
+	SearchRunStats = search.RunStats
+	// SearchArchive is the deterministic Pareto archive.
+	SearchArchive = search.Archive
+	// ParetoPoint is one candidate on the rendered quality/cost plane.
+	ParetoPoint = analysis.ParetoPoint
+)
+
+// SearchResultSchema versions the dsnsearch Result document.
+const SearchResultSchema = search.ResultSchema
+
+var (
+	NewGenome           = search.NewGenome
+	GenomeFromGraph     = search.FromGraph
+	DefaultSearchConfig = search.DefaultConfig
+	DefaultSearchEval   = search.DefaultEvalConfig
+	SearchRun           = search.Run
+	SearchEvaluate      = search.Evaluate
+	SearchSeedPool      = search.SeedPool
+	SearchDominates     = search.Dominates
+	SearchPoints        = search.Points
+	WriteParetoTable    = analysis.WriteParetoTable
+
+	// SearchObjectives and SearchDrivers list the accepted -objective
+	// and -driver values of cmd/dsnsearch.
+	SearchObjectives = search.Objectives
+	SearchDrivers    = search.Drivers
 )
 
 // PatternNames lists the traffic patterns PatternFor accepts.

@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// ParetoPoint is one candidate on the quality/cost plane, as emitted by
+// the topology design-space search (internal/search). The struct is
+// deliberately search-agnostic — analysis sits below the search engine
+// in the dependency order — so the search and the CLIs convert their
+// candidates into points before rendering.
+type ParetoPoint struct {
+	Label        string  `json:"label"`  // genome fingerprint prefix, or seed name
+	Origin       string  `json:"origin"` // where the candidate came from (seed:…, g3:rewire, …)
+	Quality      float64 `json:"quality"`
+	Cost         float64 `json:"cost"`
+	ASPL         float64 `json:"aspl,omitempty"`
+	Diameter     int     `json:"diameter,omitempty"`
+	SaturationGB float64 `json:"saturation_gbps,omitempty"`
+	CableMetres  float64 `json:"cable_metres,omitempty"`
+	Genes        int     `json:"genes"`
+	MaxDegree    int     `json:"max_degree"`
+}
+
+// WriteParetoTable renders a Pareto front (or any candidate list) as a
+// plain-text table in the style of the paper-figure tables. The
+// objective names the quality axis in the header.
+func WriteParetoTable(w io.Writer, objective string, pts []ParetoPoint) {
+	fmt.Fprintf(w, "%-14s %-20s %18s %12s %7s %5s %13s %11s %6s %4s\n",
+		"label", "origin", "quality("+objective+")", "cost_usd", "aspl", "diam", "thruput_gbps", "cable_m", "genes", "deg")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-14s %-20s %18.4f %12.0f %7.3f %5d %13.2f %11.0f %6d %4d\n",
+			p.Label, p.Origin, p.Quality, p.Cost, p.ASPL, p.Diameter, p.SaturationGB, p.CableMetres, p.Genes, p.MaxDegree)
+	}
+}

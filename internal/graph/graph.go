@@ -10,6 +10,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -123,6 +124,46 @@ func (g *Graph) AddLeveledEdge(u, v int, kind EdgeKind, level int16) int {
 	g.adj[u] = append(g.adj[u], Half{To: int32(v), Edge: idx})
 	g.adj[v] = append(g.adj[v], Half{To: int32(u), Edge: idx})
 	return int(idx)
+}
+
+// Edge-insertion constraint violations reported by AddEdgeChecked.
+// Programmatic edge generators (mutation/crossover operators, genome
+// decoders) must handle these as data errors rather than panics: a
+// random proposal hitting a constraint is an expected, countable event,
+// not a programming bug.
+var (
+	ErrSelfLoop    = errors.New("graph: self-loop")
+	ErrVertexRange = errors.New("graph: vertex out of range")
+	ErrDuplicate   = errors.New("graph: duplicate edge")
+	ErrDegreeLimit = errors.New("graph: degree limit exceeded")
+)
+
+// AddEdgeChecked inserts an undirected edge between u and v like AddEdge,
+// but returns a typed error instead of panicking or silently skipping
+// when the edge violates a construction constraint: self-loops
+// (ErrSelfLoop), endpoints outside [0, N) (ErrVertexRange), a parallel
+// edge of any kind (ErrDuplicate), or an endpoint whose degree would
+// exceed maxDegree (ErrDegreeLimit; maxDegree <= 0 means unbounded).
+// On error the graph is unchanged.
+func (g *Graph) AddEdgeChecked(u, v int, kind EdgeKind, maxDegree int) (int, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return -1, fmt.Errorf("%w: (%d,%d) outside [0,%d)", ErrVertexRange, u, v, g.n)
+	}
+	if u == v {
+		return -1, fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
+	}
+	if g.HasEdge(u, v) {
+		return -1, fmt.Errorf("%w: (%d,%d)", ErrDuplicate, u, v)
+	}
+	if maxDegree > 0 {
+		if d := len(g.adj[u]); d >= maxDegree {
+			return -1, fmt.Errorf("%w: vertex %d at degree %d, budget %d", ErrDegreeLimit, u, d, maxDegree)
+		}
+		if d := len(g.adj[v]); d >= maxDegree {
+			return -1, fmt.Errorf("%w: vertex %d at degree %d, budget %d", ErrDegreeLimit, v, d, maxDegree)
+		}
+	}
+	return g.AddEdge(u, v, kind), nil
 }
 
 // AddEdgeOnce inserts the edge only if no edge (of any kind) already joins

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -389,5 +390,64 @@ func TestQuickBFSLipschitz(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeCheckedErrors(t *testing.T) {
+	g := ring(6) // every vertex at degree 2
+	cases := []struct {
+		name string
+		u, v int
+		max  int
+		want error
+	}{
+		{"self-loop", 3, 3, 0, ErrSelfLoop},
+		{"u negative", -1, 2, 0, ErrVertexRange},
+		{"v too large", 2, 6, 0, ErrVertexRange},
+		{"duplicate ring edge", 0, 1, 0, ErrDuplicate},
+		{"duplicate reversed", 1, 0, 0, ErrDuplicate},
+		{"degree budget at u", 0, 3, 2, ErrDegreeLimit},
+	}
+	for _, c := range cases {
+		m := g.M()
+		idx, err := g.AddEdgeChecked(c.u, c.v, KindRandom, c.max)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: AddEdgeChecked(%d,%d,max=%d) err %v, want %v", c.name, c.u, c.v, c.max, err, c.want)
+		}
+		if idx != -1 {
+			t.Errorf("%s: got index %d, want -1", c.name, idx)
+		}
+		if g.M() != m {
+			t.Errorf("%s: edge count changed %d -> %d on failed insert", c.name, m, g.M())
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid after rejected inserts: %v", err)
+	}
+}
+
+func TestAddEdgeCheckedSuccess(t *testing.T) {
+	g := ring(6)
+	// Degree budget 3 leaves room for exactly one extra edge per vertex.
+	idx, err := g.AddEdgeChecked(0, 3, KindRandom, 3)
+	if err != nil {
+		t.Fatalf("AddEdgeChecked(0,3): %v", err)
+	}
+	if e := g.Edge(idx); e.U != 0 || e.V != 3 || e.Kind != KindRandom {
+		t.Fatalf("inserted edge %+v, want (0,3,random)", e)
+	}
+	if g.Degree(0) != 3 || g.Degree(3) != 3 {
+		t.Fatalf("degrees %d,%d after insert, want 3,3", g.Degree(0), g.Degree(3))
+	}
+	// Both endpoints are now at the budget: the next insert must refuse.
+	if _, err := g.AddEdgeChecked(0, 2, KindRandom, 3); !errors.Is(err, ErrDegreeLimit) {
+		t.Fatalf("insert past budget: err %v, want ErrDegreeLimit", err)
+	}
+	// Unbounded budget (0) admits it.
+	if _, err := g.AddEdgeChecked(0, 2, KindRandom, 0); err != nil {
+		t.Fatalf("unbounded insert: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
 	}
 }

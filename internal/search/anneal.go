@@ -1,0 +1,65 @@
+package search
+
+import (
+	"fmt"
+	"math"
+)
+
+// runAnneal is batched simulated annealing: proposals are generated
+// serially from the current design, evaluated as one harness batch
+// (keeping the worker pool busy), then accepted or refused in proposal
+// order by the Metropolis rule at the prevailing temperature. The
+// trajectory — proposals, acceptance draws, temperature decay — is a
+// pure function of the seed; the batch size only changes how many
+// proposals share a parent, not any random draw.
+func (e *engine) runAnneal(seeds []Candidate) error {
+	cur, ok := bestOf(seeds, e)
+	if !ok {
+		return fmt.Errorf("search: no seed candidate survived evaluation (front requires certified candidates)")
+	}
+	temp := e.cfg.InitTemp
+	for round := 1; e.remaining() > 0; round++ {
+		batch := e.cfg.Lambda
+		if batch > e.remaining() {
+			batch = e.remaining()
+		}
+		genomes := make([]Genome, batch)
+		origins := make([]string, batch)
+		for i := 0; i < batch; i++ {
+			g, op := e.proposeUnseen(func() (Genome, string) {
+				return Mutate(cur.Genome, e.cfg.Eval.Constraints, e.sampler, e.rng)
+			})
+			genomes[i] = g
+			origins[i] = fmt.Sprintf("a%d:%s", round, op)
+		}
+		cands, err := e.evalBatch(origins, genomes)
+		if err != nil {
+			return err
+		}
+		for _, c := range cands {
+			if c.Eval.Rejected == "" && c.Eval.Certified {
+				delta := e.fitness(c.Eval) - e.fitness(cur.Eval)
+				if delta <= 0 || e.rng.Float64() < math.Exp(-delta/temp) {
+					cur = c
+				}
+			}
+			temp *= e.cfg.Cool
+		}
+	}
+	return nil
+}
+
+// bestOf returns the fittest accepted candidate of a batch.
+func bestOf(batch []Candidate, e *engine) (Candidate, bool) {
+	acc := accepted(batch)
+	if len(acc) == 0 {
+		return Candidate{}, false
+	}
+	best := acc[0]
+	for _, c := range acc[1:] {
+		if e.better(c, best) {
+			best = c
+		}
+	}
+	return best, true
+}

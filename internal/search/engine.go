@@ -1,0 +1,337 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"dsnet/internal/harness"
+)
+
+// Driver names.
+const (
+	DriverEvolve = "evolve" // (μ+λ) evolutionary loop
+	DriverAnneal = "anneal" // batched simulated annealing
+)
+
+// Drivers lists the accepted -driver values.
+var Drivers = []string{DriverEvolve, DriverAnneal}
+
+// Config parameterizes one search run.
+type Config struct {
+	Eval   EvalConfig
+	Seed   uint64 // drives every proposal draw; evaluation uses Eval.Sim.Seed
+	Budget int    // total candidate evaluations, seeds included
+	Driver string
+
+	// Mu and Lambda size the evolutionary loop: Mu survivors, Lambda
+	// offspring per generation. Lambda also sets the annealer's
+	// proposal batch size (batching keeps the worker pool busy without
+	// perturbing determinism).
+	Mu, Lambda int
+
+	// CrossoverP is the probability an offspring recombines two parents
+	// before mutating (evolve only).
+	CrossoverP float64
+
+	// Alpha biases mutation spans: new shortcuts draw their ring span d
+	// with probability proportional to d^-Alpha.
+	Alpha float64
+
+	// InitTemp and Cool drive the annealing schedule: the temperature
+	// starts at InitTemp (in scalarized-fitness units) and multiplies by
+	// Cool after every proposal.
+	InitTemp, Cool float64
+}
+
+// DefaultConfig returns a search over n switches at the given port
+// budget with the evolutionary driver and the paper-default evaluation.
+func DefaultConfig(n, maxDegree int) Config {
+	return Config{
+		Eval:       DefaultEvalConfig(Constraints{N: n, MaxDegree: maxDegree}),
+		Seed:       1,
+		Budget:     64,
+		Driver:     DriverEvolve,
+		Mu:         8,
+		Lambda:     8,
+		CrossoverP: 0.25,
+		Alpha:      1.0,
+		InitTemp:   0.2,
+		Cool:       0.97,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	switch c.Driver {
+	case DriverEvolve, DriverAnneal:
+	default:
+		return fmt.Errorf("search: unknown driver %q (drivers: %v)", c.Driver, Drivers)
+	}
+	if c.Budget < 1 {
+		return fmt.Errorf("search: budget %d < 1", c.Budget)
+	}
+	if c.Mu < 1 || c.Lambda < 1 {
+		return fmt.Errorf("search: need mu >= 1 and lambda >= 1, got %d,%d", c.Mu, c.Lambda)
+	}
+	if c.CrossoverP < 0 || c.CrossoverP > 1 {
+		return fmt.Errorf("search: crossover probability %g outside [0,1]", c.CrossoverP)
+	}
+	if c.InitTemp <= 0 || c.Cool <= 0 || c.Cool > 1 {
+		return fmt.Errorf("search: bad annealing schedule temp=%g cool=%g", c.InitTemp, c.Cool)
+	}
+	return c.Eval.Validate()
+}
+
+// ReasonCount is one rejection reason with its tally, sorted by reason
+// for deterministic serialization.
+type ReasonCount struct {
+	Reason string `json:"reason"`
+	Count  int    `json:"count"`
+}
+
+// Result is the deterministic outcome of one search: everything here
+// is a pure function of (Config, seed pool), independent of worker
+// count and cache state. Timing and cache statistics live in RunStats,
+// deliberately outside this document so it can be compared
+// byte-for-byte across runs.
+type Result struct {
+	Schema    string `json:"schema"`
+	Driver    string `json:"driver"`
+	Objective string `json:"objective"`
+	N         int    `json:"n"`
+	MaxDegree int    `json:"max_degree"`
+	Seed      uint64 `json:"seed"`
+	Budget    int    `json:"budget"`
+
+	Evaluated int           `json:"evaluated"` // budget consumed
+	Unique    int           `json:"unique"`    // distinct genomes evaluated
+	Rejected  []ReasonCount `json:"rejected,omitempty"`
+
+	// Seeds records the evaluated starting candidates — the paper's own
+	// families on the same axes, the baselines the front must beat.
+	Seeds []Candidate `json:"seeds"`
+	// Front is the final Pareto archive in canonical order; every member
+	// is certified.
+	Front []Candidate `json:"front"`
+	// Best is the scalarized-fitness optimum over all accepted
+	// candidates.
+	Best *Candidate `json:"best,omitempty"`
+}
+
+// ResultSchema versions the Result document.
+const ResultSchema = "dsn-search/v1"
+
+// RunStats reports execution statistics for one search: how much of
+// the budget was served from the sweep cache vs executed fresh.
+type RunStats struct {
+	Evaluated int `json:"evaluated"`
+	Executed  int `json:"executed"`
+	Cached    int `json:"cached"`
+}
+
+// engine is the shared state of one search run.
+type engine struct {
+	ctx     context.Context
+	runner  *harness.Runner
+	cfg     Config
+	rng     *rand.Rand
+	sampler *spanSampler
+	evalFP  string
+
+	seen     map[string]Eval // fingerprint -> evaluation (dedup + reuse)
+	rejected map[string]int
+	archive  Archive
+	accepted []Candidate // every certified candidate, for Best
+	stats    RunStats
+
+	// fitness normalizers, fixed after the seed round
+	qNorm, cNorm float64
+}
+
+// Run executes the configured search on the runner. Every candidate
+// evaluation is a harness cell; with a cache attached, rerunning the
+// same configuration replays the whole search from the cache. The
+// returned Result is bit-identical across worker counts and cache
+// states; ctx cancellation aborts between batches with ctx.Err().
+func Run(ctx context.Context, runner *harness.Runner, cfg Config) (Result, RunStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, RunStats{}, err
+	}
+	e := &engine{
+		ctx:      ctx,
+		runner:   runner,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x64736e736561726 /* "dsnsear" */)),
+		sampler:  newSpanSampler(cfg.Eval.Constraints.N, cfg.Alpha),
+		evalFP:   cfg.Eval.Fingerprint(),
+		seen:     make(map[string]Eval),
+		rejected: make(map[string]int),
+	}
+
+	pool, err := SeedPool(cfg.Eval.Constraints, cfg.Seed)
+	if err != nil {
+		return Result{}, RunStats{}, err
+	}
+	if len(pool) > cfg.Budget {
+		pool = pool[:cfg.Budget]
+	}
+	genomes := make([]Genome, len(pool))
+	origins := make([]string, len(pool))
+	for i, s := range pool {
+		genomes[i] = s.Genome
+		origins[i] = "seed:" + s.Name
+	}
+	seeds, err := e.evalBatch(origins, genomes)
+	if err != nil {
+		return Result{}, RunStats{}, err
+	}
+	e.normalize(seeds)
+
+	switch cfg.Driver {
+	case DriverEvolve:
+		err = e.runEvolve(seeds)
+	case DriverAnneal:
+		err = e.runAnneal(seeds)
+	}
+	if err != nil {
+		return Result{}, RunStats{}, err
+	}
+	return e.result(seeds), e.stats, nil
+}
+
+// evalBatch evaluates one batch of genomes as harness cells and folds
+// the outcomes into the engine: seen set, rejection counts, archive,
+// accepted list, budget. Results come back in proposal order, so the
+// fold is deterministic at any worker count.
+func (e *engine) evalBatch(origins []string, genomes []Genome) ([]Candidate, error) {
+	cells := make([]harness.Cell[Eval], len(genomes))
+	for i, g := range genomes {
+		cells[i] = Cell(g, e.cfg.Eval, e.evalFP)
+	}
+	evals, st, err := harness.RunStatsCtx(e.ctx, e.runner, "search", cells)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.Evaluated += len(cells)
+	e.stats.Executed += st.Executed
+	e.stats.Cached += st.Cached
+	out := make([]Candidate, len(genomes))
+	for i, ev := range evals {
+		c := Candidate{Origin: origins[i], Genome: genomes[i], Eval: ev}
+		out[i] = c
+		if _, dup := e.seen[ev.Fingerprint]; !dup {
+			e.seen[ev.Fingerprint] = ev
+			if ev.Rejected != "" {
+				e.rejected[ev.Rejected]++
+			} else {
+				e.accepted = append(e.accepted, c)
+			}
+		}
+		e.archive.Add(c)
+	}
+	return out, nil
+}
+
+// normalize fixes the scalarization scales from the seed round: the
+// mean magnitude of each axis over the accepted seeds. Fixing them
+// once keeps fitness comparisons stable across the whole run.
+func (e *engine) normalize(seeds []Candidate) {
+	var qs, cs []float64
+	for _, s := range seeds {
+		if s.Eval.Rejected == "" {
+			q := s.Eval.Quality
+			if q < 0 {
+				q = -q
+			}
+			qs = append(qs, q)
+			cs = append(cs, s.Eval.Cost)
+		}
+	}
+	e.qNorm, e.cNorm = meanOr1(qs), meanOr1(cs)
+}
+
+func meanOr1(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	if m := sum / float64(len(xs)); m > 0 {
+		return m
+	}
+	return 1
+}
+
+// fitness scalarizes an evaluation for selection and annealing:
+// normalized quality plus normalized cost, lower is better. Rejected
+// candidates never reach fitness comparisons.
+func (e *engine) fitness(ev Eval) float64 {
+	return ev.Quality/e.qNorm + ev.Cost/e.cNorm
+}
+
+// better orders candidates by (fitness, fingerprint) — the total,
+// deterministic order every selection step uses.
+func (e *engine) better(a, b Candidate) bool {
+	fa, fb := e.fitness(a.Eval), e.fitness(b.Eval)
+	if fa != fb {
+		return fa < fb
+	}
+	return a.Eval.Fingerprint < b.Eval.Fingerprint
+}
+
+// remaining returns the unspent evaluation budget.
+func (e *engine) remaining() int { return e.cfg.Budget - e.stats.Evaluated }
+
+// proposeUnseen mutates (and optionally recombines) until it finds a
+// genome not yet evaluated, with a bounded retry budget: duplicates
+// are legal (they replay from the cache) but waste budget, so the
+// driver steers away from them when it cheaply can.
+func (e *engine) proposeUnseen(gen func() (Genome, string)) (Genome, string) {
+	g, op := gen()
+	for attempt := 0; attempt < 8; attempt++ {
+		if _, dup := e.seen[g.Fingerprint()]; !dup {
+			break
+		}
+		g, op = gen()
+	}
+	return g, op
+}
+
+// result assembles the deterministic Result document.
+func (e *engine) result(seeds []Candidate) Result {
+	res := Result{
+		Schema:    ResultSchema,
+		Driver:    e.cfg.Driver,
+		Objective: e.cfg.Eval.Objective,
+		N:         e.cfg.Eval.Constraints.N,
+		MaxDegree: e.cfg.Eval.Constraints.MaxDegree,
+		Seed:      e.cfg.Seed,
+		Budget:    e.cfg.Budget,
+		Evaluated: e.stats.Evaluated,
+		Unique:    len(e.seen),
+		Seeds:     seeds,
+		Front:     e.archive.Front(),
+	}
+	reasons := make([]string, 0, len(e.rejected))
+	for r := range e.rejected { // dsnlint:ok maprange keys sorted below
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		res.Rejected = append(res.Rejected, ReasonCount{Reason: r, Count: e.rejected[r]})
+	}
+	if len(e.accepted) > 0 {
+		best := e.accepted[0]
+		for _, c := range e.accepted[1:] {
+			if e.better(c, best) {
+				best = c
+			}
+		}
+		res.Best = &best
+	}
+	return res
+}

@@ -1,0 +1,104 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+)
+
+// runEvolve is the (μ+λ) evolutionary loop: each generation draws
+// Lambda offspring from the surviving population by tournament
+// selection, optional crossover and link-exchange mutation, evaluates
+// them as one harness batch, and keeps the best Mu of parents plus
+// offspring. All randomness is drawn serially from the engine RNG in
+// proposal order, so the trajectory is a pure function of the seed.
+func (e *engine) runEvolve(seeds []Candidate) error {
+	pop := survivors(nil, seeds, e)
+	if len(pop) == 0 {
+		return fmt.Errorf("search: no seed candidate survived evaluation (front requires certified candidates)")
+	}
+	for gen := 1; e.remaining() > 0; gen++ {
+		lam := e.cfg.Lambda
+		if lam > e.remaining() {
+			lam = e.remaining()
+		}
+		genomes := make([]Genome, lam)
+		origins := make([]string, lam)
+		for i := 0; i < lam; i++ {
+			g, op := e.proposeUnseen(func() (Genome, string) { return e.offspring(pop) })
+			genomes[i] = g
+			origins[i] = fmt.Sprintf("g%d:%s", gen, op)
+		}
+		kids, err := e.evalBatch(origins, genomes)
+		if err != nil {
+			return err
+		}
+		pop = survivors(pop, kids, e)
+		if len(pop) == 0 {
+			return fmt.Errorf("search: population went extinct at generation %d", gen)
+		}
+	}
+	return nil
+}
+
+// offspring draws one child: a tournament-selected parent, crossed
+// with a second parent with probability CrossoverP, then mutated.
+func (e *engine) offspring(pop []Candidate) (Genome, string) {
+	p1 := e.tournament(pop)
+	g := p1.Genome
+	crossed := false
+	if len(pop) > 1 && e.rng.Float64() < e.cfg.CrossoverP {
+		p2 := e.tournament(pop)
+		if p2.Eval.Fingerprint != p1.Eval.Fingerprint {
+			g = Crossover(p1.Genome, p2.Genome, e.cfg.Eval.Constraints, e.rng)
+			crossed = true
+		}
+	}
+	child, op := Mutate(g, e.cfg.Eval.Constraints, e.sampler, e.rng)
+	if crossed {
+		op = "cross+" + op
+	}
+	return child, op
+}
+
+// tournament picks the better of two uniform draws.
+func (e *engine) tournament(pop []Candidate) Candidate {
+	a := pop[e.rng.IntN(len(pop))]
+	b := pop[e.rng.IntN(len(pop))]
+	if e.better(b, a) {
+		return b
+	}
+	return a
+}
+
+// survivors merges the old population with the accepted newcomers,
+// deduplicates by fingerprint, and keeps the best Mu in the engine's
+// total order.
+func survivors(pop, batch []Candidate, e *engine) []Candidate {
+	merged := append(append([]Candidate(nil), pop...), accepted(batch)...)
+	sort.Slice(merged, func(i, j int) bool { return e.better(merged[i], merged[j]) })
+	out := merged[:0]
+	last := ""
+	for _, c := range merged {
+		if c.Eval.Fingerprint == last {
+			continue
+		}
+		last = c.Eval.Fingerprint
+		out = append(out, c)
+		if len(out) == e.cfg.Mu {
+			break
+		}
+	}
+	return out
+}
+
+// accepted filters a batch down to its certified, non-rejected
+// members.
+func accepted(batch []Candidate) []Candidate {
+	var out []Candidate
+	for _, c := range batch {
+		if c.Eval.Rejected == "" && c.Eval.Certified {
+			out = append(out, c)
+		}
+	}
+	return out
+}

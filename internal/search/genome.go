@@ -1,0 +1,246 @@
+// Package search is a seeded design-space search engine over shortcut
+// placements: it explores low-degree ring-plus-shortcut topologies with
+// simulated annealing and a (μ+λ) evolutionary loop, optimizing the
+// paper's own quality/cost axes — ASPL and simulated saturation
+// throughput (netsim) against the Section VI.B layout-aware cable and
+// itemized cost model — and maintains a deterministic Pareto archive of
+// the non-dominated candidates found.
+//
+// A candidate is a Genome: a canonical, order-independent set of extra
+// edges over a base ring, under a per-switch port budget. Every
+// evaluated candidate is a content-addressed harness cell, so searches
+// are resumable from the sweep cache and bit-identical at any worker
+// count; every candidate is Dally–Seitz certified (internal/verify)
+// before it is ever simulated, and uncertifiable candidates are
+// rejected with a counted reason.
+package search
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dsnet/internal/graph"
+)
+
+// genomeSchema versions the canonical genome encoding. The fingerprint
+// (and hence every search cell key) hashes this string, so bumping it
+// invalidates cached evaluations of every genome at once.
+const genomeSchema = "dsngenome v1"
+
+// Gene is one extra undirected edge of a candidate, canonically
+// oriented U < V.
+type Gene struct {
+	U, V int32
+}
+
+// Genome is one candidate topology: N switches on a base ring (edges
+// (i, i+1 mod N)) plus the Extra shortcut edges. The zero value is an
+// empty genome; use NewGenome (or a seed generator) so the gene list
+// is canonical: oriented U < V, sorted lexicographically, exact
+// duplicates collapsed. All methods treat the genome as immutable.
+type Genome struct {
+	N     int    `json:"n"`
+	Extra []Gene `json:"extra"`
+}
+
+// NewGenome builds a canonical genome from an arbitrary extra-edge
+// list: edges may arrive in any order and either orientation, and
+// exact duplicate pairs collapse to one gene. Validity (range,
+// self-loops, ring overlap, degree budget) is checked separately by
+// Validate/Build, so generators can canonicalize first and diagnose
+// later.
+func NewGenome(n int, extra []Gene) Genome {
+	es := make([]Gene, 0, len(extra))
+	for _, e := range extra {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	out := es[:0]
+	for i, e := range es {
+		if i > 0 && e == es[i-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		out = nil
+	}
+	return Genome{N: n, Extra: out}
+}
+
+// Clone returns a deep copy whose gene list can be extended without
+// aliasing the receiver.
+func (g Genome) Clone() Genome {
+	return Genome{N: g.N, Extra: append([]Gene(nil), g.Extra...)}
+}
+
+// Canonical renders the genome in the stable text form that is hashed
+// into the fingerprint: the schema line, the switch count, then one
+// line per gene in canonical order.
+func (g Genome) Canonical() []byte {
+	var b strings.Builder
+	b.WriteString(genomeSchema)
+	fmt.Fprintf(&b, "\nn %d\n", g.N)
+	for _, e := range g.Extra {
+		fmt.Fprintf(&b, "e %d %d\n", e.U, e.V)
+	}
+	return []byte(b.String())
+}
+
+// Fingerprint returns the content address of the genome: a 96-bit hex
+// prefix of the SHA-256 of the canonical encoding, matching the
+// harness fingerprint conventions. Two genomes with the same edge set
+// — in any order or orientation — fingerprint identically.
+func (g Genome) Fingerprint() string {
+	sum := sha256.Sum256(g.Canonical())
+	return hex.EncodeToString(sum[:])[:24]
+}
+
+// ringGap returns the clockwise ring distance between the endpoints'
+// positions, folded to the shorter side (1 means a ring-parallel edge).
+func ringGap(n int, u, v int32) int {
+	d := int(v-u) % n
+	if d < 0 {
+		d += n
+	}
+	if d > n/2 {
+		d = n - d
+	}
+	return d
+}
+
+// Validate checks the genome against the constraints: n large enough
+// for a ring, every gene in range, no self-loops, no gene duplicating a
+// base ring edge, and every switch within the port budget (ring links
+// cost 2 ports). The first violation is returned as a typed
+// graph-package error, so callers can count rejection reasons with
+// errors.Is.
+func (g Genome) Validate(maxDegree int) error {
+	if g.N < 3 {
+		return fmt.Errorf("%w: genome needs n >= 3, got %d", graph.ErrVertexRange, g.N)
+	}
+	deg := make([]int, g.N)
+	for _, e := range g.Extra {
+		if e.U < 0 || e.V < 0 || int(e.U) >= g.N || int(e.V) >= g.N {
+			return fmt.Errorf("%w: gene (%d,%d) outside [0,%d)", graph.ErrVertexRange, e.U, e.V, g.N)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("%w: gene at vertex %d", graph.ErrSelfLoop, e.U)
+		}
+		if ringGap(g.N, e.U, e.V) == 1 {
+			return fmt.Errorf("%w: gene (%d,%d) duplicates a ring link", graph.ErrDuplicate, e.U, e.V)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	if maxDegree > 0 {
+		for v, d := range deg {
+			if d+2 > maxDegree {
+				return fmt.Errorf("%w: switch %d needs %d ports, budget %d", graph.ErrDegreeLimit, v, d+2, maxDegree)
+			}
+		}
+	}
+	return nil
+}
+
+// Build materializes the genome as a graph: the base ring as KindRing
+// edges plus every gene as a KindRandom shortcut, inserted through the
+// checked path so constraint violations surface as typed errors rather
+// than panics. maxDegree <= 0 lifts the port budget.
+func (g Genome) Build(maxDegree int) (*graph.Graph, error) {
+	if g.N < 3 {
+		return nil, fmt.Errorf("%w: genome needs n >= 3, got %d", graph.ErrVertexRange, g.N)
+	}
+	gr := graph.New(g.N)
+	for i := 0; i < g.N; i++ {
+		gr.AddEdge(i, (i+1)%g.N, graph.KindRing)
+	}
+	for _, e := range g.Extra {
+		if _, err := gr.AddEdgeChecked(int(e.U), int(e.V), graph.KindRandom, maxDegree); err != nil {
+			return nil, fmt.Errorf("gene (%d,%d): %w", e.U, e.V, err)
+		}
+	}
+	return gr, nil
+}
+
+// Degree returns the degree of switch v under this genome (2 ring
+// ports plus its genes).
+func (g Genome) Degree(v int32) int {
+	d := 2
+	for _, e := range g.Extra {
+		if e.U == v || e.V == v {
+			d++
+		}
+	}
+	return d
+}
+
+// MaxDegree returns the largest switch degree of the genome.
+// Out-of-range genes (diagnosed by Validate) are skipped, so the method
+// is safe on genomes that fail validation.
+func (g Genome) MaxDegree() int {
+	deg := make([]int, g.N)
+	for _, e := range g.Extra {
+		if e.U < 0 || e.V < 0 || int(e.U) >= g.N || int(e.V) >= g.N {
+			continue
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	return max + 2
+}
+
+// HasGene reports whether the canonical gene (u,v) is present.
+func (g Genome) HasGene(u, v int32) bool {
+	if u > v {
+		u, v = v, u
+	}
+	i := sort.Search(len(g.Extra), func(i int) bool {
+		if g.Extra[i].U != u {
+			return g.Extra[i].U > u
+		}
+		return g.Extra[i].V >= v
+	})
+	return i < len(g.Extra) && g.Extra[i] == Gene{U: u, V: v}
+}
+
+// FromGraph extracts a genome from an existing topology graph: every
+// non-ring-kind edge becomes a gene. The graph must contain the full
+// base ring; edges that parallel a ring link (DSN-E Extra links) are
+// dropped, since the genome encoding cannot express parallel edges.
+func FromGraph(gr *graph.Graph) Genome {
+	n := gr.N()
+	var extra []Gene
+	for _, e := range gr.Edges() {
+		if e.Kind == graph.KindRing {
+			continue
+		}
+		if ringGap(n, e.U, e.V) == 1 {
+			continue
+		}
+		extra = append(extra, Gene{U: e.U, V: e.V})
+	}
+	return NewGenome(n, extra)
+}
+
+// String identifies the genome compactly for logs and tables.
+func (g Genome) String() string {
+	return fmt.Sprintf("genome{n=%d, extra=%d, %s}", g.N, len(g.Extra), g.Fingerprint()[:12])
+}

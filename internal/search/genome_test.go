@@ -1,0 +1,203 @@
+package search
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"dsnet/internal/graph"
+)
+
+func TestNewGenomeCanonicalizes(t *testing.T) {
+	// Same edge set, scrambled order and orientation, with duplicates.
+	a := NewGenome(16, []Gene{{U: 3, V: 9}, {U: 0, V: 8}, {U: 12, V: 5}})
+	b := NewGenome(16, []Gene{{U: 8, V: 0}, {U: 5, V: 12}, {U: 9, V: 3}, {U: 0, V: 8}, {U: 3, V: 9}})
+	if !bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Fatalf("canonical forms differ:\n%s\nvs\n%s", a.Canonical(), b.Canonical())
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	for i := 1; i < len(a.Extra); i++ {
+		p, q := a.Extra[i-1], a.Extra[i]
+		if p.U > q.U || (p.U == q.U && p.V >= q.V) {
+			t.Fatalf("genes not strictly sorted: %v before %v", p, q)
+		}
+	}
+	for _, e := range a.Extra {
+		if e.U >= e.V {
+			t.Fatalf("gene %v not oriented U < V", e)
+		}
+	}
+}
+
+func TestGenomeValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Genome
+		max  int
+		want error
+	}{
+		{"range", NewGenome(8, []Gene{{U: 2, V: 9}}), 0, graph.ErrVertexRange},
+		{"negative", NewGenome(8, []Gene{{U: -1, V: 3}}), 0, graph.ErrVertexRange},
+		{"self", NewGenome(8, []Gene{{U: 4, V: 4}}), 0, graph.ErrSelfLoop},
+		{"ring", NewGenome(8, []Gene{{U: 2, V: 3}}), 0, graph.ErrDuplicate},
+		{"wrap", NewGenome(8, []Gene{{U: 0, V: 7}}), 0, graph.ErrDuplicate},
+		{"degree", NewGenome(8, []Gene{{U: 0, V: 2}, {U: 0, V: 3}}), 3, graph.ErrDegreeLimit},
+		{"tiny", Genome{N: 2}, 0, graph.ErrVertexRange},
+	}
+	for _, tc := range cases {
+		err := tc.g.Validate(tc.max)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate = %v, want errors.Is %v", tc.name, err, tc.want)
+		}
+		if _, berr := tc.g.Build(tc.max); berr == nil {
+			t.Errorf("%s: Build accepted a genome Validate rejects", tc.name)
+		}
+	}
+}
+
+func TestGenomeBuildRoundTrip(t *testing.T) {
+	g := NewGenome(16, []Gene{{U: 0, V: 8}, {U: 3, V: 9}, {U: 5, V: 12}})
+	if err := g.Validate(4); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	gr, err := g.Build(4)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if gr.M() != 16+3 {
+		t.Fatalf("built graph has %d edges, want %d", gr.M(), 19)
+	}
+	back := FromGraph(gr)
+	if back.Fingerprint() != g.Fingerprint() {
+		t.Fatalf("FromGraph(Build(g)) != g:\n%s\nvs\n%s", back.Canonical(), g.Canonical())
+	}
+	for v := int32(0); v < 16; v++ {
+		want := 2
+		for _, e := range g.Extra {
+			if e.U == v || e.V == v {
+				want++
+			}
+		}
+		if got := g.Degree(v); got != want {
+			t.Fatalf("Degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+	if !g.HasGene(9, 3) || g.HasGene(1, 5) {
+		t.Fatal("HasGene membership wrong")
+	}
+}
+
+func TestSeedGenomesValidAndDistinct(t *testing.T) {
+	c := Constraints{N: 64, MaxDegree: 7}
+	pool, err := SeedPool(c, 1)
+	if err != nil {
+		t.Fatalf("SeedPool: %v", err)
+	}
+	if len(pool) < 6 {
+		t.Fatalf("seed pool suspiciously small: %d", len(pool))
+	}
+	seen := map[string]string{}
+	for _, s := range pool {
+		if err := s.Genome.Validate(c.MaxDegree); err != nil {
+			t.Errorf("seed %s invalid: %v", s.Name, err)
+		}
+		if s.Genome.N != c.N {
+			t.Errorf("seed %s has n=%d", s.Name, s.Genome.N)
+		}
+		fp := s.Genome.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Logf("note: seeds %s and %s coincide (%s)", prev, s.Name, fp)
+		}
+		seen[fp] = s.Name
+	}
+	// Pool assembly is deterministic for a given seed.
+	again, err := SeedPool(c, 1)
+	if err != nil {
+		t.Fatalf("SeedPool again: %v", err)
+	}
+	if len(again) != len(pool) {
+		t.Fatalf("pool size changed across calls: %d vs %d", len(again), len(pool))
+	}
+	for i := range pool {
+		if again[i].Name != pool[i].Name || again[i].Genome.Fingerprint() != pool[i].Genome.Fingerprint() {
+			t.Fatalf("pool entry %d differs across calls", i)
+		}
+	}
+}
+
+// FuzzGenomeCanonical mirrors harness.FuzzCellKeyCanonical for genomes:
+// the same extra-edge set, fed in any order and either orientation,
+// must canonicalize to identical bytes, fingerprint identically, and
+// produce an identical content-addressed cell key.
+func FuzzGenomeCanonical(f *testing.F) {
+	f.Add(8, []byte{0, 3, 1, 4}, uint64(0))
+	f.Add(16, []byte{0, 8, 3, 9, 5, 12}, uint64(1))
+	f.Add(64, []byte{0, 32, 1, 33, 2, 34, 40, 9}, uint64(7))
+	f.Add(9, []byte{}, uint64(2))
+	f.Add(12, []byte{5, 5, 11, 0, 250, 7}, uint64(3))
+	f.Fuzz(func(t *testing.T, n int, data []byte, permSeed uint64) {
+		if n < 3 || n > 1024 {
+			return
+		}
+		genes := make([]Gene, 0, len(data)/2)
+		for i := 0; i+1 < len(data); i += 2 {
+			genes = append(genes, Gene{U: int32(int(data[i]) % n), V: int32(int(data[i+1]) % n)})
+		}
+		g1 := NewGenome(n, genes)
+
+		// A scrambled variant: shuffled order, random orientation, and a
+		// duplicated prefix.
+		rng := rand.New(rand.NewPCG(permSeed, 42))
+		scrambled := append(append([]Gene(nil), genes...), genes[:len(genes)/2]...)
+		rng.Shuffle(len(scrambled), func(i, j int) { scrambled[i], scrambled[j] = scrambled[j], scrambled[i] })
+		for i := range scrambled {
+			if rng.IntN(2) == 1 {
+				scrambled[i].U, scrambled[i].V = scrambled[i].V, scrambled[i].U
+			}
+		}
+		g2 := NewGenome(n, scrambled)
+
+		if !bytes.Equal(g1.Canonical(), g2.Canonical()) {
+			t.Fatalf("canonical forms differ:\n%s\nvs\n%s", g1.Canonical(), g2.Canonical())
+		}
+		if g1.Fingerprint() != g2.Fingerprint() {
+			t.Fatalf("fingerprints differ: %s vs %s", g1.Fingerprint(), g2.Fingerprint())
+		}
+		cfg := DefaultEvalConfig(Constraints{N: n, MaxDegree: 0})
+		cfg.Objective = ObjectiveASPL
+		fp := cfg.Fingerprint()
+		k1, k2 := Cell(g1, cfg, fp).Key, Cell(g2, cfg, fp).Key
+		if k1.Hash() != k2.Hash() {
+			t.Fatalf("cell keys differ for identical edge sets:\n%s\nvs\n%s", k1.Canonical(), k2.Canonical())
+		}
+
+		// Canonical invariants: strict sort, U < V or diagnosed self-loop.
+		for i, e := range g1.Extra {
+			if e.U > e.V {
+				t.Fatalf("gene %v not oriented", e)
+			}
+			if i > 0 {
+				p := g1.Extra[i-1]
+				if p.U > e.U || (p.U == e.U && p.V >= e.V) {
+					t.Fatalf("genes not strictly sorted: %v before %v", p, e)
+				}
+			}
+		}
+		// A genome that validates must build, and the build round-trips.
+		if g1.Validate(0) == nil {
+			gr, err := g1.Build(0)
+			if err != nil {
+				t.Fatalf("valid genome failed to build: %v", err)
+			}
+			if back := FromGraph(gr); back.Fingerprint() != g1.Fingerprint() {
+				t.Fatalf("FromGraph(Build(g)) changed the genome")
+			}
+		}
+	})
+}

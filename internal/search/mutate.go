@@ -1,0 +1,259 @@
+package search
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// editBuffer is a mutable view of a genome under construction: it
+// tracks extra-edge degrees and membership so operators can test a
+// candidate gene in O(log m) without rebuilding a graph per attempt.
+// All inserts flow through canAdd, which enforces exactly the
+// constraints Genome.Validate and the checked graph construction
+// enforce: range, self-loops, ring overlap, duplicates, port budget.
+type editBuffer struct {
+	n     int
+	max   int // port budget, <= 0 unbounded
+	genes []Gene
+	deg   []int // extra-edge degree per switch
+}
+
+func newEditBuffer(g Genome, c Constraints) *editBuffer {
+	b := &editBuffer{
+		n:     g.N,
+		max:   c.MaxDegree,
+		genes: append([]Gene(nil), g.Extra...),
+		deg:   make([]int, g.N),
+	}
+	for _, e := range g.Extra {
+		b.deg[e.U]++
+		b.deg[e.V]++
+	}
+	return b
+}
+
+// has reports membership of the canonical pair; genes stays sorted
+// between edits, so this is a binary search.
+func (b *editBuffer) has(u, v int32) bool {
+	if u > v {
+		u, v = v, u
+	}
+	i := b.search(u, v)
+	return i < len(b.genes) && b.genes[i] == Gene{U: u, V: v}
+}
+
+func (b *editBuffer) search(u, v int32) int {
+	return sort.Search(len(b.genes), func(i int) bool {
+		if b.genes[i].U != u {
+			return b.genes[i].U > u
+		}
+		return b.genes[i].V >= v
+	})
+}
+
+// canAdd reports whether the gene (u,v) is admissible: in range, not a
+// self-loop, not overlapping a ring link, not present, and within the
+// port budget at both endpoints.
+func (b *editBuffer) canAdd(u, v int32) bool {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n || u == v {
+		return false
+	}
+	if ringGap(b.n, u, v) == 1 {
+		return false
+	}
+	if b.has(u, v) {
+		return false
+	}
+	// After the insert each endpoint holds deg+1 extra edges plus its 2
+	// ring ports.
+	if b.max > 0 && (b.deg[u]+3 > b.max || b.deg[v]+3 > b.max) {
+		return false
+	}
+	return true
+}
+
+// add inserts the gene, keeping the list sorted. Callers must have
+// checked canAdd.
+func (b *editBuffer) add(u, v int32) {
+	if u > v {
+		u, v = v, u
+	}
+	i := b.search(u, v)
+	b.genes = append(b.genes, Gene{})
+	copy(b.genes[i+1:], b.genes[i:])
+	b.genes[i] = Gene{U: u, V: v}
+	b.deg[u]++
+	b.deg[v]++
+}
+
+// removeAt deletes the i-th gene.
+func (b *editBuffer) removeAt(i int) Gene {
+	g := b.genes[i]
+	b.genes = append(b.genes[:i], b.genes[i+1:]...)
+	b.deg[g.U]--
+	b.deg[g.V]--
+	return g
+}
+
+// genome freezes the buffer into a canonical Genome.
+func (b *editBuffer) genome() Genome { return NewGenome(b.n, b.genes) }
+
+// Mutation operator names, reported alongside proposals so drivers can
+// attribute archive entries to the operator that produced them.
+const (
+	OpAdd      = "add"
+	OpDrop     = "drop"
+	OpRewire   = "rewire"
+	OpExchange = "exchange"
+	OpNoop     = "noop"
+)
+
+// mutAttempts bounds the per-operator retry loop: operators draw
+// random genes until one is admissible or the budget is spent.
+const mutAttempts = 24
+
+// Mutate proposes one neighbor of g under the constraints, in the
+// spirit of link-exchange evolution: add a shortcut (span drawn from
+// the sampler's d^-alpha distribution), drop one, rewire one end of
+// one, or exchange the endpoints of two (degree-preserving 2-opt). The
+// operator is drawn from rng; if it cannot produce an admissible
+// neighbor within its attempt budget the next operator in a fixed
+// rotation is tried, and only when all four fail is the parent
+// returned unchanged with OpNoop. Deterministic for a given rng state.
+func Mutate(g Genome, c Constraints, s *spanSampler, rng *rand.Rand) (Genome, string) {
+	ops := [4]string{OpAdd, OpDrop, OpRewire, OpExchange}
+	start := rng.IntN(len(ops))
+	for k := 0; k < len(ops); k++ {
+		op := ops[(start+k)%len(ops)]
+		b := newEditBuffer(g, c)
+		ok := false
+		switch op {
+		case OpAdd:
+			ok = mutAdd(b, s, rng)
+		case OpDrop:
+			ok = mutDrop(b, rng)
+		case OpRewire:
+			ok = mutRewire(b, s, rng)
+		case OpExchange:
+			ok = mutExchange(b, rng)
+		}
+		if ok {
+			return b.genome(), op
+		}
+	}
+	return g.Clone(), OpNoop
+}
+
+// mutAdd inserts one new shortcut: a uniform source and a clockwise
+// span drawn from the d^-alpha sampler, the small-world placement bias
+// of Kleinberg's construction.
+func mutAdd(b *editBuffer, s *spanSampler, rng *rand.Rand) bool {
+	for i := 0; i < mutAttempts; i++ {
+		u := int32(rng.IntN(b.n))
+		v := int32((int(u) + s.draw(rng)) % b.n)
+		if b.canAdd(u, v) {
+			b.add(u, v)
+			return true
+		}
+	}
+	return false
+}
+
+// mutDrop removes one uniformly chosen shortcut.
+func mutDrop(b *editBuffer, rng *rand.Rand) bool {
+	if len(b.genes) == 0 {
+		return false
+	}
+	b.removeAt(rng.IntN(len(b.genes)))
+	return true
+}
+
+// mutRewire is the classic link exchange: detach one end of a random
+// shortcut and re-land it on a span-sampled new partner of the kept
+// endpoint.
+func mutRewire(b *editBuffer, s *spanSampler, rng *rand.Rand) bool {
+	if len(b.genes) == 0 {
+		return false
+	}
+	for i := 0; i < mutAttempts; i++ {
+		idx := rng.IntN(len(b.genes))
+		keep := b.genes[idx].U
+		if rng.IntN(2) == 1 {
+			keep = b.genes[idx].V
+		}
+		old := b.removeAt(idx)
+		v := int32((int(keep) + s.draw(rng)) % b.n)
+		if b.canAdd(keep, v) {
+			b.add(keep, v)
+			return true
+		}
+		b.add(old.U, old.V) // restore and retry with another draw
+	}
+	return false
+}
+
+// mutExchange swaps the endpoints of two disjoint shortcuts
+// ((a,b),(c,d) -> (a,d),(c,b) or (a,c),(b,d)): degrees are preserved
+// exactly, so the operator explores the fixed-port-count shell of the
+// design space.
+func mutExchange(b *editBuffer, rng *rand.Rand) bool {
+	if len(b.genes) < 2 {
+		return false
+	}
+	orig := append([]Gene(nil), b.genes...)
+	restore := func() {
+		*b = *newEditBuffer(Genome{N: b.n, Extra: orig}, Constraints{N: b.n, MaxDegree: b.max})
+	}
+	for i := 0; i < mutAttempts; i++ {
+		i1 := rng.IntN(len(b.genes))
+		i2 := rng.IntN(len(b.genes))
+		if i1 == i2 {
+			continue
+		}
+		if i2 < i1 {
+			i1, i2 = i2, i1
+		}
+		e1, e2 := b.genes[i1], b.genes[i2]
+		if e1.U == e2.U || e1.U == e2.V || e1.V == e2.U || e1.V == e2.V {
+			continue // shared endpoint: exchange degenerates
+		}
+		var p1, p2 Gene
+		if rng.IntN(2) == 0 {
+			p1, p2 = Gene{U: e1.U, V: e2.V}, Gene{U: e2.U, V: e1.V}
+		} else {
+			p1, p2 = Gene{U: e1.U, V: e2.U}, Gene{U: e1.V, V: e2.V}
+		}
+		b.removeAt(i2)
+		b.removeAt(i1)
+		if b.canAdd(p1.U, p1.V) {
+			b.add(p1.U, p1.V)
+			if b.canAdd(p2.U, p2.V) {
+				b.add(p2.U, p2.V)
+				return true
+			}
+		}
+		restore()
+	}
+	return false
+}
+
+// Crossover recombines two parents: the union of their shortcut sets
+// is shuffled and genes are taken greedily — while admissible under
+// the constraints — until the mean parent size is reached.
+// Deterministic for a given rng state.
+func Crossover(a, b Genome, c Constraints, rng *rand.Rand) Genome {
+	union := append(append([]Gene(nil), a.Extra...), b.Extra...)
+	union = NewGenome(a.N, union).Extra // canonical, deduplicated
+	rng.Shuffle(len(union), func(i, j int) { union[i], union[j] = union[j], union[i] })
+	target := (len(a.Extra) + len(b.Extra) + 1) / 2
+	buf := newEditBuffer(Genome{N: a.N}, c)
+	for _, g := range union {
+		if len(buf.genes) >= target {
+			break
+		}
+		if buf.canAdd(g.U, g.V) {
+			buf.add(g.U, g.V)
+		}
+	}
+	return buf.genome()
+}

@@ -1,0 +1,148 @@
+package search
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestMutatePreservesConstraints drives every operator many times from
+// varied parents and checks the closure property the drivers rely on:
+// a mutated genome always validates under the same constraints.
+func TestMutatePreservesConstraints(t *testing.T) {
+	c := Constraints{N: 32, MaxDegree: 5}
+	s := newSpanSampler(c.N, 1.0)
+	rng := rand.New(rand.NewPCG(7, 7))
+	pool, err := SeedPool(c, 7)
+	if err != nil {
+		t.Fatalf("SeedPool: %v", err)
+	}
+	ops := map[string]int{}
+	parent := pool[0].Genome
+	for round := 0; round < 200; round++ {
+		if round%40 == 0 {
+			parent = pool[(round/40)%len(pool)].Genome
+		}
+		child, op := Mutate(parent, c, s, rng)
+		ops[op]++
+		if err := child.Validate(c.MaxDegree); err != nil {
+			t.Fatalf("round %d op %s: child invalid: %v\nparent %s\nchild %s",
+				round, op, err, parent.Canonical(), child.Canonical())
+		}
+		if child.N != parent.N {
+			t.Fatalf("op %s changed n", op)
+		}
+		if op == OpNoop && child.Fingerprint() != parent.Fingerprint() {
+			t.Fatalf("noop changed the genome")
+		}
+		parent = child
+	}
+	for _, op := range []string{OpAdd, OpDrop, OpRewire, OpExchange} {
+		if ops[op] == 0 {
+			t.Errorf("operator %s never fired in 200 rounds: %v", op, ops)
+		}
+	}
+}
+
+// TestMutateExchangePreservesDegrees checks the 2-opt invariant
+// directly: when the exchange operator fires, every switch keeps its
+// exact port count.
+func TestMutateExchangePreservesDegrees(t *testing.T) {
+	c := Constraints{N: 24, MaxDegree: 4}
+	g := NewGenome(c.N, []Gene{{U: 0, V: 6}, {U: 2, V: 13}, {U: 4, V: 17}, {U: 8, V: 20}, {U: 10, V: 22}})
+	rng := rand.New(rand.NewPCG(3, 9))
+	fired := 0
+	for i := 0; i < 400 && fired < 20; i++ {
+		b := newEditBuffer(g, c)
+		if !mutExchange(b, rng) {
+			continue
+		}
+		fired++
+		child := b.genome()
+		if err := child.Validate(c.MaxDegree); err != nil {
+			t.Fatalf("exchange produced invalid child: %v", err)
+		}
+		if len(child.Extra) != len(g.Extra) {
+			t.Fatalf("exchange changed gene count: %d -> %d", len(g.Extra), len(child.Extra))
+		}
+		for v := int32(0); v < int32(c.N); v++ {
+			if child.Degree(v) != g.Degree(v) {
+				t.Fatalf("exchange changed degree of %d: %d -> %d", v, g.Degree(v), child.Degree(v))
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("exchange never fired")
+	}
+}
+
+// TestMutateExchangeRestores checks the failure path: when the 2-opt
+// cannot land an admissible pair, the buffer is restored to the parent
+// exactly, not left half-edited.
+func TestMutateExchangeRestores(t *testing.T) {
+	// Two crossing long chords on a tight budget: most recombinations are
+	// ring-parallel or duplicates, so failures are common.
+	c := Constraints{N: 8, MaxDegree: 3}
+	g := NewGenome(c.N, []Gene{{U: 0, V: 4}, {U: 2, V: 6}})
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 100; i++ {
+		b := newEditBuffer(g, c)
+		ok := mutExchange(b, rng)
+		child := b.genome()
+		if !ok && child.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("failed exchange left buffer edited:\nparent %s\nbuffer %s", g.Canonical(), child.Canonical())
+		}
+		if err := child.Validate(c.MaxDegree); err != nil {
+			t.Fatalf("buffer invalid after exchange (ok=%v): %v", ok, err)
+		}
+	}
+}
+
+func TestCrossoverRespectsConstraints(t *testing.T) {
+	c := Constraints{N: 32, MaxDegree: 4}
+	pool, err := SeedPool(c, 5)
+	if err != nil {
+		t.Fatalf("SeedPool: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(11, 13))
+	for i := 0; i < 100; i++ {
+		a := pool[rng.IntN(len(pool))].Genome
+		b := pool[rng.IntN(len(pool))].Genome
+		child := Crossover(a, b, c, rng)
+		if err := child.Validate(c.MaxDegree); err != nil {
+			t.Fatalf("crossover child invalid: %v", err)
+		}
+		union := NewGenome(c.N, append(append([]Gene(nil), a.Extra...), b.Extra...))
+		for _, e := range child.Extra {
+			if !union.HasGene(e.U, e.V) {
+				t.Fatalf("crossover invented gene %v absent from both parents", e)
+			}
+		}
+	}
+}
+
+// TestEditBufferRejects mirrors the checked-graph error paths at the
+// operator level: every inadmissible gene class is refused.
+func TestEditBufferRejects(t *testing.T) {
+	c := Constraints{N: 12, MaxDegree: 4}
+	b := newEditBuffer(NewGenome(c.N, []Gene{{U: 0, V: 4}, {U: 0, V: 6}}), c)
+	cases := []struct {
+		name string
+		u, v int32
+	}{
+		{"self", 3, 3},
+		{"range-neg", -1, 5},
+		{"range-high", 3, 12},
+		{"ring", 5, 6},
+		{"ring-wrap", 0, 11},
+		{"duplicate", 4, 0},
+		{"degree-full", 0, 8}, // switch 0 already holds 2 extras on budget 4
+	}
+	for _, tc := range cases {
+		if b.canAdd(tc.u, tc.v) {
+			t.Errorf("%s: canAdd(%d,%d) accepted", tc.name, tc.u, tc.v)
+		}
+	}
+	if !b.canAdd(2, 8) {
+		t.Error("admissible gene refused")
+	}
+}

@@ -1,0 +1,90 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Candidate is one evaluated design: the genome, where it came from
+// (seed name, or generation/operator tag), and its evaluation.
+type Candidate struct {
+	Origin string `json:"origin"`
+	Genome Genome `json:"genome"`
+	Eval   Eval   `json:"eval"`
+}
+
+// Dominates reports whether a is at least as good as b on both axes
+// and strictly better on one (both axes minimized).
+func Dominates(a, b Eval) bool {
+	return a.Quality <= b.Quality && a.Cost <= b.Cost &&
+		(a.Quality < b.Quality || a.Cost < b.Cost)
+}
+
+// Archive is a deterministic Pareto archive: the set of mutually
+// non-dominated certified candidates seen so far, kept sorted by
+// (quality, cost, fingerprint). Insertion order does not affect the
+// final contents, and the sort makes the serialized archive
+// byte-stable — the property the serial/parallel/resume identity gate
+// checks.
+type Archive struct {
+	front []Candidate
+}
+
+// Add offers a candidate to the archive. Rejected or uncertified
+// candidates are never archived; a candidate dominated by (or sharing
+// a fingerprint with) an existing member is discarded; otherwise the
+// candidate enters and every member it dominates leaves. Reports
+// whether the candidate entered.
+func (a *Archive) Add(c Candidate) bool {
+	if c.Eval.Rejected != "" || !c.Eval.Certified {
+		return false
+	}
+	for _, m := range a.front {
+		if m.Eval.Fingerprint == c.Eval.Fingerprint || Dominates(m.Eval, c.Eval) {
+			return false
+		}
+	}
+	keep := a.front[:0]
+	for _, m := range a.front {
+		if !Dominates(c.Eval, m.Eval) {
+			keep = append(keep, m)
+		}
+	}
+	a.front = append(keep, c)
+	sort.Slice(a.front, func(i, j int) bool {
+		ei, ej := a.front[i].Eval, a.front[j].Eval
+		if ei.Quality != ej.Quality {
+			return ei.Quality < ej.Quality
+		}
+		if ei.Cost != ej.Cost {
+			return ei.Cost < ej.Cost
+		}
+		return ei.Fingerprint < ej.Fingerprint
+	})
+	return true
+}
+
+// Len returns the current front size.
+func (a *Archive) Len() int { return len(a.front) }
+
+// Front returns a copy of the archive in its canonical order.
+func (a *Archive) Front() []Candidate {
+	return append([]Candidate(nil), a.front...)
+}
+
+// DominatesPoint reports whether any archive member dominates the
+// given (quality, cost) point — "does the front beat this design".
+func (a *Archive) DominatesPoint(quality, cost float64) bool {
+	probe := Eval{Quality: quality, Cost: cost}
+	for _, m := range a.front {
+		if Dominates(m.Eval, probe) {
+			return true
+		}
+	}
+	return false
+}
+
+// String summarizes the archive for logs.
+func (a *Archive) String() string {
+	return fmt.Sprintf("pareto front of %d", len(a.front))
+}

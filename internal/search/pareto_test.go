@@ -1,0 +1,106 @@
+package search
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func certCand(q, c float64) Candidate {
+	return Candidate{Eval: Eval{
+		Fingerprint: fmt.Sprintf("fp-%g-%g", q, c),
+		Certified:   true,
+		Quality:     q,
+		Cost:        c,
+	}}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Eval
+		want bool
+	}{
+		{Eval{Quality: 1, Cost: 1}, Eval{Quality: 2, Cost: 2}, true},
+		{Eval{Quality: 1, Cost: 2}, Eval{Quality: 1, Cost: 3}, true},
+		{Eval{Quality: 1, Cost: 1}, Eval{Quality: 1, Cost: 1}, false}, // equal: no strict edge
+		{Eval{Quality: 1, Cost: 3}, Eval{Quality: 2, Cost: 2}, false}, // trade-off
+		{Eval{Quality: 3, Cost: 1}, Eval{Quality: 2, Cost: 2}, false},
+	}
+	for i, tc := range cases {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: Dominates = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestArchiveMaintainsFront(t *testing.T) {
+	var a Archive
+	if a.Add(Candidate{Eval: Eval{Certified: false, Quality: 0, Cost: 0}}) {
+		t.Fatal("archive accepted an uncertified candidate")
+	}
+	if a.Add(Candidate{Eval: Eval{Certified: true, Rejected: RejectSaturated}}) {
+		t.Fatal("archive accepted a rejected candidate")
+	}
+	if !a.Add(certCand(2, 2)) {
+		t.Fatal("first certified candidate refused")
+	}
+	if a.Add(certCand(3, 3)) {
+		t.Fatal("dominated candidate entered")
+	}
+	if !a.Add(certCand(1, 3)) || !a.Add(certCand(3, 1)) {
+		t.Fatal("trade-off candidates refused")
+	}
+	if a.Len() != 3 {
+		t.Fatalf("front size %d, want 3", a.Len())
+	}
+	// A dominator sweeps out everything it dominates.
+	if !a.Add(certCand(1, 1)) {
+		t.Fatal("global dominator refused")
+	}
+	if a.Len() != 1 {
+		t.Fatalf("front size after sweep %d, want 1", a.Len())
+	}
+	if a.Add(certCand(1, 1)) {
+		t.Fatal("duplicate fingerprint re-entered")
+	}
+	if !a.DominatesPoint(2, 2) || a.DominatesPoint(0.5, 0.5) {
+		t.Fatal("DominatesPoint wrong")
+	}
+}
+
+// TestArchiveOrderIndependent feeds the same candidate set in many
+// random orders and checks the final front is identical — the property
+// that makes the serial/parallel/resume identity hold.
+func TestArchiveOrderIndependent(t *testing.T) {
+	cands := []Candidate{
+		certCand(1, 9), certCand(2, 7), certCand(3, 5), certCand(4, 4),
+		certCand(5, 2), certCand(2, 8), certCand(6, 6), certCand(3, 3),
+		certCand(7, 1), certCand(4, 6),
+	}
+	var ref Archive
+	for _, c := range cands {
+		ref.Add(c)
+	}
+	want := fmt.Sprintf("%v", ref.Front())
+	rng := rand.New(rand.NewPCG(1, 2))
+	perm := append([]Candidate(nil), cands...)
+	for trial := 0; trial < 50; trial++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var a Archive
+		for _, c := range perm {
+			a.Add(c)
+		}
+		if got := fmt.Sprintf("%v", a.Front()); got != want {
+			t.Fatalf("trial %d: front depends on insertion order:\n got %s\nwant %s", trial, got, want)
+		}
+	}
+	// Mutual non-domination of the final front.
+	front := ref.Front()
+	for i := range front {
+		for j := range front {
+			if i != j && Dominates(front[i].Eval, front[j].Eval) {
+				t.Fatalf("front member %d dominates member %d", i, j)
+			}
+		}
+	}
+}

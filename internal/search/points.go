@@ -1,0 +1,24 @@
+package search
+
+import "dsnet/internal/analysis"
+
+// Points converts candidates into analysis Pareto points for table and
+// figure rendering.
+func Points(cands []Candidate) []analysis.ParetoPoint {
+	pts := make([]analysis.ParetoPoint, len(cands))
+	for i, c := range cands {
+		pts[i] = analysis.ParetoPoint{
+			Label:        c.Eval.Fingerprint[:12],
+			Origin:       c.Origin,
+			Quality:      c.Eval.Quality,
+			Cost:         c.Eval.Cost,
+			ASPL:         c.Eval.ASPL,
+			Diameter:     c.Eval.Diameter,
+			SaturationGB: c.Eval.SaturationGbps,
+			CableMetres:  c.Eval.CableMetres,
+			Genes:        c.Eval.Genes,
+			MaxDegree:    c.Eval.MaxDegree,
+		}
+	}
+	return pts
+}
