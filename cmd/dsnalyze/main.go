@@ -63,7 +63,7 @@ func run(topo string, n, x int, seed uint64, smallWorld, bottleneck bool, export
 	fmt.Printf("degree          min %d / avg %.2f / max %d\n", g.MinDegree(), g.AverageDegree(), g.MaxDegree())
 	hist := g.DegreeHistogram()
 	degs := make([]int, 0, len(hist))
-	for deg := range hist {
+	for deg := range hist { // dsnlint:ok maprange keys sorted below
 		degs = append(degs, deg)
 	}
 	sort.Ints(degs)

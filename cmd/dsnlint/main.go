@@ -1,22 +1,32 @@
-// Command dsnlint runs the determinism linter over the simulator
-// packages. The cycle-accurate simulator's results are pinned
+// Command dsnlint runs the determinism and concurrency-discipline
+// linter over the whole module. The simulator's results are pinned
 // byte-for-byte across machines, so wall-clock reads, draws from the
-// global math/rand source, and map-iteration-order dependence are
-// reproducibility bugs; dsnlint finds them statically.
+// global math/rand source, map-iteration-order dependence, and any
+// taint flow from such a source into a serialized sink are
+// reproducibility bugs; the concurrency analyzers (ctxflow, lockhold,
+// goleak) keep the serve/harness machinery cancellable and
+// deadlock-free. dsnlint finds all of it statically.
 //
 // Usage:
 //
-//	dsnlint                                  # lint the simulator packages
+//	dsnlint                                  # lint every package in the module
 //	dsnlint internal/netsim internal/lint    # lint specific directories
 //	dsnlint -list                            # describe the analyzers
+//	dsnlint -json                            # machine-readable report on stdout
+//	dsnlint -o dsnlint-report.json           # also write the JSON report to a file
 //
 // Directories are resolved relative to the working directory, which
-// must be inside the module so that intra-module imports type-check.
-// Exits non-zero if any hazard survives waivers
+// must be the module root (or inside it) so that intra-module imports
+// type-check. Exits non-zero if any hazard survives waivers
 // ("// dsnlint:ok <analyzer> <reason>" on the offending line).
+//
+// Benchmark drivers legitimately read the wall clock — their job is
+// measuring it — so cmd/dsnbench and cmd/dsnstorm are exempt from the
+// walltime and detflow analyzers (and only those).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,27 +35,71 @@ import (
 	"dsnet/internal/lint"
 )
 
-// DefaultDirs are the packages whose determinism CI enforces.
-var DefaultDirs = []string{
-	"internal/netsim", "internal/collectives", "internal/traffic",
-	"internal/analysis", "internal/chaos", "internal/harness",
-	"internal/search", "cmd/dsnsearch",
+// exempt maps directories to the analyzers not run there. The list is
+// deliberately short and the reasons must stay obvious: benchmark and
+// load-generation drivers measure wall time as their purpose, so
+// walltime sources (and the taint flows out of them) are their output,
+// not a hazard.
+var exempt = map[string][]string{
+	"cmd/dsnbench": {"walltime", "detflow"},
+	"cmd/dsnstorm": {"walltime", "detflow"},
 }
 
 type opts struct {
-	list bool
-	dirs []string
+	list    bool
+	jsonOut bool
+	outFile string
+	dirs    []string
 }
 
 func main() {
 	var o opts
 	flag.BoolVar(&o.list, "list", false, "describe the analyzers and exit")
+	flag.BoolVar(&o.jsonOut, "json", false, "print the report as JSON instead of text")
+	flag.StringVar(&o.outFile, "o", "", "also write the JSON report to this file")
 	flag.Parse()
 	o.dirs = flag.Args()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dsnlint:", err)
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is one diagnostic in the machine-readable report.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json / -o payload. It is deterministic: findings
+// are sorted by file/line/column/analyzer and no timestamps appear.
+type jsonReport struct {
+	Packages  int           `json:"packages"`
+	Analyzers []string      `json:"analyzers"`
+	Findings  []jsonFinding `json:"findings"`
+}
+
+func buildReport(dirs []string, diags []lint.Diagnostic) jsonReport {
+	rep := jsonReport{
+		Packages: len(dirs),
+		Findings: []jsonFinding{}, // [] not null when clean
+	}
+	for _, a := range lint.All {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return rep
 }
 
 func run(o opts, w io.Writer) error {
@@ -57,18 +111,48 @@ func run(o opts, w io.Writer) error {
 	}
 	dirs := o.dirs
 	if len(dirs) == 0 {
-		dirs = DefaultDirs
+		var err error
+		dirs, err = lint.DiscoverDirs(".")
+		if err != nil {
+			return err
+		}
 	}
-	diags, err := lint.LintDirs(dirs, lint.All)
+	targets := make([]lint.Target, len(dirs))
+	for i, d := range dirs {
+		targets[i] = lint.Target{Dir: d, Skip: exempt[d]}
+	}
+	diags, err := lint.LintTargets(targets, lint.All)
 	if err != nil {
 		return err
 	}
-	for _, d := range diags {
-		fmt.Fprintln(w, d)
+
+	if o.jsonOut || o.outFile != "" {
+		blob, err := json.MarshalIndent(buildReport(dirs, diags), "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if o.outFile != "" {
+			if err := os.WriteFile(o.outFile, blob, 0o644); err != nil {
+				return err
+			}
+		}
+		if o.jsonOut {
+			if _, err := w.Write(blob); err != nil {
+				return err
+			}
+		}
+	}
+	if !o.jsonOut {
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
 	}
 	if n := len(diags); n > 0 {
-		return fmt.Errorf("%d determinism hazard(s)", n)
+		return fmt.Errorf("%d determinism/concurrency hazard(s)", n)
 	}
-	fmt.Fprintf(w, "dsnlint: %d package(s) clean\n", len(dirs))
+	if !o.jsonOut {
+		fmt.Fprintf(w, "dsnlint: %d package(s) clean\n", len(dirs))
+	}
 	return nil
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -40,15 +44,78 @@ func TestRunDirtyFixture(t *testing.T) {
 	}
 }
 
-// TestRunList covers the analyzer listing.
+// TestRunList covers the analyzer listing: the full v2 suite.
 func TestRunList(t *testing.T) {
 	var sb strings.Builder
 	if err := run(opts{list: true}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range []string{"walltime", "globalrand", "maprange"} {
+	for _, a := range []string{"walltime", "globalrand", "maprange", "detflow", "ctxflow", "lockhold", "goleak"} {
 		if !strings.Contains(sb.String(), a) {
 			t.Errorf("listing missing %s", a)
 		}
+	}
+}
+
+// TestRunJSONReport pins the machine-readable output: valid JSON, the
+// full analyzer roster, and findings sorted by file/line/column.
+func TestRunJSONReport(t *testing.T) {
+	var sb strings.Builder
+	o := opts{jsonOut: true, dirs: []string{"../../internal/lint/testdata/src/dirty"}}
+	if err := run(o, &sb); err == nil {
+		t.Fatal("dirty fixture passed the linter")
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if len(rep.Analyzers) != 7 {
+		t.Errorf("analyzers: got %v, want all 7", rep.Analyzers)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings in report")
+	}
+	sorted := sort.SliceIsSorted(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column <= b.Column
+	})
+	if !sorted {
+		t.Errorf("findings not sorted: %+v", rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+// TestRunReportFile covers -o: the report file is written even when
+// the run is clean, with an empty (not null) findings array.
+func TestRunReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dsnlint-report.json")
+	var sb strings.Builder
+	o := opts{outFile: path, dirs: []string{"../../internal/netsim"}}
+	if err := run(o, &sb); err != nil {
+		t.Fatalf("netsim dirty: %v\n%s", err, sb.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report file is not JSON: %v", err)
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 {
+		t.Errorf("clean run should carry an empty findings array, got %+v", rep.Findings)
+	}
+	if rep.Packages != 1 {
+		t.Errorf("packages: got %d, want 1", rep.Packages)
 	}
 }

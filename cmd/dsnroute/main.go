@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"dsnet"
 )
@@ -61,8 +62,13 @@ func run(n int, variant string, s, t int, algo string, report bool, stride int) 
 		}
 		fmt.Printf("%v routing report (stride %d)\n%s\n", d, stride, rep)
 		fmt.Println("channel-class hops:")
-		for class, hops := range rep.ClassHops {
-			fmt.Printf("  %-12s %d\n", class, hops)
+		classes := make([]dsnet.LinkClass, 0, len(rep.ClassHops))
+		for class := range rep.ClassHops { // dsnlint:ok maprange keys sorted below
+			classes = append(classes, class)
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+		for _, class := range classes {
+			fmt.Printf("  %-12s %d\n", class, rep.ClassHops[class])
 		}
 		return nil
 	}

@@ -64,7 +64,11 @@ func main() {
 }
 
 func run(addr string, cfg serve.Config, drain time.Duration) error {
-	s, err := serve.New(cfg)
+	// The server's base context is the process context: cancelling it
+	// (only after the drain deadline below) cancels every in-flight job.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	s, err := serve.NewCtx(baseCtx, cfg)
 	if err != nil {
 		return err
 	}

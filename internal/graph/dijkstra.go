@@ -53,17 +53,24 @@ func (g *Graph) AllPairsWeighted(w WeightFunc) WeightedMetrics {
 	if g.n == 0 {
 		return WeightedMetrics{Connected: true}
 	}
+	// Each worker accumulates into per-source slots rather than a
+	// per-worker partial: which sources a worker drains from the channel
+	// is schedule-dependent, and float addition is not associative, so a
+	// per-worker running sum would make Mean vary run to run in the last
+	// bits. Per-source sums are computed in deterministic (vertex) order
+	// and merged in source order below, so the result is bit-identical
+	// regardless of scheduling.
 	type partial struct {
 		max    float64
 		sum    float64
 		pairs  int64
 		discon bool
 	}
+	perSrc := make([]partial, g.n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > g.n {
 		workers = g.n
 	}
-	results := make([]partial, workers)
 	srcs := make(chan int, workers)
 	go func() {
 		for s := 0; s < g.n; s++ {
@@ -74,36 +81,38 @@ func (g *Graph) AllPairsWeighted(w WeightFunc) WeightedMetrics {
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func(wk int) {
+		go func() {
 			defer wg.Done()
 			dist := make([]float64, g.n)
 			var pq pqueue
-			var p partial
 			for s := range srcs {
 				g.dijkstraInto(s, w, dist, &pq)
+				var srcSum, srcMax float64
+				var srcPairs int64
+				discon := false
 				for v, d := range dist {
 					if v == s {
 						continue
 					}
 					if math.IsInf(d, 1) {
-						p.discon = true
+						discon = true
 						continue
 					}
-					if d > p.max {
-						p.max = d
+					if d > srcMax {
+						srcMax = d
 					}
-					p.sum += d
-					p.pairs++
+					srcSum += d
+					srcPairs++
 				}
+				perSrc[s] = partial{max: srcMax, sum: srcSum, pairs: srcPairs, discon: discon}
 			}
-			results[wk] = p
-		}(wk)
+		}()
 	}
 	wg.Wait()
 	m := WeightedMetrics{Connected: true}
 	var sum float64
 	var pairs int64
-	for _, p := range results {
+	for _, p := range perSrc {
 		if p.max > m.Max {
 			m.Max = p.max
 		}

@@ -20,7 +20,7 @@ const ioHeader = "dsnet-graph v1"
 
 var kindByName = func() map[string]EdgeKind {
 	m := make(map[string]EdgeKind, len(edgeKindNames))
-	for k, name := range edgeKindNames {
+	for k, name := range edgeKindNames { // dsnlint:ok maprange builds a reverse lookup; no ordered output
 		m[name] = k
 	}
 	return m

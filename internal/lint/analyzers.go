@@ -13,7 +13,7 @@ var Walltime = &Analyzer{
 	Doc:  "forbids wall-clock reads (time.Now, time.Since, time.Until) in simulator packages",
 	Run: func(p *Pass) {
 		banned := map[string]bool{"Now": true, "Since": true, "Until": true}
-		for id, obj := range p.Info.Uses {
+		for id, obj := range p.Info.Uses { // dsnlint:ok maprange diagnostics sorted before output
 			fn, ok := obj.(*types.Func)
 			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
 				continue
@@ -42,7 +42,7 @@ var Globalrand = &Analyzer{
 	Name: "globalrand",
 	Doc:  "forbids the global math/rand source; randomness must flow from an explicitly seeded *rand.Rand",
 	Run: func(p *Pass) {
-		for id, obj := range p.Info.Uses {
+		for id, obj := range p.Info.Uses { // dsnlint:ok maprange diagnostics sorted before output
 			fn, ok := obj.(*types.Func)
 			if !ok || fn.Pkg() == nil {
 				continue
@@ -89,5 +89,7 @@ var Maprange = &Analyzer{
 	},
 }
 
-// All is the analyzer suite dsnlint runs.
-var All = []*Analyzer{Walltime, Globalrand, Maprange}
+// All is the analyzer suite dsnlint runs: the three v1 syntactic
+// checks plus the v2 dataflow suite (detflow taint engine, ctxflow,
+// lockhold, goleak).
+var All = []*Analyzer{Walltime, Globalrand, Maprange, Detflow, Ctxflow, Lockhold, Goleak}

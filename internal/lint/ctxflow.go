@@ -1,0 +1,199 @@
+package lint
+
+// ctxflow enforces context plumbing discipline in library packages.
+// The serve daemon's whole cancellation story — a dead client stops
+// the harness between cells, a drain deadline cancels what remains —
+// only works if every layer passes the context it was given all the
+// way down. A context.Background() in the middle of that chain
+// silently disconnects everything below it from cancellation.
+//
+// Three rules, library packages only (package main legitimately mints
+// root contexts):
+//
+//  1. A function that receives a context.Context must not call
+//     context.Background() or context.TODO(): it has a context; using
+//     a fresh root drops the caller's cancellation and deadline.
+//  2. A function that does NOT receive a context may use
+//     context.Background()/TODO() only to delegate — passed directly
+//     as an argument to a context-accepting callee outside package
+//     context. That blesses the standard compatibility-wrapper shape
+//     (func Run(...) { return RunCtx(context.Background(), ...) })
+//     while rejecting minted roots that are stored or wrapped
+//     (context.WithCancel(context.Background())), which tie library
+//     lifetimes to the process instead of the caller.
+//  3. A function that receives a context must pass it on: calling a
+//     ctx-less function G when its package also exports GCtx (same
+//     name + "Ctx" suffix, context first parameter) drops the context
+//     on a path that explicitly supports one.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const ctxflowName = "ctxflow"
+
+// Ctxflow is the context-plumbing analyzer.
+var Ctxflow = &Analyzer{
+	Name: ctxflowName,
+	Doc:  "a received context.Context must flow to every callee that accepts one; library code must not mint root contexts outside delegation wrappers",
+	Run:  runCtxflow,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasCtxParam reports whether sig takes a context.Context anywhere.
+func hasCtxParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxRoot matches context.Background() / context.TODO() calls.
+func isCtxRoot(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+func calleeOf(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func signatureOf(fn *types.Func) *types.Signature {
+	return fn.Type().(*types.Signature)
+}
+
+func runCtxflow(p *Pass) {
+	if !p.IsLibrary() {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			checkCtxFunc(p, fd.Body, hasCtxParam(fn.Type().(*types.Signature)))
+		}
+	}
+}
+
+// checkCtxFunc walks one function body. hasCtx tracks whether the
+// nearest enclosing function receives a context; a closure inside a
+// ctx-bearing function inherits the obligation (it can capture the
+// context), and a literal with its own ctx parameter acquires it.
+func checkCtxFunc(p *Pass, body ast.Node, hasCtx bool) {
+	// First pass: bless root-context calls sitting in a legal
+	// delegation position — a direct argument to a ctx-accepting callee
+	// outside package context, from a function that holds no ctx.
+	blessed := map[*ast.CallExpr]bool{}
+	if !hasCtx {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // literals judged with their own hasCtx below
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() == "context" || !hasCtxParam(signatureOf(callee)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if argCall, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+					if _, isRoot := isCtxRoot(p, argCall); isRoot {
+						blessed[argCall] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := hasCtx
+			if tv, ok := p.Info.Types[n]; ok {
+				if sig, ok := tv.Type.(*types.Signature); ok && hasCtxParam(sig) {
+					inner = true
+				}
+			}
+			checkCtxFunc(p, n.Body, inner)
+			return false
+		case *ast.CallExpr:
+			if name, ok := isCtxRoot(p, n); ok && !blessed[n] {
+				if p.SourceWaived(n.Pos(), ctxflowName) {
+					return true
+				}
+				if hasCtx {
+					p.Reportf(n.Pos(), "context.%s() inside a function that already receives a ctx; pass the caller's context", name)
+				} else {
+					p.Reportf(n.Pos(), "library code mints a root context (context.%s) outside a delegation wrapper; accept a ctx from the caller instead", name)
+				}
+				return true
+			}
+			if hasCtx {
+				checkDroppedCtx(p, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkDroppedCtx flags calls to G(...) from ctx-holding code when
+// G's own package exports GCtx with a context parameter — the
+// canonical sign that a context-aware path exists and was bypassed.
+func checkDroppedCtx(p *Pass, call *ast.CallExpr) {
+	callee := calleeOf(p, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	if hasCtxParam(signatureOf(callee)) {
+		return // context already flows (rule 1 rejects Background here)
+	}
+	variant := callee.Pkg().Scope().Lookup(callee.Name() + "Ctx")
+	vfn, ok := variant.(*types.Func)
+	if !ok || !hasCtxParam(vfn.Type().(*types.Signature)) {
+		return
+	}
+	if !p.SourceWaived(call.Pos(), ctxflowName) {
+		p.Reportf(call.Pos(), "ctx-holding code calls %s.%s, dropping its context; call %sCtx and pass it",
+			callee.Pkg().Name(), callee.Name(), callee.Name())
+	}
+}

@@ -1,0 +1,156 @@
+package lint
+
+// goleak flags goroutines spawned in library packages with no join or
+// stop protocol. The harness, serve daemon, and search engine all lean
+// on worker pools; a `go` statement whose body neither signals a
+// WaitGroup, sends on / closes a channel, nor selects on a ctx-done is
+// invisible to its parent — it cannot be waited for and cannot be
+// cancelled, which is how drains hang and tests leak. The check is
+// structural, not a full escape analysis: the spawned body (function
+// literal or same-package named function) must contain at least one of
+//   - wg.Done() (any sync.WaitGroup method Done)
+//   - a channel send or close(ch)
+//   - a receive from ctx.Done() (directly or in a select)
+// Bodies the analyzer cannot see (other-package callees, method
+// values) are skipped rather than guessed at.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const goleakName = "goleak"
+
+// Goleak is the joinable-goroutine analyzer.
+var Goleak = &Analyzer{
+	Name: goleakName,
+	Doc:  "every go statement in library code must be joinable: WaitGroup.Done, a channel send/close, or a ctx-done select in the spawned body",
+	Run:  runGoleak,
+}
+
+func runGoleak(p *Pass) {
+	if !p.IsLibrary() {
+		return
+	}
+	// Map same-package functions to their bodies so `go worker(ch)`
+	// can be judged by worker's own code.
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					bodies[fn] = fd.Body
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				if callee := calleeOf(p, gs.Call); callee != nil {
+					body = bodies[callee]
+				}
+			}
+			if body == nil {
+				return true // cannot see the spawned code; do not guess
+			}
+			if joinable(p, body, bodies, 0) {
+				return true
+			}
+			if !p.SourceWaived(gs.Go, goleakName) {
+				p.Reportf(gs.Go, "goroutine has no join: body never signals a WaitGroup, sends on or closes a channel, or selects on ctx.Done(); the spawner cannot wait for or stop it")
+			}
+			return true
+		})
+	}
+}
+
+// joinable reports whether body contains any join/stop signal. It
+// follows same-package calls one level deep (depth ≤ 2) so a spawned
+// literal that delegates to a helper which does the channel send still
+// counts.
+func joinable(p *Pass, body *ast.BlockStmt, bodies map[*types.Func]*ast.BlockStmt, depth int) bool {
+	if depth > 2 {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			// A bare receive can also be the join protocol (e.g. a
+			// semaphore or ctx.Done() without select).
+			if n.Op == token.ARROW && isDoneChan(p, n.X) {
+				found = true
+			}
+		case *ast.CommClause:
+			// select case <-ctx.Done() / case x := <-ch: any receive in
+			// a select is a stop opportunity the parent controls.
+			if n.Comm != nil {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isJoinCall(p, n) {
+				found = true
+				return false
+			}
+			if callee := calleeOf(p, n); callee != nil {
+				if b, ok := bodies[callee]; ok && joinable(p, b, bodies, depth+1) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isJoinCall matches wg.Done(), close(ch), and ctx.Done() receives
+// expressed as calls.
+func isJoinCall(p *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "close" {
+			if _, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := p.Info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		if fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneChan reports whether e is a call like ctx.Done() returning a
+// receive-only channel from package context.
+func isDoneChan(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}

@@ -2,14 +2,27 @@
 // the style of golang.org/x/tools/go/analysis, built on the standard
 // library's go/parser and go/types so it runs in hermetic environments.
 //
-// It exists for one job: keeping the cycle-accurate simulator
-// deterministic. Simulation results are pinned byte-for-byte by tests
-// and compared across machines in CI, so any wall-clock read, global
-// (unseeded) random source, or map-iteration-order dependence in the
-// simulator packages is a reproducibility bug even when the code is
-// otherwise correct. The dsnlint command wires the analyzers in this
-// package over internal/netsim, internal/collectives and
-// internal/traffic.
+// It exists for one job: keeping this repository's headline property —
+// serial, parallel and cached replays are byte-identical — provable
+// before anything runs. Simulation results are pinned byte-for-byte by
+// tests and compared across machines in CI, so any wall-clock read,
+// global (unseeded) random source, or iteration-order dependence that
+// reaches a serialized result is a reproducibility bug even when the
+// code is otherwise correct.
+//
+// Two analyzer families run over every package of the module:
+//
+//   - determinism: the syntactic source checks (walltime, globalrand,
+//     maprange) plus detflow, a dataflow/taint engine that tracks
+//     nondeterministic values through assignments, struct fields,
+//     function returns and channel sends into serialized sinks
+//     (Result/Report-shaped struct literals, json.Marshal inputs,
+//     cache Put payloads, fingerprint hashes).
+//   - concurrency discipline: ctxflow (a received context.Context must
+//     flow to every callee that accepts one; library code must not
+//     mint its own root contexts), lockhold (no blocking operation
+//     while a sync.Mutex/RWMutex is held) and goleak (every goroutine
+//     started in library code must be joinable).
 //
 // A finding can be waived where the hazard is provably benign with a
 // trailing comment on the offending line:
@@ -17,6 +30,9 @@
 //	for k := range set { // dsnlint:ok maprange keys sorted below
 //
 // The waiver names the analyzer it silences and should carry a reason.
+// Waivers are audited: one that no longer suppresses any diagnostic
+// (and no detflow taint source) is itself reported as stale, so
+// waivers cannot rot as the code under them changes.
 package lint
 
 import (
@@ -48,6 +64,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	pkg   *Package
 	diags *[]Diagnostic
 }
 
@@ -58,6 +75,31 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// IsLibrary reports whether the package under analysis is library code.
+// Entry points (package main) legitimately mint root contexts and spawn
+// process-lifetime goroutines, so the concurrency-discipline analyzers
+// restrict themselves to library packages.
+func (p *Pass) IsLibrary() bool { return p.Pkg.Name() != "main" }
+
+// SourceWaived reports whether the line at pos carries a waiver for any
+// of the named analyzers, and marks matching waivers as used. detflow
+// consults it when collecting taint sources: a waived wall-clock read
+// ("dsnlint:ok walltime bench metadata") is an asserted-benign source,
+// so flows out of it are not findings either.
+func (p *Pass) SourceWaived(pos token.Pos, names ...string) bool {
+	position := p.Fset.Position(pos)
+	ok := false
+	for _, w := range p.pkg.waivers[position.Filename][position.Line] {
+		for _, name := range names {
+			if w.name == name {
+				w.used = true
+				ok = true
+			}
+		}
+	}
+	return ok
 }
 
 // Diagnostic is one finding, positioned and attributed to its analyzer.
@@ -71,19 +113,42 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
 }
 
+// waiver is one "dsnlint:ok <analyzer> [reason]" marker; used tracks
+// whether it suppressed anything this run (the stale-waiver audit).
+type waiver struct {
+	name string
+	pos  token.Position
+	used bool
+}
+
 // Package is a loaded, type-checked, non-test view of one directory.
 type Package struct {
+	Dir     string
 	Fset    *token.FileSet
 	Files   []*ast.File
 	Pkg     *types.Package
 	Info    *types.Info
-	waivers map[string]map[int][]string // filename -> line -> waived analyzer names
+	waivers map[string]map[int][]*waiver // filename -> line -> waivers
 }
 
-// Load parses and type-checks the non-test Go files of dir. It must run
-// with the module root as working directory so that intra-module
-// imports resolve through the source importer.
-func Load(dir string) (*Package, error) {
+// Loader type-checks directories against one shared FileSet and source
+// importer, so dependencies common to many linted packages (the whole
+// internal tree, when linting the module) are parsed and checked once.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader. It must run with the module root as
+// working directory so that intra-module imports resolve through the
+// source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load parses and type-checks the non-test Go files of dir.
+func (l *Loader) Load(dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %w", err)
@@ -100,11 +165,10 @@ func Load(dir string) (*Package, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
 	}
-	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(paths))
 	pkgName := ""
 	for _, path := range paths {
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
 		}
@@ -117,27 +181,34 @@ func Load(dir string) (*Package, error) {
 	}
 
 	info := &types.Info{
-		Uses:  map[*ast.Ident]types.Object{},
-		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkg, err := conf.Check(dir, fset, files, info)
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(dir, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: typecheck %s: %w", dir, err)
 	}
 	return &Package{
-		Fset:    fset,
+		Dir:     dir,
+		Fset:    l.fset,
 		Files:   files,
 		Pkg:     pkg,
 		Info:    info,
-		waivers: collectWaivers(fset, files),
+		waivers: collectWaivers(l.fset, files),
 	}, nil
 }
 
+// Load parses and type-checks one directory with a fresh Loader.
+func Load(dir string) (*Package, error) { return NewLoader().Load(dir) }
+
 // collectWaivers scans comments for "dsnlint:ok <analyzer> [reason]"
 // markers and indexes them by file and line.
-func collectWaivers(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
-	out := map[string]map[int][]string{}
+func collectWaivers(fset *token.FileSet, files []*ast.File) map[string]map[int][]*waiver {
+	out := map[string]map[int][]*waiver{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -146,43 +217,72 @@ func collectWaivers(fset *token.FileSet, files []*ast.File) map[string]map[int][
 					continue
 				}
 				fields := strings.Fields(strings.TrimPrefix(text, "dsnlint:ok"))
-				if len(fields) == 0 {
-					continue // malformed waiver: names no analyzer, waives nothing
-				}
 				pos := fset.Position(c.Pos())
 				byLine := out[pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]string{}
+					byLine = map[int][]*waiver{}
 					out[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+				name := "" // malformed: names no analyzer, audited below
+				if len(fields) > 0 {
+					name = fields[0]
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], &waiver{name: name, pos: pos})
 			}
 		}
 	}
 	return out
 }
 
-// waived reports whether a diagnostic is silenced by a same-line waiver.
+// waived reports whether a diagnostic is silenced by a same-line
+// waiver, marking the waiver used. Stale-waiver findings themselves
+// cannot be waived.
 func (p *Package) waived(d Diagnostic) bool {
-	for _, name := range p.waivers[d.Pos.Filename][d.Pos.Line] {
-		if name == d.Analyzer {
-			return true
+	if d.Analyzer == WaiverAnalyzer {
+		return false
+	}
+	ok := false
+	for _, w := range p.waivers[d.Pos.Filename][d.Pos.Line] {
+		if w.name == d.Analyzer {
+			w.used = true
+			ok = true
 		}
 	}
-	return false
+	return ok
+}
+
+// WaiverAnalyzer attributes the stale-waiver audit's findings.
+const WaiverAnalyzer = "waiver"
+
+// Known is the set of analyzer names a waiver may legitimately cite,
+// derived from the full suite.
+func Known() map[string]bool {
+	known := map[string]bool{}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	return known
 }
 
 // Run executes the analyzers over the package and returns the surviving
-// diagnostics sorted by position.
+// diagnostics sorted by position, followed by the stale-waiver audit:
+// a waiver that suppressed nothing — no diagnostic and no detflow
+// taint source — has rotted and is reported itself. Waivers naming
+// analyzers outside the run set are left alone (they may be audited by
+// a fuller run); waivers naming analyzers that don't exist are always
+// findings.
 func (p *Package) Run(analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     p.Fset,
 			Files:    p.Files,
 			Pkg:      p.Pkg,
 			Info:     p.Info,
+			pkg:      p,
 			diags:    &diags,
 		}
 		a.Run(pass)
@@ -193,8 +293,51 @@ func (p *Package) Run(analyzers []*Analyzer) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	kept = append(kept, p.auditWaivers(ran)...)
+	SortDiagnostics(kept)
+	return kept
+}
+
+// auditWaivers reports stale and unknown waivers after a run.
+func (p *Package) auditWaivers(ran map[string]bool) []Diagnostic {
+	known := Known()
+	var out []Diagnostic
+	files := make([]string, 0, len(p.waivers))
+	for f := range p.waivers { // dsnlint:ok maprange filenames sorted below
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		byLine := p.waivers[f]
+		lines := make([]int, 0, len(byLine))
+		for l := range byLine { // dsnlint:ok maprange lines sorted below
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		for _, l := range lines {
+			for _, w := range byLine[l] {
+				switch {
+				case w.name == "":
+					out = append(out, Diagnostic{Pos: w.pos, Analyzer: WaiverAnalyzer,
+						Message: "malformed waiver: dsnlint:ok must name the analyzer it silences"})
+				case !known[w.name]:
+					out = append(out, Diagnostic{Pos: w.pos, Analyzer: WaiverAnalyzer,
+						Message: fmt.Sprintf("waiver names unknown analyzer %q", w.name)})
+				case ran[w.name] && !w.used:
+					out = append(out, Diagnostic{Pos: w.pos, Analyzer: WaiverAnalyzer,
+						Message: fmt.Sprintf("stale waiver: no %s diagnostic or taint source left on this line; delete it", w.name)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer —
+// the deterministic order both the text and JSON outputs use.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -206,19 +349,101 @@ func (p *Package) Run(analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
 }
 
-// LintDirs loads each directory and runs the analyzers, concatenating
-// diagnostics in directory order.
-func LintDirs(dirs []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Target is one directory to lint, with analyzers to skip there.
+// Skipping is the exemption mechanism for packages whose purpose makes
+// a hazard legitimate (benchmark drivers reading the wall clock).
+type Target struct {
+	Dir  string
+	Skip []string // analyzer names not run for this directory
+}
+
+// analyzersFor filters the suite by a target's skip list.
+func analyzersFor(t Target, analyzers []*Analyzer) []*Analyzer {
+	if len(t.Skip) == 0 {
+		return analyzers
+	}
+	skip := map[string]bool{}
+	for _, s := range t.Skip {
+		skip[s] = true
+	}
+	out := make([]*Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if !skip[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// LintTargets loads each target and runs the (possibly skipped-down)
+// analyzer suite, returning all surviving diagnostics in deterministic
+// order. One loader is shared, so common dependencies type-check once.
+func LintTargets(targets []Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader := NewLoader()
 	var all []Diagnostic
-	for _, dir := range dirs {
-		pkg, err := Load(dir)
+	for _, t := range targets {
+		pkg, err := loader.Load(t.Dir)
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, pkg.Run(analyzers)...)
+		all = append(all, pkg.Run(analyzersFor(t, analyzers))...)
 	}
+	SortDiagnostics(all)
 	return all, nil
+}
+
+// LintDirs loads each directory and runs the analyzers with no
+// exemptions.
+func LintDirs(dirs []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	targets := make([]Target, len(dirs))
+	for i, d := range dirs {
+		targets[i] = Target{Dir: d}
+	}
+	return LintTargets(targets, analyzers)
+}
+
+// DiscoverDirs walks the module rooted at root and returns every
+// directory holding a non-test Go package, sorted, as slash-separated
+// paths relative to root ("." for the root package itself). testdata,
+// hidden directories and vendor trees are skipped, matching the go
+// tool's ./... expansion.
+func DiscoverDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	uniq := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			uniq = append(uniq, d)
+		}
+	}
+	return uniq, nil
 }

@@ -15,8 +15,29 @@ func lintFixture(t *testing.T, name string) []Diagnostic {
 	return pkg.Run(All)
 }
 
-// TestDirtyFixtureFindings is the negative test for every analyzer:
-// each must fire on the hazard planted for it in the dirty fixture.
+// byAnalyzer buckets a diagnostic list for per-analyzer assertions.
+func byAnalyzer(diags []Diagnostic) map[string][]Diagnostic {
+	out := map[string][]Diagnostic{}
+	for _, d := range diags {
+		out[d.Analyzer] = append(out[d.Analyzer], d)
+	}
+	return out
+}
+
+// wantFinding asserts one diagnostic from the named analyzer whose
+// message contains substr.
+func wantFinding(t *testing.T, diags []Diagnostic, analyzer, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Analyzer == analyzer && strings.Contains(d.Message, substr) {
+			return
+		}
+	}
+	t.Errorf("analyzer %s did not flag %q; got %v", analyzer, substr, diags)
+}
+
+// TestDirtyFixtureFindings is the negative test for the syntactic
+// analyzers: each must fire on the hazard planted for it.
 func TestDirtyFixtureFindings(t *testing.T) {
 	diags := lintFixture(t, "dirty")
 	want := []struct {
@@ -30,16 +51,7 @@ func TestDirtyFixtureFindings(t *testing.T) {
 		{"maprange", "iteration order"},
 	}
 	for _, w := range want {
-		found := false
-		for _, d := range diags {
-			if d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
-				found = true
-				break
-			}
-		}
-		if !found {
-			t.Errorf("analyzer %s did not flag %q; got %v", w.analyzer, w.substr, diags)
-		}
+		wantFinding(t, diags, w.analyzer, w.substr)
 	}
 	if len(diags) != len(want) {
 		t.Errorf("unexpected extra findings: got %d diagnostics %v, want %d", len(diags), diags, len(want))
@@ -66,6 +78,154 @@ func TestCleanFixtureQuiet(t *testing.T) {
 	}
 }
 
+// TestTaintDirtyFindings proves each detflow source→sink flow live:
+// walltime into a struct field, a map fold into json.Marshal, %p into
+// a fingerprint hash, a multi-ready select binding, and a fan-in
+// receive through a return value.
+func TestTaintDirtyFindings(t *testing.T) {
+	diags := lintFixture(t, "taintdirty")
+	want := []string{
+		"wall-clock-derived value",
+		"serialized struct Result.WallMS",
+		"order-sensitive accumulation",
+		"json.Marshal",
+		"pointer-address-dependent rendering",
+		"fingerprint hash",
+		"multi-ready select binding",
+		"fan-in channel receive",
+	}
+	for _, substr := range want {
+		wantFinding(t, diags, "detflow", substr)
+	}
+	if got := len(byAnalyzer(diags)["detflow"]); got != 8 {
+		t.Errorf("detflow findings: got %d, want 8: %v", got, diags)
+	}
+}
+
+// TestTaintThroughStructField: stamp()'s walltime taint survives a
+// package-local return summary, a fmt call, and lands on a field store
+// into a sink-shaped struct.
+func TestTaintThroughStructField(t *testing.T) {
+	wantFinding(t, lintFixture(t, "taintdirty"), "detflow", "Result.Note")
+}
+
+// TestTaintThroughReturn: Gather's fan-in taint is carried by its
+// return summary into GatherJSON's json.Marshal call.
+func TestTaintThroughReturn(t *testing.T) {
+	diags := lintFixture(t, "taintdirty")
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "detflow" && strings.Contains(d.Message, "fan-in channel receive") && strings.Contains(d.Message, "json.Marshal") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fan-in taint did not cross the Gather return into json.Marshal: %v", diags)
+	}
+}
+
+// TestTaintThroughChannelSend: the walltime value sent into Chan's
+// channel taints the receive and reaches the Result literal.
+func TestTaintThroughChannelSend(t *testing.T) {
+	diags := lintFixture(t, "taintdirty")
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "detflow" && strings.Contains(d.Message, "wall-clock") && strings.Contains(d.Message, "Result.Cells") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("walltime taint did not cross the channel into Result.Cells: %v", diags)
+	}
+}
+
+// TestTaintCleanQuiet checks the sanitizers: sorted keys before a
+// fold, disjoint indexed assembly, and worker-pool indexed stores all
+// stay silent.
+func TestTaintCleanQuiet(t *testing.T) {
+	if diags := lintFixture(t, "taintclean"); len(diags) != 0 {
+		t.Errorf("taintclean fixture flagged: %v", diags)
+	}
+}
+
+// TestCtxflowFindings proves the three ctxflow rules live.
+func TestCtxflowFindings(t *testing.T) {
+	diags := lintFixture(t, "ctxdirty")
+	want := []string{
+		"context.Background() inside a function that already receives a ctx",
+		"mints a root context",
+		"dropping its context; call ComputeCtx",
+	}
+	for _, substr := range want {
+		wantFinding(t, diags, "ctxflow", substr)
+	}
+	if len(diags) != len(want) {
+		t.Errorf("ctxdirty: got %d findings %v, want %d", len(diags), diags, len(want))
+	}
+}
+
+func TestCtxflowCleanQuiet(t *testing.T) {
+	if diags := lintFixture(t, "ctxclean"); len(diags) != 0 {
+		t.Errorf("ctxclean fixture flagged: %v", diags)
+	}
+}
+
+// TestLockholdFindings proves each blocking-while-locked shape live.
+func TestLockholdFindings(t *testing.T) {
+	diags := lintFixture(t, "lockdirty")
+	want := []string{
+		"channel send while b.mu is held",
+		"sync Wait on wg while b.mu is held",
+		"time.Sleep while r.mu is held",
+		"select with no default while b.mu is held",
+	}
+	for _, substr := range want {
+		wantFinding(t, diags, "lockhold", substr)
+	}
+	if len(diags) != len(want) {
+		t.Errorf("lockdirty: got %d findings %v, want %d", len(diags), diags, len(want))
+	}
+}
+
+func TestLockholdCleanQuiet(t *testing.T) {
+	if diags := lintFixture(t, "lockclean"); len(diags) != 0 {
+		t.Errorf("lockclean fixture flagged: %v", diags)
+	}
+}
+
+// TestGoleakFindings proves the joinability check live for both
+// literal and named-function spawns.
+func TestGoleakFindings(t *testing.T) {
+	diags := lintFixture(t, "goleakdirty")
+	if got := len(byAnalyzer(diags)["goleak"]); got != 2 {
+		t.Errorf("goleakdirty: got %d goleak findings %v, want 2", got, diags)
+	}
+	wantFinding(t, diags, "goleak", "goroutine has no join")
+}
+
+func TestGoleakCleanQuiet(t *testing.T) {
+	if diags := lintFixture(t, "goleakclean"); len(diags) != 0 {
+		t.Errorf("goleakclean fixture flagged: %v", diags)
+	}
+}
+
+// TestStaleWaiverAudit: a waiver that suppresses nothing, one citing
+// an unknown analyzer, and one naming nothing are each findings.
+func TestStaleWaiverAudit(t *testing.T) {
+	diags := lintFixture(t, "stalewaiver")
+	want := []string{
+		"stale waiver: no maprange diagnostic",
+		`unknown analyzer "nosuchcheck"`,
+		"malformed waiver",
+	}
+	for _, substr := range want {
+		wantFinding(t, diags, WaiverAnalyzer, substr)
+	}
+	if len(diags) != len(want) {
+		t.Errorf("stalewaiver: got %d findings %v, want %d", len(diags), diags, len(want))
+	}
+}
+
 // TestWaiverIsAnalyzerScoped checks that a maprange waiver does not
 // accidentally silence other analyzers on the same line.
 func TestWaiverIsAnalyzerScoped(t *testing.T) {
@@ -76,7 +236,7 @@ func TestWaiverIsAnalyzerScoped(t *testing.T) {
 	d := Diagnostic{Analyzer: "walltime"}
 	d.Pos.Filename = "x.go"
 	d.Pos.Line = 1
-	pkg.waivers = map[string]map[int][]string{"x.go": {1: {"maprange"}}}
+	pkg.waivers = map[string]map[int][]*waiver{"x.go": {1: {{name: "maprange"}}}}
 	if pkg.waived(d) {
 		t.Error("maprange waiver silenced a walltime diagnostic")
 	}
@@ -87,7 +247,7 @@ func TestWaiverIsAnalyzerScoped(t *testing.T) {
 }
 
 // TestSimulatorPackagesClean enforces the CI contract in-tree: the
-// simulator packages must lint clean.
+// simulator packages must lint clean under the full v2 suite.
 func TestSimulatorPackagesClean(t *testing.T) {
 	dirs := []string{"../netsim", "../collectives", "../traffic"}
 	diags, err := LintDirs(dirs, All)

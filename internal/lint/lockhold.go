@@ -1,0 +1,239 @@
+package lint
+
+// lockhold flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held. The serve daemon's flight tracker and the
+// harness cache both mix locks with channels; a send that blocks while
+// the lock protecting the receiver's state is held is a classic
+// self-deadlock (the receiver needs the same lock to drain). The
+// analyzer tracks Lock/RLock → Unlock/RUnlock regions per statement
+// list (a defer Unlock keeps the lock held to function end) and flags,
+// inside a held region: channel sends and receives, ranging over a
+// channel, select without a default, WaitGroup.Wait / Cond.Wait, and
+// time.Sleep. A select *with* a default is non-blocking and its
+// communication clauses are exempt.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const lockholdName = "lockhold"
+
+// Lockhold is the blocking-while-locked analyzer.
+var Lockhold = &Analyzer{
+	Name: lockholdName,
+	Doc:  "no blocking operation (channel op, select without default, Wait, Sleep) while a sync.Mutex/RWMutex is held",
+	Run:  runLockhold,
+}
+
+func runLockhold(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockStmts(p, fd.Body.List, map[string]token.Pos{})
+		}
+	}
+	// Function literals get a fresh held-set: a goroutine body spawned
+	// under a lock runs after the spawner releases it (and if it does
+	// not, goleak/lockhold findings inside the literal itself apply).
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkLockStmts(p, lit.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+// lockMethod returns the receiver key and method name if call is a
+// Lock/RLock/Unlock/RUnlock on a sync.Mutex or sync.RWMutex (directly
+// or embedded).
+func lockMethod(p *Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return "", "", false
+		}
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// checkLockStmts walks a statement list tracking held locks. held maps
+// the rendered receiver expression ("s.mu") to the Lock position.
+// Mutations persist across siblings in the same list; nested blocks
+// operate on a copy so a conditional Unlock does not clear the lock
+// for statements after the branch.
+func checkLockStmts(p *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, method, ok := lockMethod(p, call); ok {
+					switch method {
+					case "Lock", "RLock":
+						held[key] = call.Pos()
+					case "Unlock", "RUnlock":
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			if len(held) > 0 {
+				checkBlocking(p, s, held)
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the remainder
+			// of the function — no state change, later statements still
+			// count as under the lock. Other defers run after return.
+		case *ast.BlockStmt:
+			checkLockStmts(p, s.List, cloneHeld(held))
+		case *ast.IfStmt:
+			if len(held) > 0 && s.Init != nil {
+				checkBlocking(p, s.Init, held)
+			}
+			if len(held) > 0 {
+				checkBlockingExpr(p, s.Cond, held)
+			}
+			checkLockStmts(p, s.Body.List, cloneHeld(held))
+			if s.Else != nil {
+				checkLockStmts(p, []ast.Stmt{s.Else}, cloneHeld(held))
+			}
+		case *ast.ForStmt:
+			checkLockStmts(p, s.Body.List, cloneHeld(held))
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				if tv, ok := p.Info.Types[s.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						reportHeld(p, s.Range, "ranging over a channel", held)
+					}
+				}
+			}
+			checkLockStmts(p, s.Body.List, cloneHeld(held))
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if len(held) > 0 && !hasDefault {
+				reportHeld(p, s.Select, "select with no default", held)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					checkLockStmts(p, cc.Body, cloneHeld(held))
+				}
+			}
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockStmts(p, cc.Body, cloneHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockStmts(p, cc.Body, cloneHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			checkLockStmts(p, []ast.Stmt{s.Stmt}, held)
+		default:
+			if len(held) > 0 {
+				checkBlocking(p, stmt, held)
+			}
+		}
+	}
+}
+
+func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held { // dsnlint:ok maprange lock-key set copy; no ordered output
+		out[k] = v
+	}
+	return out
+}
+
+// checkBlocking inspects a single non-control-flow statement for
+// blocking operations. Function literals are skipped: their bodies run
+// on another goroutine or after the lock is released.
+func checkBlocking(p *Pass, n ast.Node, held map[string]token.Pos) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			reportHeld(p, n.Arrow, "channel send", held)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reportHeld(p, n.OpPos, "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if desc, ok := blockingCall(p, n); ok {
+				reportHeld(p, n.Pos(), desc, held)
+			}
+		}
+		return true
+	})
+}
+
+func checkBlockingExpr(p *Pass, e ast.Expr, held map[string]token.Pos) {
+	if e != nil {
+		checkBlocking(p, e, held)
+	}
+}
+
+// blockingCall matches calls that block the calling goroutine:
+// time.Sleep, sync.WaitGroup.Wait, sync.Cond.Wait.
+func blockingCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+		return "time.Sleep", true
+	case fn.Pkg().Path() == "sync" && fn.Name() == "Wait":
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv != nil {
+			return "sync " + fn.Name() + " on " + types.ExprString(sel.X), true
+		}
+	}
+	return "", false
+}
+
+// reportHeld emits one diagnostic per held lock for a blocking op.
+func reportHeld(p *Pass, pos token.Pos, op string, held map[string]token.Pos) {
+	if p.SourceWaived(pos, lockholdName) {
+		return
+	}
+	// Deterministic order: report against the lexically first Lock.
+	var bestKey string
+	var bestPos token.Pos
+	for k, v := range held { // dsnlint:ok maprange picks minimum; order-free
+		if bestKey == "" || v < bestPos {
+			bestKey, bestPos = k, v
+		}
+	}
+	lp := p.Fset.Position(bestPos)
+	p.Reportf(pos, "%s while %s is held (locked at line %d); release the lock first", op, bestKey, lp.Line)
+}

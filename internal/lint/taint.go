@@ -1,0 +1,1304 @@
+package lint
+
+// The determinism taint engine (detflow). The syntactic analyzers flag
+// nondeterministic *sources* — wall-clock reads, the global rand
+// source, map ranges — wherever they appear. detflow tracks what the
+// values those sources produce *reach*: it propagates taint through
+// assignments, struct fields, function returns, parameters and channel
+// sends inside one package, and reports only when a tainted value
+// arrives at a serialized sink (a Result/Report-shaped struct literal,
+// a json.Marshal input, a cache Put payload, a fingerprint hash). The
+// point is a diagnostic that names the line where nondeterminism
+// enters the bytes CI pins, not just the line where it is born.
+//
+// Taint kinds come in two classes. Value kinds mean the value itself
+// is schedule- or host-dependent (a timestamp, a global-rand draw, a
+// pointer rendered to text, the binding of a multi-ready select, a
+// receive from a fan-in channel, an order-sensitive fold). Order kinds
+// mean the value is one deterministic element of a set whose
+// *visitation order* is nondeterministic (a map-range key, a work item
+// received by one of several pool workers): each element is fine on
+// its own, so order kinds are never reported at sinks directly.
+// Instead they convert to the reportable fold kind when accumulated
+// order-sensitively — a float +=, a string concatenation, an append —
+// because the folded result's value then depends on the order. Storing
+// an order-tainted element at a content-derived index (s[i] = v,
+// m[k] = v) restores determinism and drops order taint; sorting a
+// slice (sort.*, slices.Sort*) likewise sanitizes accumulated order.
+//
+// Sources sitting on a line waived for their syntactic analyzer (or
+// for detflow itself) are treated as asserted-benign and produce no
+// taint — so one "dsnlint:ok walltime bench metadata" both silences
+// the walltime diagnostic and certifies every flow out of that read.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+type taintKind uint8
+
+const (
+	// Value kinds: the value itself is nondeterministic.
+	kindWalltime   taintKind = iota // wall-clock read
+	kindGlobalrand                  // global math/rand draw
+	kindUnstable                    // pointer/unstable fmt rendering
+	kindSelect                      // multi-ready select binding
+	kindFanIn                       // receive from multi-sender channel
+	kindFold                        // order-sensitive fold of order-tainted stream
+	// Order kinds: deterministic element, nondeterministic visitation
+	// order. Not reportable at sinks; convert to kindFold when folded.
+	kindMapOrder // map-range element
+	kindWorkItem // fan-out work item (one of several pool workers)
+	numKinds
+)
+
+// valueKind reports whether k is reportable at sinks.
+func (k taintKind) valueKind() bool { return k < kindMapOrder }
+
+func (k taintKind) describe() string {
+	switch k {
+	case kindWalltime:
+		return "wall-clock-derived value"
+	case kindGlobalrand:
+		return "global-rand-derived value"
+	case kindUnstable:
+		return "pointer-address-dependent rendering"
+	case kindSelect:
+		return "multi-ready select binding"
+	case kindFanIn:
+		return "fan-in channel receive (schedule-ordered)"
+	case kindFold:
+		return "order-sensitive accumulation of schedule/map-ordered elements"
+	case kindMapOrder:
+		return "map-iteration-ordered element"
+	case kindWorkItem:
+		return "worker-pool item"
+	}
+	return "tainted value"
+}
+
+// taintSet records, per kind, the position of the first source that
+// introduced it (NoPos = kind absent).
+type taintSet struct {
+	origin [numKinds]token.Pos
+}
+
+func (t *taintSet) empty() bool {
+	for _, p := range t.origin {
+		if p != token.NoPos {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *taintSet) has(k taintKind) bool { return t.origin[k] != token.NoPos }
+
+func (t *taintSet) add(k taintKind, pos token.Pos) bool {
+	if t.origin[k] != token.NoPos || pos == token.NoPos {
+		return false
+	}
+	t.origin[k] = pos
+	return true
+}
+
+func (t *taintSet) or(o taintSet) bool {
+	changed := false
+	for k := range o.origin {
+		if o.origin[k] != token.NoPos && t.add(taintKind(k), o.origin[k]) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// valueOnly returns the reportable projection: order kinds dropped.
+func (t taintSet) valueOnly() taintSet {
+	var out taintSet
+	for k := taintKind(0); k < numKinds; k++ {
+		if k.valueKind() {
+			out.origin[k] = t.origin[k]
+		}
+	}
+	return out
+}
+
+// dropOrder removes order kinds and accumulated folds (the indexed
+// store / sort sanitizers).
+func (t taintSet) dropOrder() taintSet {
+	out := t
+	out.origin[kindMapOrder] = token.NoPos
+	out.origin[kindWorkItem] = token.NoPos
+	out.origin[kindFold] = token.NoPos
+	return out
+}
+
+// firstOrder returns the first present order kind and its origin.
+func (t taintSet) firstOrder() (taintKind, token.Pos, bool) {
+	for _, k := range []taintKind{kindMapOrder, kindWorkItem} {
+		if t.origin[k] != token.NoPos {
+			return k, t.origin[k], true
+		}
+	}
+	return 0, token.NoPos, false
+}
+
+// sinkTypeRE matches the struct type names this repository serializes:
+// simulation results, bench reports, sweep rows, service events. A
+// tainted value landing in one of these is on its way into pinned
+// bytes.
+var sinkTypeRE = regexp.MustCompile(`(Result|Report|Metrics|Stat|Stats|Row|Record|Event|Snapshot)$`)
+
+// Analyzer name constants, usable inside Run closures without
+// creating initialization cycles.
+const (
+	walltimeName   = "walltime"
+	globalrandName = "globalrand"
+	maprangeName   = "maprange"
+	detflowName    = "detflow"
+)
+
+// Detflow is the determinism taint engine.
+var Detflow = &Analyzer{
+	Name: detflowName,
+	Doc:  "tracks nondeterministic values (clock, global rand, map/schedule order, pointer text) through assignments, fields, returns and channels into serialized sinks",
+	Run:  runDetflow,
+}
+
+// maxTaintPasses bounds the fixpoint iteration; package-local taint
+// chains deeper than this are beyond anything in the tree.
+const maxTaintPasses = 15
+
+type engine struct {
+	p       *Pass
+	taint   map[types.Object]taintSet // vars, params, fields-as-channels
+	ret     map[*types.Func]taintSet  // function return taint summaries
+	litOf   map[types.Object]*ast.FuncLit
+	litRet  map[*ast.FuncLit]taintSet
+	fanIn   map[types.Object]bool // channels with >1 goroutine sender
+	fanOut  map[ast.Node]bool     // receive sites that yield pool work items
+	visited map[*ast.FuncLit]bool // per-pass FuncLit body guard
+	curRet  []func(ts taintSet)   // return-taint receivers, innermost last
+	changed bool
+	report  bool
+}
+
+func runDetflow(p *Pass) {
+	e := &engine{
+		p:      p,
+		taint:  map[types.Object]taintSet{},
+		ret:    map[*types.Func]taintSet{},
+		litOf:  map[types.Object]*ast.FuncLit{},
+		litRet: map[*ast.FuncLit]taintSet{},
+		fanIn:  map[types.Object]bool{},
+		fanOut: map[ast.Node]bool{},
+	}
+	e.classifyChannels()
+	for i := 0; i < maxTaintPasses; i++ {
+		e.changed = false
+		e.walkAll()
+		if !e.changed {
+			break
+		}
+	}
+	e.report = true
+	e.walkAll()
+}
+
+// classifyChannels pre-computes goroutine fan topology: channels sent
+// to from two goroutine bodies (or from a goroutine spawned in a loop)
+// fan in — their receives observe a schedule-dependent interleaving.
+// Receives performed inside one of several pool workers (a go literal
+// spawned in a loop, or two literals receiving from the same channel)
+// fan out — each worker sees a schedule-dependent subset of
+// deterministic items.
+func (e *engine) classifyChannels() {
+	var goLits []litInfo
+	for _, f := range e.p.Files {
+		var walk func(n ast.Node, inLoop bool)
+		walk = func(n ast.Node, inLoop bool) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt:
+					if n.Body != nil {
+						walk(n.Body, true)
+					}
+					return false
+				case *ast.RangeStmt:
+					if n.Body != nil {
+						walk(n.Body, true)
+					}
+					return false
+				case *ast.GoStmt:
+					if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+						goLits = append(goLits, litInfo{lit: lit, inLoop: inLoop})
+						walk(lit.Body, false)
+						return false
+					}
+				}
+				return true
+			})
+		}
+		walk(f, false)
+	}
+
+	senders := map[types.Object][]litInfo{}
+	receivers := map[types.Object][]litInfo{}
+	recvSites := map[types.Object][]ast.Node{} // receive nodes inside go literals
+	for _, li := range goLits {
+		li := li
+		ast.Inspect(li.lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.FuncLit); ok && inner != li.lit {
+				return false // nested literals have their own entry
+			}
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if c := e.chanObj(n.Chan); c != nil {
+					senders[c] = append(senders[c], li)
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					if c := e.chanObj(n.X); c != nil {
+						receivers[c] = append(receivers[c], li)
+						recvSites[c] = append(recvSites[c], n)
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := e.p.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						if c := e.chanObj(n.X); c != nil {
+							receivers[c] = append(receivers[c], li)
+							recvSites[c] = append(recvSites[c], n)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for c, lits := range senders { // dsnlint:ok maprange populates a lookup set; no ordered output
+		if len(lits) >= 2 || anyInLoop(lits) {
+			e.fanIn[c] = true
+		}
+	}
+	for c, lits := range receivers { // dsnlint:ok maprange populates a lookup set; no ordered output
+		if len(lits) >= 2 || anyInLoop(lits) {
+			for _, site := range recvSites[c] {
+				e.fanOut[site] = true
+			}
+		}
+	}
+}
+
+// litInfo is one goroutine-spawned func literal and whether its go
+// statement sits inside a loop (a worker pool).
+type litInfo struct {
+	lit    *ast.FuncLit
+	inLoop bool
+}
+
+func anyInLoop(lits []litInfo) bool {
+	for _, l := range lits {
+		if l.inLoop {
+			return true
+		}
+	}
+	return false
+}
+
+// walkAll runs one transfer pass (or the reporting pass) over every
+// function body in the package, in file order.
+func (e *engine) walkAll() {
+	e.visited = map[*ast.FuncLit]bool{}
+	for _, f := range e.p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := e.p.Info.Defs[fd.Name].(*types.Func)
+			e.curRet = append(e.curRet, func(ts taintSet) {
+				if fn == nil {
+					return
+				}
+				cur := e.ret[fn]
+				if cur.or(ts) {
+					e.ret[fn] = cur
+					e.changed = true
+				}
+			})
+			e.stmt(fd.Body)
+			e.curRet = e.curRet[:len(e.curRet)-1]
+		}
+	}
+}
+
+// ---- object resolution ----
+
+func (e *engine) ident(id *ast.Ident) types.Object {
+	if o := e.p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return e.p.Info.Defs[id]
+}
+
+// chanObj resolves a channel expression to a stable identity: the
+// variable for locals, the field object for struct-held channels (so
+// a send in one method and a receive in another connect).
+func (e *engine) chanObj(x ast.Expr) types.Object {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return e.ident(x)
+	case *ast.SelectorExpr:
+		if sel, ok := e.p.Info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return e.ident(x.Sel)
+	}
+	return nil
+}
+
+// baseObj resolves the root identifier of an lvalue chain (x.F[i].G
+// -> x) for weak updates.
+func (e *engine) baseObj(x ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			return e.ident(v)
+		case *ast.SelectorExpr:
+			x = v.X
+		case *ast.IndexExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		case *ast.SliceExpr:
+			x = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (e *engine) setObj(o types.Object, ts taintSet) {
+	if o == nil {
+		return
+	}
+	cur, ok := e.taint[o]
+	if ts.empty() {
+		if ok && !cur.empty() {
+			// strong clear: a clean reassignment launders the variable
+			e.taint[o] = taintSet{}
+		}
+		return
+	}
+	if cur.or(ts) {
+		e.taint[o] = cur
+		e.changed = true
+	}
+}
+
+func (e *engine) orObj(o types.Object, ts taintSet) {
+	if o == nil || ts.empty() {
+		return
+	}
+	cur := e.taint[o]
+	if cur.or(ts) {
+		e.taint[o] = cur
+		e.changed = true
+	}
+}
+
+// ---- expression taint ----
+
+func (e *engine) taintOf(x ast.Expr) taintSet {
+	var none taintSet
+	switch x := x.(type) {
+	case nil:
+		return none
+	case *ast.Ident:
+		if o := e.ident(x); o != nil {
+			return e.taint[o]
+		}
+	case *ast.ParenExpr:
+		return e.taintOf(x.X)
+	case *ast.SelectorExpr:
+		var ts taintSet
+		if sel, ok := e.p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			ts.or(e.taint[sel.Obj()])
+		}
+		ts.or(e.taintOf(x.X))
+		return ts
+	case *ast.StarExpr:
+		return e.taintOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			return e.receiveTaint(x, x.X)
+		}
+		return e.taintOf(x.X)
+	case *ast.BinaryExpr:
+		ts := e.taintOf(x.X)
+		ts.or(e.taintOf(x.Y))
+		return ts
+	case *ast.IndexExpr:
+		ts := e.taintOf(x.X)
+		ts.or(e.taintOf(x.Index))
+		return ts
+	case *ast.SliceExpr:
+		return e.taintOf(x.X)
+	case *ast.TypeAssertExpr:
+		return e.taintOf(x.X)
+	case *ast.CompositeLit:
+		var ts taintSet
+		for _, elt := range x.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			ts.or(e.taintOf(v))
+		}
+		if e.report {
+			e.checkCompositeSink(x)
+		}
+		return ts
+	case *ast.CallExpr:
+		return e.call(x)
+	case *ast.FuncLit:
+		e.walkLit(x)
+		return none
+	}
+	return none
+}
+
+// receiveTaint models <-ch and range-over-channel: the channel's
+// accumulated send taint, plus fan-in (value) or fan-out (order)
+// classification from the goroutine topology.
+func (e *engine) receiveTaint(site ast.Node, ch ast.Expr) taintSet {
+	var ts taintSet
+	c := e.chanObj(ch)
+	if c != nil {
+		ts.or(e.taint[c])
+		if e.fanIn[c] && !e.p.SourceWaived(site.Pos(), detflowName) {
+			ts.add(kindFanIn, site.Pos())
+		}
+	}
+	if e.fanOut[site] && !e.p.SourceWaived(site.Pos(), detflowName) {
+		ts.add(kindWorkItem, site.Pos())
+	}
+	return ts
+}
+
+// ---- calls ----
+
+// staticCallee resolves the called *types.Func, or nil.
+func (e *engine) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := e.ident(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := e.ident(fun.Sel).(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			fn, _ := e.ident(id).(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+func pkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+func (e *engine) call(call *ast.CallExpr) taintSet {
+	var none taintSet
+
+	// Type conversion: taint passes through.
+	if tv, ok := e.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return e.taintOf(call.Args[0])
+		}
+		return none
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := e.ident(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap", "make", "new", "delete", "clear", "close", "min", "max", "complex", "real", "imag", "print", "println", "panic", "recover":
+				for _, a := range call.Args {
+					e.taintOf(a) // evaluate for side effects (nested calls)
+				}
+				return none
+			case "append":
+				return e.appendTaint(call)
+			case "copy":
+				e.taintOf(call.Args[0])
+				e.taintOf(call.Args[1])
+				return none
+			}
+		}
+	}
+
+	fn := e.staticCallee(call)
+	path := pkgPath(fn)
+
+	// Argument taints (always evaluated: side effects and propagation).
+	args := make([]taintSet, len(call.Args))
+	var argUnion taintSet
+	for i, a := range call.Args {
+		args[i] = e.taintOf(a)
+		argUnion.or(args[i])
+	}
+	// Method receiver taint joins the union.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && fn != nil && fn.Type().(*types.Signature).Recv() != nil {
+		argUnion.or(e.taintOf(sel.X))
+	}
+
+	// Sources.
+	switch {
+	case path == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+		if !e.p.SourceWaived(call.Pos(), walltimeName, detflowName) {
+			argUnion.add(kindWalltime, call.Pos())
+		}
+		return argUnion
+	case (path == "math/rand" || path == "math/rand/v2") && fn.Type().(*types.Signature).Recv() == nil && !randConstructors[fn.Name()]:
+		if !e.p.SourceWaived(call.Pos(), globalrandName, detflowName) {
+			argUnion.add(kindGlobalrand, call.Pos())
+		}
+		return argUnion
+	case path == "fmt":
+		if pos := e.unstableFmtArg(call, fn.Name()); pos != token.NoPos && !e.p.SourceWaived(call.Pos(), detflowName) {
+			argUnion.add(kindUnstable, pos)
+		}
+	}
+
+	// Sanitizers: sorting a slice fixes accumulated order.
+	if (path == "sort" || path == "slices") && strings.HasPrefix(fn.Name(), "Sort") && len(call.Args) > 0 {
+		if base := e.baseObj(call.Args[0]); base != nil {
+			if cur, ok := e.taint[base]; ok {
+				e.taint[base] = cur.dropOrder()
+			}
+		}
+		return none
+	}
+	if path == "sort" && len(call.Args) > 0 {
+		switch fn.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Stable":
+			if base := e.baseObj(call.Args[0]); base != nil {
+				if cur, ok := e.taint[base]; ok {
+					e.taint[base] = cur.dropOrder()
+				}
+			}
+			return none
+		}
+	}
+
+	// Sinks.
+	if e.report {
+		e.checkCallSink(call, fn, path, args)
+	}
+
+	// Package-local callee: inject argument taint into parameters and
+	// conservatively into mutable (slice/map/pointer) arguments, and
+	// return the callee's summary.
+	if fn != nil && fn.Pkg() == e.p.Pkg {
+		e.injectParams(fn.Type().(*types.Signature), call, args, argUnion)
+		ts := e.ret[fn]
+		ts.or(argUnion)
+		return ts
+	}
+	// Closure call through a local variable bound to a func literal.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if o := e.ident(id); o != nil {
+			if lit, ok := e.litOf[o]; ok {
+				e.injectLitParams(lit, args)
+				ts := e.litRet[lit]
+				ts.or(argUnion)
+				return ts
+			}
+		}
+	}
+	// Unknown callee: taint flows through.
+	return argUnion
+}
+
+// appendTaint models append: order-tainted elements appended to a
+// slice make the slice's element order schedule/map-dependent — a
+// reportable fold — while value kinds pass straight through.
+func (e *engine) appendTaint(call *ast.CallExpr) taintSet {
+	ts := e.taintOf(call.Args[0])
+	var elems taintSet
+	for _, a := range call.Args[1:] {
+		elems.or(e.taintOf(a))
+	}
+	if _, pos, ok := elems.firstOrder(); ok {
+		elems.add(kindFold, pos)
+	}
+	ts.or(elems.valueOnly())
+	return ts
+}
+
+// injectParams pushes call-site taint into a local callee's parameter
+// objects (so flows continue inside its body on the next pass) and
+// into mutable arguments (out-parameter mutation like bfsInto(src,
+// dist) transfers the call's taint to dist).
+func (e *engine) injectParams(sig *types.Signature, call *ast.CallExpr, args []taintSet, argUnion taintSet) {
+	params := sig.Params()
+	for i := 0; i < params.Len() && i < len(args); i++ {
+		e.orObj(params.At(i), args[i])
+	}
+	if argUnion.empty() {
+		return
+	}
+	for i, a := range call.Args {
+		if i >= params.Len() {
+			break
+		}
+		switch params.At(i).Type().Underlying().(type) {
+		case *types.Slice, *types.Map, *types.Pointer:
+			e.orObj(e.baseObj(a), argUnion.valueOnly())
+			// order kinds transfer too: a helper filling a buffer keyed by
+			// an order-tainted source makes the buffer order-tainted
+			e.orObj(e.baseObj(a), argUnion)
+		}
+	}
+}
+
+func (e *engine) injectLitParams(lit *ast.FuncLit, args []taintSet) {
+	if lit.Type.Params == nil {
+		return
+	}
+	i := 0
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if i < len(args) {
+				e.orObj(e.p.Info.Defs[name], args[i])
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+}
+
+// unstableFmtArg reports the position of a formatting argument whose
+// rendering embeds a pointer address: an explicit %p verb, or default
+// %v formatting of a channel, func, unsafe.Pointer, non-composite
+// pointer, or pointer-keyed map (fmt sorts map keys, but pointer keys
+// sort by address). Returns NoPos when the call is stable.
+func (e *engine) unstableFmtArg(call *ast.CallExpr, name string) token.Pos {
+	argStart := 0
+	format := ""
+	switch name {
+	case "Sprintf", "Printf", "Errorf":
+		argStart = 1
+	case "Fprintf":
+		argStart = 2
+	case "Sprint", "Sprintln", "Print", "Println":
+		argStart = 0
+	case "Fprint", "Fprintln":
+		argStart = 1
+	default:
+		return token.NoPos
+	}
+	if strings.HasSuffix(name, "f") && argStart > 0 {
+		ftv, ok := e.p.Info.Types[call.Args[argStart-1]]
+		if ok && ftv.Value != nil && ftv.Value.Kind() == constant.String {
+			format = constant.StringVal(ftv.Value)
+		}
+		if format != "" && strings.Contains(format, "%p") {
+			return call.Pos()
+		}
+		// Without %p, a format string confines each arg to its verb; only
+		// %v/%+v/%#v (and %s via Stringer) can leak addresses, and then
+		// only for the unstable display types checked below.
+	}
+	for _, a := range call.Args[argStart:] {
+		tv, ok := e.p.Info.Types[a]
+		if !ok {
+			continue
+		}
+		if unstableDisplay(tv.Type) {
+			return a.Pos()
+		}
+	}
+	return token.NoPos
+}
+
+// unstableDisplay reports whether fmt's default rendering of t embeds
+// a pointer address or pointer-ordered keys.
+func unstableDisplay(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Pointer:
+		if hasStringMethod(t) {
+			return false
+		}
+		// fmt prints &{...} for pointers to composites, raw addresses for
+		// everything else.
+		switch u.Elem().Underlying().(type) {
+		case *types.Struct, *types.Array, *types.Slice, *types.Map:
+			return false
+		}
+		return true
+	case *types.Map:
+		return unstableMapKey(u.Key())
+	}
+	return false
+}
+
+// unstableMapKey: fmt sorts map keys when printing, but pointer-like
+// keys sort by address.
+func unstableMapKey(k types.Type) bool {
+	switch k.Underlying().(type) {
+	case *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+func hasStringMethod(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		f, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || f.Name() != "String" {
+			continue
+		}
+		sig := f.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+			if b, ok := sig.Results().At(0).Type().(*types.Basic); ok && b.Kind() == types.String {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- statements ----
+
+func (e *engine) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			e.stmt(st)
+		}
+	case *ast.ExprStmt:
+		e.taintOf(s.X)
+		e.walkLitsIn(s.X)
+	case *ast.AssignStmt:
+		e.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var ts taintSet
+					if len(vs.Values) == len(vs.Names) {
+						ts = e.taintOf(vs.Values[i])
+						e.walkLitsIn(vs.Values[i])
+						if lit, ok := ast.Unparen(vs.Values[i]).(*ast.FuncLit); ok {
+							e.litOf[e.p.Info.Defs[name]] = lit
+						}
+					} else if len(vs.Values) == 1 {
+						ts = e.taintOf(vs.Values[0])
+						if i == 0 {
+							e.walkLitsIn(vs.Values[0])
+						}
+					}
+					e.setObj(e.p.Info.Defs[name], ts)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		ts := e.taintOf(s.Value)
+		e.taintOf(s.Chan)
+		e.orObj(e.chanObj(s.Chan), ts)
+		e.walkLitsIn(s.Value)
+	case *ast.IncDecStmt:
+		e.taintOf(s.X)
+	case *ast.GoStmt:
+		e.taintOf(s.Call)
+		e.walkLitsIn(s.Call)
+	case *ast.DeferStmt:
+		e.taintOf(s.Call)
+		e.walkLitsIn(s.Call)
+	case *ast.ReturnStmt:
+		var ts taintSet
+		for _, r := range s.Results {
+			ts.or(e.taintOf(r))
+			e.walkLitsIn(r)
+		}
+		if !ts.empty() && len(e.curRet) > 0 {
+			e.curRet[len(e.curRet)-1](ts)
+		}
+	case *ast.IfStmt:
+		e.stmt(s.Init)
+		e.taintOf(s.Cond)
+		e.walkLitsIn(s.Cond)
+		e.stmt(s.Body)
+		e.stmt(s.Else)
+	case *ast.ForStmt:
+		e.stmt(s.Init)
+		e.taintOf(s.Cond)
+		e.stmt(s.Post)
+		e.stmt(s.Body)
+	case *ast.RangeStmt:
+		e.rangeStmt(s)
+	case *ast.SwitchStmt:
+		e.stmt(s.Init)
+		e.taintOf(s.Tag)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, x := range cc.List {
+				e.taintOf(x)
+			}
+			for _, st := range cc.Body {
+				e.stmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		e.stmt(s.Init)
+		var subject taintSet
+		var bindName *ast.Ident
+		switch a := s.Assign.(type) {
+		case *ast.AssignStmt:
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				subject = e.taintOf(ta.X)
+			}
+			bindName, _ = a.Lhs[0].(*ast.Ident)
+		case *ast.ExprStmt:
+			if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+				subject = e.taintOf(ta.X)
+			}
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			if bindName != nil {
+				if obj := e.p.Info.Implicits[cc]; obj != nil {
+					e.orObj(obj, subject)
+				}
+			}
+			for _, st := range cc.Body {
+				e.stmt(st)
+			}
+		}
+	case *ast.SelectStmt:
+		e.selectStmt(s)
+	case *ast.LabeledStmt:
+		e.stmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// walkLitsIn processes every func literal under x exactly once per
+// pass, so closure bodies participate in the fixpoint with shared
+// captured-variable objects.
+func (e *engine) walkLitsIn(x ast.Node) {
+	ast.Inspect(x, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			e.walkLit(lit)
+			return false
+		}
+		return true
+	})
+}
+
+func (e *engine) walkLit(lit *ast.FuncLit) {
+	if e.visited[lit] {
+		return
+	}
+	e.visited[lit] = true
+	e.curRet = append(e.curRet, func(ts taintSet) {
+		cur := e.litRet[lit]
+		if cur.or(ts) {
+			e.litRet[lit] = cur
+			e.changed = true
+		}
+	})
+	e.stmt(lit.Body)
+	e.curRet = e.curRet[:len(e.curRet)-1]
+}
+
+func (e *engine) rangeStmt(s *ast.RangeStmt) {
+	tv, ok := e.p.Info.Types[s.X]
+	if !ok {
+		e.stmt(s.Body)
+		return
+	}
+	e.taintOf(s.X)
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		// A maprange waiver asserts the *loop* is benign (keys sorted
+		// below, commutative fold); detflow still tracks the elements and
+		// reports only if they reach a sink through an order-sensitive
+		// path the waiver's claim doesn't cover. A detflow waiver on the
+		// range line is the escape hatch that drops element tracking too.
+		var ts taintSet
+		if !e.p.SourceWaived(s.Range, detflowName) {
+			ts.add(kindMapOrder, s.Range)
+		}
+		ts.or(e.taintOf(s.X).valueOnly())
+		e.bindRangeVar(s.Key, ts)
+		e.bindRangeVar(s.Value, ts)
+	case *types.Chan:
+		ts := e.receiveTaint(s, s.X)
+		e.bindRangeVar(s.Key, ts)
+	default:
+		elem := e.taintOf(s.X)
+		e.bindRangeVar(s.Key, taintSet{})
+		e.bindRangeVar(s.Value, elem)
+	}
+	e.stmt(s.Body)
+}
+
+func (e *engine) bindRangeVar(x ast.Expr, ts taintSet) {
+	if x == nil {
+		return
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		if o := e.ident(id); o != nil {
+			e.setObj(o, ts)
+			return
+		}
+	}
+	e.orObj(e.baseObj(x), ts)
+}
+
+func (e *engine) selectStmt(s *ast.SelectStmt) {
+	comm := 0
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		switch st := cc.Comm.(type) {
+		case *ast.AssignStmt:
+			// case v := <-ch / case v, ok := <-ch
+			if recv, ok := st.Rhs[0].(*ast.UnaryExpr); ok && recv.Op == token.ARROW {
+				ts := e.receiveTaint(recv, recv.X)
+				if comm >= 2 && !e.p.SourceWaived(cc.Pos(), detflowName) {
+					ts.add(kindSelect, cc.Pos())
+				}
+				for i, l := range st.Lhs {
+					bound := ts
+					if i > 0 {
+						bound = taintSet{} // the ok bool is not the value
+					}
+					if id, isIdent := l.(*ast.Ident); isIdent && id.Name != "_" {
+						e.setObj(e.ident(id), bound)
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			e.taintOf(st.X)
+		case *ast.SendStmt:
+			e.stmt(st)
+		}
+		for _, body := range cc.Body {
+			e.stmt(body)
+		}
+	}
+}
+
+// orderSensitiveFold reports whether an op-assign (or x = x op y) on
+// type t converts order taint into value taint: float and complex
+// arithmetic is non-associative, string/slice concatenation is
+// order-dependent; integer +/- and bitwise ops are commutative and
+// associative, so order taint dies there.
+func orderSensitiveFold(t types.Type, op token.Token) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	info := b.Info()
+	switch {
+	case info&types.IsFloat != 0 || info&types.IsComplex != 0:
+		return op == token.ADD || op == token.SUB || op == token.MUL || op == token.QUO ||
+			op == token.ADD_ASSIGN || op == token.SUB_ASSIGN || op == token.MUL_ASSIGN || op == token.QUO_ASSIGN
+	case info&types.IsString != 0:
+		return op == token.ADD || op == token.ADD_ASSIGN
+	}
+	return false
+}
+
+func (e *engine) assign(s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		e.walkLitsIn(r)
+	}
+
+	// Op-assign: x += v and friends.
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		lhs := s.Lhs[0]
+		ts := e.taintOf(s.Rhs[0])
+		ts.or(e.taintOf(lhs))
+		if tv, ok := e.p.Info.Types[lhs]; ok {
+			if _, pos, isOrder := ts.firstOrder(); isOrder && orderSensitiveFold(tv.Type, s.Tok) {
+				ts.add(kindFold, pos)
+			}
+		}
+		e.storeTo(lhs, ts)
+		return
+	}
+
+	// Plain / define assignment.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			ts := e.taintOf(s.Rhs[i])
+			ts = e.foldIfSelfOp(s.Lhs[i], s.Rhs[i], ts)
+			if lit, ok := ast.Unparen(s.Rhs[i]).(*ast.FuncLit); ok {
+				if id, isIdent := s.Lhs[i].(*ast.Ident); isIdent {
+					if o := e.ident(id); o != nil {
+						e.litOf[o] = lit
+					}
+				}
+			}
+			e.storeTo(s.Lhs[i], ts)
+		}
+		return
+	}
+	// Tuple: v1, v2 := f() / v, ok := m[k] / v, ok := <-ch
+	ts := e.taintOf(s.Rhs[0])
+	for i, l := range s.Lhs {
+		bound := ts
+		if i > 0 {
+			if _, isUnary := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); isUnary {
+				bound = taintSet{} // comma-ok bool
+			}
+			if _, isIndex := ast.Unparen(s.Rhs[0]).(*ast.IndexExpr); isIndex {
+				bound = taintSet{}
+			}
+		}
+		e.storeTo(l, bound)
+	}
+}
+
+// foldIfSelfOp detects x = x + v and x = append(x, v) shapes, which
+// are folds even without an op-assign token.
+func (e *engine) foldIfSelfOp(lhs, rhs ast.Expr, ts taintSet) taintSet {
+	lobj := e.baseObj(lhs)
+	if lobj == nil {
+		return ts
+	}
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.BinaryExpr:
+		if e.baseObj(r.X) == lobj || e.baseObj(r.Y) == lobj {
+			if tv, ok := e.p.Info.Types[lhs]; ok {
+				if _, pos, isOrder := ts.firstOrder(); isOrder && orderSensitiveFold(tv.Type, r.Op) {
+					ts.add(kindFold, pos)
+				}
+			}
+		}
+	case *ast.CallExpr:
+		// append handled in appendTaint (converts order->fold on elements)
+	}
+	return ts
+}
+
+// storeTo writes taint to an lvalue. Identifier targets take strong
+// updates; field stores take weak updates on the base object (the
+// struct accumulates its fields' taint); indexed stores take weak
+// updates with order kinds dropped — placing an element at a
+// content-derived index is exactly how deterministic parallel
+// assembly works, so order taint does not transfer to the container.
+func (e *engine) storeTo(lhs ast.Expr, ts taintSet) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		e.setObj(e.ident(l), ts)
+	case *ast.IndexExpr:
+		e.taintOf(l.Index)
+		e.orObj(e.baseObj(l), ts.dropOrder())
+	case *ast.SelectorExpr:
+		if e.report {
+			e.checkFieldSink(l, ts)
+		}
+		e.orObj(e.baseObj(l), ts)
+		if sel, ok := e.p.Info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+			e.orObj(sel.Obj(), ts)
+		}
+	case *ast.StarExpr:
+		e.orObj(e.baseObj(l), ts)
+	}
+}
+
+// ---- sinks ----
+
+// reportSink emits one diagnostic for the highest-priority value kind
+// present.
+func (e *engine) reportSink(pos token.Pos, ts taintSet, sink string) {
+	v := ts.valueOnly()
+	if v.empty() {
+		return
+	}
+	for k := taintKind(0); k < numKinds; k++ {
+		if !v.has(k) {
+			continue
+		}
+		origin := e.p.Fset.Position(v.origin[k])
+		e.p.Reportf(pos, "%s (source at %s:%d) flows into %s",
+			k.describe(), filepath.Base(origin.Filename), origin.Line, sink)
+		return
+	}
+}
+
+// sinkTypeName returns the named struct type's name when t (possibly
+// behind a pointer) serializes — matches the repository's
+// Result/Report/Row/Event shapes.
+func sinkTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return ""
+	}
+	name := named.Obj().Name()
+	if sinkTypeRE.MatchString(name) {
+		return name
+	}
+	return ""
+}
+
+func (e *engine) checkCompositeSink(lit *ast.CompositeLit) {
+	tv, ok := e.p.Info.Types[lit]
+	if !ok {
+		return
+	}
+	name := sinkTypeName(tv.Type)
+	if name == "" {
+		return
+	}
+	for _, elt := range lit.Elts {
+		v := elt
+		field := ""
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				field = "." + id.Name
+			}
+		}
+		e.reportSink(v.Pos(), e.taintOf(v), "serialized struct "+name+field)
+	}
+}
+
+func (e *engine) checkFieldSink(sel *ast.SelectorExpr, ts taintSet) {
+	tv, ok := e.p.Info.Types[sel.X]
+	if !ok {
+		return
+	}
+	name := sinkTypeName(tv.Type)
+	if name == "" {
+		return
+	}
+	e.reportSink(sel.Sel.Pos(), ts, "serialized struct "+name+"."+sel.Sel.Name)
+}
+
+func (e *engine) checkCallSink(call *ast.CallExpr, fn *types.Func, path string, args []taintSet) {
+	if fn == nil {
+		return
+	}
+	sink := ""
+	checkFrom := 0
+	switch {
+	case path == "encoding/json" && (fn.Name() == "Marshal" || fn.Name() == "MarshalIndent" || fn.Name() == "Encode"):
+		sink = "json." + fn.Name()
+	case fn.Name() == "Put" && recvTypeNameContains(fn, "Cache"):
+		sink = "cache Put payload"
+	case (fn.Name() == "Write" || fn.Name() == "Sum") && e.isHashCall(call, fn):
+		sink = "fingerprint hash"
+	case path == "fmt" && (fn.Name() == "Fprintf" || fn.Name() == "Fprintln" || fn.Name() == "Fprint") && len(call.Args) > 0 && isHashExpr(e.p, call.Args[0]):
+		sink = "fingerprint hash"
+		checkFrom = 1
+	}
+	if sink == "" {
+		return
+	}
+	for i := checkFrom; i < len(args); i++ {
+		e.reportSink(call.Args[i].Pos(), args[i], sink)
+	}
+}
+
+func recvTypeNameContains(fn *types.Func, substr string) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return strings.Contains(named.Obj().Name(), substr)
+}
+
+// isHashCall reports whether the call's receiver is a digest: either
+// the method's declared receiver comes from a crypto/hash package, or
+// the receiver expression's static type does (hash.Hash embeds
+// io.Writer, so Write resolves to io's method object — the expression
+// type is what identifies the digest).
+func (e *engine) isHashCall(call *ast.CallExpr, fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	if typeFromHashPkg(recv.Type()) {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && isHashExpr(e.p, sel.X)
+}
+
+func isHashExpr(p *Pass, x ast.Expr) bool {
+	tv, ok := p.Info.Types[x]
+	if !ok {
+		return false
+	}
+	return typeFromHashPkg(tv.Type)
+}
+
+func typeFromHashPkg(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "hash" || strings.HasPrefix(path, "crypto") || strings.HasPrefix(path, "hash/")
+}

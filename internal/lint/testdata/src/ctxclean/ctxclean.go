@@ -1,0 +1,25 @@
+// Package ctxclean holds the sanctioned context idioms ctxflow must
+// accept: proper plumbing, and the compat wrapper that delegates a
+// Background directly to its Ctx variant.
+package ctxclean
+
+import "context"
+
+// RunCtx is the context-aware entry point.
+func RunCtx(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return n
+}
+
+// Run is the compatibility wrapper: Background appears only as a
+// direct delegation argument, which is the blessed shape.
+func Run(n int) int { return RunCtx(context.Background(), n) }
+
+// Chain receives a context and passes it on.
+func Chain(ctx context.Context, n int) int {
+	return RunCtx(ctx, n)
+}

@@ -1,0 +1,35 @@
+// Package ctxdirty plants one violation of each ctxflow rule.
+package ctxdirty
+
+import "context"
+
+// Run already receives a context but mints a fresh root for its callee
+// (ctxflow rule 1).
+func Run(ctx context.Context) error {
+	return step(context.Background())
+}
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// Server ties its lifetime to a root context it minted itself
+// (ctxflow rule 2: Background wrapped, not delegated).
+type Server struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// NewServer mints a root context in library code.
+func NewServer() *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{ctx: ctx, cancel: cancel}
+}
+
+// Compute / ComputeCtx form the repo's compat-wrapper pair shape.
+func Compute(x int) int                         { return x * x }
+func ComputeCtx(ctx context.Context, x int) int { return x * x }
+
+// Pipeline holds a context but calls the ctx-less variant of a function
+// whose package offers ComputeCtx (ctxflow rule 3).
+func Pipeline(ctx context.Context) int {
+	return Compute(41)
+}

@@ -1,0 +1,45 @@
+// Package goleakclean holds the three join protocols goleak accepts:
+// WaitGroup, channel close, and ctx-done select.
+package goleakclean
+
+import (
+	"context"
+	"sync"
+)
+
+// Workers joins via WaitGroup.
+func Workers(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Stream signals completion by closing its output channel.
+func Stream(items []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, v := range items {
+			out <- v
+		}
+	}()
+	return out
+}
+
+// Watch stops on context cancellation.
+func Watch(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}

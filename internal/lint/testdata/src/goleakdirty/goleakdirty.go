@@ -1,0 +1,25 @@
+// Package goleakdirty plants unjoinable goroutines: bodies with no
+// WaitGroup signal, channel send/close, or ctx-done select.
+package goleakdirty
+
+// Tick spawns a goroutine nothing can wait for or stop.
+func Tick(counter *int) {
+	go func() {
+		for i := 0; i < 1000; i++ {
+			*counter++
+		}
+	}()
+}
+
+// spin is the named-function variant: goleak follows the call to the
+// same-package body.
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		_ = i * i
+	}
+}
+
+// Spawn starts spin with no join protocol.
+func Spawn() {
+	go spin(1000)
+}

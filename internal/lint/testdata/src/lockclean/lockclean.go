@@ -1,0 +1,36 @@
+// Package lockclean holds the lock idioms lockhold must accept:
+// snapshot-then-send, and non-blocking publish under the lock.
+package lockclean
+
+import "sync"
+
+type Box struct {
+	mu   sync.Mutex
+	subs []chan int
+	n    int
+}
+
+// Snapshot copies the subscriber list under the lock and sends after
+// releasing it — the repo's flight-tracker discipline.
+func (b *Box) Snapshot(v int) {
+	b.mu.Lock()
+	b.n = v
+	targets := append([]chan int(nil), b.subs...)
+	b.mu.Unlock()
+	for _, ch := range targets {
+		ch <- v
+	}
+}
+
+// TryPublish may hold the lock across the select because the default
+// clause makes it non-blocking.
+func (b *Box) TryPublish(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package lockdirty plants one instance of each blocking-while-locked
+// hazard lockhold hunts for.
+package lockdirty
+
+import (
+	"sync"
+	"time"
+)
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Send blocks on a channel send while mu is held: the receiver may
+// need the same lock to drain, which is a self-deadlock.
+func (b *Box) Send(v int) {
+	b.mu.Lock()
+	b.n = v
+	b.ch <- v
+	b.mu.Unlock()
+}
+
+// WaitHeld blocks on a WaitGroup with the lock held via defer.
+func (b *Box) WaitHeld(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Wait()
+}
+
+type RBox struct {
+	mu sync.RWMutex
+}
+
+// SleepHeld sleeps under a read lock, starving writers.
+func (r *RBox) SleepHeld() {
+	r.mu.RLock()
+	time.Sleep(time.Millisecond)
+	r.mu.RUnlock()
+}
+
+// SelectHeld parks in a select with no default while holding the lock.
+func (b *Box) SelectHeld() {
+	b.mu.Lock()
+	select {
+	case v := <-b.ch:
+		b.n = v
+	case b.ch <- 1:
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,22 @@
+// Package stalewaiver exercises the waiver audit: a waiver that
+// suppresses nothing, one citing an unknown analyzer, and one naming
+// no analyzer at all must each become findings.
+package stalewaiver
+
+import "sort"
+
+// Keys no longer ranges a map; the waiver has rotted.
+func Keys(xs []int) []int {
+	sort.Ints(xs) // dsnlint:ok maprange keys sorted before use
+	return xs
+}
+
+// Bad cites an analyzer that does not exist.
+func Bad() int {
+	return 1 // dsnlint:ok nosuchcheck carried over from an old tool
+}
+
+// Naked names nothing.
+func Naked() int {
+	return 2 // dsnlint:ok
+}

@@ -1,0 +1,82 @@
+// Package taintclean holds the sanitized counterparts of the
+// taintdirty flows: the deterministic idioms this repository is built
+// on, which detflow must accept without a finding.
+package taintclean
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Result is sink-shaped, like the dirty fixture's.
+type Result struct {
+	Cells int
+	Total float64
+}
+
+// SortedFold is the canonical map fold: collect keys, sort, accumulate
+// in key order. The append carries the map-range order taint but the
+// sort sanitizes it before the fold.
+func SortedFold(m map[string]float64) ([]byte, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // dsnlint:ok maprange keys sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return json.Marshal(Result{Total: total})
+}
+
+// Assemble is the harness's parallel-assembly idiom: workers write
+// disjoint content-derived indices, so completion order never reaches
+// the output.
+func Assemble(items []float64) Result {
+	out := make([]float64, len(items))
+	done := make(chan int)
+	for i := range items {
+		i := i
+		go func() {
+			out[i] = items[i] * 2
+			done <- i
+		}()
+	}
+	for range items {
+		<-done
+	}
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	return Result{Total: sum}
+}
+
+// Pool is the worker-pool idiom: items received by competing workers
+// are order-tainted, but the indexed store drops the order kind.
+func Pool(n int) Result {
+	jobs := make(chan int, n)
+	done := make(chan bool)
+	res := make([]float64, n)
+	for w := 0; w < 3; w++ {
+		go func() {
+			for j := range jobs {
+				res[j] = float64(j * j)
+			}
+			done <- true
+		}()
+	}
+	for j := 0; j < n; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	for w := 0; w < 3; w++ {
+		<-done
+	}
+	total := 0.0
+	for _, v := range res {
+		total += v
+	}
+	return Result{Cells: n, Total: total}
+}

@@ -1,0 +1,96 @@
+// Package taintdirty is a detflow fixture: every source→sink flow the
+// taint engine must catch, one per function, exactly where the tests
+// expect it.
+package taintdirty
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Result is sink-shaped: its name matches the serialized-struct
+// pattern, so tainted values stored into it are findings.
+type Result struct {
+	Cells  int
+	WallMS float64
+	Note   string
+}
+
+// Build flows a wall-clock read through two assignments and a method
+// call into a composite-literal field (detflow: Result.WallMS).
+func Build() Result {
+	start := time.Now()
+	elapsed := time.Since(start)
+	return Result{WallMS: float64(elapsed.Milliseconds())}
+}
+
+// stamp gives Mark a tainted return value (propagation through a
+// package-local function summary).
+func stamp() int64 { return time.Now().UnixNano() }
+
+// Mark flows stamp's walltime taint through fmt into a field store on
+// a sink struct (detflow: Result.Note).
+func Mark(r *Result) {
+	r.Note = fmt.Sprint(stamp())
+}
+
+// Chan flows walltime taint through a channel send and receive into a
+// sink (detflow: Result.Cells).
+func Chan() Result {
+	ch := make(chan int64, 1)
+	ch <- time.Now().UnixNano()
+	v := <-ch
+	return Result{Cells: int(v)}
+}
+
+// Fold accumulates map-range elements with a float += — the order
+// kind converts to a reportable fold — and serializes the total
+// (detflow: json.Marshal).
+func Fold(m map[string]float64) ([]byte, error) {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return json.Marshal(total)
+}
+
+// Finger renders a pointer address with %p and hashes it (detflow:
+// fingerprint hash).
+func Finger(p *int) []byte {
+	h := sha256.New()
+	key := fmt.Sprintf("%p", p)
+	h.Write([]byte(key))
+	return h.Sum(nil)
+}
+
+// Race binds whichever of two channels is ready first and stores the
+// choice in a sink field (detflow: multi-ready select, twice).
+func Race(a, b chan int) Result {
+	var r Result
+	select {
+	case v := <-a:
+		r.Cells = v
+	case v := <-b:
+		r.Cells = v
+	}
+	return r
+}
+
+// Gather collects from a fan-in channel (two goroutine senders): the
+// slice order is goroutine completion order.
+func Gather() []int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	go func() { ch <- 2 }()
+	var out []int
+	for i := 0; i < 2; i++ {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// GatherJSON serializes Gather's schedule-ordered slice (detflow:
+// taint through a return value into json.Marshal).
+func GatherJSON() ([]byte, error) { return json.Marshal(Gather()) }

@@ -113,7 +113,7 @@ func (f *flight) waiters() int {
 func (f *flight) publish(ev Event) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for _, s := range f.subs {
+	for _, s := range f.subs { // dsnlint:ok maprange per-subscriber fan-out; all waiters get the same event
 		select {
 		case s.events <- ev:
 		default: // backpressure: drop progress for this laggard
@@ -131,9 +131,18 @@ func (f *flight) finish(ev Event) {
 	}
 	f.done = true
 	f.final = ev
-	for _, s := range f.subs {
-		s.final <- ev // cap 1, sole writer: never blocks
+	// Snapshot the waiters and deliver after releasing the lock: the
+	// sends cannot block today (cap 1, sole writer), but holding a
+	// mutex across a channel send makes correctness hang on that
+	// invariant forever. A sub that detaches between snapshot and send
+	// just gets a buffered final nobody reads.
+	targets := make([]*sub, 0, len(f.subs))
+	for _, s := range f.subs { // dsnlint:ok maprange per-subscriber fan-out; all waiters get the same event
+		targets = append(targets, s)
 	}
 	f.mu.Unlock()
+	for _, s := range targets {
+		s.final <- ev
+	}
 	f.cancel()
 }

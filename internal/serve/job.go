@@ -91,12 +91,17 @@ func (q *Request) normalize(kind string) error {
 	if q.N < 8 || q.N > maxN {
 		return fmt.Errorf("n %d outside [8, %d]", q.N, maxN)
 	}
-	for name, l := range map[string]int{
-		"rates": len(q.Rates), "fracs": len(q.Fracs), "sizes": len(q.Sizes),
-		"seeds": len(q.Seeds), "log_sizes": len(q.LogSizes), "targets": len(q.Targets),
+	// Checked in declaration order, not map order: with two oversized
+	// lists the error message must not vary run to run.
+	for _, c := range []struct {
+		name string
+		l    int
+	}{
+		{"rates", len(q.Rates)}, {"fracs", len(q.Fracs)}, {"sizes", len(q.Sizes)},
+		{"seeds", len(q.Seeds)}, {"log_sizes", len(q.LogSizes)}, {"targets", len(q.Targets)},
 	} {
-		if l > maxList {
-			return fmt.Errorf("%s has %d entries, max %d", name, l, maxList)
+		if c.l > maxList {
+			return fmt.Errorf("%s has %d entries, max %d", c.name, c.l, maxList)
 		}
 	}
 	switch q.Family {

@@ -135,16 +135,25 @@ type Server struct {
 	c counters
 }
 
-// New builds and starts a Server: cache opened (with transient-I/O
-// retry installed), worker pool running, routes registered.
+// New builds and starts a Server with a process-lifetime base context.
+// Callers that hold a context (signal handling, tests with deadlines)
+// should use NewCtx so cancelling it cancels every job.
 func New(cfg Config) (*Server, error) {
+	return NewCtx(context.Background(), cfg)
+}
+
+// NewCtx builds and starts a Server: cache opened (with transient-I/O
+// retry installed), worker pool running, routes registered. Every
+// flight's context descends from ctx, so cancelling it cancels all
+// in-flight jobs — the same path Shutdown's force-drain uses.
+func NewCtx(ctx context.Context, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
 		queue:    make(chan *flight, cfg.QueueDepth),
 		inflight: map[string]*flight{},
 	}
-	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.baseCtx, s.baseCancel = context.WithCancel(ctx)
 	if !cfg.NoCache {
 		c, err := harness.OpenCache(cfg.CacheDir)
 		if err != nil {
@@ -346,12 +355,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind, forceFa
 	defer cancel()
 	for {
 		select {
-		case ev := <-sub.events:
+		case ev := <-sub.events: // dsnlint:ok detflow NDJSON progress is best-effort and unpinned; terminal event is always last
 			if !emit(ev) {
 				fl.detach(id)
 				return
 			}
-		case ev := <-sub.final:
+		case ev := <-sub.final: // dsnlint:ok detflow terminal event delivered exactly once; stream bytes are not pinned
 			emit(ev)
 			fl.detach(id)
 			return
@@ -398,7 +407,7 @@ func (s *Server) runFlight(fl *flight) {
 		return
 	}
 
-	start := time.Now()
+	start := time.Now() // dsnlint:ok walltime service latency metadata; never enters cached cell bytes
 	bench := &harness.Bench{}
 	runner := &harness.Runner{
 		Jobs:  s.cfg.Jobs,
@@ -409,7 +418,7 @@ func (s *Server) runFlight(fl *flight) {
 		},
 	}
 	data, err := fl.req.run(fl.ctx, runner)
-	elapsed := float64(time.Since(start).Microseconds()) / 1e3
+	elapsed := float64(time.Since(start).Microseconds()) / 1e3 // dsnlint:ok walltime service latency metadata; never enters cached cell bytes
 
 	stats := bench.Sweeps()
 	for _, st := range stats {
