@@ -12,9 +12,19 @@
 //	dsnchaos -topo dsn-v-custom -switching wormhole -seed 7
 //	dsnchaos -topo dsn-basic-unsafe -shrink -o repros/
 //	dsnchaos -replay internal/chaos/testdata/repro/unsafe-basic-dsn-deadlock.repro
+//	dsnchaos -replay repro.repro -recover -drain
 //
-// The exit status is 0 only when every verdict is clean, so a bounded
-// invocation doubles as a CI smoke gate.
+// Exit status (documented in README.md, stable for CI):
+//
+//	0  every verdict clean
+//	1  operational error (bad flags, unknown target, I/O)
+//	2  at least one monitor violation (conservation, hop-ttl,
+//	   hol-wait, reconvergence, recovery)
+//	3  at least one progress-watchdog trip (the fabric wedged —
+//	   netsim.ErrNoProgress); takes precedence over 2
+//
+// so a bounded invocation doubles as a CI smoke gate that can tell a
+// wedged fabric apart from a softer invariant violation.
 package main
 
 import (
@@ -39,7 +49,29 @@ type opts struct {
 	shrink       bool
 	out          string
 	replay       string
+	recover      bool
+	stall        int64
+	drain        bool
 }
+
+// recoveryConfig resolves the -recover/-stallthreshold/-drain flags
+// into a detector tuning (the corpus replay defaults unless overridden).
+func (o opts) recoveryConfig() dsnet.RecoveryConfig {
+	rc := dsnet.ChaosRecoveryConfig()
+	if o.stall > 0 {
+		rc.StallThresholdCycles = o.stall
+	}
+	rc.DrainOnFault = o.drain
+	return rc
+}
+
+// Exit codes (see the package comment).
+const (
+	exitClean     = 0
+	exitError     = 1
+	exitViolation = 2
+	exitWatchdog  = 3
+)
 
 // runner executes scenario cells on a bounded worker pool with an
 // optional content-addressed cache; verdicts are reported in campaign
@@ -60,6 +92,9 @@ func main() {
 	flag.BoolVar(&o.shrink, "shrink", false, "delta-debug each failing campaign to a minimal reproducer")
 	flag.StringVar(&o.out, "o", "", "directory to write shrunk reproducer artifacts into (with -shrink)")
 	flag.StringVar(&o.replay, "replay", "", "replay one .repro artifact and verify it still trips its monitor")
+	flag.BoolVar(&o.recover, "recover", false, "arm runtime deadlock detection and recovery (with -replay: expect a clean run on both engines instead)")
+	flag.Int64Var(&o.stall, "stallthreshold", 0, "stall cycles before a packet is suspected deadlocked (0: recovery default)")
+	flag.BoolVar(&o.drain, "drain", false, "with -recover: drain in-flight traffic before swapping routing tables at each fault epoch")
 	jobs := flag.Int("j", 0, "parallel scenario workers (0: all CPUs)")
 	cache := flag.String("cache", harness.DefaultCacheDir, "sweep result cache directory")
 	nocache := flag.Bool("nocache", false, "bypass the sweep result cache")
@@ -71,45 +106,69 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsnchaos:", err)
 		os.Exit(1)
 	}
-	runErr := run(o)
+	code, runErr := run(o)
 	if *bench != "" {
 		if err := harness.NewReport(runner.Bench, runner.JobCount()).WriteFile(*bench); err != nil {
 			fmt.Fprintln(os.Stderr, "dsnchaos:", err)
-			os.Exit(1)
+			os.Exit(exitError)
 		}
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "dsnchaos:", runErr)
-		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// tally folds verdict outcomes into the final exit code: watchdog trips
+// outrank other monitor violations, which outrank a clean run.
+type tally struct {
+	watchdog, other int
+}
+
+func (t *tally) add(v dsnet.ChaosVerdict) {
+	switch v.Monitor {
+	case "":
+	case dsnet.MonitorWatchdog:
+		t.watchdog++
+	default:
+		t.other++
 	}
 }
 
-func run(o opts) error {
+func (t *tally) code() int {
+	switch {
+	case t.watchdog > 0:
+		return exitWatchdog
+	case t.other > 0:
+		return exitViolation
+	}
+	return exitClean
+}
+
+func run(o opts) (int, error) {
 	if o.replay != "" {
-		return replay(o.replay)
+		return replay(o)
 	}
 	if o.switching != "vct" && o.switching != "wormhole" {
-		return fmt.Errorf("unknown switching mode %q", o.switching)
+		return exitError, fmt.Errorf("unknown switching mode %q", o.switching)
 	}
 	if o.campaigns < 1 {
-		return fmt.Errorf("-campaigns %d must be >= 1", o.campaigns)
+		return exitError, fmt.Errorf("-campaigns %d must be >= 1", o.campaigns)
 	}
-	violations := 0
+	var t tally
 	for _, name := range strings.Split(o.topos, ",") {
 		name = strings.TrimSpace(name)
-		bad, err := campaign(o, name)
-		if err != nil {
-			return err
+		if err := campaign(o, name, &t); err != nil {
+			return exitError, err
 		}
-		violations += bad
 	}
-	if violations > 0 {
-		return fmt.Errorf("%d scenario(s) tripped a monitor", violations)
+	if bad := t.watchdog + t.other; bad > 0 {
+		return t.code(), fmt.Errorf("%d scenario(s) tripped a monitor (%d watchdog)", bad, t.watchdog)
 	}
-	return nil
+	return exitClean, nil
 }
 
-func campaign(o opts, name string) (int, error) {
+func campaign(o opts, name string, t *tally) error {
 	// buildEngine rebuilds the deterministic (target, options) pair so
 	// every scenario cell is independent — fault-aware routers mutate
 	// their tables during a run, so engines must not be shared across
@@ -126,11 +185,15 @@ func campaign(o opts, name string) (int, error) {
 		} else if t.SafeRate > 0 {
 			opt.Rate = t.SafeRate
 		}
+		if o.recover {
+			opt.Recover = true
+			opt.Recovery = o.recoveryConfig()
+		}
 		return dsnet.NewChaosEngine(t, opt)
 	}
 	e, err := buildEngine()
 	if err != nil {
-		return 0, err
+		return err
 	}
 	w := e.Opt.FaultWindow()
 	if o.fstart > 0 || o.fend > 0 {
@@ -138,7 +201,7 @@ func campaign(o opts, name string) (int, error) {
 	}
 	scs, err := dsnet.ChaosCampaign(e.T.Graph, e.T.Layout, w, o.seed, o.campaigns)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	fmt.Printf("# chaos campaign: %s / %s, %d switches, seed %d, %d scenarios + golden\n",
 		name, e.Opt.EngineName(), e.T.Graph.N(), o.seed, len(scs))
@@ -158,7 +221,7 @@ func campaign(o opts, name string) (int, error) {
 		}},
 	})
 	if err != nil {
-		return 0, err
+		return err
 	}
 	gv := goldens[0]
 	// Seed the serially-held engine too: shrinking re-applies the
@@ -187,38 +250,31 @@ func campaign(o opts, name string) (int, error) {
 	}
 	verdicts, err := harness.Run(runner, "chaos", cells)
 	if err != nil {
-		return 0, err
+		return err
 	}
 
-	bad := 0
-	n, err := report(o, e, gv)
-	bad += n
-	if err != nil {
-		return bad, err
+	if err := report(o, e, gv, t); err != nil {
+		return err
 	}
 	for _, v := range verdicts {
-		n, err := report(o, e, v)
-		bad += n
-		if err != nil {
-			return bad, err
+		if err := report(o, e, v, t); err != nil {
+			return err
 		}
 	}
-	return bad, nil
+	return nil
 }
 
-// report prints one verdict and, on a violation with -shrink, emits the
-// minimal reproducer. It returns 1 when the verdict is a violation.
-func report(o opts, e *dsnet.ChaosEngine, v dsnet.ChaosVerdict) (int, error) {
+// report prints one verdict, folds it into the exit-code tally, and on
+// a violation with -shrink emits the minimal reproducer.
+func report(o opts, e *dsnet.ChaosEngine, v dsnet.ChaosVerdict, t *tally) error {
 	fmt.Println(v)
-	if v.OK() {
-		return 0, nil
-	}
-	if !o.shrink {
-		return 1, nil
+	t.add(v)
+	if v.OK() || !o.shrink {
+		return nil
 	}
 	shrunk, runs, err := e.ShrinkPlan(v.Scenario.Plan, v.Monitor)
 	if err != nil {
-		return 1, err
+		return err
 	}
 	fmt.Printf("  shrunk %d -> %d events in %d runs\n", len(v.Scenario.Plan.Events), len(shrunk.Events), runs)
 	r := &dsnet.ChaosRepro{
@@ -229,31 +285,65 @@ func report(o opts, e *dsnet.ChaosEngine, v dsnet.ChaosVerdict) (int, error) {
 	}
 	if o.out == "" {
 		os.Stdout.Write(r.Marshal())
-		return 1, nil
+		return nil
 	}
 	if err := os.MkdirAll(o.out, 0o755); err != nil {
-		return 1, err
+		return err
 	}
 	file := filepath.Join(o.out, fmt.Sprintf("%s-%s-%s-%s-seed%d.repro", v.Target, v.Engine, v.Scenario.Kind, v.Monitor, v.Scenario.Seed))
 	if err := os.WriteFile(file, r.Marshal(), 0o644); err != nil {
-		return 1, err
+		return err
 	}
 	fmt.Printf("  wrote %s\n", file)
-	return 1, nil
+	return nil
 }
 
-func replay(path string) error {
-	data, err := os.ReadFile(path)
+func replay(o opts) (int, error) {
+	data, err := os.ReadFile(o.replay)
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	r, err := dsnet.ParseChaosRepro(data)
 	if err != nil {
-		return err
+		return exitError, err
+	}
+	if o.recover {
+		return replayRecovered(o, r)
 	}
 	if err := r.Verify(); err != nil {
-		return err
+		// The repro is expected to trip its recorded monitor; running
+		// clean (or tripping the wrong one) is an operational failure
+		// of the corpus, not a fabric verdict.
+		return exitError, err
 	}
-	fmt.Printf("%s: reproduced %s on %s/%s\n", filepath.Base(path), r.Monitor, r.Target, r.Engine)
-	return nil
+	fmt.Printf("%s: reproduced %s on %s/%s\n", filepath.Base(o.replay), r.Monitor, r.Target, r.Engine)
+	return exitClean, nil
+}
+
+// replayRecovered replays one reproducer with the runtime deadlock
+// detector armed, on both engines (and with drain-before-reconfigure
+// when -drain is set): a scenario that wedges the fabric without
+// recovery must now complete with zero unresolved deadlocks. The exit
+// code classifies any residual violation like a campaign would.
+func replayRecovered(o opts, r *dsnet.ChaosRepro) (int, error) {
+	var t tally
+	for _, engine := range []string{"vct", "wormhole"} {
+		v, err := r.RunRecovered(engine, o.drain)
+		if err != nil {
+			return exitError, err
+		}
+		t.add(v)
+		status := "clean"
+		if !v.OK() {
+			status = fmt.Sprintf("VIOLATION %s: %s", v.Monitor, v.Detail)
+		}
+		fmt.Printf("%s: recovered replay on %s/%s: %s (detected %d, recovered %d, released %d, lost %d, aborted flits %d)\n",
+			filepath.Base(o.replay), r.Target, engine, status,
+			v.Result.DeadlocksDetected, v.Result.DeadlocksRecovered,
+			v.Result.DeadlocksReleased, v.Result.DeadlocksLost, v.Result.AbortedFlits)
+	}
+	if bad := t.watchdog + t.other; bad > 0 {
+		return t.code(), fmt.Errorf("%d recovered replay(s) still tripped a monitor", bad)
+	}
+	return exitClean, nil
 }

@@ -50,6 +50,15 @@ type opts struct {
 	faultCycle  int64
 	faultSpread int64
 
+	// Runtime deadlock recovery: recover arms the per-packet stall
+	// detector and Disha-style abort path, stall overrides the suspicion
+	// threshold, drainFaults additionally drains in-flight traffic
+	// before each fault-epoch routing-table swap. (-drain is already the
+	// post-measurement drain window, hence -drainfaults.)
+	recover     bool
+	stall       int64
+	drainFaults bool
+
 	// Closed-loop collective replay: collective selects the workload
 	// (empty keeps the open-loop pattern mode), collalgo the algorithm
 	// (empty picks the collective's default), chunk the per-host chunk
@@ -83,6 +92,9 @@ func main() {
 	flag.Float64Var(&o.faults, "faults", 0, "fraction of links to fail during the run (live fault injection)")
 	flag.Int64Var(&o.faultCycle, "faultcycle", -1, "cycle of the first link failure (default: end of warmup)")
 	flag.Int64Var(&o.faultSpread, "faultspread", -1, "cycles over which failures are staggered (default: half the measurement window)")
+	flag.BoolVar(&o.recover, "recover", false, "arm runtime deadlock detection and recovery")
+	flag.Int64Var(&o.stall, "stallthreshold", 0, "stall cycles before a packet is suspected deadlocked (0: recovery default)")
+	flag.BoolVar(&o.drainFaults, "drainfaults", false, "with -recover: drain in-flight traffic before swapping routing tables at each fault epoch")
 	flag.StringVar(&o.collective, "collective", "",
 		"closed-loop collective workload: "+strings.Join(dsnet.CollectiveNames, ", ")+" (empty: open-loop -pattern mode)")
 	flag.StringVar(&o.collalgo, "collalgo", "", "collective algorithm: ring, halving-doubling, binomial, pairwise (default: the collective's default)")
@@ -210,6 +222,23 @@ func run(o opts) error {
 		return fmt.Errorf("unknown routing %q", o.routing)
 	}
 
+	if !o.recover && (o.drainFaults || o.stall > 0) {
+		return fmt.Errorf("-drainfaults and -stallthreshold require -recover")
+	}
+	// The recovery tuning joins every cell key: a cached unarmed run
+	// must never answer for an armed one (or vice versa), even though
+	// idle recovery is bit-identical on the wire.
+	recFP := "off"
+	var rec dsnet.RecoveryConfig
+	if o.recover {
+		rec = dsnet.RecoveryDefault()
+		if o.stall > 0 {
+			rec.StallThresholdCycles = o.stall
+		}
+		rec.DrainOnFault = o.drainFaults
+		recFP = harness.Fingerprint(fmt.Sprintf("%+v", rec))
+	}
+
 	var err error
 	var plan *dsnet.FaultPlan
 	if o.faults > 0 {
@@ -238,19 +267,25 @@ func run(o opts) error {
 	}
 
 	if o.collective != "" {
-		return runCollective(o, cfg, g, mkRouter, plan)
+		return runCollective(o, cfg, g, mkRouter, plan, rec, recFP)
 	}
 
 	fmt.Printf("# %s / %s / %s routing / %s switching, %d switches x %d hosts, seed %d\n",
 		o.topo, o.pattern, o.routing, o.switching, g.N(), cfg.HostsPerSwitch, o.seed)
+	recCols := ""
+	if o.recover {
+		fmt.Printf("# recovery armed: stall threshold %d, confirm %d, abort budget %d, drain-on-fault %v\n",
+			rec.StallThresholdCycles, rec.ConfirmCycles, rec.AbortBudget, rec.DrainOnFault)
+		recCols = fmt.Sprintf(" %7s %7s %7s %7s %8s", "dl_det", "dl_rec", "dl_rel", "dl_lost", "dl_flits")
+	}
 	if plan != nil {
 		fmt.Printf("# live faults: %d links failing from cycle %d\n",
 			plan.FailureCount(), plan.Events[0].Cycle)
-		fmt.Printf("%12s %12s %12s %12s %10s %9s %8s %6s %8s %9s %12s\n",
+		fmt.Printf("%12s %12s %12s %12s %10s %9s %8s %6s %8s %9s %12s%s\n",
 			"offered_gbps", "accepted", "latency_ns", "p99_ns", "saturated",
-			"del_rate", "dropped", "lost", "retried", "rerouted", "pf_p99_ns")
+			"del_rate", "dropped", "lost", "retried", "rerouted", "pf_p99_ns", recCols)
 	} else {
-		fmt.Printf("%12s %12s %12s %12s %10s\n", "offered_gbps", "accepted", "latency_ns", "p99_ns", "saturated")
+		fmt.Printf("%12s %12s %12s %12s %10s%s\n", "offered_gbps", "accepted", "latency_ns", "p99_ns", "saturated", recCols)
 	}
 	// point memoizes one offered load: the run result plus whether the
 	// progress watchdog aborted it (printed as saturated).
@@ -268,6 +303,7 @@ func run(o opts) error {
 		key.N, key.Rate, key.Seed = g.N(), rate, o.seed
 		key.Params = []harness.Param{
 			harness.P("graph", graphFP), harness.P("cfg", cfgFP), harness.P("plan", planFP),
+			harness.P("recover", recFP),
 		}
 		cells = append(cells, harness.Cell[point]{Key: key, Run: func() (point, error) {
 			rt, err := mkRouter()
@@ -292,6 +328,11 @@ func run(o opts) error {
 						return point{}, err
 					}
 				}
+				if o.recover {
+					if err := sim.SetRecovery(rec); err != nil {
+						return point{}, err
+					}
+				}
 				res, runErr = sim.Run()
 			} else {
 				sim, err := dsnet.NewSim(cfg, g, rt, pat, rate)
@@ -300,6 +341,11 @@ func run(o opts) error {
 				}
 				if plan != nil {
 					if err := sim.SetFaultPlan(plan); err != nil {
+						return point{}, err
+					}
+				}
+				if o.recover {
+					if err := sim.SetRecovery(rec); err != nil {
 						return point{}, err
 					}
 				}
@@ -315,17 +361,23 @@ func run(o opts) error {
 	for _, p := range points {
 		res := p.Res
 		sat := res.Saturated || p.Watchdog
+		recVals := ""
+		if o.recover {
+			recVals = fmt.Sprintf(" %7d %7d %7d %7d %8d",
+				res.DeadlocksDetected, res.DeadlocksRecovered, res.DeadlocksReleased,
+				res.DeadlocksLost, res.AbortedFlits)
+		}
 		if plan != nil {
 			delRate := 0.0
 			if res.GeneratedMeasured > 0 {
 				delRate = float64(res.DeliveredMeasured) / float64(res.GeneratedMeasured)
 			}
-			fmt.Printf("%12.2f %12.2f %12.1f %12.1f %10v %9.3f %8d %6d %8d %9d %12.1f\n",
+			fmt.Printf("%12.2f %12.2f %12.1f %12.1f %10v %9.3f %8d %6d %8d %9d %12.1f%s\n",
 				res.OfferedGbps, res.AcceptedGbps, res.AvgLatencyNS, res.P99LatencyNS, sat,
-				delRate, res.Dropped, res.Lost, res.Retried, res.Rerouted, res.PostFaultP99NS)
+				delRate, res.Dropped, res.Lost, res.Retried, res.Rerouted, res.PostFaultP99NS, recVals)
 		} else {
-			fmt.Printf("%12.2f %12.2f %12.1f %12.1f %10v\n",
-				res.OfferedGbps, res.AcceptedGbps, res.AvgLatencyNS, res.P99LatencyNS, sat)
+			fmt.Printf("%12.2f %12.2f %12.1f %12.1f %10v%s\n",
+				res.OfferedGbps, res.AcceptedGbps, res.AvgLatencyNS, res.P99LatencyNS, sat, recVals)
 		}
 	}
 	return nil
@@ -334,7 +386,7 @@ func run(o opts) error {
 // runCollective replays one collective workload's message DAG to
 // completion o.reps times, each under a different seeded rank placement,
 // and reports per-rep makespans plus a mean with a 95% CI.
-func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, mkRouter func() (dsnet.Router, error), plan *dsnet.FaultPlan) error {
+func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, mkRouter func() (dsnet.Router, error), plan *dsnet.FaultPlan, rec dsnet.RecoveryConfig, recFP string) error {
 	if o.reps < 1 {
 		return fmt.Errorf("-reps %d must be >= 1", o.reps)
 	}
@@ -355,12 +407,19 @@ func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, mkRouter func() 
 		fmt.Printf("# live faults: %d links failing from cycle %d\n",
 			plan.FailureCount(), plan.Events[0].Cycle)
 	}
+	if o.recover {
+		fmt.Printf("# recovery armed: stall threshold %d, confirm %d, abort budget %d, drain-on-fault %v\n",
+			rec.StallThresholdCycles, rec.ConfirmCycles, rec.AbortBudget, rec.DrainOnFault)
+	}
 	fmt.Printf("%4s %12s %10s %10s %10s", "rep", "makespan_us", "delivered", "completed", "cycles")
 	for _, ph := range dag.PhaseNames {
 		fmt.Printf(" %12s", ph+"_us")
 	}
 	if plan != nil {
 		fmt.Printf(" %8s %6s %8s", "dropped", "lost", "retried")
+	}
+	if o.recover {
+		fmt.Printf(" %7s %7s %7s %7s", "dl_det", "dl_rec", "dl_rel", "dl_lost")
 	}
 	fmt.Println()
 	// repResult memoizes one placement repetition; Watchdog carries the
@@ -380,6 +439,7 @@ func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, mkRouter func() 
 		key.Params = []harness.Param{
 			harness.Pd("chunk", int64(chunk)), harness.Pd("rep", int64(rep)),
 			harness.P("graph", graphFP), harness.P("cfg", cfgFP), harness.P("plan", planFP),
+			harness.P("recover", recFP),
 		}
 		cells = append(cells, harness.Cell[repResult]{Key: key, Run: func() (repResult, error) {
 			rt, err := mkRouter()
@@ -401,6 +461,11 @@ func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, mkRouter func() 
 						return repResult{}, err
 					}
 				}
+				if o.recover {
+					if err := sim.SetRecovery(rec); err != nil {
+						return repResult{}, err
+					}
+				}
 				res, runErr = sim.Run()
 			} else {
 				sim, err := dsnet.NewSimReplay(cfg, g, rt, replay)
@@ -409,6 +474,11 @@ func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, mkRouter func() 
 				}
 				if plan != nil {
 					if err := sim.SetFaultPlan(plan); err != nil {
+						return repResult{}, err
+					}
+				}
+				if o.recover {
+					if err := sim.SetRecovery(rec); err != nil {
 						return repResult{}, err
 					}
 				}
@@ -439,6 +509,10 @@ func runCollective(o opts, cfg dsnet.SimConfig, g *dsnet.Graph, mkRouter func() 
 		}
 		if plan != nil {
 			fmt.Printf(" %8d %6d %8d", res.Dropped, res.Lost, res.Retried)
+		}
+		if o.recover {
+			fmt.Printf(" %7d %7d %7d %7d",
+				res.DeadlocksDetected, res.DeadlocksRecovered, res.DeadlocksReleased, res.DeadlocksLost)
 		}
 		fmt.Println()
 		if res.ReplayCompleted {

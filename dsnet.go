@@ -40,6 +40,7 @@ import (
 	"dsnet/internal/harness"
 	"dsnet/internal/layout"
 	"dsnet/internal/netsim"
+	"dsnet/internal/recovery"
 	"dsnet/internal/routing"
 	"dsnet/internal/search"
 	"dsnet/internal/stats"
@@ -408,6 +409,10 @@ var (
 	CertifyDegradedDSN    = verify.CertifyDegradedDSN
 	CertifyFaultTimeline  = verify.CertifyFaultTimeline
 	SameCertificate       = verify.SameCertificate
+	// Recovery escape-network certification: the Dally-Seitz half of
+	// the runtime deadlock-recovery safety argument, per degraded epoch.
+	CertifyRecoveryEscape   = verify.CertifyRecoveryEscape
+	CertifyRecoveryTimeline = verify.CertifyRecoveryTimeline
 )
 
 // Runtime invariant monitors (armed per run with (*Sim).SetMonitors /
@@ -442,6 +447,29 @@ var (
 	ViolatedMonitor = netsim.ViolatedMonitor
 )
 
+// Runtime deadlock detection and recovery (armed per run with
+// (*Sim).SetRecovery / (*WormSim).SetRecovery): per-packet stall
+// detection with a confirmation pass, Disha-style abort of confirmed
+// victims onto the up*/down* escape network, and optional
+// drain-before-reconfigure at fault epochs. Disarmed or idle recovery
+// leaves runs bit-identical to an unarmed simulator.
+type (
+	RecoveryConfig  = recovery.Config
+	RecoveryTracker = recovery.Tracker
+	DeadlockEvent   = recovery.DeadlockEvent
+	RecoveryEscape  = recovery.Escape
+)
+
+var (
+	RecoveryDefault   = recovery.Default
+	NewRecoveryEscape = recovery.NewEscape
+)
+
+// MonitorRecovery is reported by recovery-armed chaos runs that end
+// with confirmed deadlocks neither recovered, released, nor accounted
+// as lost.
+const MonitorRecovery = netsim.MonitorRecovery
+
 // Chaos engine (cmd/dsnchaos): seeded fault-injection campaigns run
 // against both simulator engines with the monitors armed, plus
 // delta-debugging of failing campaigns into minimal checked-in
@@ -455,6 +483,7 @@ type (
 	ChaosRepro      = chaos.Repro
 	ChaosWindow     = chaos.Window
 	ChaosRow        = analysis.ChaosRow
+	RecoveryRow     = analysis.RecoveryRow
 )
 
 var (
@@ -466,8 +495,16 @@ var (
 	ChaosGenerate       = chaos.Generate
 	ChaosShrink         = chaos.Shrink
 	ParseChaosRepro     = chaos.ParseRepro
+	ChaosRecoveryConfig = chaos.RecoveredReplayConfig
 	ChaosSweep          = analysis.ChaosSweep
 	WriteChaosTable     = analysis.WriteChaosTable
+	// Recovery-cost sweep: unarmed vs live-swap vs drain-before-
+	// reconfigure recovery across link-failure fractions.
+	RecoverySweep      = analysis.RecoverySweep
+	RecoverySweepWith  = analysis.RecoverySweepWith
+	RecoverySweepCtx   = analysis.RecoverySweepCtx
+	WriteRecoveryTable = analysis.WriteRecoveryTable
+	RecoveryModes      = analysis.RecoveryModes
 )
 
 // Sweep-orchestration harness (cmd/dsnbench and the -j/-cache flags of

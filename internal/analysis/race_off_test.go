@@ -1,0 +1,5 @@
+//go:build !race
+
+package analysis
+
+const raceDetectorEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package analysis
+
+// The recovery-cost sweep runs full simulations; under the race
+// detector's 8-10x slowdown they blow the test timeout without adding
+// coverage, so the sweep-driving tests skip (the CI chaos smoke job
+// exercises the same paths without -race).
+const raceDetectorEnabled = true

@@ -6,6 +6,7 @@ import (
 	"dsnet/internal/graph"
 	"dsnet/internal/layout"
 	"dsnet/internal/netsim"
+	"dsnet/internal/recovery"
 	"dsnet/internal/traffic"
 )
 
@@ -49,6 +50,15 @@ type Options struct {
 	// zero-fault golden run's total, or the reconvergence monitor
 	// flags it.
 	ReconvergeFrac float64
+
+	// Recover arms runtime deadlock detection & recovery (SetRecovery)
+	// with the Recovery config on every run, and adds the engine-level
+	// recovery-accounting check: a run that ends with confirmed
+	// deadlocks neither recovered nor written off as lost trips the
+	// "recovery" monitor. Both are value fields on purpose — campaign
+	// fingerprints hash Options with %+v.
+	Recover  bool
+	Recovery recovery.Config
 }
 
 // DefaultOptions returns bounded-runtime settings for campaigns: short
@@ -145,6 +155,7 @@ func New(t Target, opt Options) (*Engine, error) {
 type sim interface {
 	SetFaultPlan(*netsim.FaultPlan) error
 	SetMonitors(netsim.Monitors) error
+	SetRecovery(recovery.Config) error
 	Run() (netsim.Result, error)
 }
 
@@ -173,6 +184,11 @@ func (e *Engine) RunPlan(plan *netsim.FaultPlan) (netsim.Result, string, string,
 			return netsim.Result{}, "", "", err
 		}
 	}
+	if e.Opt.Recover {
+		if err := s.SetRecovery(e.Opt.Recovery); err != nil {
+			return netsim.Result{}, "", "", err
+		}
+	}
 	mon := netsim.Monitors{
 		Conservation:     true,
 		MaxHOLWaitCycles: e.Opt.HOLBound,
@@ -189,6 +205,16 @@ func (e *Engine) RunPlan(plan *netsim.FaultPlan) (netsim.Result, string, string,
 			return res, name, runErr.Error(), nil
 		}
 		return res, "", "", runErr
+	}
+	// Recovery accounting: every confirmed deadlock must have been
+	// resolved — aborted onto the escape network, released by a peer
+	// abort, or written off as lost — by the end of the run.
+	if e.Opt.Recover {
+		if un := res.DeadlocksDetected - res.DeadlocksRecovered - res.DeadlocksReleased - res.DeadlocksLost; un > 0 {
+			detail := fmt.Sprintf("%d confirmed deadlocks unresolved at run end (detected %d, recovered %d, released %d, lost %d)",
+				un, res.DeadlocksDetected, res.DeadlocksRecovered, res.DeadlocksReleased, res.DeadlocksLost)
+			return res, netsim.MonitorRecovery, detail, nil
+		}
 	}
 	return res, "", "", nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"dsnet/internal/core"
 	"dsnet/internal/netsim"
+	"dsnet/internal/recovery"
 	"dsnet/internal/topology"
 )
 
@@ -272,6 +273,43 @@ func (r *Repro) Run() (string, string, error) {
 		return "", "", err
 	}
 	return v.Monitor, v.Detail, nil
+}
+
+// RecoveredReplayConfig is the detector tuning used when replaying the
+// corpus with recovery armed. The thresholds are aggressive so that on
+// the VCT engine a confirmed abort (stall + confirm = 1280 cycles)
+// lands before the fault-transport timeout (FaultTimeoutCycles, 2048)
+// would drain the wedged head itself, while still sitting far above any
+// healthy head-of-line wait at corpus load levels.
+func RecoveredReplayConfig() recovery.Config {
+	c := recovery.Default()
+	c.StallThresholdCycles = 1024
+	c.ConfirmCycles = 256
+	return c
+}
+
+// RunRecovered replays the reproducer with runtime deadlock recovery
+// armed (RecoveredReplayConfig, optionally with drain-before-
+// reconfigure) on the given engine ("" keeps the recorded one) and
+// returns the full verdict: a reproducer that deadlocks its fabric
+// without recovery must come back clean with DeadlocksRecovered > 0
+// when recovery is on.
+func (r *Repro) RunRecovered(engine string, drain bool) (Verdict, error) {
+	e, err := r.engine()
+	if err != nil {
+		return Verdict{}, err
+	}
+	switch engine {
+	case "":
+	case "vct", "wormhole":
+		e.Opt.Wormhole = engine == "wormhole"
+	default:
+		return Verdict{}, fmt.Errorf("chaos: unknown engine override %q (want vct or wormhole)", engine)
+	}
+	e.Opt.Recover = true
+	e.Opt.Recovery = RecoveredReplayConfig()
+	e.Opt.Recovery.DrainOnFault = drain
+	return e.RunScenario(Scenario{Kind: -1, Seed: r.Seed, Plan: netsim.NewFaultPlan(r.Events...)})
 }
 
 // Verify replays the reproducer and errors unless it trips the monitor

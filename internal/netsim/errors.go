@@ -37,6 +37,11 @@ const (
 	MonitorHopTTL        = "hop-ttl"
 	MonitorHOLWait       = "hol-wait"
 	MonitorReconvergence = "reconvergence"
+	// MonitorRecovery is issued by the chaos engine when a recovery-armed
+	// run ends with confirmed deadlocks that were neither recovered nor
+	// accounted as lost (DeadlocksDetected != DeadlocksRecovered +
+	// DeadlocksLost).
+	MonitorRecovery = "recovery"
 )
 
 // MonitorViolation is the structured error a runtime invariant monitor

@@ -3,6 +3,8 @@ package netsim
 import (
 	"fmt"
 	"sort"
+
+	"dsnet/internal/recovery"
 )
 
 // Result aggregates one simulation run.
@@ -55,6 +57,32 @@ type Result struct {
 	MakespanCycles  int64
 	MakespanNS      float64
 	PhaseEndNS      []float64
+
+	// Runtime deadlock detection & recovery books (SetRecovery); all
+	// zero (and DeadlockEvents nil) when recovery is disarmed or never
+	// fired, so arming recovery on a clean run leaves the Result
+	// byte-identical. Every confirmed deadlock resolves exactly one way:
+	// DeadlocksDetected == DeadlocksRecovered + DeadlocksReleased +
+	// DeadlocksLost once the run completes (Released: a peer abort broke
+	// the cycle and the packet resumed without its own teardown).
+	// DrainPausedCycles counts cycles spent inside fault-epoch drain
+	// windows (injection paused).
+	DeadlocksDetected  int64
+	DeadlocksRecovered int64
+	DeadlocksReleased  int64
+	DeadlocksLost      int64 // aborts past the budget, counted in Lost too
+	AbortedFlits       int64
+	DrainEpochs        int64
+	DrainPausedCycles  int64
+	DeadlockEvents     []recovery.DeadlockEvent
+
+	// Flit-granularity books (wormhole engine only): every injected flit
+	// is eventually ejected, aborted, or resident in a buffer/on a wire
+	// at run end — InjectedFlits - EjectedFlits - AbortedFlits is the
+	// resident remainder and can never go negative. The VCT engine moves
+	// whole packets and leaves these zero.
+	InjectedFlits int64
+	EjectedFlits  int64
 
 	// Saturated is set when a meaningful fraction of measured packets
 	// never arrived: latency figures are then unreliable (the network is
@@ -118,6 +146,9 @@ func (s *Sim) result() Result {
 	}
 	if s.rep != nil {
 		s.rep.fill(&r, cyc)
+	}
+	if s.rec != nil {
+		s.rec.fill(&r, s.now)
 	}
 	return r
 }

@@ -291,6 +291,7 @@ func (s *WormSim) releaseReady() {
 		for k := int32(0); k < s.rep.packets[mi]; k++ {
 			p := &wpacket{
 				id:         s.nextID,
+				srcHost:    m.SrcHost,
 				dstHost:    m.DstHost,
 				genCycle:   s.now,
 				measured:   true,

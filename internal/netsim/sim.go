@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"dsnet/internal/graph"
+	"dsnet/internal/recovery"
 	"dsnet/internal/traffic"
 )
 
@@ -28,6 +29,18 @@ type packet struct {
 	// msg is the index of the Replay message this packet carries a part
 	// of; meaningful only in closed-loop replay mode (see replay.go).
 	msg int32
+	// Deadlock-recovery state (SetRecovery; see recovery.go). suspectAt
+	// is the cycle the head became a deadlock suspect (0 = unsuspected:
+	// suspicion requires now >= StallThresholdCycles > 0, so cycle 0 can
+	// never legitimately be a suspicion time); deadlocked marks a
+	// confirmed participant; recovering pins the packet to the escape
+	// network after an abort; aborts counts teardowns against
+	// recovery.Config.AbortBudget (distinct from fault-transport
+	// attempts).
+	suspectAt  int64
+	deadlocked bool
+	recovering bool
+	aborts     int32
 }
 
 // vcEntry is a packet queued in an input VC buffer.
@@ -170,6 +183,14 @@ type Sim struct {
 	// rep holds the closed-loop replay state (SetReplay); nil in open-loop
 	// runs, whose behavior is untouched.
 	rep *replayState
+
+	// rec holds the armed deadlock-recovery machinery (SetRecovery); nil
+	// means disarmed and every recovery hook is skipped. inNetwork counts
+	// packets that have left their host NIC and not yet been delivered,
+	// dropped, or aborted — the emptiness condition for drain epochs.
+	// It is maintained unconditionally (it is pure bookkeeping).
+	rec       *recState
+	inNetwork int64
 
 	// mon holds the armed runtime invariant monitors (SetMonitors);
 	// violation records the first trip, which aborts Run at the end of
@@ -333,6 +354,27 @@ func (s *Sim) SetMonitors(m Monitors) error {
 	return nil
 }
 
+// SetRecovery arms runtime deadlock detection and progressive recovery
+// for this run (see package recovery and DESIGN.md). Must be called
+// before Run. Recovery is provably inert until a stall is confirmed: it
+// draws no randomness and changes no flow control, so a run that never
+// confirms a deadlock is bit-identical to an unarmed one.
+func (s *Sim) SetRecovery(c recovery.Config) error {
+	if s.now != 0 || s.nextID != 0 {
+		return fmt.Errorf("netsim: SetRecovery after Run started")
+	}
+	c = c.Normalize()
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	esc, err := recovery.NewEscape(s.g, s.cfg.VCs)
+	if err != nil {
+		return err
+	}
+	s.rec = newRecState(c, esc)
+	return nil
+}
+
 // violate records the first monitor violation; later ones are dropped so
 // the reported failure is the root event, not a cascade.
 func (s *Sim) violate(monitor string, pkt int64, format string, args ...any) {
@@ -433,6 +475,7 @@ func (s *Sim) Run() (Result, error) {
 		s.processEvents()
 		s.inject()
 		s.allocate()
+		s.recoverStep()
 		if s.violation != nil {
 			return s.result(), s.violation
 		}
@@ -447,11 +490,37 @@ func (s *Sim) Run() (Result, error) {
 			return s.result(), &NoProgressError{Cycle: s.now, InFlight: s.inFlight, WatchdogCycles: watchdog}
 		}
 	}
+	s.finalRecovery()
 	s.checkConservation()
 	if s.violation != nil {
 		return s.result(), s.violation
 	}
 	return s.result(), nil
+}
+
+// finalRecovery resolves the abort backlog at the end of a completed
+// run: confirmed victims the one-abort-per-cycle pacing had not reached
+// yet are torn down now, so the detected == recovered + lost identity
+// holds in every returned Result. Confirmed packets are always queue
+// heads (only heads run the confirmation pass and a confirmed head can
+// leave its queue only by grant, abort, or delivery), so one sweep over
+// the head entries suffices.
+func (s *Sim) finalRecovery() {
+	if s.rec == nil {
+		return
+	}
+	s.rec.victim = nil
+	vcs := int32(s.cfg.VCs)
+	for sw := 0; sw < s.nSw; sw++ {
+		for _, c := range s.inChans[sw] {
+			for vc := int32(0); vc < vcs; vc++ {
+				q := &s.vcq[c*vcs+vc]
+				if !q.empty() && q.front().pkt.deadlocked {
+					s.abortPacket(q.front().pkt, c, vc, int32(sw))
+				}
+			}
+		}
+	}
 }
 
 func (s *Sim) processEvents() {
@@ -493,6 +562,7 @@ func (s *Sim) deliver(p *packet, at int64) {
 		s.faultDrop(p, "FAULT")
 		return
 	}
+	s.inNetwork--
 	s.inFlight--
 	s.deliveredTotal++
 	s.lastProgress = s.now
@@ -523,6 +593,14 @@ func (s *Sim) deliver(p *packet, at int64) {
 // a degraded network that drains unroutable packets is live, not
 // deadlocked.
 func (s *Sim) faultDrop(p *packet, why string) {
+	s.inNetwork--
+	s.faultDropQueued(p, why)
+}
+
+// faultDropQueued is faultDrop for a packet that never left its host
+// queue (dead-switch host queues): it was not in the network, so the
+// drain-emptiness count is untouched.
+func (s *Sim) faultDropQueued(p *packet, why string) {
 	s.droppedTotal++
 	s.lastProgress = s.now
 	srcSw := int(p.srcHost) / s.cfg.HostsPerSwitch
@@ -613,6 +691,9 @@ func (s *Sim) genTraffic() {
 // its switch when the NIC is idle and a VC has a packet's worth of
 // credits.
 func (s *Sim) driveHosts() {
+	if s.rec != nil && s.rec.draining {
+		return // drain epoch: no new packets enter the network
+	}
 	for h := 0; h < s.hosts; h++ {
 		if s.faultActive && s.swDead[h/s.cfg.HostsPerSwitch] {
 			continue // hosts of a dead switch are offline
@@ -634,6 +715,7 @@ func (s *Sim) driveHosts() {
 		}
 		p := s.hostQ[h][0]
 		s.hostQ[h] = s.hostQ[h][1:]
+		s.inNetwork++
 		s.hostBusy[h] = s.now + int64(s.cfg.PacketFlits)
 		s.credits[c*int32(s.cfg.VCs)+int32(bestVC)] -= int32(s.cfg.PacketFlits)
 		s.wheel.schedule(s.now, s.now+1+s.linkDelay[c], wheelEv{
@@ -709,7 +791,11 @@ func (s *Sim) tryInput(sw int, c int32) bool {
 				"head-of-line packet waited %d cycles (bound %d) at switch %d channel %d",
 				s.now-e.routableAt, s.mon.MaxHOLWaitCycles, sw, c)
 		}
-		if s.faultActive && s.now-e.routableAt > s.faultTimeout {
+		if s.faultActive && s.now-e.routableAt > s.faultTimeout && !e.pkt.deadlocked {
+			// (A confirmed deadlock victim is excluded: recovery owns it
+			// and will abort it within the pacing backlog, keeping the
+			// detected == recovered + lost identity exact. With recovery
+			// disarmed, deadlocked is never set and nothing changes.)
 			// Head-of-line timeout: under faults a packet that cannot get
 			// a grant (typically because its destination became
 			// unreachable) drains back to the source retry path instead
@@ -726,8 +812,42 @@ func (s *Sim) tryInput(sw int, c int32) bool {
 			s.rrVC[c] = (vc + 1) % vcs
 			return true
 		}
+		if s.rec != nil {
+			s.observeStall(sw, c, int32(vc), e)
+		}
 	}
 	return false
+}
+
+// observeStall advances the deadlock-detection state machine for a head
+// packet that just failed to get a grant. First pass: a head stalled
+// past StallThresholdCycles becomes a suspect. Second pass: a suspect
+// that still cannot move ConfirmCycles later is confirmed — the failed
+// grant() call that routed here IS the resource re-check, since it just
+// re-examined every candidate output and found all of them held. The
+// oldest confirmed packet observed this cycle becomes the abort victim
+// (recoverStep). Everything here is passive: no RNG, no flow control.
+func (s *Sim) observeStall(sw int, c, vc int32, e *vcEntry) {
+	p := e.pkt
+	if s.now-e.routableAt < s.rec.cfg.StallThresholdCycles {
+		return
+	}
+	if p.suspectAt == 0 {
+		p.suspectAt = s.now
+		return
+	}
+	if s.now-p.suspectAt < s.rec.cfg.ConfirmCycles {
+		return
+	}
+	if !p.deadlocked {
+		p.deadlocked = true
+		s.rec.tr.Confirmed(s.now, p.id, int32(sw))
+		s.trace(p, "DLKCONF", "switch", sw, "waited", s.now-e.routableAt)
+	}
+	v := s.rec.victim
+	if v == nil || p.genCycle < v.genCycle || (p.genCycle == v.genCycle && p.id < v.id) {
+		s.rec.victim, s.rec.victimC, s.rec.victimVC, s.rec.victimSw = p, c, vc, int32(sw)
+	}
 }
 
 // grant routes packet p (currently at the head of input (c, vc) of switch
@@ -746,16 +866,24 @@ func (s *Sim) grant(sw int, c, vc int32, p *packet) bool {
 		s.returnCredits(c, vc)
 		s.trace(p, "EJECT", "switch", sw, "host", host)
 		s.lastProgress = s.now
+		s.released(p, sw)
 		return true
 	}
-	if s.mon.HopTTL > 0 && !p.rerouted && p.st.Step >= s.mon.HopTTL {
+	if s.mon.HopTTL > 0 && !p.rerouted && !p.recovering && p.st.Step >= s.mon.HopTTL {
 		// The packet has already taken HopTTL hops and still is not at
 		// its destination: the next grant would exceed the bound.
 		s.violate(MonitorHopTTL, p.id, "packet exceeded the %d-hop route bound (src sw %d, dst sw %d, at sw %d)",
 			s.mon.HopTTL, p.st.SrcSw, p.st.DstSw, sw)
 		return false
 	}
-	s.scratch = s.rt.Candidates(p.st, sw, s.scratch[:0])
+	if p.recovering {
+		// A recovery-reinjected packet rides the up*/down* escape network
+		// exclusively; it never re-enters the routing function whose
+		// dependency cycle it was cut out of.
+		s.scratch = s.rec.escapeCandidates(p.st, sw, s.scratch[:0])
+	} else {
+		s.scratch = s.rt.Candidates(p.st, sw, s.scratch[:0])
+	}
 	return s.launch(sw, c, vc, p, s.scratch)
 }
 
@@ -820,6 +948,7 @@ func (s *Sim) launch(sw int, c, vc int32, p *packet, cands []Candidate) bool {
 		return false
 	}
 	p.blockSince = -1
+	s.released(p, sw)
 	cand := cands[bestIdx]
 	if s.inWindow(s.now) {
 		s.grantsInWindow++
@@ -875,11 +1004,100 @@ func (s *Sim) applyFaults() {
 	s.scrubWheel()
 	s.dropDeadQueues()
 	if fa, ok := s.rt.(FaultAware); ok {
-		fa.UpdateFaults(s.edgeDead, s.swDead)
+		if s.rec != nil && s.rec.cfg.DrainOnFault {
+			// Drain-before-reconfigure: the physical masks above take
+			// effect immediately (the hardware is gone), but the routing
+			// tables swap only once the network has quiesced
+			// (recoverStep → finishDrain).
+			s.rec.beginDrain(s.now)
+		} else {
+			fa.UpdateFaults(s.edgeDead, s.swDead)
+		}
+	}
+	if s.rec != nil {
+		// The escape network re-derives on every epoch so recovery
+		// reinjections never ride dead links.
+		s.rec.rebuild(s.g, s.edgeDead, s.swDead)
 	}
 	// Fault epoch boundary: the conservation monitor audits the books
 	// right after the masks, wheel, and queues were rewritten.
 	s.checkConservation()
+}
+
+// recoverStep fires at most one abort per cycle — the oldest confirmed
+// victim observed by this cycle's allocation pass — and closes an open
+// drain epoch once the network has emptied. Nil-rec runs skip it
+// entirely.
+func (s *Sim) recoverStep() {
+	if s.rec == nil {
+		return
+	}
+	if v := s.rec.victim; v != nil {
+		c, vc, sw := s.rec.victimC, s.rec.victimVC, s.rec.victimSw
+		s.rec.victim = nil
+		if s.rec.tr.CanAbort(s.now) {
+			s.abortPacket(v, c, vc, sw)
+		}
+	}
+	if s.rec.draining && s.inNetwork == 0 {
+		s.rec.finishDrain(s.now, func() {
+			if fa, ok := s.rt.(FaultAware); ok {
+				fa.UpdateFaults(s.edgeDead, s.swDead)
+			}
+		})
+	}
+}
+
+// released clears the detection state of a packet that just advanced.
+// If it was a confirmed deadlock victim, its resumption is accounted:
+// a peer abort broke the cycle and this packet recovered for free (the
+// Disha outcome — only the victim pays the teardown). With recovery
+// disarmed deadlocked is never set and this is a plain field clear.
+func (s *Sim) released(p *packet, sw int) {
+	if p.deadlocked && s.rec != nil {
+		s.rec.tr.Release(s.now, p.id, int32(sw))
+		if s.rec.victim == p {
+			s.rec.victim = nil
+		}
+	}
+	p.suspectAt, p.deadlocked = 0, false
+}
+
+// abortPacket is the Disha-style progressive teardown: the victim is
+// removed from its input VC (restoring the credits exactly as a normal
+// departure would), and either re-sourced at its host pinned to the
+// escape network, or — past the abort budget, or with a dead source —
+// declared lost with full accounting. Teardown is progress for the
+// watchdog: it frees a resource chain.
+func (s *Sim) abortPacket(p *packet, c, vc, sw int32) {
+	q := &s.vcq[c*int32(s.cfg.VCs)+vc]
+	if q.empty() || q.front().pkt != p {
+		return // the head moved since observation; no longer wedged here
+	}
+	q.pop()
+	s.returnCredits(c, vc)
+	s.inNetwork--
+	s.lastProgress = s.now
+	p.suspectAt, p.deadlocked = 0, false
+	p.aborts++
+	flits := int64(s.cfg.PacketFlits)
+	srcSw := int(p.srcHost) / s.cfg.HostsPerSwitch
+	lost := int(p.aborts) > s.rec.cfg.AbortBudget ||
+		(s.faultActive && s.swDead[srcSw])
+	if lost {
+		s.rec.tr.Aborted(s.now, p.id, sw, flits, p.aborts, true)
+		s.lostTotal++
+		s.inFlight--
+		s.trace(p, "DLKLOST", "switch", sw, "attempts", p.aborts)
+		return
+	}
+	s.rec.tr.Aborted(s.now, p.id, sw, flits, p.aborts, false)
+	p.st.Step = 0
+	p.st.RtState = 0
+	p.blockSince = -1
+	p.recovering = true
+	s.hostQ[p.srcHost] = append(s.hostQ[p.srcHost], p)
+	s.trace(p, "DLKABORT", "switch", sw, "attempt", p.aborts)
 }
 
 // rebuildChanDead recomputes the per-channel death mask from the edge
@@ -951,7 +1169,7 @@ func (s *Sim) scrubWheel() {
 // dropDeadQueues drains the input VCs and host queues of dead switches.
 func (s *Sim) dropDeadQueues() {
 	vcs := s.cfg.VCs
-	var victims []*packet
+	var victims, queued []*packet
 	for sw := 0; sw < s.nSw; sw++ {
 		if !s.swDead[sw] {
 			continue
@@ -966,12 +1184,15 @@ func (s *Sim) dropDeadQueues() {
 			}
 		}
 		for h := sw * s.cfg.HostsPerSwitch; h < (sw+1)*s.cfg.HostsPerSwitch; h++ {
-			victims = append(victims, s.hostQ[h]...)
+			queued = append(queued, s.hostQ[h]...)
 			s.hostQ[h] = nil
 		}
 	}
 	for _, p := range victims {
 		s.faultDrop(p, "FAULT")
+	}
+	for _, p := range queued {
+		s.faultDropQueued(p, "FAULT")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"dsnet/internal/graph"
+	"dsnet/internal/recovery"
 	"dsnet/internal/traffic"
 )
 
@@ -79,6 +80,20 @@ type WormSim struct {
 	// runs, whose behavior is untouched.
 	rep *replayState
 
+	// rec holds the armed deadlock-recovery machinery (SetRecovery); nil
+	// means disarmed. inNetwork counts worms between host-NIC claim and
+	// delivery/abort (the drain-emptiness condition); lostTotal counts
+	// worms dropped past the abort budget; flitsInjected/flitsEjected are
+	// the flit-conservation books; chainMark/chainBuf are teardown
+	// scratch.
+	rec           *recState
+	inNetwork     int64
+	lostTotal     int64
+	flitsInjected int64
+	flitsEjected  int64
+	chainMark     []bool
+	chainBuf      []int32
+
 	// mon holds the armed runtime invariant monitors (SetMonitors);
 	// violation records the first trip. maxHOLWait tracks the largest
 	// routing wait of a headered worm (Result.MaxHOLWaitCycles).
@@ -122,6 +137,22 @@ type wpacket struct {
 	// msg is the index of the Replay message this worm carries a part of;
 	// meaningful only in closed-loop replay mode (see replay.go).
 	msg int32
+	// srcHost is where the worm injects from; recovery re-sources an
+	// aborted worm here.
+	srcHost int32
+	// Deadlock-recovery state (SetRecovery; see recovery.go). injected
+	// counts flits the host has streamed so far (the teardown quantum);
+	// lastAdvance is the last cycle any flit of the worm moved or a route
+	// was claimed (the stall clock); suspectAt/deadlocked/recovering/
+	// aborts mirror the VCT packet fields; scan dedupes the multi-slot
+	// chain during the per-cycle detection sweep.
+	injected    int32
+	lastAdvance int64
+	suspectAt   int64
+	scan        int64
+	aborts      int32
+	deadlocked  bool
+	recovering  bool
 }
 
 // wwheelEv is the wormhole engine's timing-wheel event; amt doubles as
@@ -264,6 +295,28 @@ func (s *WormSim) SetMonitors(m Monitors) error {
 	return nil
 }
 
+// SetRecovery arms runtime deadlock detection and progressive recovery
+// for this run (see package recovery and DESIGN.md). Must be called
+// before Run. Detection is passive — stall clocks and the confirmation
+// sweep draw no randomness and touch no flow control — so a run that
+// never confirms a deadlock stays bit-identical to an unarmed one.
+func (s *WormSim) SetRecovery(c recovery.Config) error {
+	if s.now != 0 || s.nextID != 0 {
+		return fmt.Errorf("netsim: SetRecovery after Run started")
+	}
+	c = c.Normalize()
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	esc, err := recovery.NewEscape(s.g, s.cfg.VCs)
+	if err != nil {
+		return err
+	}
+	s.rec = newRecState(c, esc)
+	s.chainMark = make([]bool, len(s.slotPkt))
+	return nil
+}
+
 // violate records the first monitor violation; later ones are dropped.
 func (s *WormSim) violate(monitor string, pkt int64, format string, args ...any) {
 	if s.violation != nil {
@@ -278,15 +331,45 @@ func (s *WormSim) violate(monitor string, pkt int64, format string, args ...any)
 }
 
 // checkConservation verifies the wormhole identity generated ==
-// delivered + in-flight (this engine never drops or loses packets:
-// fail-stop admission keeps doomed packets out instead).
+// delivered + in-flight + lost. Without recovery this engine never
+// drops or loses packets (fail-stop admission keeps doomed packets out
+// instead) and lost stays 0; with recovery armed, worms aborted past
+// the budget become accounted losses.
 func (s *WormSim) checkConservation() {
 	if !s.mon.Conservation {
 		return
 	}
-	if s.generatedTotal != s.deliveredTotal+s.inFlight {
-		s.violate(MonitorConservation, -1, "generated %d != delivered %d + in-flight %d",
-			s.generatedTotal, s.deliveredTotal, s.inFlight)
+	if s.generatedTotal != s.deliveredTotal+s.inFlight+s.lostTotal {
+		s.violate(MonitorConservation, -1, "generated %d != delivered %d + in-flight %d + lost %d",
+			s.generatedTotal, s.deliveredTotal, s.inFlight, s.lostTotal)
+	}
+	s.auditFlits()
+}
+
+// auditFlits structurally verifies flit conservation through
+// abort-and-reinject: every flit a host ever injected is by now either
+// ejected at a destination, torn down by an abort, buffered in some VC
+// slot, or in flight on a wire. Runs at every fault epoch and at run
+// end when recovery and the conservation monitor are both armed.
+func (s *WormSim) auditFlits() {
+	if s.rec == nil {
+		return
+	}
+	var resident int64
+	for _, b := range s.buffered {
+		resident += int64(b)
+	}
+	for _, wslot := range s.wheel.slots {
+		for _, ev := range wslot {
+			if ev.kind == evArrive {
+				resident++
+			}
+		}
+	}
+	if s.flitsInjected != s.flitsEjected+s.rec.tr.AbortedFlits+resident {
+		s.violate(MonitorConservation, -1,
+			"flit books broken: injected %d != ejected %d + aborted %d + resident %d",
+			s.flitsInjected, s.flitsEjected, s.rec.tr.AbortedFlits, resident)
 	}
 }
 
@@ -323,7 +406,18 @@ func (s *WormSim) applyFaults() {
 		s.chanDead[2*s.g.M()+h] = s.swDead[h/s.cfg.HostsPerSwitch]
 	}
 	if fa, ok := s.rt.(FaultAware); ok {
-		fa.UpdateFaults(s.edgeDead, s.swDead)
+		if s.rec != nil && s.rec.cfg.DrainOnFault {
+			// Drain-before-reconfigure: masks take effect immediately, the
+			// routing tables swap once the network quiesces (recoverStep).
+			s.rec.beginDrain(s.now)
+		} else {
+			fa.UpdateFaults(s.edgeDead, s.swDead)
+		}
+	}
+	if s.rec != nil {
+		// The escape network re-derives on every epoch so recovery
+		// reinjections never ride dead links.
+		s.rec.rebuild(s.g, s.edgeDead, s.swDead)
 	}
 	// Fault epoch boundary: audit the books after the masks changed.
 	s.checkConservation()
@@ -347,6 +441,7 @@ func (s *WormSim) Run() (Result, error) {
 		s.inject()
 		s.route()
 		s.forward()
+		s.recoverStep()
 		if s.violation != nil {
 			return s.result(), s.violation
 		}
@@ -357,6 +452,7 @@ func (s *WormSim) Run() (Result, error) {
 			return s.result(), &NoProgressError{Cycle: s.now, InFlight: s.inFlight, WatchdogCycles: watchdog}
 		}
 	}
+	s.finalRecovery()
 	s.checkConservation()
 	if s.violation != nil {
 		return s.result(), s.violation
@@ -381,6 +477,7 @@ func (s *WormSim) processEvents() {
 }
 
 func (s *WormSim) deliver(p *wpacket, at int64) {
+	s.inNetwork--
 	s.inFlight--
 	s.deliveredTotal++
 	s.lastProgress = s.now
@@ -422,6 +519,7 @@ func (s *WormSim) genTraffic() {
 		if s.rng.Float64() < pktProb {
 			p := &wpacket{
 				id:         s.nextID,
+				srcHost:    int32(h),
 				genCycle:   s.now,
 				measured:   s.inWindow(s.now),
 				blockSince: -1,
@@ -455,8 +553,9 @@ func (s *WormSim) genTraffic() {
 func (s *WormSim) driveHosts() {
 	vcs := s.cfg.VCs
 	for h := 0; h < s.hosts; h++ {
-		// Claim an injection VC for the next packet.
-		if s.hostCur[h] == nil && len(s.hostQ[h]) > 0 {
+		// Claim an injection VC for the next packet (paused while a drain
+		// epoch quiesces the network; worms mid-injection keep streaming).
+		if s.hostCur[h] == nil && len(s.hostQ[h]) > 0 && (s.rec == nil || !s.rec.draining) {
 			c := int32(2*s.g.M() + h)
 			for vc := 0; vc < vcs; vc++ {
 				slot := s.slotOfChan(c, int8(vc))
@@ -467,6 +566,8 @@ func (s *WormSim) driveHosts() {
 					s.hostSlot[h] = slot
 					s.hostInjected[h] = 0
 					s.slotPkt[slot] = p
+					s.inNetwork++
+					p.lastAdvance = s.now
 					break
 				}
 			}
@@ -477,6 +578,9 @@ func (s *WormSim) driveHosts() {
 			if s.credits[slot] > 0 {
 				s.credits[slot]--
 				s.hostInjected[h]++
+				s.flitsInjected++
+				p.injected++
+				p.lastAdvance = s.now
 				var head int32
 				if s.hostInjected[h] == 1 {
 					head = 1
@@ -522,14 +626,22 @@ func (s *WormSim) route() {
 					s.routed[slot] = true
 					s.isEject[slot] = true
 					s.lastProgress = s.now
+					p.lastAdvance = s.now
+					s.released(p, int32(sw))
 					continue
 				}
-				if s.mon.HopTTL > 0 && !p.rerouted && p.st.Step >= s.mon.HopTTL {
+				if s.mon.HopTTL > 0 && !p.rerouted && !p.recovering && p.st.Step >= s.mon.HopTTL {
 					s.violate(MonitorHopTTL, p.id, "worm exceeded the %d-hop route bound (src sw %d, dst sw %d, at sw %d)",
 						s.mon.HopTTL, p.st.SrcSw, p.st.DstSw, sw)
 					continue
 				}
-				s.scratch = s.rt.Candidates(p.st, sw, s.scratch[:0])
+				if p.recovering {
+					// A recovery-reinjected worm rides the up*/down* escape
+					// network exclusively (it is escLocked from rebirth).
+					s.scratch = s.rec.escapeCandidates(p.st, sw, s.scratch[:0])
+				} else {
+					s.scratch = s.rt.Candidates(p.st, sw, s.scratch[:0])
+				}
 				bestSlot, bestChan := int32(-1), int32(-1)
 				var bestCr int32 = -1
 				bestEscape := false
@@ -592,6 +704,8 @@ func (s *WormSim) route() {
 					continue
 				}
 				p.blockSince = -1
+				p.lastAdvance = s.now
+				s.released(p, int32(sw))
 				s.routed[slot] = true
 				s.outSlot[slot] = bestSlot
 				s.outChan[slot] = bestChan
@@ -721,9 +835,12 @@ func (s *WormSim) moveFlit(c, slot int32, p *wpacket, pf int32, eject bool, oc, 
 	s.inUsed[c] = s.now
 	s.buffered[slot]--
 	s.forwarded[slot]++
+	p.lastAdvance = s.now
+	s.released(p, s.chanDst[c])
 	// Return the freed buffer space to this slot's sender over its wire.
 	s.wheel.schedule(s.now, s.now+1+s.linkDelay[c], wwheelEv{kind: evCredit, vcIdx: slot})
 	if eject {
+		s.flitsEjected++
 		if s.forwarded[slot] == pf {
 			s.wheel.schedule(s.now, s.now+1+s.cfg.LinkDelayCycles, wwheelEv{kind: evDeliver, pkt: p})
 			s.freeSlot(slot)
@@ -758,6 +875,221 @@ func (s *WormSim) freeSlot(slot int32) {
 	s.readyAt[slot] = neverReady
 }
 
+// recoverStep is the per-cycle deadlock detection sweep (SetRecovery;
+// nil-rec runs skip it). Every worm holding at least one VC slot runs
+// the suspect → confirm state machine on its stall clock; confirmation
+// requires wormWedged — the structural re-check that no flit of the
+// worm can possibly move — so congestion (which always has some movable
+// resource) is never aborted. The oldest confirmed worm is torn down,
+// at most one per cycle, and an open drain epoch closes once the
+// network empties.
+func (s *WormSim) recoverStep() {
+	if s.rec == nil {
+		return
+	}
+	cfg := &s.rec.cfg
+	var victim *wpacket
+	var victimSw int32 = -1
+	mark := s.now + 1
+	for slot, p := range s.slotPkt {
+		if p == nil || p.scan == mark {
+			continue
+		}
+		p.scan = mark
+		if s.now-p.lastAdvance < cfg.StallThresholdCycles {
+			continue
+		}
+		if p.suspectAt == 0 {
+			p.suspectAt = s.now
+			continue
+		}
+		if s.now-p.suspectAt < cfg.ConfirmCycles {
+			continue
+		}
+		if !p.deadlocked {
+			if !s.wormWedged(p) {
+				// Some resource of the worm can still move: congestion,
+				// not dependency deadlock. Re-arm the suspicion window.
+				p.suspectAt = s.now
+				continue
+			}
+			p.deadlocked = true
+			s.rec.tr.Confirmed(s.now, p.id, s.chanDst[slot/s.cfg.VCs])
+		}
+		if victim == nil || p.genCycle < victim.genCycle ||
+			(p.genCycle == victim.genCycle && p.id < victim.id) {
+			victim = p
+			victimSw = s.chanDst[slot/s.cfg.VCs]
+		}
+	}
+	if victim != nil && s.rec.tr.CanAbort(s.now) {
+		s.abortWorm(victim, victimSw)
+	}
+	if s.rec.draining && s.inNetwork == 0 {
+		s.rec.finishDrain(s.now, func() {
+			if fa, ok := s.rt.(FaultAware); ok {
+				fa.UpdateFaults(s.edgeDead, s.swDead)
+			}
+		})
+	}
+}
+
+// released clears the detection state of a worm that just advanced.
+// If it was a confirmed deadlock victim, its resumption is accounted:
+// a peer abort restored credits or freed a slot and broke the cycle
+// (the Disha outcome — only the victim pays the teardown). With
+// recovery disarmed deadlocked is never set and this is a field clear.
+func (s *WormSim) released(p *wpacket, sw int32) {
+	if p.deadlocked && s.rec != nil {
+		s.rec.tr.Release(s.now, p.id, sw)
+	}
+	p.suspectAt, p.deadlocked = 0, false
+}
+
+// finalRecovery resolves the abort backlog at the end of a completed
+// run: confirmed worms the one-abort-per-cycle pacing had not reached
+// yet are torn down now, so the detected == recovered + lost identity
+// holds in every returned Result. abortWorm clears every slot of the
+// victim, so the sweep naturally visits each worm once.
+func (s *WormSim) finalRecovery() {
+	if s.rec == nil {
+		return
+	}
+	for slot, p := range s.slotPkt {
+		if p != nil && p.deadlocked {
+			s.abortWorm(p, s.chanDst[slot/s.cfg.VCs])
+		}
+	}
+}
+
+// wormWedged is the confirmation pass: true only when no flit of the
+// worm can possibly move this cycle — every routed slot with buffered
+// flits faces a zero-credit downstream VC, every waiting header has no
+// claimable candidate, and the host-side injection (if still streaming)
+// is out of credits. A worm with an ejection slot is delivering and
+// never wedged (the ejection port drains unconditionally).
+func (s *WormSim) wormWedged(p *wpacket) bool {
+	vcs := s.cfg.VCs
+	for slot, q := range s.slotPkt {
+		if q != p {
+			continue
+		}
+		sl := int32(slot)
+		if s.isEject[sl] {
+			return false
+		}
+		if s.routed[sl] {
+			if s.buffered[sl] > 0 && s.credits[s.outSlot[sl]] > 0 {
+				return false
+			}
+			continue
+		}
+		if s.readyAt[sl] <= s.now && s.headCanRoute(p, int(s.chanDst[slot/vcs])) {
+			return false
+		}
+	}
+	if h := int(p.srcHost); s.hostCur[h] == p && s.credits[s.hostSlot[h]] > 0 {
+		return false
+	}
+	return true
+}
+
+// headCanRoute mirrors route()'s claim test: does the worm's waiting
+// header have any candidate whose downstream VC slot is free on a live
+// channel? Credits are irrelevant for the claim itself.
+func (s *WormSim) headCanRoute(p *wpacket, sw int) bool {
+	if p.recovering {
+		s.scratch = s.rec.escapeCandidates(p.st, sw, s.scratch[:0])
+	} else {
+		s.scratch = s.rt.Candidates(p.st, sw, s.scratch[:0])
+	}
+	for _, cand := range s.scratch {
+		if p.escLocked && !cand.Escape {
+			continue
+		}
+		oc := s.chanFor(sw, cand)
+		if oc < 0 || (s.faultActive && s.chanDead[oc]) {
+			continue
+		}
+		if s.slotPkt[s.slotOfChan(oc, cand.VC)] == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// abortWorm is the Disha-style progressive teardown of a confirmed
+// wormhole deadlock victim: every VC slot of its chain is scrubbed
+// (buffered flits discarded, in-flight flits and credits on the wire
+// cancelled, flow control reset to full), the host NIC is released if
+// the worm was still streaming, and the worm is either re-sourced at
+// its host pinned to the escape network or — past the abort budget —
+// declared lost. All discarded flits are accounted in AbortedFlits so
+// the flit books (auditFlits) stay exact.
+func (s *WormSim) abortWorm(p *wpacket, sw int32) {
+	chain := s.chainBuf[:0]
+	for slot, q := range s.slotPkt {
+		if q != p {
+			continue
+		}
+		if s.isEject[slot] {
+			return // began delivering; it will drain on its own
+		}
+		chain = append(chain, int32(slot))
+	}
+	s.chainBuf = chain[:0]
+	for _, sl := range chain {
+		s.chainMark[sl] = true
+	}
+	// Scrub the wheel: flits flying toward a chain slot die with the
+	// worm, and credits returning to a chain slot are superseded by the
+	// full flow-control reset below.
+	for i, wslot := range s.wheel.slots {
+		kept := wslot[:0]
+		for _, ev := range wslot {
+			if (ev.kind == evArrive || ev.kind == evCredit) && s.chainMark[ev.vcIdx] {
+				continue
+			}
+			kept = append(kept, ev)
+		}
+		s.wheel.slots[i] = kept
+	}
+	for _, sl := range chain {
+		s.chainMark[sl] = false
+		s.slotPkt[sl] = nil
+		s.buffered[sl] = 0
+		s.forwarded[sl] = 0
+		s.routed[sl] = false
+		s.isEject[sl] = false
+		s.readyAt[sl] = neverReady
+		s.credits[sl] = int32(s.cfg.BufFlitsPerVC)
+	}
+	if h := int(p.srcHost); s.hostCur[h] == p {
+		s.hostCur[h] = nil
+	}
+	flits := int64(p.injected)
+	p.injected = 0
+	p.suspectAt, p.deadlocked = 0, false
+	p.aborts++
+	s.inNetwork--
+	s.lastProgress = s.now // teardown frees a resource chain: progress
+	lost := int(p.aborts) > s.rec.cfg.AbortBudget ||
+		(s.faultActive && s.swDead[p.st.SrcSw])
+	if lost {
+		s.rec.tr.Aborted(s.now, p.id, sw, flits, p.aborts, true)
+		s.lostTotal++
+		s.inFlight--
+		return
+	}
+	s.rec.tr.Aborted(s.now, p.id, sw, flits, p.aborts, false)
+	p.st.Step = 0
+	p.st.RtState = 0
+	p.blockSince = -1
+	p.escLocked = true // reborn directly onto the escape network
+	p.recovering = true
+	s.hostQ[p.srcHost] = append(s.hostQ[p.srcHost], p)
+}
+
 func (s *WormSim) result() Result {
 	cyc := s.cfg.CycleNS()
 	r := Result{
@@ -770,6 +1102,9 @@ func (s *WormSim) result() Result {
 		InFlightAtEnd:        s.inFlight,
 		MaxHOLWaitCycles:     s.maxHOLWait,
 		Rerouted:             s.reroutedPkts,
+		Lost:                 s.lostTotal,
+		InjectedFlits:        s.flitsInjected,
+		EjectedFlits:         s.flitsEjected,
 		ChannelFlits:         s.chanFlits[:2*s.g.M()],
 	}
 	flitsPerHostPerCycle := float64(s.flitsInWindow) / float64(s.cfg.MeasureCycles) / float64(s.hosts)
@@ -792,6 +1127,9 @@ func (s *WormSim) result() Result {
 	}
 	if s.rep != nil {
 		s.rep.fill(&r, cyc)
+	}
+	if s.rec != nil {
+		s.rec.fill(&r, s.now)
 	}
 	return r
 }

@@ -1,0 +1,277 @@
+// Package recovery implements runtime deadlock detection and
+// progressive recovery for the cycle-accurate simulators, plus the
+// drain-based fault-epoch reconfiguration protocol.
+//
+// The design is Disha-style progressive recovery (Anjan & Pinkston,
+// ISCA'95) adapted to this codebase's two engines:
+//
+//   - Detection: every packet carries a stall clock. A head that cannot
+//     advance for StallThresholdCycles becomes a *suspect*; after
+//     ConfirmCycles more, a second confirmation pass re-checks that the
+//     packet genuinely cannot move (every resource it waits on is held)
+//     before declaring a *confirmed* deadlock. Plain congestion clears
+//     itself between the two passes and is never aborted.
+//   - Recovery: the oldest confirmed packet (genCycle, then id) is torn
+//     down — buffers emptied, credits restored, flit conservation
+//     preserved — and re-sourced onto the up*/down* escape network
+//     (Escape), which is Dally–Seitz acyclic on any surviving subgraph,
+//     so recovery traffic can never re-deadlock among itself. A bounded
+//     AbortBudget turns repeat offenders into accounted losses instead
+//     of livelock.
+//   - Drain: when a fault event fires with DrainOnFault set, the engine
+//     stops admitting new packets, delivers or recovers everything in
+//     flight, then atomically swaps the rebuilt routing tables
+//     (drain-before-reconfigure, Besta et al.).
+//
+// Everything here is passive until a stall is confirmed: arming recovery
+// adds no RNG draws and no flow-control changes, so a zero-fault,
+// zero-stall run is bit-identical to an unarmed one.
+package recovery
+
+import "fmt"
+
+// Config tunes detection and recovery. The zero value of any field
+// selects the shipped default (see Default), so Config{} is usable.
+type Config struct {
+	// StallThresholdCycles is how long a head must fail to advance
+	// before it becomes a deadlock suspect. It must comfortably exceed
+	// ordinary congestion waits (packet service time times fan-in) and
+	// stay well under the watchdog and hol-wait monitor bounds so
+	// recovery fires first.
+	StallThresholdCycles int64
+	// ConfirmCycles separates the suspicion pass from the confirmation
+	// pass: a suspect must still be immobile this much later, with every
+	// waited-on resource still held, to be confirmed. This is what
+	// distinguishes true cyclic dependency from a long queue.
+	ConfirmCycles int64
+	// AbortBudget bounds how many times one packet may be aborted and
+	// reinjected before it is declared lost (accounted, not leaked).
+	AbortBudget int
+	// GraceCycles is the minimum spacing between two aborts, on top of
+	// the structural one-abort-per-cycle limit. 0 means no extra
+	// spacing: progressive recovery frees one resource chain at a time
+	// and re-observes.
+	GraceCycles int64
+	// DrainOnFault arms the fault-epoch drain protocol: on every
+	// FaultPlan event the engine pauses injection, drains (delivers or
+	// recovers) all in-flight traffic, and only then swaps the
+	// fault-aware router's rebuilt tables.
+	DrainOnFault bool
+	// MaxEvents caps the DeadlockEvent log kept in Result (counters are
+	// never capped). 0 selects the default; negative disables the log.
+	MaxEvents int
+}
+
+// Default returns the shipped tuning: suspicion after 32768 cycles,
+// confirmation 4096 cycles later, 4 abort attempts per packet, no
+// extra grace, 64 logged events. The thresholds are conservative on
+// purpose: healthy sub-saturation fabrics have been measured with
+// head-of-line waits past 12k cycles (the VCT engine's whole-packet
+// grants serialize badly in drain tails), and the VCT confirmation
+// pass cannot structurally distinguish a slow live cycle from a dead
+// one — so the default must sit above anything a live fabric produces,
+// keeping armed-but-idle runs bit-identical. Deadlock hunts that want
+// fast recovery (the chaos replay path) tune down explicitly.
+func Default() Config {
+	return Config{
+		StallThresholdCycles: 32768,
+		ConfirmCycles:        4096,
+		AbortBudget:          4,
+		GraceCycles:          0,
+		MaxEvents:            64,
+	}
+}
+
+// Normalize fills zero-valued fields with their defaults.
+func (c Config) Normalize() Config {
+	d := Default()
+	if c.StallThresholdCycles == 0 {
+		c.StallThresholdCycles = d.StallThresholdCycles
+	}
+	if c.ConfirmCycles == 0 {
+		c.ConfirmCycles = d.ConfirmCycles
+	}
+	if c.AbortBudget == 0 {
+		c.AbortBudget = d.AbortBudget
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = d.MaxEvents
+	}
+	return c
+}
+
+// Validate rejects configurations that cannot work. Call on a
+// Normalized config.
+func (c Config) Validate() error {
+	if c.StallThresholdCycles < 1 {
+		return fmt.Errorf("recovery: stall threshold %d must be >= 1 cycle", c.StallThresholdCycles)
+	}
+	if c.ConfirmCycles < 1 {
+		return fmt.Errorf("recovery: confirm window %d must be >= 1 cycle", c.ConfirmCycles)
+	}
+	if c.AbortBudget < 1 {
+		return fmt.Errorf("recovery: abort budget %d must be >= 1", c.AbortBudget)
+	}
+	if c.GraceCycles < 0 {
+		return fmt.Errorf("recovery: negative grace %d", c.GraceCycles)
+	}
+	return nil
+}
+
+// Kind classifies a DeadlockEvent.
+type Kind uint8
+
+const (
+	// KindConfirmed: a suspect passed the confirmation pass and is a
+	// true deadlock participant.
+	KindConfirmed Kind = iota
+	// KindRecovered: a confirmed packet was aborted and reinjected onto
+	// the escape network.
+	KindRecovered
+	// KindReleased: a confirmed packet resumed on its own after a peer
+	// abort broke its dependency cycle — the intended Disha outcome (one
+	// teardown frees the whole cycle; only the victim pays the abort).
+	KindReleased
+	// KindLost: a confirmed packet exhausted its abort budget and was
+	// declared lost (still conserved in the packet books).
+	KindLost
+	// KindDrainStart / KindDrainEnd bracket one fault-epoch drain.
+	KindDrainStart
+	KindDrainEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConfirmed:
+		return "confirmed"
+	case KindRecovered:
+		return "recovered"
+	case KindReleased:
+		return "released"
+	case KindLost:
+		return "lost"
+	case KindDrainStart:
+		return "drain-start"
+	case KindDrainEnd:
+		return "drain-end"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// DeadlockEvent is one entry of the typed recovery log in Result.
+type DeadlockEvent struct {
+	Cycle   int64
+	Kind    Kind
+	Packet  int64 // packet id, -1 for drain events
+	Switch  int32 // switch where the stall was observed, -1 if unknown
+	Attempt int32 // abort attempt number (recovered/lost), else 0
+}
+
+func (e DeadlockEvent) String() string {
+	switch e.Kind {
+	case KindDrainStart, KindDrainEnd:
+		return fmt.Sprintf("t=%d %s", e.Cycle, e.Kind)
+	default:
+		return fmt.Sprintf("t=%d pkt=%d %s (sw %d, attempt %d)", e.Cycle, e.Packet, e.Kind, e.Switch, e.Attempt)
+	}
+}
+
+// Tracker accumulates detection/recovery bookkeeping for one run. The
+// engines own the per-packet state machines; the tracker owns the
+// counters, the event log, and the abort pacing.
+type Tracker struct {
+	cfg Config
+
+	Detected     int64
+	Recovered    int64
+	Released     int64
+	Lost         int64
+	AbortedFlits int64
+	DrainEpochs  int64
+	DrainPaused  int64 // cycles spent inside completed drain epochs
+
+	Events []DeadlockEvent
+
+	lastAbort  int64
+	anyAbort   bool
+	drainSince int64 // -1 when not draining
+}
+
+// NewTracker builds a tracker for a Normalized+Validated config.
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg, drainSince: -1}
+}
+
+func (t *Tracker) log(e DeadlockEvent) {
+	if t.cfg.MaxEvents < 0 || len(t.Events) >= t.cfg.MaxEvents {
+		return
+	}
+	t.Events = append(t.Events, e)
+}
+
+// Confirmed records one packet passing the confirmation pass.
+func (t *Tracker) Confirmed(cycle, pkt int64, sw int32) {
+	t.Detected++
+	t.log(DeadlockEvent{Cycle: cycle, Kind: KindConfirmed, Packet: pkt, Switch: sw})
+}
+
+// Release records a confirmed packet resuming without its own abort
+// (a peer teardown broke the cycle). Every confirmed deadlock resolves
+// exactly one way: Detected == Recovered + Released + Lost at run end.
+func (t *Tracker) Release(cycle, pkt int64, sw int32) {
+	t.Released++
+	t.log(DeadlockEvent{Cycle: cycle, Kind: KindReleased, Packet: pkt, Switch: sw})
+}
+
+// CanAbort reports whether abort pacing allows a teardown this cycle.
+func (t *Tracker) CanAbort(now int64) bool {
+	return !t.anyAbort || now-t.lastAbort > t.cfg.GraceCycles
+}
+
+// Aborted records one teardown: a recovery reinjection, or a loss when
+// the budget ran out.
+func (t *Tracker) Aborted(cycle, pkt int64, sw int32, flits int64, attempt int32, lost bool) {
+	t.lastAbort = cycle
+	t.anyAbort = true
+	t.AbortedFlits += flits
+	if lost {
+		t.Lost++
+		t.log(DeadlockEvent{Cycle: cycle, Kind: KindLost, Packet: pkt, Switch: sw, Attempt: attempt})
+		return
+	}
+	t.Recovered++
+	t.log(DeadlockEvent{Cycle: cycle, Kind: KindRecovered, Packet: pkt, Switch: sw, Attempt: attempt})
+}
+
+// DrainBegin marks the start of a fault-epoch drain (idempotent while
+// already draining: overlapping fault events extend the same epoch).
+func (t *Tracker) DrainBegin(cycle int64) {
+	if t.drainSince >= 0 {
+		return
+	}
+	t.drainSince = cycle
+	t.log(DeadlockEvent{Cycle: cycle, Kind: KindDrainStart, Packet: -1, Switch: -1})
+}
+
+// DrainEnd marks the network empty and the table swap done.
+func (t *Tracker) DrainEnd(cycle int64) {
+	if t.drainSince < 0 {
+		return
+	}
+	t.DrainEpochs++
+	t.DrainPaused += cycle - t.drainSince
+	t.drainSince = -1
+	t.log(DeadlockEvent{Cycle: cycle, Kind: KindDrainEnd, Packet: -1, Switch: -1})
+}
+
+// Draining reports whether a drain epoch is open.
+func (t *Tracker) Draining() bool { return t.drainSince >= 0 }
+
+// PausedThrough returns the total drained cycles including a
+// still-open epoch, for end-of-run reporting.
+func (t *Tracker) PausedThrough(now int64) int64 {
+	if t.drainSince < 0 {
+		return t.DrainPaused
+	}
+	return t.DrainPaused + now - t.drainSince
+}

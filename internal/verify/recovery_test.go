@@ -1,0 +1,57 @@
+package verify
+
+import (
+	"testing"
+
+	"dsnet/internal/core"
+	"dsnet/internal/netsim"
+)
+
+// TestRecoveryEscapeTimelineCertified certifies the deadlock-recovery
+// reinjection network per degraded epoch of a fail-then-repair plan on
+// the DSN fabric the recovery subsystem actually protects: the
+// single-class up*/down* escape CDG must stay acyclic at every epoch
+// (so an abort is terminal, never a new deadlock), every degraded
+// certificate must differ from the pristine baseline, and full repair
+// must restore the baseline certificate exactly.
+func TestRecoveryEscapeTimelineCertified(t *testing.T) {
+	d, err := core.NewV(36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := netsim.NewFaultPlan(
+		netsim.LinkDown(10, 3),
+		netsim.LinkDown(20, 17),
+		netsim.SwitchDown(30, 20),
+		netsim.SwitchUp(40, 20),
+		netsim.LinkUp(50, 17),
+		netsim.LinkUp(60, 3),
+	)
+	entries, err := CertifyRecoveryTimeline(d.Graph(), plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &entries[0].Cert
+	if base.Status != StatusCertified || !base.OK() {
+		t.Fatalf("pristine escape network not certified: %v %v", base.Status, base.FailedChecks())
+	}
+	for _, en := range entries {
+		if en.Cert.Status != StatusCertified {
+			t.Errorf("event %d (cycle %d): recovery escape network cyclic, witness %s",
+				en.Index, en.Cycle, en.Cert.WitnessString())
+		}
+		if !en.Cert.OK() {
+			t.Errorf("event %d: failed checks %v", en.Index, en.Cert.FailedChecks())
+		}
+	}
+	for i := 1; i < len(entries)-1; i++ {
+		if SameCertificate(base, &entries[i].Cert) {
+			t.Errorf("event %d: degraded certificate identical to baseline; faults not applied", entries[i].Index)
+		}
+	}
+	last := &entries[len(entries)-1].Cert
+	if !SameCertificate(base, last) {
+		t.Errorf("repair did not restore the escape certificate: base %d/%d, healed %d/%d",
+			base.Channels, base.Deps, last.Channels, last.Deps)
+	}
+}
