@@ -28,16 +28,18 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "seed for randomized topologies")
 		smallWorld = flag.Bool("smallworld", false, "also print clustering coefficient and small-world sigma")
 		bottleneck = flag.Bool("bottleneck", false, "also print edge-betweenness load concentration")
+		diversity  = flag.Bool("diversity", false, "also print edge-disjoint path diversity against the min-cut bound")
+		k          = flag.Int("k", 4, "with -diversity: per-pair path budget (1..15)")
 		export     = flag.String("export", "", "write the topology as a dsnet-graph edge list to this file")
 	)
 	flag.Parse()
-	if err := run(*topo, *n, *x, *seed, *smallWorld, *bottleneck, *export); err != nil {
+	if err := run(*topo, *n, *x, *seed, *smallWorld, *bottleneck, *diversity, *k, *export); err != nil {
 		fmt.Fprintln(os.Stderr, "dsnalyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo string, n, x int, seed uint64, smallWorld, bottleneck bool, export string) error {
+func run(topo string, n, x int, seed uint64, smallWorld, bottleneck, diversity bool, k int, export string) error {
 	g, d, err := build(topo, n, x, seed)
 	if err != nil {
 		return err
@@ -97,6 +99,19 @@ func run(topo string, n, x int, seed uint64, smallWorld, bottleneck bool, export
 		}
 		mean /= float64(len(bc))
 		fmt.Printf("betweenness     mean %.4f / max %.4f (max/mean %.2f)\n", mean, max, max/mean)
+	}
+	if diversity {
+		tab, err := dsnet.BuildMultipathTable(g, k)
+		if err != nil {
+			return err
+		}
+		div, err := dsnet.PathDiversityFor(g, k, tab)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("min cut         min %d / mean %.2f over %d pairs\n", div.MinCutMin, div.MinCutMean, div.Pairs)
+		fmt.Printf("disjoint paths  min %d / mean %.2f at k=%d (spraying realizes %.0f%% of the min-cut headroom)\n",
+			div.DisjointMin, div.DisjointMean, k, 100*div.DisjointMean/div.MinCutMean)
 	}
 	return nil
 }

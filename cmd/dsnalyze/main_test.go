@@ -54,14 +54,20 @@ func TestBuildRejectsBadShapes(t *testing.T) {
 }
 
 func TestRunPrintsMetrics(t *testing.T) {
-	if err := run("dsn", 64, 0, 1, true, true, ""); err != nil {
+	if err := run("dsn", 64, 0, 1, true, true, false, 4, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDiversity(t *testing.T) {
+	if err := run("ring", 16, 0, 1, false, false, true, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExport(t *testing.T) {
 	path := t.TempDir() + "/g.txt"
-	if err := run("ring", 16, 0, 1, false, false, path); err != nil {
+	if err := run("ring", 16, 0, 1, false, false, false, 4, path); err != nil {
 		t.Fatal(err)
 	}
 }

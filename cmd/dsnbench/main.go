@@ -70,6 +70,9 @@ type grid struct {
 	targets   []string
 	chaosN    int
 	scenarios int
+	mpN       int
+	mpRate    float64
+	mpFrac    float64
 }
 
 func gridFor(smoke bool, seed uint64) grid {
@@ -86,6 +89,7 @@ func gridFor(smoke bool, seed uint64) grid {
 			faultN:   32, fracs: []float64{0.05}, trials: 4,
 			collSizes: []int{64}, collReps: 2,
 			targets: []string{"torus"}, chaosN: 36, scenarios: 2,
+			mpN: 16, mpRate: 0.05, mpFrac: 0.05,
 		}
 	}
 	cfg.WarmupCycles = 5000
@@ -98,6 +102,7 @@ func gridFor(smoke bool, seed uint64) grid {
 		faultN:   64, fracs: []float64{0.02, 0.05, 0.10}, trials: 10,
 		collSizes: []int{64}, collReps: 3,
 		targets: []string{"torus", "dsn"}, chaosN: 36, scenarios: 5,
+		mpN: 32, mpRate: 0.05, mpFrac: 0.05,
 	}
 }
 
@@ -108,6 +113,8 @@ type bundle struct {
 	Faults     []dsnet.FaultRow      `json:"faults"`
 	Collective []dsnet.CollectiveRow `json:"collective"`
 	Chaos      []dsnet.ChaosRow      `json:"chaos"`
+	Multipath  []dsnet.MultipathRow  `json:"multipath"`
+	Diversity  []dsnet.DiversityRow  `json:"diversity"`
 }
 
 // runGrid executes the whole grid on one runner.
@@ -132,7 +139,16 @@ func runGrid(r *dsnet.SweepRunner, g grid, seed uint64, wormhole bool) (*bundle,
 	if err != nil {
 		return nil, err
 	}
-	return &bundle{Latency: lat, Faults: faults, Collective: coll, Chaos: chaosRows}, nil
+	mp, err := dsnet.MultipathSweepWith(r, g.cfg, g.mpN, g.mpRate, g.mpFrac, seed)
+	if err != nil {
+		return nil, err
+	}
+	div, err := dsnet.DiversitySweepWith(r, g.mpN, []int{2, 4}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &bundle{Latency: lat, Faults: faults, Collective: coll, Chaos: chaosRows,
+		Multipath: mp, Diversity: div}, nil
 }
 
 func canonical(b *bundle) ([]byte, error) {

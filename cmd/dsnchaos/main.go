@@ -52,6 +52,12 @@ type opts struct {
 	recover      bool
 	stall        int64
 	drain        bool
+	// Multipath arming: every listed target's router is swapped for the
+	// k-shortest-path spraying router over the same graph, so campaigns
+	// (and -replay -recover) exercise dead-link re-spray under chaos.
+	multipath bool
+	k         int
+	selector  string
 }
 
 // recoveryConfig resolves the -recover/-stallthreshold/-drain flags
@@ -95,6 +101,9 @@ func main() {
 	flag.BoolVar(&o.recover, "recover", false, "arm runtime deadlock detection and recovery (with -replay: expect a clean run on both engines instead)")
 	flag.Int64Var(&o.stall, "stallthreshold", 0, "stall cycles before a packet is suspected deadlocked (0: recovery default)")
 	flag.BoolVar(&o.drain, "drain", false, "with -recover: drain in-flight traffic before swapping routing tables at each fault epoch")
+	flag.BoolVar(&o.multipath, "multipath", false, "arm every target with the k-shortest-path spraying router (with -replay -recover: replay against the armed target)")
+	flag.IntVar(&o.k, "k", 4, "with -multipath: edge-disjoint paths per pair (1..15)")
+	flag.StringVar(&o.selector, "selector", "adaptive", "with -multipath: path selector: "+strings.Join(dsnet.SelectorNames, ", "))
 	jobs := flag.Int("j", 0, "parallel scenario workers (0: all CPUs)")
 	cache := flag.String("cache", harness.DefaultCacheDir, "sweep result cache directory")
 	nocache := flag.Bool("nocache", false, "bypass the sweep result cache")
@@ -179,6 +188,15 @@ func campaign(o opts, name string, t *tally) error {
 			return nil, err
 		}
 		opt := dsnet.ChaosDefaultOptions()
+		if o.multipath {
+			sel, err := dsnet.ParseSelector(o.selector)
+			if err != nil {
+				return nil, err
+			}
+			if t, err = dsnet.ChaosArmMultipath(t, o.k, sel, opt.Cfg.VCs, o.seed); err != nil {
+				return nil, err
+			}
+		}
 		opt.Wormhole = o.switching == "wormhole"
 		if o.rate > 0 {
 			opt.Rate = o.rate
@@ -204,11 +222,13 @@ func campaign(o opts, name string, t *tally) error {
 		return err
 	}
 	fmt.Printf("# chaos campaign: %s / %s, %d switches, seed %d, %d scenarios + golden\n",
-		name, e.Opt.EngineName(), e.T.Graph.N(), o.seed, len(scs))
+		e.T.Name, e.Opt.EngineName(), e.T.Graph.N(), o.seed, len(scs))
 
+	// e.T.Name carries the multipath arming suffix, keeping armed and
+	// single-path campaigns apart in the result cache.
 	optFP := harness.Fingerprint(fmt.Sprintf("%+v", e.Opt))
 	goldenKey := harness.NewKey("chaos-golden")
-	goldenKey.Topo, goldenKey.Switching = name, e.Opt.EngineName()
+	goldenKey.Topo, goldenKey.Switching = e.T.Name, e.Opt.EngineName()
 	goldenKey.N, goldenKey.Rate, goldenKey.Seed = e.T.Graph.N(), e.Opt.Rate, e.Opt.Cfg.Seed
 	goldenKey.Params = []harness.Param{harness.P("opt", optFP)}
 	goldens, err := harness.Run(runner, "chaos-golden", []harness.Cell[dsnet.ChaosVerdict]{
@@ -231,7 +251,7 @@ func campaign(o opts, name string, t *tally) error {
 	cells := make([]harness.Cell[dsnet.ChaosVerdict], 0, len(scs))
 	for _, sc := range scs {
 		key := harness.NewKey("chaos")
-		key.Topo, key.Switching = name, e.Opt.EngineName()
+		key.Topo, key.Switching = e.T.Name, e.Opt.EngineName()
 		key.N, key.Seed = o.n, sc.Seed
 		key.Params = []harness.Param{
 			harness.P("kind", sc.Kind.String()),
@@ -310,6 +330,9 @@ func replay(o opts) (int, error) {
 	if o.recover {
 		return replayRecovered(o, r)
 	}
+	if o.multipath {
+		return exitError, fmt.Errorf("-replay -multipath requires -recover (an armed replay is judged by recovery accounting, not by reproducing the recorded monitor)")
+	}
 	if err := r.Verify(); err != nil {
 		// The repro is expected to trip its recorded monitor; running
 		// clean (or tripping the wrong one) is an operational failure
@@ -328,7 +351,17 @@ func replay(o opts) (int, error) {
 func replayRecovered(o opts, r *dsnet.ChaosRepro) (int, error) {
 	var t tally
 	for _, engine := range []string{"vct", "wormhole"} {
-		v, err := r.RunRecovered(engine, o.drain)
+		var v dsnet.ChaosVerdict
+		var err error
+		if o.multipath {
+			var sel dsnet.MultipathSelector
+			if sel, err = dsnet.ParseSelector(o.selector); err != nil {
+				return exitError, err
+			}
+			v, err = r.RunRecoveredArmed(engine, o.drain, o.k, sel)
+		} else {
+			v, err = r.RunRecovered(engine, o.drain)
+		}
 		if err != nil {
 			return exitError, err
 		}
@@ -338,7 +371,7 @@ func replayRecovered(o opts, r *dsnet.ChaosRepro) (int, error) {
 			status = fmt.Sprintf("VIOLATION %s: %s", v.Monitor, v.Detail)
 		}
 		fmt.Printf("%s: recovered replay on %s/%s: %s (detected %d, recovered %d, released %d, lost %d, aborted flits %d)\n",
-			filepath.Base(o.replay), r.Target, engine, status,
+			filepath.Base(o.replay), v.Target, engine, status,
 			v.Result.DeadlocksDetected, v.Result.DeadlocksRecovered,
 			v.Result.DeadlocksReleased, v.Result.DeadlocksLost, v.Result.AbortedFlits)
 	}

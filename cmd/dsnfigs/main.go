@@ -10,6 +10,8 @@
 //	dsnfigs -fig 10c      # ... neighboring
 //	dsnfigs -fig balance     # custom routing vs up*/down* traffic balance
 //	dsnfigs -fig collective  # closed-loop ring-allreduce makespans
+//	dsnfigs -fig multipath   # sprayed multipath vs single-path routing
+//	dsnfigs -fig diversity   # edge-disjoint paths vs the min-cut bound
 //	dsnfigs -fig pareto      # design-space search front: ASPL vs cost
 //	dsnfigs -fig all
 package main
@@ -34,7 +36,7 @@ var (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, balance, bottleneck, faults, faultsim, related, switching, physical, throughput, ladder, collective, all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10a, 10b, 10c, balance, bottleneck, faults, faultsim, related, switching, physical, throughput, ladder, collective, multipath, diversity, pareto, all")
 		seed    = flag.Uint64("seed", 1, "seed for randomized topologies and simulations")
 		quick   = flag.Bool("quick", false, "shorter simulation windows (for smoke runs)")
 		jobs    = flag.Int("j", 0, "parallel sweep workers (0: all CPUs)")
@@ -228,6 +230,39 @@ func run(fig string, seed uint64, quick bool) error {
 		fmt.Println("# Closed-loop ring allreduce: makespan across seeded rank placements")
 		dsnet.WriteCollectiveTable(os.Stdout, rows)
 		return nil
+	case "multipath":
+		// Single-path vs sprayed multipath on the Section VII workloads:
+		// hotspot, mid-run link faults, and a ring allreduce. Quick mode
+		// shrinks the fabric, not the grid, so every scheme still runs.
+		n := 64
+		if quick {
+			n = 16
+		}
+		rows, err := dsnet.MultipathSweepWith(runner, simConfig(seed, quick), n, 0.05, 0.05, seed)
+		if err != nil {
+			return err
+		}
+		if emitJSON("multipath", rows) {
+			return nil
+		}
+		fmt.Printf("# Multipath spraying vs single-path routing at %d switches, 0.05 flits/cycle/host, 5%% mid-run link faults\n", n)
+		dsnet.WriteMultipathTable(os.Stdout, rows)
+		return nil
+	case "diversity":
+		n := 64
+		if quick {
+			n = 16
+		}
+		rows, err := dsnet.DiversitySweepWith(runner, n, []int{2, 4, 8}, seed)
+		if err != nil {
+			return err
+		}
+		if emitJSON("diversity", rows) {
+			return nil
+		}
+		fmt.Printf("# Path diversity at %d switches: realized edge-disjoint paths vs the Menger min-cut bound\n", n)
+		dsnet.WriteDiversityTable(os.Stdout, rows)
+		return nil
 	case "pareto":
 		// Quality/cost plane at 64 switches: the seeded design-space
 		// search's Pareto front over the Figure 8 quality axis (ASPL)
@@ -252,7 +287,7 @@ func run(fig string, seed uint64, quick bool) error {
 		dsnet.WriteParetoTable(os.Stdout, res.Objective, dsnet.SearchPoints(res.Front))
 		return nil
 	case "all":
-		for _, f := range []string{"7", "8", "9", "10a", "10b", "10c", "balance", "bottleneck", "faults", "faultsim", "related", "switching", "physical", "throughput", "ladder", "collective", "pareto"} {
+		for _, f := range []string{"7", "8", "9", "10a", "10b", "10c", "balance", "bottleneck", "faults", "faultsim", "related", "switching", "physical", "throughput", "ladder", "collective", "multipath", "diversity", "pareto"} {
 			if err := run(f, seed, quick); err != nil {
 				return err
 			}

@@ -9,6 +9,7 @@
 //	dsnroute -n 64 -s 3 -t 52 -algo noovershoot
 //	dsnroute -n 60 -variant e -s 7 -t 44 -algo local
 //	dsnroute -n 1024 -report                  # aggregate statistics
+//	dsnroute -n 64 -s 3 -t 52 -multipath -k 4 # canonical sprayed path set
 package main
 
 import (
@@ -29,29 +30,39 @@ func main() {
 		algo    = flag.String("algo", "custom", "algorithm: custom, local, noovershoot, short (DSN-D only)")
 		report  = flag.Bool("report", false, "print aggregate routing statistics instead of one trace")
 		stride  = flag.Int("stride", 1, "sample every stride-th pair in -report mode")
+		mp      = flag.Bool("multipath", false, "print the pair's canonical edge-disjoint path set instead of a single route")
+		k       = flag.Int("k", 4, "with -multipath: edge-disjoint paths per pair (1..15)")
 	)
 	flag.Parse()
+	if *mp {
+		if err := runMultipath(*n, *variant, *s, *t, *k); err != nil {
+			fmt.Fprintln(os.Stderr, "dsnroute:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*n, *variant, *s, *t, *algo, *report, *stride); err != nil {
 		fmt.Fprintln(os.Stderr, "dsnroute:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, variant string, s, t int, algo string, report bool, stride int) error {
-	var d *dsnet.DSN
-	var err error
+func buildDSN(n int, variant string) (*dsnet.DSN, error) {
 	switch variant {
 	case "basic":
-		d, err = dsnet.NewDSN(n, dsnet.CeilLog2(n)-1)
+		return dsnet.NewDSN(n, dsnet.CeilLog2(n)-1)
 	case "e":
-		d, err = dsnet.NewDSNE(n)
+		return dsnet.NewDSNE(n)
 	case "v":
-		d, err = dsnet.NewDSNV(n)
+		return dsnet.NewDSNV(n)
 	case "d":
-		d, err = dsnet.NewDSND(n, 2)
-	default:
-		return fmt.Errorf("unknown variant %q", variant)
+		return dsnet.NewDSND(n, 2)
 	}
+	return nil, fmt.Errorf("unknown variant %q", variant)
+}
+
+func run(n int, variant string, s, t int, algo string, report bool, stride int) error {
+	d, err := buildDSN(n, variant)
 	if err != nil {
 		return err
 	}
@@ -94,6 +105,40 @@ func run(n int, variant string, s, t int, algo string, report bool, stride int) 
 	for _, h := range route.Hops {
 		fmt.Printf("  %-12s %4d -> %-4d level %d -> %d via %s\n",
 			h.Phase, h.From, h.To, d.LevelOf(int(h.From)), d.LevelOf(int(h.To)), h.Class)
+	}
+	return nil
+}
+
+// runMultipath prints the pair's canonical edge-disjoint path set — the
+// exact routes the spraying router loads into packet headers — plus the
+// Menger min-cut bound that caps how many disjoint paths exist at all.
+func runMultipath(n int, variant string, s, t, k int) error {
+	d, err := buildDSN(n, variant)
+	if err != nil {
+		return err
+	}
+	g := d.Graph()
+	if s < 0 || s >= g.N() || t < 0 || t >= g.N() || s == t {
+		return fmt.Errorf("need distinct switches in [0,%d): s=%d t=%d", g.N(), s, t)
+	}
+	if k < 1 || k > dsnet.MultipathMaxK {
+		return fmt.Errorf("k=%d out of range 1..%d", k, dsnet.MultipathMaxK)
+	}
+	paths := dsnet.DisjointShortestPaths(g, s, t, k)
+	ps := &dsnet.MultipathPathSet{Src: int32(s), Dst: int32(t), Paths: paths}
+	ps.Canonicalize()
+	if err := ps.Validate(g); err != nil {
+		return err
+	}
+	cut := dsnet.MinCut(g, s, t)
+	fmt.Printf("%v multipath path set %d -> %d: %d/%d paths (min cut %d), fingerprint %s\n",
+		d, s, t, len(ps.Paths), k, cut, ps.Fingerprint())
+	for i, p := range ps.Paths {
+		fmt.Printf("  path %d (%d hops):", i, p.Hops())
+		for _, v := range p {
+			fmt.Printf(" %d", v)
+		}
+		fmt.Println()
 	}
 	return nil
 }

@@ -59,6 +59,13 @@ type opts struct {
 	stall       int64
 	drainFaults bool
 
+	// Multipath source routing: multipath replaces -routing with the
+	// k-shortest-path spraying router; k is the per-pair path budget and
+	// selector picks how packets spread across the sprayed paths.
+	multipath bool
+	k         int
+	selector  string
+
 	// Closed-loop collective replay: collective selects the workload
 	// (empty keeps the open-loop pattern mode), collalgo the algorithm
 	// (empty picks the collective's default), chunk the per-host chunk
@@ -95,6 +102,9 @@ func main() {
 	flag.BoolVar(&o.recover, "recover", false, "arm runtime deadlock detection and recovery")
 	flag.Int64Var(&o.stall, "stallthreshold", 0, "stall cycles before a packet is suspected deadlocked (0: recovery default)")
 	flag.BoolVar(&o.drainFaults, "drainfaults", false, "with -recover: drain in-flight traffic before swapping routing tables at each fault epoch")
+	flag.BoolVar(&o.multipath, "multipath", false, "route with k-shortest-path spraying instead of -routing")
+	flag.IntVar(&o.k, "k", 4, "with -multipath: edge-disjoint paths per pair (1..15)")
+	flag.StringVar(&o.selector, "selector", "adaptive", "with -multipath: path selector: "+strings.Join(dsnet.SelectorNames, ", "))
 	flag.StringVar(&o.collective, "collective", "",
 		"closed-loop collective workload: "+strings.Join(dsnet.CollectiveNames, ", ")+" (empty: open-loop -pattern mode)")
 	flag.StringVar(&o.collalgo, "collalgo", "", "collective algorithm: ring, halving-doubling, binomial, pairwise (default: the collective's default)")
@@ -192,11 +202,29 @@ func run(o opts) error {
 		return fmt.Errorf("unknown topology %q", o.topo)
 	}
 
+	// Multipath replaces the -routing scheme wholesale: the routing label
+	// (and so every cell key and printed header) carries the selector and
+	// path budget instead.
+	var mpSel dsnet.MultipathSelector
+	if o.multipath {
+		var err error
+		mpSel, err = dsnet.ParseSelector(o.selector)
+		if err != nil {
+			return err
+		}
+		o.routing = fmt.Sprintf("mp-%s-k%d", mpSel, o.k)
+	}
+
 	// mkRouter builds a fresh router per cell: construction is
 	// deterministic, and fault-aware routers mutate their tables as
 	// faults land, so sharing one instance across offered loads would
 	// leak degraded state between points.
 	mkRouter := func() (dsnet.Router, error) {
+		if o.multipath {
+			return dsnet.NewMultipath(g, dsnet.MultipathConfig{
+				K: o.k, VCs: cfg.VCs, Selector: mpSel, Seed: o.seed,
+			})
+		}
 		switch o.routing {
 		case "adaptive":
 			return dsnet.NewDuatoUpDown(g, cfg.VCs)
@@ -212,14 +240,16 @@ func run(o opts) error {
 		}
 		return nil, fmt.Errorf("unknown routing %q", o.routing)
 	}
-	switch o.routing {
-	case "adaptive", "updown", "valiant":
-	case "custom":
-		if dsnV == nil {
-			return fmt.Errorf("-routing custom requires -topo dsn-v")
+	if !o.multipath {
+		switch o.routing {
+		case "adaptive", "updown", "valiant":
+		case "custom":
+			if dsnV == nil {
+				return fmt.Errorf("-routing custom requires -topo dsn-v")
+			}
+		default:
+			return fmt.Errorf("unknown routing %q", o.routing)
 		}
-	default:
-		return fmt.Errorf("unknown routing %q", o.routing)
 	}
 
 	if !o.recover && (o.drainFaults || o.stall > 0) {

@@ -39,6 +39,7 @@ import (
 	"dsnet/internal/graph"
 	"dsnet/internal/harness"
 	"dsnet/internal/layout"
+	"dsnet/internal/multipath"
 	"dsnet/internal/netsim"
 	"dsnet/internal/recovery"
 	"dsnet/internal/routing"
@@ -496,8 +497,11 @@ var (
 	ChaosShrink         = chaos.Shrink
 	ParseChaosRepro     = chaos.ParseRepro
 	ChaosRecoveryConfig = chaos.RecoveredReplayConfig
-	ChaosSweep          = analysis.ChaosSweep
-	WriteChaosTable     = analysis.WriteChaosTable
+	// ChaosArmMultipath swaps a chaos target's router for the
+	// k-shortest-path spraying router over the same graph.
+	ChaosArmMultipath = chaos.ArmMultipath
+	ChaosSweep        = analysis.ChaosSweep
+	WriteChaosTable   = analysis.WriteChaosTable
 	// Recovery-cost sweep: unarmed vs live-swap vs drain-before-
 	// reconfigure recovery across link-failure fractions.
 	RecoverySweep      = analysis.RecoverySweep
@@ -628,6 +632,79 @@ var (
 	// and -driver values of cmd/dsnsearch.
 	SearchObjectives = search.Objectives
 	SearchDrivers    = search.Drivers
+)
+
+// Multipath source routing (internal/multipath): a deterministic
+// k-shortest-path engine with canonical (length, lexicographic) path
+// ordering, per-pair edge-disjoint path tables, a source-routed spraying
+// router with three seeded selectors (static per-flow hash, packet
+// round-robin, load-aware adaptive) riding an up*/down* VC0 escape, and
+// the path-diversity metrics (realized edge-disjoint paths vs the Menger
+// min-cut ceiling) behind dsnalyze -diversity and dsnsearch -objective
+// diversity.
+type (
+	// MultipathPath is one loopless switch-level route.
+	MultipathPath = multipath.Path
+	// MultipathPathSet is the canonical route set of one ordered pair.
+	MultipathPathSet = multipath.PathSet
+	// MultipathTable holds the per-pair path sets of one graph.
+	MultipathTable = multipath.Table
+	// MultipathConfig parameterizes the spraying router.
+	MultipathConfig = multipath.Config
+	// MultipathRouter is the source-routed spraying router (a Router).
+	MultipathRouter = multipath.Router
+	// MultipathSelector picks among a pair's sprayed paths.
+	MultipathSelector = multipath.Selector
+	// PathDiversity summarizes a topology's multipath headroom.
+	PathDiversity = multipath.Diversity
+	// MultipathRow is one (topology, scheme, workload) sweep point.
+	MultipathRow = analysis.MultipathRow
+	// DiversityRow is one topology's diversity profile at one k.
+	DiversityRow = analysis.DiversityRow
+)
+
+// Multipath selectors and the per-pair path budget.
+const (
+	SelectorStatic   = multipath.SelectorStatic
+	SelectorRR       = multipath.SelectorRR
+	SelectorAdaptive = multipath.SelectorAdaptive
+	MultipathMaxK    = multipath.MaxK
+)
+
+var (
+	NewMultipath          = multipath.New
+	NewMultipathWithTable = multipath.NewWithTable
+	BuildMultipathTable   = multipath.BuildTable
+	KShortestPaths        = multipath.KShortest
+	DisjointShortestPaths = multipath.DisjointShortest
+	EdgeDisjointPaths     = multipath.EdgeDisjoint
+	VertexDisjointPaths   = multipath.VertexDisjoint
+	MinCut                = multipath.MinCut
+	PathDiversityFor      = multipath.DiversityFor
+	MeanMinCut            = multipath.MeanMinCut
+	ParseSelector         = multipath.ParseSelector
+	// SelectorNames lists the -selector values the CLIs accept.
+	SelectorNames = multipath.SelectorNames
+	// DecodePathSet parses the canonical path-set encoding.
+	DecodePathSet = multipath.DecodePathSet
+
+	// Multipath experiment drivers and the verify-layer certification.
+	MultipathSweep           = analysis.MultipathSweep
+	MultipathSweepWith       = analysis.MultipathSweepWith
+	MultipathSweepCtx        = analysis.MultipathSweepCtx
+	DiversitySweep           = analysis.DiversitySweep
+	DiversitySweepWith       = analysis.DiversitySweepWith
+	DiversitySweepCtx        = analysis.DiversitySweepCtx
+	WriteMultipathTable      = analysis.WriteMultipathTable
+	WriteDiversityTable      = analysis.WriteDiversityTable
+	CertifyDegradedMultipath = verify.CertifyDegradedMultipath
+	CheckMultipathTotality   = verify.CheckMultipathTotality
+)
+
+// MultipathSchemes and MultipathWorkloads list the grid MultipathSweep runs.
+var (
+	MultipathSchemes   = analysis.MultipathSchemes
+	MultipathWorkloads = analysis.MultipathWorkloads
 )
 
 // PatternNames lists the traffic patterns PatternFor accepts.

@@ -46,7 +46,16 @@ func runAllSweeps(t *testing.T, r *harness.Runner) map[string]any {
 	if err != nil {
 		t.Fatalf("chaos: %v", err)
 	}
-	return map[string]any{"latency": lat, "faults": faults, "collective": coll, "chaos": chaos}
+	mp, err := MultipathSweepWith(r, cfg, 16, 0.05, 0.05, 1)
+	if err != nil {
+		t.Fatalf("multipath: %v", err)
+	}
+	div, err := DiversitySweepWith(r, 16, []int{2, 4}, 1)
+	if err != nil {
+		t.Fatalf("diversity: %v", err)
+	}
+	return map[string]any{"latency": lat, "faults": faults, "collective": coll, "chaos": chaos,
+		"multipath": mp, "diversity": div}
 }
 
 // TestParallelSweepsMatchSerial pins the tentpole guarantee: at -j 8

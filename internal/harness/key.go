@@ -29,7 +29,7 @@ import (
 // flow control, RNG consumption order, metric definitions): the bump
 // invalidates every cached cell at once, which is exactly what stale
 // results need.
-const EngineVersion = "dsn-sim/1"
+const EngineVersion = "dsn-sim/2"
 
 // keySchema versions the canonical encoding itself, independently of
 // the simulator generation.

@@ -1,0 +1,148 @@
+package multipath
+
+import (
+	"dsnet/internal/graph"
+)
+
+// Path-diversity analysis. By Menger's theorem the maximum number of
+// edge-disjoint s-t paths equals the minimum s-t edge cut, so MinCut is
+// both the ceiling any multipath scheme can exploit for one pair and the
+// fault margin before the pair disconnects. DiversityFor compares that
+// ceiling with what the k-shortest greedy table actually realizes.
+
+// MinCut returns the minimum s-t edge cut of g (= the maximum number of
+// edge-disjoint s-t paths), treating every physical edge as unit
+// capacity in both directions; parallel edges add capacity. Returns 0
+// when s and t are disconnected or equal. Edmonds–Karp with BFS
+// augmentation: deterministic, and cheap at the switch counts the
+// simulator targets (O(cut · E) per pair).
+func MinCut(g *graph.Graph, s, t int) int {
+	if s == t || s < 0 || t < 0 || s >= g.N() || t >= g.N() {
+		return 0
+	}
+	m := g.M()
+	// flow[e] is signed flow on edge e in its stored U->V orientation;
+	// each undirected edge carries at most one unit either way.
+	flow := make([]int8, m)
+	parentEdge := make([]int32, g.N())
+	parentVert := make([]int32, g.N())
+	queue := make([]int32, 0, g.N())
+	flowValue := 0
+	for {
+		for i := range parentVert {
+			parentVert[i] = -1
+		}
+		parentVert[s] = int32(s)
+		queue = append(queue[:0], int32(s))
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, h := range g.Neighbors(int(u)) {
+				v := h.To
+				if parentVert[v] >= 0 {
+					continue
+				}
+				e := g.Edge(int(h.Edge))
+				// Residual capacity of u->v on this edge: 1 unit minus
+				// the flow already pushed in that direction.
+				var used int8
+				if e.U == u {
+					used = flow[h.Edge]
+				} else {
+					used = -flow[h.Edge]
+				}
+				if used >= 1 {
+					continue
+				}
+				parentVert[v] = u
+				parentEdge[v] = h.Edge
+				if int(v) == t {
+					found = true
+					break bfs
+				}
+				queue = append(queue, v)
+			}
+		}
+		if !found {
+			return flowValue
+		}
+		for v := int32(t); int(v) != s; v = parentVert[v] {
+			e := g.Edge(int(parentEdge[v]))
+			if e.V == v {
+				flow[parentEdge[v]]++
+			} else {
+				flow[parentEdge[v]]--
+			}
+		}
+		flowValue++
+	}
+}
+
+// Diversity summarizes path diversity over all unordered switch pairs.
+type Diversity struct {
+	N            int
+	K            int     // table depth the Disjoint* stats were measured at
+	MinCutMin    int     // weakest pair's edge connectivity
+	MinCutMean   float64 // mean min cut over pairs
+	DisjointMin  int     // weakest pair's realized edge-disjoint path count (≤ K)
+	DisjointMean float64 // mean realized edge-disjoint paths over pairs
+	Pairs        int
+}
+
+// DiversityFor computes the diversity summary of g: the min-cut ceiling
+// per pair and the edge-disjoint path count the k-shortest greedy table
+// realizes. tab may be nil, in which case it is built at depth k.
+func DiversityFor(g *graph.Graph, k int, tab *Table) (Diversity, error) {
+	if tab == nil {
+		var err error
+		tab, err = BuildTable(g, k)
+		if err != nil {
+			return Diversity{}, err
+		}
+	}
+	d := Diversity{N: g.N(), K: tab.K, MinCutMin: -1, DisjointMin: -1}
+	var cutSum, disSum int64
+	for s := 0; s < g.N(); s++ {
+		for t := s + 1; t < g.N(); t++ {
+			cut := MinCut(g, s, t)
+			nd := len(tab.Set(s, t).Paths)
+			cutSum += int64(cut)
+			disSum += int64(nd)
+			if d.MinCutMin < 0 || cut < d.MinCutMin {
+				d.MinCutMin = cut
+			}
+			if d.DisjointMin < 0 || nd < d.DisjointMin {
+				d.DisjointMin = nd
+			}
+			d.Pairs++
+		}
+	}
+	if d.Pairs > 0 {
+		d.MinCutMean = float64(cutSum) / float64(d.Pairs)
+		d.DisjointMean = float64(disSum) / float64(d.Pairs)
+	}
+	if d.MinCutMin < 0 {
+		d.MinCutMin, d.DisjointMin = 0, 0
+	}
+	return d, nil
+}
+
+// MeanMinCut returns the mean s-t min cut over all unordered pairs
+// without building a path table — the cheap scalar the search optimizer
+// uses as its diversity quality signal.
+func MeanMinCut(g *graph.Graph) float64 {
+	var sum int64
+	pairs := 0
+	for s := 0; s < g.N(); s++ {
+		for t := s + 1; t < g.N(); t++ {
+			sum += int64(MinCut(g, s, t))
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(sum) / float64(pairs)
+}

@@ -1,0 +1,113 @@
+package multipath
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Canonical path-set encoding. One path set serializes to
+//
+//	dsnmpath v1
+//	pair <src> <dst>
+//	path <v0> <v1> ... <vk>
+//	...
+//
+// with paths in canonical (length, lexicographic) order. The encoding is
+// the identity used for fingerprints (and hence harness cache keys), so
+// Encode(Decode(b)) == b for every valid b and the decoder rejects any
+// document that is not already canonical.
+
+const encodeHeader = "dsnmpath v1"
+
+// Encode serializes the path set canonically. The receiver must already
+// be in canonical order (BuildTable output is; call Canonicalize after
+// hand-construction).
+func (ps *PathSet) Encode() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\npair %d %d\n", encodeHeader, ps.Src, ps.Dst)
+	for _, p := range ps.Paths {
+		b.WriteString("path")
+		for _, v := range p {
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(int(v)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// Fingerprint returns a short stable hash of the canonical encoding.
+func (ps *PathSet) Fingerprint() string {
+	sum := sha256.Sum256(ps.Encode())
+	return hex.EncodeToString(sum[:8])
+}
+
+// DecodePathSet parses a canonical path-set document. It is strict: the
+// header must match, every vertex must be a decimal int32, every path
+// must start at src and end at dst with at least one hop, and paths must
+// appear in canonical order — so decode∘encode is the identity on valid
+// documents and encode∘decode is the identity on canonical input.
+func DecodePathSet(data []byte) (*PathSet, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() || sc.Text() != encodeHeader {
+		return nil, fmt.Errorf("multipath: bad header (want %q)", encodeHeader)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("multipath: missing pair line")
+	}
+	var src, dst int32
+	if n, err := fmt.Sscanf(sc.Text(), "pair %d %d", &src, &dst); n != 2 || err != nil {
+		return nil, fmt.Errorf("multipath: bad pair line %q", sc.Text())
+	}
+	if src < 0 || dst < 0 || src == dst {
+		return nil, fmt.Errorf("multipath: invalid pair %d %d", src, dst)
+	}
+	ps := &PathSet{Src: src, Dst: dst}
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 3 || fields[0] != "path" {
+			return nil, fmt.Errorf("multipath: bad path line %q", line)
+		}
+		p := make(Path, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("multipath: bad vertex %q", f)
+			}
+			p = append(p, int32(v))
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			return nil, fmt.Errorf("multipath: path runs %d->%d, pair is %d->%d", p[0], p[len(p)-1], src, dst)
+		}
+		if n := len(ps.Paths); n > 0 && !ps.Paths[n-1].Less(p) {
+			return nil, fmt.Errorf("multipath: paths out of canonical order at index %d", n)
+		}
+		ps.Paths = append(ps.Paths, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("multipath: scan: %w", err)
+	}
+	return ps, nil
+}
+
+// Fingerprint returns a short stable hash of the whole table: the
+// canonical encodings of every non-empty pair in row-major order, plus
+// the (N, K) shape. Cell keys hash this so a table change invalidates
+// cached simulation results.
+func (t *Table) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "dsnmptab v1 n=%d k=%d\n", t.N, t.K)
+	for i := range t.Sets {
+		if len(t.Sets[i].Paths) > 0 {
+			h.Write(t.Sets[i].Encode())
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}

@@ -1,0 +1,116 @@
+package multipath
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"dsnet/internal/graph"
+)
+
+// fuzzGraph builds a small deterministic test graph: an n-ring plus a
+// seeded batch of chords, the same shape the shortcut topologies have.
+func fuzzGraph(n int, seed uint64) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, graph.KindRing)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x6d70617468))
+	for i := 0; i < n/2; i++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, graph.KindShortcut)
+		}
+	}
+	return g
+}
+
+// FuzzPathSetCanonical checks the two invariants cache keys depend on:
+// the canonical path-set encoding round-trips exactly (encode∘decode =
+// id, scrambled input re-canonicalizes to the same bytes), and the
+// k-shortest/disjoint path computations are deterministic functions of
+// the graph.
+func FuzzPathSetCanonical(f *testing.F) {
+	f.Add(8, uint64(1), 0, 3, 2, uint64(42))
+	f.Add(16, uint64(7), 5, 12, 4, uint64(9))
+	f.Add(12, uint64(99), 11, 0, 8, uint64(3))
+	f.Add(4, uint64(0), 1, 2, 1, uint64(0))
+	f.Add(24, uint64(123456789), 20, 7, 15, uint64(777))
+	f.Fuzz(func(t *testing.T, n int, seed uint64, s, d, k int, shuf uint64) {
+		if n < 4 {
+			n = 4
+		}
+		if n > 32 {
+			n = 32
+		}
+		s = ((s % n) + n) % n
+		d = ((d % n) + n) % n
+		if s == d {
+			d = (d + 1) % n
+		}
+		if k < 1 {
+			k = 1
+		}
+		if k > MaxK {
+			k = MaxK
+		}
+		g := fuzzGraph(n, seed)
+
+		// Determinism: both path engines must reproduce themselves.
+		a := KShortest(g, s, d, k)
+		b := KShortest(g, s, d, k)
+		if len(a) != len(b) {
+			t.Fatalf("KShortest nondeterministic: %d vs %d paths", len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("KShortest path %d differs: %v vs %v", i, a[i], b[i])
+			}
+			if i > 0 && a[i].Less(a[i-1]) {
+				t.Fatalf("KShortest order violated at %d: %v after %v", i, a[i], a[i-1])
+			}
+		}
+		dis := DisjointShortest(g, s, d, k)
+		dis2 := DisjointShortest(g, s, d, k)
+		if len(dis) != len(dis2) {
+			t.Fatalf("DisjointShortest nondeterministic: %d vs %d", len(dis), len(dis2))
+		}
+		for i := range dis {
+			if !dis[i].Equal(dis2[i]) {
+				t.Fatalf("DisjointShortest path %d differs", i)
+			}
+		}
+
+		ps := PathSet{Src: int32(s), Dst: int32(d), Paths: dis}
+		if err := ps.Validate(g); err != nil {
+			t.Fatalf("built path set invalid: %v", err)
+		}
+		if len(ps.Paths) == 0 {
+			return // disconnected pair: nothing to encode
+		}
+
+		// Round trip: decode(encode(ps)) re-encodes byte-identically.
+		enc := ps.Encode()
+		dec, err := DecodePathSet(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v\n%s", err, enc)
+		}
+		if !bytes.Equal(dec.Encode(), enc) {
+			t.Fatalf("round trip changed bytes:\n%s\nvs\n%s", enc, dec.Encode())
+		}
+		if dec.Fingerprint() != ps.Fingerprint() {
+			t.Fatal("fingerprint changed across round trip")
+		}
+
+		// Scrambled path order canonicalizes back to the same encoding.
+		scr := PathSet{Src: ps.Src, Dst: ps.Dst, Paths: append([]Path(nil), ps.Paths...)}
+		srng := rand.New(rand.NewPCG(shuf, 0x5c7a)) // dsnlint:ok detflow seeded shuffle
+		srng.Shuffle(len(scr.Paths), func(i, j int) {
+			scr.Paths[i], scr.Paths[j] = scr.Paths[j], scr.Paths[i]
+		})
+		scr.Canonicalize()
+		if !bytes.Equal(scr.Encode(), enc) {
+			t.Fatalf("scrambled set canonicalizes differently:\n%s\nvs\n%s", scr.Encode(), enc)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package multipath
+
+import (
+	"testing"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/topology"
+)
+
+// ring builds an n-cycle.
+func ring(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, graph.KindRing)
+	}
+	return g
+}
+
+func torus8x8(t *testing.T) *graph.Graph {
+	t.Helper()
+	to, err := topology.Torus2DFor(64)
+	if err != nil {
+		t.Fatalf("torus: %v", err)
+	}
+	return to.Graph()
+}
+
+func dsn64(t *testing.T) *graph.Graph {
+	t.Helper()
+	d, err := core.New(64, core.CeilLog2(64)-1)
+	if err != nil {
+		t.Fatalf("dsn: %v", err)
+	}
+	return d.Graph()
+}
+
+func TestKShortestRing(t *testing.T) {
+	g := ring(8)
+	paths := KShortest(g, 0, 3, 4)
+	if len(paths) == 0 {
+		t.Fatal("no paths on a ring")
+	}
+	want := Path{0, 1, 2, 3}
+	if !paths[0].Equal(want) {
+		t.Fatalf("shortest = %v, want %v", paths[0], want)
+	}
+	// The second loopless route on a cycle is the long way around.
+	if len(paths) < 2 || !paths[1].Equal(Path{0, 7, 6, 5, 4, 3}) {
+		t.Fatalf("second path = %v", paths[1:])
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Less(paths[i-1]) {
+			t.Fatalf("paths %d,%d out of canonical order: %v %v", i-1, i, paths[i-1], paths[i])
+		}
+	}
+}
+
+func TestKShortestDeterministic(t *testing.T) {
+	g := dsn64(t)
+	for _, pair := range [][2]int{{0, 33}, {5, 60}, {17, 18}} {
+		a := KShortest(g, pair[0], pair[1], 8)
+		b := KShortest(g, pair[0], pair[1], 8)
+		if len(a) != len(b) {
+			t.Fatalf("pair %v: %d vs %d paths", pair, len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("pair %v path %d: %v vs %v", pair, i, a[i], b[i])
+			}
+			if i > 0 && a[i].Less(a[i-1]) {
+				t.Fatalf("pair %v paths out of order at %d", pair, i)
+			}
+		}
+	}
+}
+
+func TestEdgeDisjointFilter(t *testing.T) {
+	g := torus8x8(t)
+	paths := KShortest(g, 0, 27, 24)
+	dis := EdgeDisjoint(paths)
+	if len(dis) < 2 {
+		t.Fatalf("torus pair should have >= 2 disjoint paths, got %d", len(dis))
+	}
+	used := map[int64]bool{}
+	for _, p := range dis {
+		for i := 0; i+1 < len(p); i++ {
+			k := undirectedHopKey(p[i], p[i+1])
+			if used[k] {
+				t.Fatalf("hop %d-%d reused", p[i], p[i+1])
+			}
+			used[k] = true
+		}
+	}
+}
+
+func TestVertexDisjointFilter(t *testing.T) {
+	g := torus8x8(t)
+	dis := VertexDisjoint(KShortest(g, 0, 27, 24))
+	used := map[int32]bool{}
+	for _, p := range dis {
+		for _, v := range p[1 : len(p)-1] {
+			if used[v] {
+				t.Fatalf("internal vertex %d reused", v)
+			}
+			used[v] = true
+		}
+	}
+	if len(dis) < 2 {
+		t.Fatalf("expected >= 2 vertex-disjoint paths, got %d", len(dis))
+	}
+}
+
+func TestBuildTableValidates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring8", ring(8)},
+		{"dsn64", dsn64(t)},
+	} {
+		tab, err := BuildTable(tc.g, 4)
+		if err != nil {
+			t.Fatalf("%s: build: %v", tc.name, err)
+		}
+		if err := tab.Validate(tc.g); err != nil {
+			t.Fatalf("%s: validate: %v", tc.name, err)
+		}
+		if tab.MaxHops() <= 0 {
+			t.Fatalf("%s: MaxHops = %d", tc.name, tab.MaxHops())
+		}
+	}
+	if _, err := BuildTable(ring(4), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := BuildTable(ring(4), MaxK+1); err == nil {
+		t.Fatal("k>MaxK accepted")
+	}
+}
+
+func TestMinCutMenger(t *testing.T) {
+	// On a cycle every pair has exactly 2 edge-disjoint paths.
+	g := ring(8)
+	if cut := MinCut(g, 0, 4); cut != 2 {
+		t.Fatalf("ring min cut = %d, want 2", cut)
+	}
+	// Menger lower bound: the realized disjoint set never exceeds the cut.
+	tg := torus8x8(t)
+	tab, err := BuildTable(tg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{0, 1}, {0, 27}, {3, 60}} {
+		cut := MinCut(tg, pair[0], pair[1])
+		got := len(tab.Set(pair[0], pair[1]).Paths)
+		if got > cut {
+			t.Fatalf("pair %v: %d disjoint paths exceed min cut %d", pair, got, cut)
+		}
+		if cut != 4 {
+			t.Fatalf("torus pair %v: min cut = %d, want 4 (degree)", pair, cut)
+		}
+	}
+}
+
+func TestDiversityFor(t *testing.T) {
+	d, err := DiversityFor(ring(6), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MinCutMin != 2 || d.MinCutMean != 2 {
+		t.Fatalf("ring diversity = %+v, want min cut 2 everywhere", d)
+	}
+	if d.DisjointMin != 2 {
+		t.Fatalf("ring realized disjoint = %d, want 2", d.DisjointMin)
+	}
+	if d.Pairs != 15 {
+		t.Fatalf("pairs = %d, want 15", d.Pairs)
+	}
+	if mc := MeanMinCut(ring(6)); mc != 2 {
+		t.Fatalf("MeanMinCut = %v, want 2", mc)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := dsn64(t)
+	tab, err := BuildTable(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := tab.Set(3, 42)
+	enc := ps.Encode()
+	dec, err := DecodePathSet(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if string(dec.Encode()) != string(enc) {
+		t.Fatalf("round trip changed encoding:\n%s\nvs\n%s", enc, dec.Encode())
+	}
+	if dec.Fingerprint() != ps.Fingerprint() {
+		t.Fatal("fingerprint changed across round trip")
+	}
+}
+
+func TestDecodeRejectsNonCanonical(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"dsnmpath v2\npair 0 1\n",
+		"dsnmpath v1\npair 0 0\n",
+		"dsnmpath v1\npair 0 1\npath 0 2\n", // wrong endpoint
+		"dsnmpath v1\npair 0 1\npath 0 3 1\npath 0 2 1\n", // out of order
+		"dsnmpath v1\npair 0 1\npath 0 1\npath 0 1\n",     // duplicate (not strictly increasing)
+		"dsnmpath v1\npair 0 1\npath 0 x 1\n",             // bad vertex
+		"dsnmpath v1\npair 0 1\nroute 0 1\n",              // bad keyword
+	} {
+		if _, err := DecodePathSet([]byte(bad)); err == nil {
+			t.Fatalf("decoder accepted %q", bad)
+		}
+	}
+}
+
+func TestTableFingerprintSensitivity(t *testing.T) {
+	g := ring(8)
+	t2, _ := BuildTable(g, 2)
+	t3, _ := BuildTable(g, 3)
+	if t2.Fingerprint() == t3.Fingerprint() {
+		t.Fatal("different k, same table fingerprint")
+	}
+	t2b, _ := BuildTable(g, 2)
+	if t2.Fingerprint() != t2b.Fingerprint() {
+		t.Fatal("same inputs, different fingerprint")
+	}
+}

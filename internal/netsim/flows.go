@@ -1,0 +1,89 @@
+package netsim
+
+import "math/bits"
+
+// PathIndexer is implemented by multipath routers that encode the
+// selected source-route index in the packet's RtState. When a
+// simulation's router implements it, both engines keep per-flow books
+// at delivery time: out-of-order arrivals (a delivered packet with a
+// smaller PktID than one the flow already delivered) and the set of
+// distinct paths each flow's packets actually rode. Routers that do not
+// implement the interface get no flow accounting and their Results stay
+// byte-identical to previous engine versions.
+type PathIndexer interface {
+	// PathIndex returns the path index encoded in the packet state, or
+	// -1 when no path was ever assigned.
+	PathIndex(st PacketState) int
+}
+
+// flowStats is the per-(srcHost, dstHost) delivery book.
+type flowStats struct {
+	maxPktID int64  // largest PktID delivered so far
+	paths    uint16 // bitmask of path indices observed (index 15 collects overflow)
+	any      bool
+}
+
+// flowAcct accumulates reorder and path-spread statistics. A nil
+// *flowAcct is valid and all methods are no-ops, so the engines call the
+// hooks unconditionally.
+type flowAcct struct {
+	pi         PathIndexer
+	flows      map[int64]*flowStats
+	outOfOrder int64
+}
+
+// newFlowAcct returns the accounting state for a router, or nil when the
+// router does not expose path indices.
+func newFlowAcct(rt Router) *flowAcct {
+	if pi, ok := rt.(PathIndexer); ok {
+		return &flowAcct{pi: pi, flows: make(map[int64]*flowStats)}
+	}
+	return nil
+}
+
+// onDeliver records one delivery. PktIDs are allocated in generation
+// order per fabric, hence monotone per flow, so a delivered packet with
+// a smaller ID than its flow's high-water mark arrived out of order.
+func (f *flowAcct) onDeliver(srcHost, dstHost int32, st PacketState) {
+	if f == nil {
+		return
+	}
+	key := int64(srcHost)<<32 | int64(uint32(dstHost))
+	fs := f.flows[key]
+	if fs == nil {
+		fs = &flowStats{}
+		f.flows[key] = fs
+	}
+	if fs.any && st.PktID < fs.maxPktID {
+		f.outOfOrder++
+	}
+	if st.PktID > fs.maxPktID || !fs.any {
+		fs.maxPktID = st.PktID
+	}
+	fs.any = true
+	if idx := f.pi.PathIndex(st); idx >= 0 {
+		if idx > 15 {
+			idx = 15
+		}
+		fs.paths |= 1 << idx
+	}
+}
+
+// fill writes the aggregate columns. PathSpread is the mean number of
+// distinct paths per flow with at least one delivery — an
+// order-independent sum over the flow map, so the map iteration below
+// cannot leak iteration order into the Result.
+func (f *flowAcct) fill(r *Result) {
+	if f == nil {
+		return
+	}
+	r.OutOfOrder = f.outOfOrder
+	var sum, n int64
+	for _, fs := range f.flows { // dsnlint:ok maprange order-independent sum
+		sum += int64(bits.OnesCount16(fs.paths))
+		n++
+	}
+	if n > 0 {
+		r.PathSpread = float64(sum) / float64(n)
+	}
+}

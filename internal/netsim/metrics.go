@@ -45,6 +45,14 @@ type Result struct {
 	PostFaultP50NS     float64
 	PostFaultP99NS     float64
 
+	// Multipath flow accounting, nonzero only when the router implements
+	// PathIndexer (source-routed path spraying). OutOfOrder counts
+	// deliveries whose PktID undercut their flow's delivered high-water
+	// mark; PathSpread is the mean number of distinct paths per
+	// (srcHost, dstHost) flow with at least one delivery.
+	OutOfOrder int64
+	PathSpread float64
+
 	// Closed-loop replay metrics, meaningful only when the run executed a
 	// Replay (SetReplay). MakespanCycles/NS is the delivery time of the
 	// workload's last message; PhaseEndNS[i] is the delivery time of the
@@ -150,6 +158,7 @@ func (s *Sim) result() Result {
 	if s.rec != nil {
 		s.rec.fill(&r, s.now)
 	}
+	s.flows.fill(&r)
 	return r
 }
 

@@ -184,6 +184,10 @@ type Sim struct {
 	// runs, whose behavior is untouched.
 	rep *replayState
 
+	// flows holds per-flow reorder/path-spread accounting, non-nil only
+	// when the router implements PathIndexer (multipath source routing).
+	flows *flowAcct
+
 	// rec holds the armed deadlock-recovery machinery (SetRecovery); nil
 	// means disarmed and every recovery hook is skipped. inNetwork counts
 	// packets that have left their host NIC and not yet been delivered,
@@ -247,6 +251,7 @@ func NewSim(cfg Config, g *graph.Graph, rt Router, p traffic.Pattern, rate float
 		nSw:   nSw,
 		hosts: hosts,
 		nChan: nChan,
+		flows: newFlowAcct(rt),
 	}
 	s.chanDst = make([]int32, nChan)
 	s.inChans = make([][]int32, nSw)
@@ -583,6 +588,7 @@ func (s *Sim) deliver(p *packet, at int64) {
 	if s.rep != nil {
 		s.rep.onDeliver(p.msg, at)
 	}
+	s.flows.onDeliver(p.srcHost, p.dstHost, p.st)
 	s.trace(p, "DELIVER", "host", p.dstHost, "hops", p.st.Step, "latency_cycles", at-p.genCycle)
 }
 

@@ -80,6 +80,10 @@ type WormSim struct {
 	// runs, whose behavior is untouched.
 	rep *replayState
 
+	// flows holds per-flow reorder/path-spread accounting, non-nil only
+	// when the router implements PathIndexer (multipath source routing).
+	flows *flowAcct
+
 	// rec holds the armed deadlock-recovery machinery (SetRecovery); nil
 	// means disarmed. inNetwork counts worms between host-NIC claim and
 	// delivery/abort (the drain-emptiness condition); lostTotal counts
@@ -185,6 +189,7 @@ func NewWormSim(cfg Config, g *graph.Graph, rt Router, p traffic.Pattern, rate f
 		nSw:   nSw,
 		hosts: hosts,
 		nChan: nChan,
+		flows: newFlowAcct(rt),
 	}
 	s.chanDst = make([]int32, nChan)
 	s.inChans = make([][]int32, nSw)
@@ -494,6 +499,7 @@ func (s *WormSim) deliver(p *wpacket, at int64) {
 	if s.rep != nil {
 		s.rep.onDeliver(p.msg, at)
 	}
+	s.flows.onDeliver(p.srcHost, p.dstHost, p.st)
 }
 
 // inject is one cycle of host-side work: sourcing new packets (open-loop
@@ -1131,5 +1137,6 @@ func (s *WormSim) result() Result {
 	if s.rec != nil {
 		s.rec.fill(&r, s.now)
 	}
+	s.flows.fill(&r)
 	return r
 }

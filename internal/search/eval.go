@@ -8,6 +8,7 @@ import (
 	"dsnet/internal/graph"
 	"dsnet/internal/harness"
 	"dsnet/internal/layout"
+	"dsnet/internal/multipath"
 	"dsnet/internal/netsim"
 	"dsnet/internal/routing"
 	"dsnet/internal/verify"
@@ -27,10 +28,14 @@ const (
 	// throughput — a single quality index penalizing long paths and
 	// early saturation at once.
 	ObjectiveCombined = "combined"
+	// ObjectiveDiversity optimizes mean pairwise min-cut (negated): the
+	// Menger bound on how many edge-disjoint paths multipath spraying can
+	// ever realize. Graph-theoretic like ASPL — no simulation runs.
+	ObjectiveDiversity = "diversity"
 )
 
 // Objectives lists the accepted -objective values.
-var Objectives = []string{ObjectiveASPL, ObjectiveThroughput, ObjectiveCombined}
+var Objectives = []string{ObjectiveASPL, ObjectiveThroughput, ObjectiveCombined, ObjectiveDiversity}
 
 // EvalConfig fixes everything about candidate evaluation that is not
 // the genome itself. It is fingerprinted into every cell key: two
@@ -78,12 +83,14 @@ func (c EvalConfig) Quick() EvalConfig {
 }
 
 // NeedsSim reports whether the objective requires netsim runs.
-func (c EvalConfig) NeedsSim() bool { return c.Objective != ObjectiveASPL }
+func (c EvalConfig) NeedsSim() bool {
+	return c.Objective != ObjectiveASPL && c.Objective != ObjectiveDiversity
+}
 
 // Validate rejects unusable configurations before any cell is built.
 func (c EvalConfig) Validate() error {
 	switch c.Objective {
-	case ObjectiveASPL, ObjectiveThroughput, ObjectiveCombined:
+	case ObjectiveASPL, ObjectiveThroughput, ObjectiveCombined, ObjectiveDiversity:
 	default:
 		return fmt.Errorf("search: unknown objective %q (objectives: %v)", c.Objective, Objectives)
 	}
@@ -108,7 +115,8 @@ func (c EvalConfig) Validate() error {
 // result, for the cell key.
 func (c EvalConfig) Fingerprint() string {
 	return harness.Fingerprint(
-		"searcheval/v1",
+		"searcheval/v2", // v2: diversity objective records MeanMinCut
+
 		c.Constraints.N, c.Constraints.MaxDegree,
 		c.Objective, c.Pattern,
 		harness.SimConfigFingerprint(c.Sim),
@@ -153,6 +161,10 @@ type Eval struct {
 
 	SaturationGbps float64 `json:"saturation_gbps,omitempty"`
 	KneeRate       float64 `json:"knee_rate,omitempty"`
+
+	// MeanMinCut is the mean pairwise Menger bound, measured only under
+	// the diversity objective (it costs a max-flow per pair).
+	MeanMinCut float64 `json:"mean_min_cut,omitempty"`
 
 	CableMetres float64 `json:"cable_metres,omitempty"`
 	CostTotal   float64 `json:"cost_total,omitempty"`
@@ -271,6 +283,11 @@ func Evaluate(g Genome, cfg EvalConfig) (Eval, error) {
 			return ev, nil
 		}
 		ev.Quality = ev.ASPL / ev.SaturationGbps
+	case ObjectiveDiversity:
+		// Negated so the shared minimize-both Pareto plane still applies:
+		// more edge-disjoint headroom per pair is better.
+		ev.MeanMinCut = multipath.MeanMinCut(gr)
+		ev.Quality = -ev.MeanMinCut
 	}
 	return ev, nil
 }

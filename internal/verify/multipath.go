@@ -1,0 +1,253 @@
+package verify
+
+import (
+	"fmt"
+
+	"dsnet/internal/core"
+	"dsnet/internal/graph"
+	"dsnet/internal/multipath"
+	"dsnet/internal/routing"
+	"dsnet/internal/topology"
+)
+
+// MultipathTotality verifies a multipath routing table end to end:
+// structural validity (every path runs src→dst over real edges, is
+// loopless and canonically ordered, every connected pair is covered —
+// multipath.Table.Validate), plus the two properties the simulator's
+// router additionally leans on: the paths of each pair are mutually
+// edge-disjoint (a link fault disables at most one path per pair), and
+// no set exceeds the table's k or the RtState path-index budget.
+func MultipathTotality(g *graph.Graph, tab *multipath.Table) error {
+	if err := tab.Validate(g); err != nil {
+		return err
+	}
+	if tab.K < 1 || tab.K > multipath.MaxK {
+		return fmt.Errorf("verify: multipath table k=%d outside [1,%d]", tab.K, multipath.MaxK)
+	}
+	for s := 0; s < tab.N; s++ {
+		for d := 0; d < tab.N; d++ {
+			ps := tab.Set(s, d)
+			if len(ps.Paths) > tab.K {
+				return fmt.Errorf("verify: pair %d->%d has %d paths, table k=%d", s, d, len(ps.Paths), tab.K)
+			}
+			used := make(map[int64]bool)
+			for pi, p := range ps.Paths {
+				for i := 0; i+1 < len(p); i++ {
+					u, v := p[i], p[i+1]
+					if u > v {
+						u, v = v, u
+					}
+					key := int64(u)<<32 | int64(uint32(v))
+					if used[key] {
+						return fmt.Errorf("verify: pair %d->%d path %d reuses hop %d-%d", s, d, pi, u, v)
+					}
+					used[key] = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMultipathTotality wraps MultipathTotality into a CheckResult.
+func CheckMultipathTotality(g *graph.Graph, tab *multipath.Table) CheckResult {
+	if err := MultipathTotality(g, tab); err != nil {
+		return CheckResult{Name: "totality:multipath-table", OK: false, Detail: err.Error()}
+	}
+	return CheckResult{
+		Name:   "totality:multipath-table",
+		OK:     true,
+		Detail: fmt.Sprintf("all connected pairs covered, per-pair paths edge-disjoint, k=%d within RtState budget", tab.K),
+	}
+}
+
+// multipathCombos registers the multipath certification matrix: for each
+// graph family the source-routed spray scheme runs on, and for each
+// table depth k, one combination. Deadlock freedom is Duato's argument
+// one more time: the sprayed path channels ride the unrestricted
+// adaptive VCs 1..VCs-1, so only the VC0 up*/down* escape layer — always
+// offered, exclusively carrying diverted packets — needs an acyclic CDG.
+// The selector (static, rr, adaptive) never changes which channel sets a
+// packet may occupy, only which of the offered candidates wins, so all
+// three selectors share each certificate.
+func multipathCombos(o Options) []*Combo {
+	type mpCase struct {
+		name, topo string
+		build      func() (*graph.Graph, error)
+	}
+	cases := []mpCase{
+		{
+			name: fmt.Sprintf("dln-2-2-%d", o.DLNSize),
+			topo: fmt.Sprintf("DLN-2-2 n=%d seed=%d", o.DLNSize, o.DLNSeed),
+			build: func() (*graph.Graph, error) {
+				return topology.DLNRandom(o.DLNSize, 2, 2, o.DLNSeed)
+			},
+		},
+		{
+			name: fmt.Sprintf("dsn-%d", o.BasicSize),
+			topo: fmt.Sprintf("DSN-%d-%d graph", core.CeilLog2(o.BasicSize)-1, o.BasicSize),
+			build: func() (*graph.Graph, error) {
+				d, err := core.New(o.BasicSize, core.CeilLog2(o.BasicSize)-1)
+				if err != nil {
+					return nil, err
+				}
+				return d.Graph(), nil
+			},
+		},
+		{
+			name: fmt.Sprintf("torus%dx%d", o.TorusRows, o.TorusCols),
+			topo: fmt.Sprintf("torus %dx%d", o.TorusRows, o.TorusCols),
+			build: func() (*graph.Graph, error) {
+				tor, err := topology.Torus2D(o.TorusRows, o.TorusCols)
+				if err != nil {
+					return nil, err
+				}
+				return tor.Graph(), nil
+			},
+		},
+	}
+	var combos []*Combo
+	for _, mc := range cases {
+		mc := mc
+		for _, k := range []int{2, 4, 8} {
+			k := k
+			cb := &Combo{
+				Name:     fmt.Sprintf("%s/multipath-k%d/%dvc", mc.name, k, o.VCs),
+				Topology: mc.topo,
+				Routing:  fmt.Sprintf("multipath-spray k=%d", k),
+				VCs:      o.VCs,
+				Doc:      "sprayed path channels ride unrestricted VCs; the VC0 up*/down* escape certifies deadlock freedom (selector-independent)",
+			}
+			cb.Run = func() Certificate {
+				cert := newCert(cb)
+				g, err := mc.build()
+				if err != nil {
+					finish(&cert, nil, err)
+					return cert
+				}
+				tab, err := multipath.BuildTable(g, k)
+				if err != nil {
+					finish(&cert, nil, err)
+					return cert
+				}
+				ud, err := routing.NewUpDown(g, 0)
+				if err != nil {
+					finish(&cert, nil, err)
+					return cert
+				}
+				cdg, err := UpDownChannels(g, ud, 1)
+				if err == nil {
+					cert.Checks = append(cert.Checks,
+						CheckUpDownTotality(g, ud),
+						CheckDuatoConsistency(g, ud),
+						CheckMultipathTotality(g, tab))
+				}
+				finish(&cert, cdg, err)
+				return cert
+			}
+			combos = append(combos, cb)
+		}
+	}
+	return combos
+}
+
+// CertifyDegradedMultipath certifies the multipath scheme on a
+// fault-degraded fabric, statically replaying what
+// multipath.Router.UpdateFaults arms at runtime: the up*/down* escape is
+// rebuilt on the surviving subgraph (dead edges and edges touching dead
+// switches dropped, tree re-rooted at the lowest live switch), and each
+// pair's sprayed paths are masked to the survivors. Deadlock freedom
+// only needs the rebuilt escape to stay acyclic — pairs whose sprayed
+// paths all die divert permanently onto it. The faulted:multipath-live
+// check records the live/diverted/unreachable pair split for the report;
+// diversion and disconnection are legal under faults, so it always
+// holds.
+func CertifyDegradedMultipath(g *graph.Graph, tab *multipath.Table, edgeDead, swDead []bool, vcs int) Certificate {
+	cert := Certificate{
+		Combo:    "degraded/multipath",
+		Topology: fmt.Sprintf("surviving subgraph (%d dead edges, %d dead switches)", countTrue(edgeDead), countTrue(swDead)),
+		Routing:  fmt.Sprintf("multipath-spray k=%d + updown-partial escape", tab.K),
+		VCs:      vcs,
+		Doc:      "escape re-certified on survivors; sprayed paths masked to live ones",
+	}
+	alive := survivingGraph(g, edgeDead, swDead)
+	root := 0
+	for root < g.N()-1 && len(swDead) > root && swDead[root] {
+		root++
+	}
+	ud, err := routing.NewUpDownPartial(alive, root)
+	if err != nil {
+		finish(&cert, nil, err)
+		return cert
+	}
+	cdg, err := UpDownChannels(alive, ud, vcs)
+	if err == nil {
+		live, diverted, unreachable := 0, 0, 0
+		dist := make(map[int][]int32)
+		for s := 0; s < tab.N; s++ {
+			if swAt(swDead, s) {
+				continue
+			}
+			for d := 0; d < tab.N; d++ {
+				if s == d || swAt(swDead, d) {
+					continue
+				}
+				switch {
+				case survivingPaths(g, tab.Set(s, d), edgeDead, swDead) > 0:
+					live++
+				case reachable(alive, dist, s, d):
+					diverted++ // all sprayed paths dead: rides the escape
+				default:
+					unreachable++ // cut off: the transport timeout drains it
+				}
+			}
+		}
+		cert.Checks = append(cert.Checks,
+			CheckUpDownTotality(alive, ud),
+			CheckResult{
+				Name: "faulted:multipath-live",
+				OK:   true, // diversion and disconnection are legal under faults
+				Detail: fmt.Sprintf("%d pairs keep a sprayed path, %d diverted to escape, %d disconnected",
+					live, diverted, unreachable),
+			})
+	}
+	finish(&cert, cdg, err)
+	return cert
+}
+
+// survivingPaths counts the paths of one pair that remain fully usable:
+// every visited switch alive, every hop with at least one surviving
+// parallel edge (the mask multipath.Router.UpdateFaults computes).
+func survivingPaths(g *graph.Graph, ps *multipath.PathSet, edgeDead, swDead []bool) int {
+	n := 0
+	for _, p := range ps.Paths {
+		if pathSurvives(g, p, edgeDead, swDead) {
+			n++
+		}
+	}
+	return n
+}
+
+func pathSurvives(g *graph.Graph, p multipath.Path, edgeDead, swDead []bool) bool {
+	for _, v := range p {
+		if swAt(swDead, int(v)) {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !anyEdgeAlive(g, edgeDead, int(p[i]), int(p[i+1])) {
+			return false
+		}
+	}
+	return true
+}
+
+// reachable memoizes per-source BFS distances over the surviving graph.
+func reachable(alive *graph.Graph, dist map[int][]int32, s, d int) bool {
+	ds, ok := dist[s]
+	if !ok {
+		ds = alive.BFS(s)
+		dist[s] = ds
+	}
+	return ds[d] != graph.Unreachable
+}

@@ -439,6 +439,10 @@ func StandardCombos(o Options) []*Combo {
 	}
 	add(dsnd)
 
+	// Source-routed multipath spraying over the same graph families, at
+	// every table depth the simulator exposes (see multipath.go).
+	combos = append(combos, multipathCombos(o)...)
+
 	return combos
 }
 
